@@ -1,0 +1,399 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// bench regenerates its artifact at a reduced scale per iteration and
+// reports the headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as a compact reproduction report. cmd/experiments runs the
+// same experiments at full paper scale.
+package mppm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// benchLab is shared across benchmarks: profiling and the detailed-
+// simulation pool are the paper's one-time cost, not part of any figure's
+// per-iteration work.
+var (
+	benchOnce sync.Once
+	benchLab  *experiments.Lab
+	benchErr  error
+)
+
+func getBenchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		p := experiments.QuickScale()
+		p.TraceLength = 1_000_000
+		p.IntervalLength = 20_000
+		p.MixCount = 16
+		p.RankMixes = 60
+		p.PracticeSets = 5
+		p.PracticeMixes = 6
+		p.SixteenCoreMixes = 2
+		benchLab, benchErr = experiments.NewLab(p)
+		if benchErr != nil {
+			return
+		}
+		// Pre-warm the caches shared by every figure: profiles and the
+		// 4-core pool's detailed simulations on config #1.
+		if _, benchErr = benchLab.Accuracy(4); benchErr != nil {
+			return
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchLab
+}
+
+func BenchmarkTable1Baseline(b *testing.B) {
+	// Table 1 is configuration data; the bench exercises its validation
+	// and construction path.
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem(DefaultLLC())
+		if sys.LLC().Name != "config#1" {
+			b.Fatal("wrong default config")
+		}
+	}
+}
+
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfgs := LLCConfigs()
+		if len(cfgs) != 6 {
+			b.Fatal("want 6 configs")
+		}
+		for _, c := range cfgs {
+			if err := c.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure3Variability(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var rel10 float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Variability([]int{4, 8, 16}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel10 = res.Points[1].RelSTP()
+	}
+	b.ReportMetric(rel10*100, "STP-CI%@8mixes")
+}
+
+func BenchmarkFigure4Accuracy(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var stpErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Accuracy(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stpErr = res.AvgSTPError
+	}
+	b.ReportMetric(stpErr*100, "avgSTPerr%")
+}
+
+func BenchmarkFigure4Accuracy16Core(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var stpErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.SixteenCoreAccuracy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		stpErr = res.AvgSTPError
+	}
+	b.ReportMetric(stpErr*100, "avgSTPerr%")
+}
+
+func BenchmarkFigure5Slowdown(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var slowErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Accuracy(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowErr = res.AvgSlowdownError
+	}
+	b.ReportMetric(slowErr*100, "avgSlowErr%")
+}
+
+func BenchmarkFigure6WorstMix(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var worstSTP float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstSTP = res.WorstOfPool.MeasuredSTP
+	}
+	b.ReportMetric(worstSTP, "worstSTP")
+}
+
+// BenchmarkSpeedDetailedSim and BenchmarkSpeedMPPM together regenerate
+// the Section 4.3 comparison: ns/op of the two benches is the speedup.
+func BenchmarkSpeedDetailedSim(b *testing.B) {
+	lab := getBenchLab(b)
+	pool, err := lab.Pool(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystemScaled(DefaultLLC(), lab.Params().TraceLength, lab.Params().IntervalLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := sys.ProfileAll(Benchmarks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.SimulateWithProfiles(set, pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeedMPPM(b *testing.B) {
+	lab := getBenchLab(b)
+	pool, err := lab.Pool(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystemScaled(DefaultLLC(), lab.Params().TraceLength, lab.Params().IntervalLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := sys.ProfileAll(Benchmarks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Predict(set, pool[i%len(pool)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7RankCorrelation(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var mppmSpearman float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Ranking(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mppmSpearman = res.MPPMSpearmanSTP
+	}
+	b.ReportMetric(mppmSpearman, "MPPM-Spearman")
+}
+
+func BenchmarkFigure7RankCorrelationCategorized(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Ranking(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg, _ = res.AvgPracticeSpearman()
+	}
+	b.ReportMetric(avg, "practice-Spearman")
+}
+
+func BenchmarkFigure8PairwiseDecisions(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var rightFrac float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Pairwise()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rightFrac = 0
+		for _, o := range res.Outcomes {
+			rightFrac += o.AgreeBothRight + o.DisagreeMPPMRight
+		}
+		rightFrac /= float64(len(res.Outcomes))
+	}
+	b.ReportMetric(rightFrac*100, "MPPM-right%")
+}
+
+func BenchmarkFigure9StressWorkloads(b *testing.B) {
+	lab := getBenchLab(b)
+	b.ResetTimer()
+	var overlap float64
+	for i := 0; i < b.N; i++ {
+		res, err := lab.Stress(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = float64(res.WorstKOverlap) / float64(res.WorstK)
+	}
+	b.ReportMetric(overlap*100, "worstK-overlap%")
+}
+
+// --- Ablation benches (DESIGN.md Section 5) --------------------------
+
+func ablationSetup(b *testing.B) (*System, *ProfileSet, []Mix) {
+	b.Helper()
+	lab := getBenchLab(b)
+	sys, err := NewSystemScaled(DefaultLLC(), lab.Params().TraceLength, lab.Params().IntervalLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := sys.ProfileAll(Benchmarks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mixes, err := RandomMixes(8, 4, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, set, mixes
+}
+
+func BenchmarkAblationContentionModels(b *testing.B) {
+	sys, set, mixes := ablationSetup(b)
+	for _, m := range contention.Models() {
+		b.Run(m.Name(), func(b *testing.B) {
+			var stp float64
+			for i := 0; i < b.N; i++ {
+				pred, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
+					ModelOptions{Contention: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stp = pred.STP
+			}
+			b.ReportMetric(stp, "STP")
+		})
+	}
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	sys, set, mixes := ablationSetup(b)
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		name := "f=low"
+		switch f {
+		case 0.5:
+			name = "f=default"
+		case 0.9:
+			name = "f=high"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
+					ModelOptions{Smoothing: f}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationChunkLength(b *testing.B) {
+	sys, set, mixes := ablationSetup(b)
+	tl := sys.TraceLength()
+	for _, div := range []int64{2, 5, 20} {
+		name := map[int64]string{2: "L=trace/2", 5: "L=trace/5", 20: "L=trace/20"}[div]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
+					ModelOptions{ChunkL: tl / div}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationPaperDenominator(b *testing.B) {
+	sys, set, mixes := ablationSetup(b)
+	for _, paper := range []bool{false, true} {
+		name := "isolated-time"
+		if paper {
+			name = "literal-figure2"
+		}
+		b.Run(name, func(b *testing.B) {
+			var antt float64
+			for i := 0; i < b.N; i++ {
+				pred, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
+					ModelOptions{PaperDenominator: paper})
+				if err != nil {
+					b.Fatal(err)
+				}
+				antt = pred.ANTT
+			}
+			b.ReportMetric(antt, "ANTT")
+		})
+	}
+}
+
+func BenchmarkAblationDerivedProfiles(b *testing.B) {
+	// Derive an 8-way profile from a 16-way one (config#2 -> config#1
+	// geometry) and run the model on it, versus directly profiled 8-way.
+	lab := getBenchLab(b)
+	cfg2, err := LLCConfigByName("config#2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys16, err := NewSystemScaled(cfg2, lab.Params().TraceLength, lab.Params().IntervalLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set16, err := sys16.ProfileAll(Benchmarks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mixes, err := RandomMixes(4, 4, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Build the derived 8-way set once.
+	derived := make([]*Profile, 0, len(set16.Profiles))
+	for _, name := range set16.Names() {
+		p, err := set16.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := p.DeriveAssociativity(8, DefaultLLC().LatencyCycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		derived = append(derived, d)
+	}
+	derivedSet := NewProfileSet(derived...)
+	b.ResetTimer()
+	var stp float64
+	for i := 0; i < b.N; i++ {
+		pred, err := core.Predict(derivedSet, mixes[i%len(mixes)], core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stp = pred.STP
+	}
+	b.ReportMetric(stp, "STP-derived")
+}

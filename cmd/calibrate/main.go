@@ -1,0 +1,125 @@
+// Command calibrate prints the isolated characteristics of every synthetic
+// benchmark (CPI, memory CPI, LLC traffic) and the per-program slowdowns of
+// a few probe workloads. It exists to tune the synthetic suite so its
+// behavioural spread matches the paper's SPEC CPU2006 population, and it
+// remains useful for inspecting the suite after changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	length := flag.Int64("n", 2_000_000, "trace length in instructions")
+	llcName := flag.String("llc", "config#1", "LLC configuration (Table 2 name)")
+	probes := flag.Bool("probes", true, "run probe multi-core workloads")
+	flag.Parse()
+
+	llc, err := cache.LLCConfigByName(*llcName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := sim.DefaultConfig(llc)
+	cfg.TraceLength = *length
+	cfg.IntervalLength = *length / 50
+
+	specs := trace.Suite()
+	set, err := sim.ProfileSuite(specs, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-12s %7s %7s %7s %8s %8s %8s\n",
+		"benchmark", "CPI", "memCPI", "memInt", "APKI", "MPKI", "footMB")
+	for _, name := range set.Names() {
+		p, _ := set.Get(name)
+		spec, _ := trace.ByName(name)
+		fmt.Printf("%-12s %7.3f %7.3f %7.3f %8.2f %8.2f %8.1f\n",
+			name, p.CPI(), p.MemCPI(), p.MemIntensity(), p.APKI(), p.MPKI(),
+			float64(spec.Footprint())/(1<<20))
+	}
+
+	if !*probes {
+		return
+	}
+
+	// Probe mixes: gamess under streaming pressure, a homogeneous gamess
+	// quad, the paper's Figure 6 mix, and a compute-only mix.
+	mixes := [][]string{
+		{"gamess", "lbm", "milc", "libquantum"},
+		{"gamess", "gamess", "gamess", "gamess"},
+		{"hmmer", "gamess", "soplex", "gamess"},
+		{"povray", "namd", "hmmer", "calculix"},
+		{"gobmk", "soplex", "omnetpp", "xalancbmk"},
+		{"mcf", "lbm", "gamess", "gobmk"},
+	}
+	type probeResult struct {
+		names []string
+		slow  []float64
+	}
+	results := make([]probeResult, len(mixes))
+	var wg sync.WaitGroup
+	for mi, mix := range mixes {
+		wg.Add(1)
+		go func(mi int, mix []string) {
+			defer wg.Done()
+			ss := make([]trace.Spec, len(mix))
+			for i, n := range mix {
+				ss[i], _ = trace.ByName(n)
+			}
+			res, err := sim.RunMulticore(ss, cfg, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			slow := make([]float64, len(mix))
+			for i, n := range mix {
+				p, _ := set.Get(n)
+				slow[i] = res.CPI[i] / p.CPI()
+			}
+			results[mi] = probeResult{names: mix, slow: slow}
+		}(mi, mix)
+	}
+	wg.Wait()
+
+	fmt.Println("\nprobe workloads (per-program slowdown vs isolated):")
+	for _, r := range results {
+		if r.names == nil {
+			continue
+		}
+		fmt.Printf("  mix [%v]:", r.names)
+		for i := range r.names {
+			fmt.Printf(" %.2f", r.slow[i])
+		}
+		fmt.Println()
+	}
+
+	// Max slowdown per benchmark across probes (Section 6 style).
+	maxSlow := map[string]float64{}
+	for _, r := range results {
+		for i, n := range r.names {
+			if r.slow[i] > maxSlow[n] {
+				maxSlow[n] = r.slow[i]
+			}
+		}
+	}
+	names := make([]string, 0, len(maxSlow))
+	for n := range maxSlow {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool { return maxSlow[names[a]] > maxSlow[names[b]] })
+	fmt.Println("\nmax observed slowdown per benchmark:")
+	for _, n := range names {
+		fmt.Printf("  %-12s %.2f\n", n, maxSlow[n])
+	}
+}

@@ -1,0 +1,203 @@
+// Command experiments regenerates the paper's tables and figures
+// (Tables 1-2, Figures 3-9, the Section 4.3 speed comparison and the
+// 16-core accuracy run) on the synthetic suite.
+//
+// Usage:
+//
+//	experiments                  # run everything at full paper scale
+//	experiments -run f4,f7       # only selected experiments
+//	experiments -quick           # reduced scale (minutes instead of tens)
+//
+// Experiment ids: t1, t2, f3, f4, f5, f6, speed, f7, f8, f9, c16, ablate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	run := flag.String("run", "all", "comma-separated experiment ids (t1,t2,f3,f4,f5,f6,speed,f7,f8,f9,c16,ablate,hetero)")
+	seed := flag.Int64("seed", 0, "override the experiment seed (0 keeps the default)")
+	flag.Parse()
+
+	params := experiments.FullScale()
+	if *quick {
+		params = experiments.QuickScale()
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+	lab, err := experiments.NewLab(params)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	selected := func(id string) bool { return all || want[id] }
+
+	out := os.Stdout
+	start := time.Now()
+
+	if selected("t1") || selected("t2") {
+		experiments.RenderTables(out)
+		fmt.Fprintln(out)
+	}
+
+	if selected("f3") {
+		step("Figure 3 (variability)")
+		res, err := lab.Variability(lab.DefaultVariabilitySizes(), 30)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		if err := res.RenderChart(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	var acc4 *experiments.AccuracyResult
+	if selected("f4") || selected("f5") {
+		for _, cores := range params.Cores {
+			step(fmt.Sprintf("Figure 4/5 (accuracy, %d cores)", cores))
+			res, err := lab.Accuracy(cores)
+			if err != nil {
+				fatal(err)
+			}
+			if cores == 4 {
+				acc4 = res
+			}
+			res.Render(out)
+			if cores == 4 {
+				if err := res.RenderChart(out); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Fprintln(out)
+		}
+	}
+
+	if selected("c16") {
+		step("16-core accuracy (config #4)")
+		res, err := lab.SixteenCoreAccuracy()
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+
+	if selected("f6") {
+		step("Figure 6 (worst-STP workload)")
+		res, err := lab.Figure6()
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+
+	if selected("speed") {
+		step("Section 4.3 (speed)")
+		for _, cores := range []int{4, 8} {
+			res, err := lab.Speed(cores, 2)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(out)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if selected("f7") {
+		for _, categorized := range []bool{false, true} {
+			step(fmt.Sprintf("Figure 7 (ranking, categorized=%v)", categorized))
+			res, err := lab.Ranking(categorized)
+			if err != nil {
+				fatal(err)
+			}
+			res.Render(out)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if selected("f8") {
+		step("Figure 8 (pairwise decisions)")
+		res, err := lab.Pairwise()
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+
+	if selected("hetero") {
+		step("Heterogeneous design space (extension)")
+		n := 200
+		if *quick {
+			n = 30
+		}
+		res, err := lab.HeteroDesignSpace(n)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+
+	if selected("ablate") {
+		step("Ablation (model variants)")
+		res, err := lab.Ablation()
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+
+	if selected("f9") {
+		step("Figure 9 (stress workloads)")
+		k := 25
+		if params.MixCount < 50 {
+			k = params.MixCount / 6
+		}
+		res, err := lab.Stress(k)
+		if err != nil {
+			fatal(err)
+		}
+		res.Render(out)
+		if err := res.RenderChart(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	// Echo the 4-core scatter at the end so the headline rows stay
+	// together above.
+	if acc4 != nil && selected("f4") && all {
+		fmt.Fprintln(out, "Figure 4 scatter data (4 cores):")
+		acc4.RenderScatter(out)
+	}
+
+	fmt.Fprintf(out, "total wall clock: %v\n", time.Since(start).Round(time.Second))
+}
+
+func step(name string) {
+	fmt.Fprintf(os.Stderr, "[experiments] %s...\n", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,460 @@
+// Command mppm is the command-line interface to the Multi-Program
+// Performance Model reproduction.
+//
+// Subcommands:
+//
+//	mppm list                        list the synthetic benchmark suite
+//	mppm profile  [flags]            run single-core profiling, write JSON
+//	mppm predict  [flags]            evaluate MPPM for one mix
+//	mppm simulate [flags]            run the detailed reference simulator
+//	mppm compare  [flags]            prediction vs. detailed simulation
+//	mppm rank     [flags]            rank the six Table 2 LLC configs with MPPM
+//	mppm stress   [flags]            find stress workloads with MPPM
+//	mppm count    [flags]            count possible workload mixes
+//
+// Run "mppm <subcommand> -h" for per-command flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	mppm "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "simulate":
+		err = cmdSimulate(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "rank":
+		err = cmdRank(args)
+	case "stress":
+		err = cmdStress(args)
+	case "count":
+		err = cmdCount(args)
+	case "classify":
+		err = cmdClassify(args)
+	case "export":
+		err = cmdExport(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mppm: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mppm:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mppm <subcommand> [flags]
+
+subcommands:
+  list      list the synthetic benchmark suite
+  profile   run single-core profiling for the suite, write profiles JSON
+  predict   evaluate MPPM for one workload mix
+  simulate  run the detailed multi-core reference simulator for one mix
+  compare   run both and report prediction error
+  rank      rank the six Table 2 LLC configurations with MPPM
+  stress    search for stress workloads with MPPM
+  count     count the possible workload mixes (the Section 1 explosion)
+  classify  label benchmarks memory- or compute-intensive from profiles
+  export    serialize a benchmark's trace to the binary trace format`)
+}
+
+// scaleFlags adds the common -llc/-n/-interval flags.
+type scaleFlags struct {
+	llc      *string
+	length   *int64
+	interval *int64
+}
+
+func addScaleFlags(fs *flag.FlagSet) scaleFlags {
+	return scaleFlags{
+		llc:      fs.String("llc", "config#1", "LLC configuration (Table 2 name)"),
+		length:   fs.Int64("n", 10_000_000, "trace length in instructions"),
+		interval: fs.Int64("interval", 200_000, "profiling interval in instructions"),
+	}
+}
+
+func (s scaleFlags) system() (*mppm.System, error) {
+	llc, err := mppm.LLCConfigByName(*s.llc)
+	if err != nil {
+		return nil, err
+	}
+	return mppm.NewSystemScaled(llc, *s.length, *s.interval)
+}
+
+func parseMix(s string) ([]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -mix (comma-separated benchmark names)")
+	}
+	mix := strings.Split(s, ",")
+	for i := range mix {
+		mix[i] = strings.TrimSpace(mix[i])
+		if _, err := mppm.BenchmarkByName(mix[i]); err != nil {
+			return nil, err
+		}
+	}
+	return mix, nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "include region detail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %7s %s\n", "benchmark", "footMB", "phases", "regions")
+	for _, b := range mppm.Benchmarks() {
+		fmt.Printf("%-12s %8.1f %7d %d\n",
+			b.Name, float64(b.Footprint())/(1<<20), len(b.Phases), len(b.Regions))
+		if *verbose {
+			for _, r := range b.Regions {
+				dep := ""
+				if r.Dependent {
+					dep = " dependent"
+				}
+				fmt.Printf("    %-8s %8.1fKB%s\n", r.Kind, float64(r.Size)/1024, dep)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	sf := addScaleFlags(fs)
+	out := fs.String("out", "", "output file for the profile set JSON (default: stdout)")
+	bench := fs.String("bench", "", "profile only these comma-separated benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := sf.system()
+	if err != nil {
+		return err
+	}
+	bs := mppm.Benchmarks()
+	if *bench != "" {
+		var sel []mppm.Benchmark
+		for _, n := range strings.Split(*bench, ",") {
+			b, err := mppm.BenchmarkByName(strings.TrimSpace(n))
+			if err != nil {
+				return err
+			}
+			sel = append(sel, b)
+		}
+		bs = sel
+	}
+	set, err := sys.ProfileAll(bs)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := set.WriteJSON(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "profiled %d benchmarks on %s (%d-instruction traces)\n",
+		len(bs), sys.LLC().Name, sys.TraceLength())
+	return nil
+}
+
+// loadOrProfile loads a profile set from -profiles or profiles in-process.
+func loadOrProfile(sys *mppm.System, path string) (*mppm.ProfileSet, error) {
+	if path == "" {
+		return sys.ProfileAll(mppm.Benchmarks())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mppm.ReadProfileSet(f)
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	sf := addScaleFlags(fs)
+	mixFlag := fs.String("mix", "", "comma-separated benchmark names")
+	profiles := fs.String("profiles", "", "profile set JSON from 'mppm profile' (default: profile in-process)")
+	model := fs.String("model", "FOA", "contention model (FOA, FOA-reuse, SDC-compete, equal-partition)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	sys, err := sf.system()
+	if err != nil {
+		return err
+	}
+	set, err := loadOrProfile(sys, *profiles)
+	if err != nil {
+		return err
+	}
+	cm, err := mppm.ContentionModelByName(*model)
+	if err != nil {
+		return err
+	}
+	pred, err := sys.PredictWithOptions(set, mix, mppm.ModelOptions{Contention: cm})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MPPM prediction for [%s] on %s (%s):\n",
+		strings.Join(mix, " "), sys.LLC().Name, cm.Name())
+	fmt.Printf("  %-12s %10s %10s %10s\n", "program", "CPI(SC)", "CPI(MC)", "slowdown")
+	for i, n := range pred.Benchmarks {
+		fmt.Printf("  %-12s %10.3f %10.3f %9.2fx\n",
+			n, pred.SingleCPI[i], pred.MultiCPI[i], pred.Slowdown[i])
+	}
+	fmt.Printf("  STP %.3f   ANTT %.3f   (%d iterations)\n",
+		pred.STP, pred.ANTT, pred.Iterations)
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	sf := addScaleFlags(fs)
+	mixFlag := fs.String("mix", "", "comma-separated benchmark names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	sys, err := sf.system()
+	if err != nil {
+		return err
+	}
+	meas, err := sys.Simulate(mix)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detailed simulation of [%s] on %s:\n", strings.Join(mix, " "), sys.LLC().Name)
+	fmt.Printf("  %-12s %10s %10s %10s\n", "program", "CPI(SC)", "CPI(MC)", "slowdown")
+	for i, n := range meas.Benchmarks {
+		fmt.Printf("  %-12s %10.3f %10.3f %9.2fx\n",
+			n, meas.SingleCPI[i], meas.MultiCPI[i], meas.Slowdown[i])
+	}
+	fmt.Printf("  STP %.3f   ANTT %.3f\n", meas.STP, meas.ANTT)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	sf := addScaleFlags(fs)
+	mixFlag := fs.String("mix", "", "comma-separated benchmark names")
+	profiles := fs.String("profiles", "", "profile set JSON (default: profile in-process)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	sys, err := sf.system()
+	if err != nil {
+		return err
+	}
+	set, err := loadOrProfile(sys, *profiles)
+	if err != nil {
+		return err
+	}
+	cmp, err := sys.CompareMix(set, mix)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MPPM vs. detailed simulation for [%s] on %s:\n",
+		strings.Join(mix, " "), sys.LLC().Name)
+	fmt.Printf("  %-12s %12s %12s %10s\n", "program", "measured MC", "predicted MC", "error")
+	for i, n := range cmp.Measurement.Benchmarks {
+		m, p := cmp.Measurement.MultiCPI[i], cmp.Prediction.MultiCPI[i]
+		fmt.Printf("  %-12s %12.3f %12.3f %+9.1f%%\n", n, m, p, (p-m)/m*100)
+	}
+	fmt.Printf("  STP  measured %.3f predicted %.3f (%+.1f%%)\n",
+		cmp.Measurement.STP, cmp.Prediction.STP, cmp.STPError()*100)
+	fmt.Printf("  ANTT measured %.3f predicted %.3f (%+.1f%%)\n",
+		cmp.Measurement.ANTT, cmp.Prediction.ANTT, cmp.ANTTError()*100)
+	return nil
+}
+
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	mixes := fs.Int("mixes", 1000, "number of random mixes to evaluate per config")
+	cores := fs.Int("cores", 4, "programs per mix")
+	seed := fs.Int64("seed", 1, "mix sampling seed")
+	length := fs.Int64("n", 10_000_000, "trace length in instructions")
+	interval := fs.Int64("interval", 200_000, "profiling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type row struct {
+		name      string
+		stp, antt float64
+	}
+	var rows []row
+	ms, err := mppm.RandomMixes(*mixes, *cores, *seed)
+	if err != nil {
+		return err
+	}
+	for _, llc := range mppm.LLCConfigs() {
+		sys, err := mppm.NewSystemScaled(llc, *length, *interval)
+		if err != nil {
+			return err
+		}
+		set, err := sys.ProfileAll(mppm.Benchmarks())
+		if err != nil {
+			return err
+		}
+		_, rep, err := sys.PredictMany(set, ms, mppm.ModelOptions{})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{llc.Name, rep.STP.Mean, rep.ANTT.Mean})
+		fmt.Fprintf(os.Stderr, "ranked %s\n", llc.Name)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].stp > rows[b].stp })
+	fmt.Printf("MPPM ranking over %d %d-program mixes (best STP first):\n", *mixes, *cores)
+	fmt.Printf("  %-10s %10s %10s\n", "config", "avg STP", "avg ANTT")
+	for _, r := range rows {
+		fmt.Printf("  %-10s %10.4f %10.4f\n", r.name, r.stp, r.antt)
+	}
+	return nil
+}
+
+func cmdStress(args []string) error {
+	fs := flag.NewFlagSet("stress", flag.ExitOnError)
+	sf := addScaleFlags(fs)
+	mixes := fs.Int("mixes", 2000, "number of random mixes to search")
+	cores := fs.Int("cores", 4, "programs per mix")
+	k := fs.Int("k", 10, "how many stress workloads to report")
+	seed := fs.Int64("seed", 1, "mix sampling seed")
+	profiles := fs.String("profiles", "", "profile set JSON (default: profile in-process)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := sf.system()
+	if err != nil {
+		return err
+	}
+	set, err := loadOrProfile(sys, *profiles)
+	if err != nil {
+		return err
+	}
+	ms, err := mppm.RandomMixes(*mixes, *cores, *seed)
+	if err != nil {
+		return err
+	}
+	worst, err := sys.StressSearch(set, ms, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worst %d of %d mixes by predicted STP on %s:\n", *k, *mixes, sys.LLC().Name)
+	for i, w := range worst {
+		fmt.Printf("  %2d. STP %6.3f  worst program %s (%.2fx)  [%s]\n",
+			i+1, w.STP, w.WorstProgram, w.WorstSlowdown, strings.Join(w.Mix, " "))
+	}
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	sf := addScaleFlags(fs)
+	profiles := fs.String("profiles", "", "profile set JSON (default: profile in-process)")
+	threshold := fs.Float64("threshold", mppm.DefaultMemIntensityThreshold,
+		"memory-intensity threshold (MemCPI/CPI)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := sf.system()
+	if err != nil {
+		return err
+	}
+	set, err := loadOrProfile(sys, *profiles)
+	if err != nil {
+		return err
+	}
+	classes := mppm.Classify(set, *threshold)
+	names := set.Names()
+	fmt.Printf("%-12s %6s %8s\n", "benchmark", "class", "memInt")
+	for _, n := range names {
+		p, err := set.Get(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %6s %8.3f\n", n, classes[n], p.MemIntensity())
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name")
+	length := fs.Int64("n", 1_000_000, "trace length in instructions")
+	out := fs.String("out", "", "output file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("export: missing -out")
+	}
+	b, err := mppm.BenchmarkByName(*bench)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := mppm.ExportTrace(f, b, *length); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d instructions) to %s\n", *bench, *length, *out)
+	return nil
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	n := fs.Int("benchmarks", 29, "number of benchmarks")
+	m := fs.Int("cores", 4, "number of hardware contexts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := mppm.NumMixes(*n, *m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("C(%d+%d-1, %d) = %d possible multi-program workloads\n", *n, *m, *m, c)
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command probe measures MPPM prediction error against detailed
+// simulation over random workload mixes — a quick development check of
+// the Figure 4 experiment at reduced scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	nmix := flag.Int("mixes", 30, "number of random mixes")
+	cores := flag.Int("cores", 4, "cores per mix")
+	length := flag.Int64("n", 4_000_000, "trace length")
+	paperC := flag.Bool("paperc", false, "use the literal Figure 2 denominator")
+	model := flag.String("model", "FOA", "contention model")
+	verbose := flag.Bool("v", false, "per-mix detail")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig(cache.LLCConfigs()[0])
+	cfg.TraceLength = *length
+	cfg.IntervalLength = *length / 50
+	set, err := sim.ProfileSuite(trace.Suite(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	s, _ := workload.NewSampler(trace.SuiteNames(), 12345)
+	mixes, _ := s.RandomMixes(*nmix, *cores, true)
+
+	type row struct{ stpErr, anttErr, slowErr float64 }
+	rows := make([]row, len(mixes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 24)
+	for i, mix := range mixes {
+		wg.Add(1)
+		go func(i int, mix workload.Mix) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			specs := make([]trace.Spec, len(mix))
+			sc := make([]float64, len(mix))
+			for j, n := range mix {
+				specs[j], _ = trace.ByName(n)
+				p, _ := set.Get(n)
+				sc[j] = p.CPI()
+			}
+			det, err := sim.RunMulticore(specs, cfg, nil)
+			if err != nil {
+				panic(err)
+			}
+			cm, err := contention.ByName(*model)
+			if err != nil {
+				panic(err)
+			}
+			pred, err := core.Predict(set, mix, core.Options{PaperDenominator: *paperC, Contention: cm})
+			if err != nil {
+				panic(err)
+			}
+			stpM, _ := metrics.STP(sc, det.CPI)
+			anttM, _ := metrics.ANTT(sc, det.CPI)
+			sErr := 0.0
+			for j := range mix {
+				sm := det.CPI[j] / sc[j]
+				sErr += math.Abs(pred.Slowdown[j]-sm) / sm
+			}
+			rows[i] = row{
+				stpErr:  math.Abs(pred.STP-stpM) / stpM,
+				anttErr: math.Abs(pred.ANTT-anttM) / anttM,
+				slowErr: sErr / float64(len(mix)),
+			}
+			if *verbose {
+				fmt.Printf("%-50v stp %+5.1f%% antt %+5.1f%%\n", mix,
+					(pred.STP-stpM)/stpM*100, (pred.ANTT-anttM)/anttM*100)
+			}
+		}(i, mix)
+	}
+	wg.Wait()
+	var stp, antt, slow, worst float64
+	for _, r := range rows {
+		stp += r.stpErr
+		antt += r.anttErr
+		slow += r.slowErr
+		if r.stpErr > worst {
+			worst = r.stpErr
+		}
+	}
+	n := float64(len(rows))
+	fmt.Printf("mixes=%d cores=%d: avg |STP err| %.2f%%  avg |ANTT err| %.2f%%  avg slowdown err %.2f%%  worst STP %.2f%%\n",
+		len(mixes), *cores, stp/n*100, antt/n*100, slow/n*100, worst*100)
+}

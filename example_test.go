@@ -1,0 +1,43 @@
+package mppm_test
+
+import (
+	"fmt"
+
+	mppm "repro"
+)
+
+// ExampleNumMixes reproduces the paper's Section 1 arithmetic: the
+// number of possible multi-program workloads explodes with core count.
+func ExampleNumMixes() {
+	for _, cores := range []int{2, 4, 8} {
+		n, _ := mppm.NumMixes(29, cores)
+		fmt.Printf("%d cores: %d possible workloads\n", cores, n)
+	}
+	// Output:
+	// 2 cores: 435 possible workloads
+	// 4 cores: 35960 possible workloads
+	// 8 cores: 30260340 possible workloads
+}
+
+// ExampleLLCConfigs lists the paper's Table 2 design space.
+func ExampleLLCConfigs() {
+	for _, c := range mppm.LLCConfigs() {
+		fmt.Printf("%s: %dKB %d-way, %d cycles\n",
+			c.Name, c.SizeBytes/1024, c.Ways, c.LatencyCycles)
+	}
+	// Output:
+	// config#1: 512KB 8-way, 16 cycles
+	// config#2: 512KB 16-way, 20 cycles
+	// config#3: 1024KB 8-way, 18 cycles
+	// config#4: 1024KB 16-way, 22 cycles
+	// config#5: 2048KB 8-way, 20 cycles
+	// config#6: 2048KB 16-way, 24 cycles
+}
+
+// ExampleBenchmarkNames shows the synthetic SPEC CPU2006 stand-ins.
+func ExampleBenchmarkNames() {
+	names := mppm.BenchmarkNames()
+	fmt.Println(len(names), "benchmarks, first three:", names[0], names[1], names[2])
+	// Output:
+	// 29 benchmarks, first three: GemsFDTD astar bwaves
+}

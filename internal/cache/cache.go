@@ -1,0 +1,197 @@
+// Package cache implements the set-associative LRU caches that form the
+// reproduction's memory hierarchy: private L1 data caches and L2 caches
+// per core, and a shared last-level cache (LLC). The LLC additionally
+// reports the LRU stack depth of every access, which the profiling layer
+// turns into the paper's stack distance counters (SDCs).
+//
+// The caches model tag state only (no data), use true LRU replacement,
+// write-back write-allocate semantics, and track dirty state so writeback
+// counts are observable. Timing is owned by package cpu; latency values
+// live in Config purely as configuration data.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name          string // for error messages and reports
+	SizeBytes     int64
+	Ways          int
+	LineSize      int64
+	LatencyCycles int // access latency; used by the timing model
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int64 {
+	return c.SizeBytes / (c.LineSize * int64(c.Ways))
+}
+
+// Lines returns the total number of lines in the cache.
+func (c Config) Lines() int64 { return c.SizeBytes / c.LineSize }
+
+// Validate reports whether the configuration is usable: positive sizes,
+// power-of-two set count, and at least one way.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache %s: non-positive size", c.Name)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("cache %s: ways %d < 1", c.Name, c.Ways)
+	}
+	if c.SizeBytes%(c.LineSize*int64(c.Ways)) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible by line*ways", c.Name, c.SizeBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats accumulates access counters for one cache.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64 // dirty evictions
+}
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative LRU cache over line addresses.
+//
+// Each set stores its tags in recency order: index 0 is the most recently
+// used way, index ways-1 the least recently used. With at most 16 ways the
+// move-to-front shuffle is a short memmove and stays cache-friendly.
+type Cache struct {
+	cfg      Config
+	setMask  uint64
+	setShift uint
+	ways     int
+	tags     []uint64 // sets*ways, recency-ordered per set
+	valid    []bool
+	dirty    []bool
+	stats    Stats
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration to
+// keep the hot path free of error returns; configurations are validated
+// once at construction.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:      cfg,
+		setMask:  uint64(sets - 1),
+		setShift: uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
+		ways:     cfg.Ways,
+		tags:     make([]uint64, sets*int64(cfg.Ways)),
+		valid:    make([]bool, sets*int64(cfg.Ways)),
+		dirty:    make([]bool, sets*int64(cfg.Ways)),
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	c.stats = Stats{}
+}
+
+// setIndex maps a byte address to its set number.
+func (c *Cache) setIndex(addr uint64) uint64 {
+	return (addr >> c.setShift) & c.setMask
+}
+
+// Access performs a read or write access for the line containing addr.
+// It returns whether the access hit and, for hits, the 1-based LRU stack
+// depth the line was found at (1 = MRU). On a miss depth is 0 and the
+// line is installed at the MRU position, evicting the LRU way; the
+// returned writeback flag reports whether the eviction was dirty.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, depth int, writeback bool) {
+	set := c.setIndex(addr)
+	base := int(set) * c.ways
+	tag := addr >> c.setShift
+	c.stats.Accesses++
+
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == tag {
+			// Hit at depth i+1: move to front.
+			d := c.dirty[base+i] || write
+			copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
+			copy(c.dirty[base+1:base+i+1], c.dirty[base:base+i])
+			c.tags[base] = tag
+			c.dirty[base] = d
+			c.stats.Hits++
+			return true, i + 1, false
+		}
+	}
+
+	// Miss: evict LRU way (last slot), shift everything down, install at MRU.
+	c.stats.Misses++
+	last := base + c.ways - 1
+	if c.valid[last] && c.dirty[last] {
+		writeback = true
+		c.stats.Writebacks++
+	}
+	copy(c.tags[base+1:base+c.ways], c.tags[base:base+c.ways-1])
+	copy(c.dirty[base+1:base+c.ways], c.dirty[base:base+c.ways-1])
+	// The valid slice only ever transitions false->true; shifting needs
+	// the same treatment so partially-filled sets stay correct.
+	copy(c.valid[base+1:base+c.ways], c.valid[base:base+c.ways-1])
+	c.tags[base] = tag
+	c.valid[base] = true
+	c.dirty[base] = write
+	return false, 0, writeback
+}
+
+// Probe reports whether the line containing addr is present, without
+// updating LRU state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.setIndex(addr)
+	base := int(set) * c.ways
+	tag := addr >> c.setShift
+	for i := 0; i < c.ways; i++ {
+		if c.valid[base+i] && c.tags[base+i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// OccupancyByTagBits returns, for each distinct value of the top tagBits
+// bits of stored line tags, the number of valid lines. The multi-core
+// simulator tags each core's address space in the top bits, so this
+// reports per-core LLC occupancy — useful for contention analysis.
+func (c *Cache) OccupancyByTagBits(shift uint) map[uint64]int64 {
+	out := make(map[uint64]int64)
+	for i, v := range c.valid {
+		if v {
+			out[(c.tags[i]<<c.setShift)>>shift]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package cache
+
+import "fmt"
+
+// Level identifies where an access was satisfied in the hierarchy.
+type Level int
+
+const (
+	L1Hit Level = iota + 1
+	L2Hit
+	LLCHit
+	LLCMiss
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case L2Hit:
+		return "L2"
+	case LLCHit:
+		return "LLC-hit"
+	case LLCMiss:
+		return "LLC-miss"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// HierarchyConfig describes the per-core private levels plus the shared
+// last-level cache. It mirrors Table 1 of the paper.
+type HierarchyConfig struct {
+	L1D              Config
+	L2               Config
+	LLC              Config
+	MemLatencyCycles int
+}
+
+// Validate checks all levels.
+func (h HierarchyConfig) Validate() error {
+	for _, c := range []Config{h.L1D, h.L2, h.LLC} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if h.MemLatencyCycles <= 0 {
+		return fmt.Errorf("cache: non-positive memory latency")
+	}
+	return nil
+}
+
+// Private is the per-core private part of the hierarchy (L1D + L2).
+// The shared LLC is owned by the simulator so accesses can be interleaved
+// across cores in global time order.
+type Private struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// NewPrivate builds a core's private cache levels.
+func NewPrivate(cfg HierarchyConfig) *Private {
+	return &Private{L1: New(cfg.L1D), L2: New(cfg.L2)}
+}
+
+// Access runs an access through L1 and L2. It returns L1Hit or L2Hit when
+// satisfied privately; otherwise it returns 0 and the caller must perform
+// the LLC access (fills into L2 and L1 have already happened, because the
+// caches are tag-only and the fill content does not depend on the LLC
+// outcome).
+func (p *Private) Access(addr uint64, write bool) Level {
+	if hit, _, _ := p.L1.Access(addr, write); hit {
+		return L1Hit
+	}
+	if hit, _, _ := p.L2.Access(addr, write); hit {
+		return L2Hit
+	}
+	return 0 // needs LLC
+}
+
+// Flush invalidates both private levels.
+func (p *Private) Flush() {
+	p.L1.Flush()
+	p.L2.Flush()
+}
+
+// BaselineHierarchy returns the paper's Table 1 configuration with the
+// given LLC configuration from Table 2.
+func BaselineHierarchy(llc Config) HierarchyConfig {
+	return HierarchyConfig{
+		L1D:              Config{Name: "L1D", SizeBytes: 32 * 1024, Ways: 8, LineSize: 64, LatencyCycles: 1},
+		L2:               Config{Name: "L2", SizeBytes: 256 * 1024, Ways: 8, LineSize: 64, LatencyCycles: 10},
+		LLC:              llc,
+		MemLatencyCycles: 200,
+	}
+}
+
+// LLCConfigs returns the paper's Table 2: the six last-level cache
+// configurations whose ranking Section 5 studies.
+func LLCConfigs() []Config {
+	return []Config{
+		{Name: "config#1", SizeBytes: 512 * 1024, Ways: 8, LineSize: 64, LatencyCycles: 16},
+		{Name: "config#2", SizeBytes: 512 * 1024, Ways: 16, LineSize: 64, LatencyCycles: 20},
+		{Name: "config#3", SizeBytes: 1024 * 1024, Ways: 8, LineSize: 64, LatencyCycles: 18},
+		{Name: "config#4", SizeBytes: 1024 * 1024, Ways: 16, LineSize: 64, LatencyCycles: 22},
+		{Name: "config#5", SizeBytes: 2048 * 1024, Ways: 8, LineSize: 64, LatencyCycles: 20},
+		{Name: "config#6", SizeBytes: 2048 * 1024, Ways: 16, LineSize: 64, LatencyCycles: 24},
+	}
+}
+
+// LLCConfigByName returns the Table 2 configuration with the given name
+// ("config#1" .. "config#6").
+func LLCConfigByName(name string) (Config, error) {
+	for _, c := range LLCConfigs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("cache: unknown LLC config %q", name)
+}

@@ -1,0 +1,285 @@
+package contention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sdc"
+)
+
+// mkInput builds an Input with the given counters (last entry = misses).
+func mkInput(counters ...float64) Input {
+	return Input{SDC: sdc.Counters(counters)}
+}
+
+func TestFOASingleProgramNoExtraMisses(t *testing.T) {
+	// Alone, a program holds the full cache: zero extra misses.
+	in := []Input{mkInput(10, 20, 30, 40, 5)}
+	extra, err := FOA{}.ExtraMisses(4, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra[0] != 0 {
+		t.Fatalf("extra = %v, want 0", extra[0])
+	}
+}
+
+func TestFOAEqualPrograms(t *testing.T) {
+	// Two identical programs: each gets half the ways (2 of 4); hits at
+	// depths 3 and 4 become misses: 30 + 40 = 70 extra each.
+	a := mkInput(10, 20, 30, 40, 5)
+	b := mkInput(10, 20, 30, 40, 5)
+	extra, err := FOA{}.ExtraMisses(4, []Input{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra[0] != 70 || extra[1] != 70 {
+		t.Fatalf("extra = %v, want [70 70]", extra)
+	}
+}
+
+func TestFOAFrequencyProportional(t *testing.T) {
+	// A program with 3x the accesses gets 3x the space.
+	heavy := mkInput(150, 150, 0, 0, 0) // 300 accesses
+	light := mkInput(50, 50, 0, 0, 0)   // 100 accesses
+	extra, err := FOA{}.ExtraMisses(4, []Input{heavy, light})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// heavy: eff = 4*0.75 = 3 ways -> keeps depths 1..3 -> no loss (its
+	// hits are at depths 1,2). light: eff = 1 way -> loses depth-2 hits.
+	if extra[0] != 0 {
+		t.Fatalf("heavy extra = %v, want 0", extra[0])
+	}
+	if extra[1] != 50 {
+		t.Fatalf("light extra = %v, want 50", extra[1])
+	}
+}
+
+func TestFOAZeroAccesses(t *testing.T) {
+	in := []Input{mkInput(0, 0, 0), mkInput(0, 0, 0)}
+	extra, err := FOA{}.ExtraMisses(2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra[0] != 0 || extra[1] != 0 {
+		t.Fatalf("extra = %v, want zeros", extra)
+	}
+}
+
+func TestFOAFractionalWays(t *testing.T) {
+	// Three equal programs on 4 ways: eff = 4/3 each; interpolation gives
+	// partial credit for depth-2 hits.
+	in := []Input{
+		mkInput(30, 30, 0), mkInput(30, 30, 0), mkInput(30, 30, 0),
+	}
+	extra, err := FOA{}.ExtraMisses(2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eff = 2/3 ways... wait: ways=2, eff = 2/3 each: hits kept =
+	// (2/3)*depth1 = 20; extra = accesses - kept - standaloneMisses =
+	// 60 - 20 - 0 = 40.
+	for i, e := range extra {
+		if math.Abs(e-40) > 1e-9 {
+			t.Fatalf("program %d extra = %v, want 40", i, e)
+		}
+	}
+}
+
+func TestEqualPartition(t *testing.T) {
+	heavy := mkInput(150, 150, 0, 0, 0)
+	light := mkInput(50, 50, 0, 0, 0)
+	extra, err := EqualPartition{}.ExtraMisses(4, []Input{heavy, light})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both get 2 ways: nobody loses (hits are at depths 1-2).
+	if extra[0] != 0 || extra[1] != 0 {
+		t.Fatalf("extra = %v", extra)
+	}
+}
+
+func TestEqualPartitionIgnoresFrequency(t *testing.T) {
+	// Unlike FOA, equal partition punishes the heavy program.
+	heavy := mkInput(100, 100, 100, 0, 0) // needs 3 ways
+	light := mkInput(10, 0, 0, 0, 0)      // needs 1 way
+	foa, _ := FOA{}.ExtraMisses(4, []Input{heavy, light})
+	eq, _ := EqualPartition{}.ExtraMisses(4, []Input{heavy, light})
+	if !(eq[0] > foa[0]) {
+		t.Fatalf("equal partition should hurt the heavy program more: foa=%v eq=%v", foa, eq)
+	}
+}
+
+func TestSDCCompeteGreedyAllocation(t *testing.T) {
+	// Program a has steep reuse (all hits at depth 1-2); b is flat.
+	a := mkInput(100, 80, 0, 0, 10)
+	b := mkInput(20, 20, 20, 20, 50)
+	extra, err := SDCCompete{}.ExtraMisses(4, []Input{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy: way1->a(100), way2->a(80), way3->b(20)... a's next gain is 0,
+	// b gets the rest: a granted 2, b granted 2.
+	// a extra = hits beyond 2 ways = 0; b extra = 20+20 = 40.
+	if extra[0] != 0 {
+		t.Fatalf("a extra = %v, want 0", extra[0])
+	}
+	if extra[1] != 40 {
+		t.Fatalf("b extra = %v, want 40", extra[1])
+	}
+}
+
+func TestSDCCompeteSingleProgram(t *testing.T) {
+	in := []Input{mkInput(10, 20, 30, 40, 5)}
+	extra, err := SDCCompete{}.ExtraMisses(4, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra[0] != 0 {
+		t.Fatalf("extra = %v, want 0 (alone gets all ways)", extra[0])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	for _, m := range Models() {
+		if _, err := m.ExtraMisses(0, []Input{mkInput(1, 2)}); err == nil {
+			t.Errorf("%s: ways=0 should error", m.Name())
+		}
+		if _, err := m.ExtraMisses(2, nil); err == nil {
+			t.Errorf("%s: no programs should error", m.Name())
+		}
+		if _, err := m.ExtraMisses(4, []Input{mkInput(1, 2)}); err == nil {
+			t.Errorf("%s: SDC/ways mismatch should error", m.Name())
+		}
+		if _, err := m.ExtraMisses(1, []Input{mkInput(-1, 2)}); err == nil {
+			t.Errorf("%s: negative SDC should error", m.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FOA", "foa", "SDC-compete", "sdc", "equal-partition", "equal"} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestModelsRegistry(t *testing.T) {
+	ms := Models()
+	if len(ms) != 5 || ms[0].Name() != "FOA" {
+		t.Fatalf("Models() has %d entries, first %q; want 5 with FOA first",
+			len(ms), ms[0].Name())
+	}
+}
+
+func TestFOAReuseMatchesFOAAgainstPureStreams(t *testing.T) {
+	// Against competitors whose accesses all miss, FOA-reuse degenerates
+	// to FOA (pressure = misses = accesses).
+	victim := mkInput(40, 30, 20, 10, 0)
+	stream := mkInput(0, 0, 0, 0, 300)
+	foa, err := FOA{}.ExtraMisses(4, []Input{victim, stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse, err := FOAReuse{}.ExtraMisses(4, []Input{victim, stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foa[0] != reuse[0] {
+		t.Fatalf("victim extra: FOA %v vs FOA-reuse %v, want equal", foa[0], reuse[0])
+	}
+}
+
+func TestFOAReuseKinderInReuseMixes(t *testing.T) {
+	// Two identical reuse-heavy programs: FOA-reuse halves the foreign
+	// pressure, so each keeps more space than under FOA.
+	a := mkInput(100, 100, 100, 100, 10)
+	b := mkInput(100, 100, 100, 100, 10)
+	foa, _ := FOA{}.ExtraMisses(4, []Input{a, b})
+	reuse, _ := FOAReuse{}.ExtraMisses(4, []Input{a, b})
+	if !(reuse[0] < foa[0]) {
+		t.Fatalf("FOA-reuse %v should be below FOA %v for reuse mixes", reuse[0], foa[0])
+	}
+}
+
+func TestFOAReuseZeroAccessProgram(t *testing.T) {
+	extra, err := FOAReuse{}.ExtraMisses(2, []Input{mkInput(0, 0, 0), mkInput(10, 10, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra[0] != 0 {
+		t.Fatalf("idle program extra = %v, want 0", extra[0])
+	}
+}
+
+// Property: extra misses are non-negative and never exceed the program's
+// standalone hits (an access already missing cannot miss again).
+func TestExtraMissesBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ways := 2 + rng.Intn(15)
+		n := 1 + rng.Intn(6)
+		progs := make([]Input, n)
+		for i := range progs {
+			c := sdc.New(ways)
+			for j := range c {
+				c[j] = float64(rng.Intn(500))
+			}
+			progs[i] = Input{SDC: c}
+		}
+		for _, m := range Models() {
+			extra, err := m.ExtraMisses(ways, progs)
+			if err != nil {
+				return false
+			}
+			for i, e := range extra {
+				if e < -1e-9 || e > progs[i].SDC.Hits()+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a co-runner never decreases a program's extra misses
+// under FOA (more competition means less space).
+func TestFOAMonotonicInCompetition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const ways = 8
+		mk := func() Input {
+			c := sdc.New(ways)
+			for j := range c {
+				c[j] = float64(1 + rng.Intn(300))
+			}
+			return Input{SDC: c}
+		}
+		victim := mk()
+		group := []Input{victim, mk()}
+		e2, err := FOA{}.ExtraMisses(ways, group)
+		if err != nil {
+			return false
+		}
+		group = append(group, mk())
+		e3, err := FOA{}.ExtraMisses(ways, group)
+		if err != nil {
+			return false
+		}
+		return e3[0] >= e2[0]-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

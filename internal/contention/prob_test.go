@@ -1,0 +1,141 @@
+package contention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sdc"
+)
+
+func TestPoissonTailKnownValues(t *testing.T) {
+	// P(X > 2) for lambda=2: 1 - e^-2(1 + 2 + 2) = 1 - 5e^-2.
+	want := 1 - 5*math.Exp(-2)
+	if got := poissonTailAbove(2, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("poissonTailAbove(2,2) = %v, want %v", got, want)
+	}
+	if poissonTailAbove(5, 0) != 0 {
+		t.Fatal("zero rate should never push")
+	}
+	if poissonTailAbove(-1, 3) != 1 {
+		t.Fatal("negative headroom means certain miss")
+	}
+}
+
+func TestPoissonTailMonotone(t *testing.T) {
+	// Tail grows with lambda and shrinks with k.
+	prev := 0.0
+	for _, lam := range []float64{0.5, 1, 2, 4, 8, 30, 80, 200, 290} {
+		tail := poissonTailAbove(10, lam)
+		if tail < prev-1e-9 {
+			t.Fatalf("tail not monotone in lambda at %v", lam)
+		}
+		prev = tail
+	}
+	prevK := 1.0
+	for k := 0; k < 40; k++ {
+		tail := poissonTailAbove(k, 12)
+		if tail > prevK+1e-9 {
+			t.Fatalf("tail not monotone in k at %d", k)
+		}
+		prevK = tail
+	}
+}
+
+func TestPoissonTailNormalApproxContinuous(t *testing.T) {
+	// The exact/approx cut-over at lambda=300 should be seamless for the
+	// k values the model uses (k <= cache associativity << lambda, where
+	// both branches give ~1) and for k near lambda.
+	for _, k := range []int{16, 250, 300, 350} {
+		exact := poissonTailAbove(k, 299.9)
+		approx := poissonTailAbove(k, 300.1)
+		if math.Abs(exact-approx) > 0.02 {
+			t.Errorf("k=%d: discontinuity %v vs %v", k, exact, approx)
+		}
+	}
+}
+
+func TestProbSingleProgramNoExtra(t *testing.T) {
+	extra, err := Prob{}.ExtraMisses(4, []Input{mkInput(10, 20, 30, 40, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra[0] != 0 {
+		t.Fatalf("alone extra = %v, want 0", extra[0])
+	}
+}
+
+func TestProbSmoothVersusFOA(t *testing.T) {
+	// A victim with hits exactly at the associativity edge: FOA's sharp
+	// threshold either keeps or kills them; Prob assigns an intermediate
+	// probability.
+	victim := mkInput(0, 0, 0, 100, 0) // all hits at depth 4 of 4
+	stream := mkInput(0, 0, 0, 0, 100) // pure misses, equal rate
+	foa, _ := FOA{}.ExtraMisses(4, []Input{victim, stream})
+	prob, _ := Prob{}.ExtraMisses(4, []Input{victim, stream})
+	if foa[0] != 100 {
+		t.Fatalf("FOA edge case = %v, want all 100 lost", foa[0])
+	}
+	if prob[0] <= 0 || prob[0] >= 100 {
+		t.Fatalf("Prob edge case = %v, want intermediate probability mass", prob[0])
+	}
+}
+
+func TestProbMoreCompetitionMoreMisses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const ways = 8
+		mk := func() Input {
+			c := sdc.New(ways)
+			for j := range c {
+				c[j] = float64(1 + rng.Intn(200))
+			}
+			return Input{SDC: c}
+		}
+		victim := mk()
+		group := []Input{victim, mk()}
+		two, err := Prob{}.ExtraMisses(ways, group)
+		if err != nil {
+			return false
+		}
+		group = append(group, mk()) // add a competitor, keep the first
+		three, err := Prob{}.ExtraMisses(ways, group)
+		if err != nil {
+			return false
+		}
+		return three[0] >= two[0]-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ways := 2 + rng.Intn(15)
+		n := 2 + rng.Intn(5)
+		progs := make([]Input, n)
+		for i := range progs {
+			c := sdc.New(ways)
+			for j := range c {
+				c[j] = float64(rng.Intn(400))
+			}
+			progs[i] = Input{SDC: c}
+		}
+		extra, err := Prob{}.ExtraMisses(ways, progs)
+		if err != nil {
+			return false
+		}
+		for i, e := range extra {
+			if e < 0 || e > progs[i].SDC.Hits()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// bandwidthConfig returns the test config with the shared-channel
+// extension enabled (8 cycles per line keeps utilization off saturation
+// at test scale).
+func bandwidthConfig() sim.Config {
+	cfg := testConfig()
+	cfg.MemBandwidthOccupancy = 8
+	return cfg
+}
+
+func bandwidthSet(t *testing.T, names []string) *profile.Set {
+	t.Helper()
+	specs := make([]trace.Spec, len(names))
+	for i, n := range names {
+		s, err := trace.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = s
+	}
+	set, err := sim.ProfileSuite(specs, bandwidthConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestQueueWait(t *testing.T) {
+	if queueWait(0, 8) != 0 || queueWait(-1, 8) != 0 {
+		t.Fatal("no demand, no wait")
+	}
+	// M/D/1 at rho=0.5, s=8: W = 0.5*8/(2*0.5) = 4.
+	if got := queueWait(0.5, 8); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("queueWait(0.5,8) = %v, want 4", got)
+	}
+	// Saturation clamps instead of diverging.
+	if got := queueWait(2.0, 8); got != queueWait(0.95, 8) {
+		t.Fatalf("saturated wait %v not clamped", got)
+	}
+	// Monotone in utilization.
+	prev := -1.0
+	for rho := 0.0; rho <= 0.95; rho += 0.05 {
+		w := queueWait(rho, 8)
+		if w < prev {
+			t.Fatalf("queueWait not monotone at rho=%v", rho)
+		}
+		prev = w
+	}
+}
+
+func TestBandwidthExtensionIncreasesSlowdowns(t *testing.T) {
+	names := []string{"lbm", "milc", "libquantum", "bwaves"}
+	set := bandwidthSet(t, names)
+	off, err := Predict(set, names, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Predict(set, names, Options{BandwidthOccupancy: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four streaming programs contending for one channel: the bandwidth
+	// model must predict additional slowdown that cache sharing alone
+	// does not see.
+	if !(on.ANTT > off.ANTT+0.01) {
+		t.Fatalf("bandwidth model did not add contention: ANTT %v vs %v",
+			on.ANTT, off.ANTT)
+	}
+	for p := range names {
+		if on.Slowdown[p] < off.Slowdown[p]-1e-9 {
+			t.Fatalf("%s: bandwidth-on slowdown %v below bandwidth-off %v",
+				names[p], on.Slowdown[p], off.Slowdown[p])
+		}
+	}
+}
+
+func TestBandwidthExtensionAgreesWithSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed simulation")
+	}
+	names := []string{"lbm", "milc", "gamess", "povray"}
+	set := bandwidthSet(t, names)
+	cfg := bandwidthConfig()
+
+	specs := make([]trace.Spec, len(names))
+	for i, n := range names {
+		specs[i], _ = trace.ByName(n)
+	}
+	det, err := sim.RunMulticore(specs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(set, names, Options{BandwidthOccupancy: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		p, _ := set.Get(n)
+		measSlow := det.CPI[i] / p.CPI()
+		rel := math.Abs(pred.Slowdown[i]-measSlow) / measSlow
+		if rel > 0.25 {
+			t.Errorf("%s: predicted slowdown %.3f vs measured %.3f (%.0f%% off)",
+				n, pred.Slowdown[i], measSlow, rel*100)
+		}
+	}
+}
+
+func TestBandwidthValidation(t *testing.T) {
+	set := getSet(t)
+	p, _ := set.Get("gamess")
+	if _, err := New([]*profile.Profile{p}, Options{BandwidthOccupancy: -1}); err == nil {
+		t.Fatal("negative occupancy should error")
+	}
+}
+
+// TestSimulatorBandwidthQueueing checks the detailed simulator's channel:
+// co-running streamers must be slower with the channel than without.
+func TestSimulatorBandwidthQueueing(t *testing.T) {
+	names := []string{"lbm", "libquantum", "bwaves", "milc"}
+	specs := make([]trace.Spec, len(names))
+	for i, n := range names {
+		specs[i], _ = trace.ByName(n)
+	}
+	off, err := sim.RunMulticore(specs, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := sim.RunMulticore(specs, bandwidthConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower := 0
+	for i := range names {
+		if on.CPI[i] > off.CPI[i]*1.01 {
+			slower++
+		}
+	}
+	if slower < 3 {
+		t.Fatalf("only %d of 4 streamers slowed by the shared channel", slower)
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/contention"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// testConfig matches the sim package's fast test configuration.
+func testConfig() sim.Config {
+	cfg := sim.DefaultConfig(cache.LLCConfigs()[0])
+	cfg.TraceLength = 1_000_000
+	cfg.IntervalLength = 50_000
+	return cfg
+}
+
+// profileSet profiles the named benchmarks once per test binary run.
+var cachedSet *profile.Set
+
+func getSet(t *testing.T) *profile.Set {
+	t.Helper()
+	if cachedSet != nil {
+		return cachedSet
+	}
+	names := []string{"gamess", "lbm", "milc", "libquantum", "povray", "namd",
+		"hmmer", "calculix", "soplex", "gobmk", "mcf"}
+	specs := make([]trace.Spec, len(names))
+	for i, n := range names {
+		s, err := trace.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = s
+	}
+	set, err := sim.ProfileSuite(specs, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSet = set
+	return set
+}
+
+func TestComputeOnlyMixBarelySlowed(t *testing.T) {
+	set := getSet(t)
+	res, err := Predict(set, []string{"povray", "namd", "hmmer", "calculix"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Slowdown {
+		if s > 1.05 {
+			t.Errorf("%s: slowdown %v, want ~1 for compute-only mix", res.Benchmarks[i], s)
+		}
+	}
+	if res.STP < 3.8 || res.STP > 4.0+1e-9 {
+		t.Errorf("STP = %v, want ~4", res.STP)
+	}
+	if res.ANTT < 1-1e-9 || res.ANTT > 1.05 {
+		t.Errorf("ANTT = %v, want ~1", res.ANTT)
+	}
+}
+
+func TestCacheSensitiveProgramSuffersMost(t *testing.T) {
+	set := getSet(t)
+	res, err := Predict(set, []string{"gamess", "lbm", "milc", "libquantum"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, worst := res.MaxSlowdown()
+	if name != "gamess" {
+		t.Fatalf("worst-hit program = %s (%v), want gamess", name, worst)
+	}
+	if worst < 1.5 {
+		t.Fatalf("gamess slowdown = %v, want substantial (>1.5)", worst)
+	}
+	for i, n := range res.Benchmarks {
+		if n != "gamess" && res.Slowdown[i] > 1.2 {
+			t.Errorf("%s slowdown = %v, streaming programs should be barely affected",
+				n, res.Slowdown[i])
+		}
+	}
+}
+
+func TestPredictionAccuracyAgainstDetailedSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed simulation comparison")
+	}
+	set := getSet(t)
+	cfg := testConfig()
+	mixes := [][]string{
+		{"gamess", "lbm", "milc", "libquantum"},
+		{"povray", "namd", "hmmer", "calculix"},
+		{"mcf", "lbm", "gamess", "gobmk"},
+		{"hmmer", "gamess", "soplex", "gamess"},
+	}
+	var stpErrs, anttErrs float64
+	for _, mix := range mixes {
+		specs := make([]trace.Spec, len(mix))
+		sc := make([]float64, len(mix))
+		for i, n := range mix {
+			specs[i], _ = trace.ByName(n)
+			p, _ := set.Get(n)
+			sc[i] = p.CPI()
+		}
+		det, err := sim.RunMulticore(specs, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := Predict(set, mix, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stpM, _ := metrics.STP(sc, det.CPI)
+		anttM, _ := metrics.ANTT(sc, det.CPI)
+		stpErrs += math.Abs(pred.STP-stpM) / stpM
+		anttErrs += math.Abs(pred.ANTT-anttM) / anttM
+	}
+	n := float64(len(mixes))
+	// The paper reports 1.6%/1.9% average error on 4 cores; the
+	// reproduction's shape criterion is low single digits.
+	if avg := stpErrs / n; avg > 0.10 {
+		t.Errorf("average STP error %.1f%%, want < 10%%", avg*100)
+	}
+	if avg := anttErrs / n; avg > 0.12 {
+		t.Errorf("average ANTT error %.1f%%, want < 12%%", avg*100)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	set := getSet(t)
+	mix := []string{"gamess", "soplex", "lbm", "gobmk"}
+	r1, err := Predict(set, mix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Predict(set, mix, Options{})
+	if r1.STP != r2.STP || r1.ANTT != r2.ANTT {
+		t.Fatal("MPPM is not deterministic")
+	}
+	for i := range r1.Slowdown {
+		if r1.Slowdown[i] != r2.Slowdown[i] {
+			t.Fatal("slowdowns differ between runs")
+		}
+	}
+}
+
+func TestIterationCountMatchesStopCriterion(t *testing.T) {
+	set := getSet(t)
+	res, err := Predict(set, []string{"gamess", "lbm"}, Options{RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ChunkL = trace/5 and TargetMultiple = 5, every program advances
+	// at least L per iteration, so at most 25 iterations are needed; the
+	// slowest advances exactly L so at least 25 are needed too... unless
+	// faster programs make extra progress. The count must be in [5, 25].
+	if res.Iterations < 5 || res.Iterations > 25 {
+		t.Fatalf("iterations = %d, want within [5,25]", res.Iterations)
+	}
+	if len(res.History) != res.Iterations {
+		t.Fatalf("history length %d != iterations %d", len(res.History), res.Iterations)
+	}
+}
+
+func TestSlowdownsNeverBelowOne(t *testing.T) {
+	set := getSet(t)
+	for _, mix := range [][]string{
+		{"povray", "povray"},
+		{"gamess", "gamess", "gamess", "gamess"},
+		{"lbm", "milc", "libquantum", "mcf"},
+	} {
+		res, err := Predict(set, mix, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range res.Slowdown {
+			if s < 1 {
+				t.Errorf("mix %v: %s slowdown %v < 1", mix, res.Benchmarks[i], s)
+			}
+		}
+		if res.STP > float64(len(mix))+1e-9 {
+			t.Errorf("mix %v: STP %v above core count", mix, res.STP)
+		}
+	}
+}
+
+func TestMoreCoresMoreContention(t *testing.T) {
+	set := getSet(t)
+	prev := 0.0
+	for _, mix := range [][]string{
+		{"gamess", "lbm"},
+		{"gamess", "lbm", "milc", "libquantum"},
+	} {
+		res, err := Predict(set, mix, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slowdown[0] < prev-1e-9 {
+			t.Fatalf("gamess slowdown decreased with more co-runners: %v -> %v",
+				prev, res.Slowdown[0])
+		}
+		prev = res.Slowdown[0]
+	}
+}
+
+func TestPaperDenominatorConvergesLower(t *testing.T) {
+	set := getSet(t)
+	mix := []string{"gamess", "lbm", "milc", "libquantum"}
+	iso, err := Predict(set, mix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pap, err := Predict(set, mix, Options{PaperDenominator: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The literal Figure 2 update solves R = 1 + k/R, which is below the
+	// direct 1 + k for any positive contention.
+	if !(pap.Slowdown[0] < iso.Slowdown[0]) {
+		t.Fatalf("paper denominator %v should be below isolated-time %v",
+			pap.Slowdown[0], iso.Slowdown[0])
+	}
+}
+
+func TestReportAverageSmoothsResult(t *testing.T) {
+	set := getSet(t)
+	mix := []string{"gamess", "soplex", "lbm", "gobmk"}
+	fin, err := Predict(set, mix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Predict(set, mix, Options{ReportAverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must be sane; the average includes the R=1 warmup so it is
+	// at most the final value plus noise.
+	for i := range mix {
+		if avg.Slowdown[i] > fin.Slowdown[i]*1.1+0.1 {
+			t.Errorf("%s: average %v far above final %v",
+				mix[i], avg.Slowdown[i], fin.Slowdown[i])
+		}
+	}
+}
+
+func TestContentionModelSwap(t *testing.T) {
+	set := getSet(t)
+	mix := []string{"gamess", "lbm", "milc", "libquantum"}
+	for _, m := range contention.Models() {
+		res, err := Predict(set, mix, Options{Contention: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.STP <= 0 || res.STP > 4 {
+			t.Errorf("%s: STP = %v out of range", m.Name(), res.STP)
+		}
+	}
+}
+
+func TestHeterogeneousFrequencyScale(t *testing.T) {
+	set := getSet(t)
+	mix := []string{"povray", "povray"}
+	res, err := Predict(set, mix, Options{FrequencyScale: []float64{2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SingleCPI[0]*2-res.SingleCPI[1]) > 1e-9 {
+		t.Fatalf("2x core should halve single CPI: %v vs %v",
+			res.SingleCPI[0], res.SingleCPI[1])
+	}
+	if res.MultiCPI[0] >= res.MultiCPI[1] {
+		t.Fatal("faster core should have lower multi-core CPI")
+	}
+}
+
+func TestSmoothingOptionsChangeDynamicsNotSanity(t *testing.T) {
+	set := getSet(t)
+	mix := []string{"gamess", "lbm", "soplex", "gobmk"}
+	for _, f := range []float64{0.1, 0.5, 0.9} {
+		res, err := Predict(set, mix, Options{Smoothing: f})
+		if err != nil {
+			t.Fatalf("f=%v: %v", f, err)
+		}
+		if res.Slowdown[0] < 1 || res.Slowdown[0] > 10 {
+			t.Errorf("f=%v: gamess slowdown %v out of sane range", f, res.Slowdown[0])
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	set := getSet(t)
+	p1, _ := set.Get("gamess")
+
+	if _, err := New(nil, Options{}); err == nil {
+		t.Error("no profiles should error")
+	}
+	if _, err := New([]*profile.Profile{nil}, Options{}); err == nil {
+		t.Error("nil profile should error")
+	}
+	if _, err := New([]*profile.Profile{p1}, Options{Smoothing: 1.0}); err == nil {
+		t.Error("smoothing=1 should error")
+	}
+	if _, err := New([]*profile.Profile{p1}, Options{Smoothing: -0.5}); err == nil {
+		t.Error("negative smoothing should error")
+	}
+	if _, err := New([]*profile.Profile{p1}, Options{FrequencyScale: []float64{1, 2}}); err == nil {
+		t.Error("frequency scale length mismatch should error")
+	}
+	if _, err := New([]*profile.Profile{p1}, Options{FrequencyScale: []float64{0}}); err == nil {
+		t.Error("zero frequency scale should error")
+	}
+
+	// Mismatched LLC configs.
+	other := testConfig()
+	other.Hierarchy.LLC = cache.LLCConfigs()[3]
+	spec, _ := trace.ByName("gamess")
+	p2, err := sim.Profile(spec, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New([]*profile.Profile{p1, p2}, Options{}); err == nil {
+		t.Error("mixed LLC configs should error")
+	}
+
+	if _, err := Predict(set, nil, Options{}); err == nil {
+		t.Error("empty mix should error")
+	}
+	if _, err := Predict(set, []string{"nosuch"}, Options{}); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestMaxSlowdown(t *testing.T) {
+	r := &Result{
+		Benchmarks: []string{"a", "b", "c"},
+		Slowdown:   []float64{1.1, 2.5, 1.3},
+	}
+	name, v := r.MaxSlowdown()
+	if name != "b" || v != 2.5 {
+		t.Fatalf("MaxSlowdown = %s, %v", name, v)
+	}
+}
+
+func TestSinglePrognosisNoContention(t *testing.T) {
+	set := getSet(t)
+	res, err := Predict(set, []string{"gamess"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Slowdown[0]-1) > 1e-9 {
+		t.Fatalf("alone slowdown = %v, want exactly 1", res.Slowdown[0])
+	}
+	p, _ := set.Get("gamess")
+	if math.Abs(res.MultiCPI[0]-p.CPI()) > 1e-9 {
+		t.Fatalf("alone multi CPI = %v, want single CPI %v", res.MultiCPI[0], p.CPI())
+	}
+}
+
+func TestEvaluationIsFast(t *testing.T) {
+	// The paper's speed claim: model evaluation takes well under a second
+	// per workload. This is a coarse regression guard, not a benchmark.
+	set := getSet(t)
+	mix := []string{"gamess", "lbm", "soplex", "gobmk"}
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if _, err := Predict(set, mix, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("10 MPPM evaluations took %v, want well under 10s", elapsed)
+	}
+}

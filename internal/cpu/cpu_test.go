@@ -1,0 +1,224 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidateErrors(t *testing.T) {
+	bad := []Params{
+		{ROBWindow: -1, MemLatency: 200},
+		{ROBWindow: 128, MemLatency: 0},
+		{ROBWindow: 128, MemLatency: 200, OverlapFactor: 1.5},
+		{ROBWindow: 128, MemLatency: 200, HiddenLatency: -1},
+		{ROBWindow: 128, MemLatency: 200, L2HitStall: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should fail validation", i)
+		}
+	}
+}
+
+func TestNewTimingPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTiming(Params{MemLatency: -1})
+}
+
+func TestLLCHitStallClamped(t *testing.T) {
+	p := DefaultParams()
+	if got := p.LLCHitStall(16); got != 8 {
+		t.Fatalf("LLCHitStall(16) = %v, want 8", got)
+	}
+	if got := p.LLCHitStall(4); got != 0 {
+		t.Fatalf("LLCHitStall(4) = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestGapAccounting(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	tm.OnGap(100, 50)
+	if tm.Instructions() != 100 || tm.Cycles() != 50 {
+		t.Fatalf("instrs=%d cycles=%v", tm.Instructions(), tm.Cycles())
+	}
+	if tm.CPI() != 0.5 {
+		t.Fatalf("CPI = %v, want 0.5", tm.CPI())
+	}
+}
+
+func TestCPIZeroWithoutInstructions(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	if tm.CPI() != 0 || tm.MemCPI() != 0 {
+		t.Fatal("CPI/MemCPI before any instruction should be 0")
+	}
+}
+
+func TestStallPerLevel(t *testing.T) {
+	p := DefaultParams()
+	tm := NewTiming(p)
+	tm.OnGap(1000, 500) // move instruction pointer well past ROB window
+
+	if s := tm.OnAccess(cache.L1Hit, 16, false); s != 0 {
+		t.Fatalf("L1 stall = %v, want 0", s)
+	}
+	if s := tm.OnAccess(cache.L2Hit, 16, false); s != p.L2HitStall {
+		t.Fatalf("L2 stall = %v, want %v", s, p.L2HitStall)
+	}
+	if s := tm.OnAccess(cache.LLCHit, 16, false); s != 8 {
+		t.Fatalf("LLC hit stall = %v, want 8", s)
+	}
+	// First miss: full memory latency + hit part.
+	if s := tm.OnAccess(cache.LLCMiss, 16, false); s != 8+200 {
+		t.Fatalf("isolated miss stall = %v, want 208", s)
+	}
+}
+
+func TestMissOverlapWithinROBWindow(t *testing.T) {
+	p := DefaultParams()
+	tm := NewTiming(p)
+	tm.OnGap(1000, 500)
+	first := tm.OnAccess(cache.LLCMiss, 16, false)
+	tm.OnGap(p.ROBWindow, 50) // exactly at the window edge: still overlapped
+	second := tm.OnAccess(cache.LLCMiss, 16, false)
+	if second >= first {
+		t.Fatalf("overlapped miss stall %v should be below isolated %v", second, first)
+	}
+	want := p.LLCHitStall(16) + p.MemLatency*p.OverlapFactor
+	if math.Abs(second-want) > 1e-9 {
+		t.Fatalf("overlapped stall = %v, want %v", second, want)
+	}
+}
+
+func TestMissNotOverlappedBeyondWindow(t *testing.T) {
+	p := DefaultParams()
+	tm := NewTiming(p)
+	tm.OnGap(1000, 500)
+	tm.OnAccess(cache.LLCMiss, 16, false)
+	tm.OnGap(p.ROBWindow+1, 50)
+	s := tm.OnAccess(cache.LLCMiss, 16, false)
+	if s != p.LLCHitStall(16)+p.MemLatency {
+		t.Fatalf("distant miss stall = %v, want full", s)
+	}
+}
+
+func TestMemStallCountsOnlyMissExtra(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	tm.OnGap(1000, 500)
+	tm.OnAccess(cache.LLCHit, 16, false)
+	if tm.MemStallCycles() != 0 {
+		t.Fatal("LLC hits must not contribute to memory CPI")
+	}
+	tm.OnAccess(cache.LLCMiss, 16, false)
+	if tm.MemStallCycles() != 200 {
+		t.Fatalf("mem stall = %v, want 200 (hit part excluded)", tm.MemStallCycles())
+	}
+	if got := tm.MemCPI(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("MemCPI = %v, want 0.2", got)
+	}
+}
+
+func TestOnAccessPanicsOnUnknownLevel(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unknown level")
+		}
+	}()
+	tm.OnAccess(cache.Level(0), 16, false)
+}
+
+func TestSnapshotDeltas(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	tm.OnGap(100, 60)
+	s1 := tm.Snapshot()
+	tm.OnGap(200, 100)
+	tm.OnAccess(cache.LLCMiss, 16, false)
+	s2 := tm.Snapshot()
+	if s2.Instructions-s1.Instructions != 200 {
+		t.Fatalf("instruction delta = %d", s2.Instructions-s1.Instructions)
+	}
+	if s2.MemStall-s1.MemStall != 200 {
+		t.Fatalf("mem stall delta = %v", s2.MemStall-s1.MemStall)
+	}
+	if math.Abs((s2.Cycles-s1.Cycles)-(100+208)) > 1e-9 {
+		t.Fatalf("cycle delta = %v", s2.Cycles-s1.Cycles)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	tm.OnGap(100, 60)
+	tm.OnAccess(cache.LLCMiss, 16, false)
+	tm.Reset()
+	if tm.Cycles() != 0 || tm.Instructions() != 0 || tm.MemStallCycles() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	// After reset, the first miss must again be treated as isolated.
+	tm.OnGap(10, 5)
+	if s := tm.OnAccess(cache.LLCMiss, 16, false); s != 208 {
+		t.Fatalf("post-reset miss stall = %v, want 208", s)
+	}
+}
+
+func TestFrequencyScale(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	tm.SetFrequencyScale(2)
+	tm.OnGap(100, 100)
+	if tm.Cycles() != 50 {
+		t.Fatalf("scaled cycles = %v, want 50", tm.Cycles())
+	}
+	tm.OnAccess(cache.LLCMiss, 16, false)
+	if tm.MemStallCycles() != 100 {
+		t.Fatalf("scaled mem stall = %v, want 100", tm.MemStallCycles())
+	}
+}
+
+func TestFrequencyScalePanicsOnNonPositive(t *testing.T) {
+	tm := NewTiming(DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	tm.SetFrequencyScale(0)
+}
+
+func TestDependentMissNeverOverlaps(t *testing.T) {
+	p := DefaultParams()
+	tm := NewTiming(p)
+	tm.OnGap(1000, 500)
+	tm.OnAccess(cache.LLCMiss, 16, false)
+	tm.OnGap(10, 5) // well within the ROB window
+	s := tm.OnAccess(cache.LLCMiss, 16, true)
+	if s != p.LLCHitStall(16)+p.MemLatency {
+		t.Fatalf("dependent miss stall = %v, want full latency", s)
+	}
+	// A dependent miss still anchors the window for later independent ones.
+	tm.OnGap(10, 5)
+	s = tm.OnAccess(cache.LLCMiss, 16, false)
+	if s != p.LLCHitStall(16)+p.MemLatency*p.OverlapFactor {
+		t.Fatalf("independent miss after dependent = %v, want overlapped", s)
+	}
+}
+
+func TestMissStall(t *testing.T) {
+	p := DefaultParams()
+	if p.MissStall(false) != 200 {
+		t.Fatal("isolated miss should pay full latency")
+	}
+	if p.MissStall(true) != 30 {
+		t.Fatalf("overlapped miss = %v, want 30", p.MissStall(true))
+	}
+}

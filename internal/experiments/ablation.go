@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+)
+
+// AblationRow reports the accuracy of one MPPM variant against the
+// detailed simulations of the lab's 4-core pool.
+type AblationRow struct {
+	Variant          string
+	AvgSTPError      float64
+	AvgANTTError     float64
+	AvgSlowdownError float64
+}
+
+// AblationResult compares model variants on identical inputs.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation evaluates MPPM variants — contention models, the slowdown-
+// update denominator, smoothing factors and chunk lengths — against the
+// same detailed-simulation pool, quantifying the design choices DESIGN.md
+// calls out. The detailed simulations are shared with Figure 4, so the
+// incremental cost is analytical only.
+func (l *Lab) Ablation() (*AblationResult, error) {
+	pool, err := l.Pool(4)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := l.Accuracy(4) // warms the detailed-simulation cache
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"FOA (default)", core.Options{}},
+		{"FOA-reuse", core.Options{Contention: contention.FOAReuse{}}},
+		{"Prob", core.Options{Contention: contention.Prob{}}},
+		{"SDC-compete", core.Options{Contention: contention.SDCCompete{}}},
+		{"equal-partition", core.Options{Contention: contention.EqualPartition{}}},
+		{"literal Figure 2 denominator", core.Options{PaperDenominator: true}},
+		{"report average R", core.Options{ReportAverage: true}},
+		{"smoothing f=0.1", core.Options{Smoothing: 0.1}},
+		{"smoothing f=0.9", core.Options{Smoothing: 0.9}},
+		{"chunk L=trace/2", core.Options{ChunkL: l.params.TraceLength / 2}},
+		{"chunk L=trace/20", core.Options{ChunkL: l.params.TraceLength / 20}},
+	}
+
+	res := &AblationResult{}
+	for _, v := range variants {
+		opts := v.opts
+		row := AblationRow{Variant: v.name}
+		set, err := l.ProfileSet(Config1())
+		if err != nil {
+			return nil, err
+		}
+		var slowErrSum float64
+		var slowErrN int
+		for i, mix := range pool {
+			pred, err := core.Predict(set, mix, opts)
+			if err != nil {
+				return nil, err
+			}
+			ma := &baseline.Mixes[i]
+			row.AvgSTPError += relErr(pred.STP, ma.MeasuredSTP)
+			row.AvgANTTError += relErr(pred.ANTT, ma.MeasuredANTT)
+			for p := range mix {
+				slowErrSum += relErr(pred.Slowdown[p], ma.MeasuredSlowdown[p])
+				slowErrN++
+			}
+		}
+		n := float64(len(pool))
+		row.AvgSTPError /= n
+		row.AvgANTTError /= n
+		row.AvgSlowdownError = slowErrSum / float64(slowErrN)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func relErr(pred, meas float64) float64 {
+	if meas == 0 {
+		return 0
+	}
+	d := pred - meas
+	if d < 0 {
+		d = -d
+	}
+	return d / meas
+}
+
+// Render writes the ablation table.
+func (r *AblationResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation. MPPM variants vs. the same detailed-simulation pool (4 cores, config#1).")
+	fmt.Fprintf(w, "  %-30s %10s %10s %12s\n", "variant", "STP err", "ANTT err", "slowdown err")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-30s %9.2f%% %9.2f%% %11.2f%%\n",
+			row.Variant, row.AvgSTPError*100, row.AvgANTTError*100,
+			row.AvgSlowdownError*100)
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// MixAccuracy holds measured and predicted metrics for one workload mix.
+type MixAccuracy struct {
+	Mix workload.Mix
+
+	MeasuredSTP   float64
+	PredictedSTP  float64
+	MeasuredANTT  float64
+	PredictedANTT float64
+
+	// Per-program slowdowns (aligned with Mix).
+	MeasuredSlowdown  []float64
+	PredictedSlowdown []float64
+
+	// Per-program CPIs for Figure 6 style reporting.
+	SingleCPI    []float64
+	MeasuredCPI  []float64
+	PredictedCPI []float64
+}
+
+// STPError returns |predicted-measured|/measured for STP.
+func (m MixAccuracy) STPError() float64 {
+	return math.Abs(m.PredictedSTP-m.MeasuredSTP) / m.MeasuredSTP
+}
+
+// ANTTError returns |predicted-measured|/measured for ANTT.
+func (m MixAccuracy) ANTTError() float64 {
+	return math.Abs(m.PredictedANTT-m.MeasuredANTT) / m.MeasuredANTT
+}
+
+// AccuracyResult is the Figure 4/5 dataset for one core count.
+type AccuracyResult struct {
+	Cores int
+	LLC   string
+	Mixes []MixAccuracy
+
+	AvgSTPError      float64 // paper Fig 4: 1.4-1.7% for 2-8 cores
+	AvgANTTError     float64 // paper Fig 4: 1.5-2.1%
+	AvgSlowdownError float64 // paper Fig 5: ~7%
+}
+
+// Accuracy runs the Figure 4/5 experiment for one core count on the
+// default configuration #1: detailed simulation and MPPM prediction of
+// the lab's workload pool, with per-mix and aggregate errors.
+func (l *Lab) Accuracy(cores int) (*AccuracyResult, error) {
+	pool, err := l.Pool(cores)
+	if err != nil {
+		return nil, err
+	}
+	return l.accuracyOn(pool, Config1())
+}
+
+// SixteenCoreAccuracy runs the paper's 16-core experiment: a smaller set
+// of 16-program workloads on the larger configuration #4 (the paper used
+// only 25 mixes "because of time constraints — the simulations took
+// extremely long, which is exactly the problem we are addressing with
+// MPPM"). Paper result: 2.3% STP and 2.9% ANTT average error.
+func (l *Lab) SixteenCoreAccuracy() (*AccuracyResult, error) {
+	s, err := workload.NewSampler(suiteNames(), l.params.Seed+16)
+	if err != nil {
+		return nil, err
+	}
+	mixes, err := s.RandomMixes(l.params.SixteenCoreMixes, 16, true)
+	if err != nil {
+		return nil, err
+	}
+	return l.accuracyOn(mixes, Config4())
+}
+
+func (l *Lab) accuracyOn(mixes []workload.Mix, llc cache.Config) (*AccuracyResult, error) {
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("experiments: no mixes")
+	}
+	det, err := l.DetailedBatch(mixes, llc)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := l.PredictBatch(mixes, llc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AccuracyResult{
+		Cores: len(mixes[0]),
+		LLC:   llc.Name,
+		Mixes: make([]MixAccuracy, len(mixes)),
+	}
+	var slowErrSum float64
+	var slowErrN int
+	for i, mix := range mixes {
+		sc, err := l.SingleCPIs(mix, llc)
+		if err != nil {
+			return nil, err
+		}
+		mSTP, err := metrics.STP(sc, det[i].CPI)
+		if err != nil {
+			return nil, err
+		}
+		mANTT, err := metrics.ANTT(sc, det[i].CPI)
+		if err != nil {
+			return nil, err
+		}
+		mSlow, err := metrics.Slowdowns(sc, det[i].CPI)
+		if err != nil {
+			return nil, err
+		}
+		ma := MixAccuracy{
+			Mix:               mix,
+			MeasuredSTP:       mSTP,
+			PredictedSTP:      pred[i].STP,
+			MeasuredANTT:      mANTT,
+			PredictedANTT:     pred[i].ANTT,
+			MeasuredSlowdown:  mSlow,
+			PredictedSlowdown: pred[i].Slowdown,
+			SingleCPI:         sc,
+			MeasuredCPI:       det[i].CPI,
+			PredictedCPI:      pred[i].MultiCPI,
+		}
+		res.Mixes[i] = ma
+		res.AvgSTPError += ma.STPError()
+		res.AvgANTTError += ma.ANTTError()
+		for p := range mix {
+			slowErrSum += math.Abs(pred[i].Slowdown[p]-mSlow[p]) / mSlow[p]
+			slowErrN++
+		}
+	}
+	n := float64(len(mixes))
+	res.AvgSTPError /= n
+	res.AvgANTTError /= n
+	res.AvgSlowdownError = slowErrSum / float64(slowErrN)
+	return res, nil
+}
+
+// SlowdownPairs flattens the per-program (measured, predicted) slowdown
+// pairs — the Figure 5 scatter data.
+func (r *AccuracyResult) SlowdownPairs() (measured, predicted []float64) {
+	for _, m := range r.Mixes {
+		measured = append(measured, m.MeasuredSlowdown...)
+		predicted = append(predicted, m.PredictedSlowdown...)
+	}
+	return measured, predicted
+}
+
+// Correlation returns the Pearson correlation of measured vs. predicted
+// STP across the dataset (the "dots on the bisector" of Figure 4).
+func (r *AccuracyResult) Correlation() (stp, antt float64, err error) {
+	var ms, ps, ma, pa []float64
+	for _, m := range r.Mixes {
+		ms = append(ms, m.MeasuredSTP)
+		ps = append(ps, m.PredictedSTP)
+		ma = append(ma, m.MeasuredANTT)
+		pa = append(pa, m.PredictedANTT)
+	}
+	if stp, err = stats.Pearson(ms, ps); err != nil {
+		return 0, 0, err
+	}
+	if antt, err = stats.Pearson(ma, pa); err != nil {
+		return 0, 0, err
+	}
+	return stp, antt, nil
+}
+
+// WorstMix returns the dataset entry with the lowest measured STP — the
+// subject of Figure 6 (in the paper: two copies of gamess with hmmer and
+// soplex).
+func (r *AccuracyResult) WorstMix() MixAccuracy {
+	worst := r.Mixes[0]
+	for _, m := range r.Mixes[1:] {
+		if m.MeasuredSTP < worst.MeasuredSTP {
+			worst = m
+		}
+	}
+	return worst
+}
+
+// Figure6Result tracks per-program CPIs for a chosen mix: isolated CPI,
+// measured multi-core CPI and predicted multi-core CPI.
+type Figure6Result struct {
+	WorstOfPool MixAccuracy // worst-STP mix found in the lab's pool
+	PaperMix    MixAccuracy // the paper's canonical mix (2x gamess, hmmer, soplex)
+}
+
+// Figure6 reproduces Figure 6: per-program isolated, measured and
+// predicted CPI for the worst-STP workload of the 4-core pool, plus the
+// paper's named workload for direct comparison.
+func (l *Lab) Figure6() (*Figure6Result, error) {
+	acc, err := l.Accuracy(4)
+	if err != nil {
+		return nil, err
+	}
+	paperMix := workload.Mix{"gamess", "gamess", "hmmer", "soplex"}
+	paper, err := l.accuracyOn([]workload.Mix{paperMix}, Config1())
+	if err != nil {
+		return nil, err
+	}
+	return &Figure6Result{
+		WorstOfPool: acc.WorstMix(),
+		PaperMix:    paper.Mixes[0],
+	}, nil
+}

@@ -1,0 +1,487 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLab is built once per test binary: the experiments deliberately
+// share profile sets and detailed-simulation caches, like the paper's
+// "one-time cost" profiling.
+var (
+	labOnce sync.Once
+	lab     *Lab
+	labErr  error
+)
+
+func testLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		p := QuickScale()
+		// Keep the test scale small; individual experiments that need
+		// more override locally.
+		p.TraceLength = 1_000_000
+		p.IntervalLength = 20_000
+		p.MixCount = 16
+		p.RankMixes = 60
+		p.PracticeSets = 5
+		p.PracticeMixes = 6
+		p.SixteenCoreMixes = 2
+		lab, labErr = NewLab(p)
+	})
+	if labErr != nil {
+		t.Fatal(labErr)
+	}
+	return lab
+}
+
+func TestNewLabValidation(t *testing.T) {
+	p := QuickScale()
+	p.TraceLength = 0
+	if _, err := NewLab(p); err == nil {
+		t.Fatal("zero trace length should error")
+	}
+	p = QuickScale()
+	p.MixCount = 1
+	if _, err := NewLab(p); err == nil {
+		t.Fatal("single-mix pool should error")
+	}
+}
+
+func TestScalesAreSane(t *testing.T) {
+	f := FullScale()
+	if f.MixCount != 150 || f.RankMixes != 5000 || f.PracticeSets != 20 ||
+		f.PracticeMixes != 12 || f.SixteenCoreMixes != 25 {
+		t.Fatalf("FullScale does not match the paper: %+v", f)
+	}
+	q := QuickScale()
+	if q.MixCount >= f.MixCount || q.TraceLength >= f.TraceLength {
+		t.Fatal("QuickScale should be smaller than FullScale")
+	}
+}
+
+func TestPoolDeterministicAndDistinct(t *testing.T) {
+	l := testLab(t)
+	p1, err := l.Pool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := l.Pool(4)
+	if len(p1) != l.Params().MixCount {
+		t.Fatalf("pool size %d", len(p1))
+	}
+	seen := map[string]bool{}
+	for i := range p1 {
+		if p1[i].Key() != p2[i].Key() {
+			t.Fatal("pool not deterministic")
+		}
+		if seen[p1[i].Key()] {
+			t.Fatal("duplicate mix in pool")
+		}
+		seen[p1[i].Key()] = true
+	}
+}
+
+func TestProfileSetCached(t *testing.T) {
+	l := testLab(t)
+	s1, err := l.ProfileSet(Config1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := l.ProfileSet(Config1())
+	if s1 != s2 {
+		t.Fatal("profile set not cached")
+	}
+	if len(s1.Names()) != 29 {
+		t.Fatalf("suite profiles = %d, want 29", len(s1.Names()))
+	}
+}
+
+func TestAccuracyExperiment(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Accuracy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mixes) != l.Params().MixCount {
+		t.Fatalf("mixes = %d", len(res.Mixes))
+	}
+	// Shape criteria: errors in the low single digits (the paper reports
+	// 1.6%/1.9% at 4 cores; the reproduction band allows a bit more).
+	if res.AvgSTPError > 0.08 {
+		t.Errorf("avg STP error %.1f%%, want < 8%%", res.AvgSTPError*100)
+	}
+	if res.AvgANTTError > 0.10 {
+		t.Errorf("avg ANTT error %.1f%%, want < 10%%", res.AvgANTTError*100)
+	}
+	if res.AvgSlowdownError > 0.12 {
+		t.Errorf("avg slowdown error %.1f%%, want < 12%%", res.AvgSlowdownError*100)
+	}
+	stpCorr, anttCorr, err := res.Correlation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stpCorr < 0.9 {
+		t.Errorf("STP correlation %.3f, want strong (>0.9)", stpCorr)
+	}
+	if anttCorr < 0.8 {
+		t.Errorf("ANTT correlation %.3f, want strong (>0.8)", anttCorr)
+	}
+}
+
+func TestAccuracyMeasuredSlowdownsAtLeastOne(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Accuracy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Mixes {
+		for p := range m.Mix {
+			if m.MeasuredSlowdown[p] < 0.999 {
+				t.Fatalf("mix %v: measured slowdown %v < 1", m.Mix, m.MeasuredSlowdown[p])
+			}
+		}
+		if m.MeasuredSTP > float64(len(m.Mix))+1e-9 {
+			t.Fatalf("mix %v: measured STP %v above core count", m.Mix, m.MeasuredSTP)
+		}
+	}
+}
+
+func TestVariabilityNarrowsWithMoreMixes(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Variability([]int{4, 8, 16}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The paper's Figure 3 shape: the confidence interval narrows as the
+	// number of mixes grows.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].RelSTP() > res.Points[i-1].RelSTP()*1.05 {
+			t.Errorf("STP CI did not narrow: %v then %v",
+				res.Points[i-1].RelSTP(), res.Points[i].RelSTP())
+		}
+	}
+	// Small mix counts must show noticeable uncertainty.
+	if res.Points[0].RelSTP() < 0.005 {
+		t.Errorf("4-mix STP CI %.2f%% suspiciously tight", res.Points[0].RelSTP()*100)
+	}
+}
+
+func TestVariabilityErrors(t *testing.T) {
+	l := testLab(t)
+	if _, err := l.Variability([]int{1}, 5); err == nil {
+		t.Fatal("subset of 1 should error")
+	}
+	if _, err := l.Variability([]int{1000}, 5); err == nil {
+		t.Fatal("subset above pool should error")
+	}
+	if _, err := l.Variability([]int{4}, 0); err == nil {
+		t.Fatal("zero resamples should error")
+	}
+}
+
+func TestDefaultVariabilitySizes(t *testing.T) {
+	l := testLab(t)
+	sizes := l.DefaultVariabilitySizes()
+	if len(sizes) == 0 || sizes[len(sizes)-1] != l.Params().MixCount {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's mix contains two gamess copies; both must be slowed
+	// substantially in the detailed simulation and flagged by MPPM.
+	pm := res.PaperMix
+	if got := strings.Join(pm.Mix, "+"); got != "gamess+gamess+hmmer+soplex" {
+		t.Fatalf("paper mix = %s", got)
+	}
+	for p, name := range pm.Mix {
+		if name == "gamess" {
+			// At full scale gamess slows by >2x; at the reduced test
+			// scale cold misses inflate its isolated CPI, lowering the
+			// ratio. Require a clear slowdown and that MPPM tracks it.
+			if pm.MeasuredSlowdown[p] < 1.2 || pm.PredictedSlowdown[p] < 1.2 {
+				t.Errorf("gamess slowdown measured %v predicted %v, want both > 1.2",
+					pm.MeasuredSlowdown[p], pm.PredictedSlowdown[p])
+			}
+			rel := pm.PredictedSlowdown[p]/pm.MeasuredSlowdown[p] - 1
+			if rel < -0.25 || rel > 0.25 {
+				t.Errorf("gamess prediction off by %.0f%%", rel*100)
+			}
+		}
+		if name == "hmmer" {
+			if pm.MeasuredSlowdown[p] > 1.1 {
+				t.Errorf("hmmer slowdown %v, want barely affected", pm.MeasuredSlowdown[p])
+			}
+		}
+	}
+	// The pool's worst mix can differ, but it must be a low-STP mix.
+	if res.WorstOfPool.MeasuredSTP > pm.MeasuredSTP+1.0 {
+		t.Errorf("worst-of-pool STP %v not particularly bad", res.WorstOfPool.MeasuredSTP)
+	}
+}
+
+func TestRankingUniform(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Ranking(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 6 {
+		t.Fatalf("configs = %v", res.Configs)
+	}
+	if len(res.PracticeSpearmanSTP) != l.Params().PracticeSets {
+		t.Fatalf("practice sets = %d", len(res.PracticeSpearmanSTP))
+	}
+	// MPPM's ranking must agree strongly with the reference (paper: 1.0
+	// STP, 0.93 ANTT).
+	if res.MPPMSpearmanSTP < 0.8 {
+		t.Errorf("MPPM STP Spearman %.2f, want >= 0.8", res.MPPMSpearmanSTP)
+	}
+	if res.MPPMSpearmanANTT < 0.7 {
+		t.Errorf("MPPM ANTT Spearman %.2f, want >= 0.7", res.MPPMSpearmanANTT)
+	}
+	// And beat the average of current practice (the paper's core claim).
+	avgS, _ := res.AvgPracticeSpearman()
+	if res.MPPMSpearmanSTP < avgS-0.05 {
+		t.Errorf("MPPM Spearman %.2f below practice average %.2f",
+			res.MPPMSpearmanSTP, avgS)
+	}
+}
+
+func TestPairwiseFractionsSumToOne(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Pairwise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("outcomes = %d, want 5 (config#1 vs #2..#6)", len(res.Outcomes))
+	}
+	for _, o := range res.Outcomes {
+		sum := o.AgreeBothRight + o.AgreeBothWrong + o.DisagreeMPPMRight + o.DisagreePracticeRight
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: fractions sum to %v", o.Config, sum)
+		}
+	}
+}
+
+func TestStressExperiment(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Stress(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(res.SortedMeasuredSTP)
+	if n != l.Params().MixCount {
+		t.Fatalf("sorted series = %d", n)
+	}
+	for i := 1; i < n; i++ {
+		if res.SortedMeasuredSTP[i] < res.SortedMeasuredSTP[i-1] {
+			t.Fatal("measured STP series not ascending")
+		}
+	}
+	// MPPM should identify most of the worst workloads (paper: 23/25).
+	if res.WorstKOverlap < res.WorstK/2 {
+		t.Errorf("worst-%d overlap = %d, want at least half", res.WorstK, res.WorstKOverlap)
+	}
+	// gamess must be among the most sensitive benchmarks when present.
+	sens := res.MostSensitiveBenchmarks()
+	if len(sens) == 0 {
+		t.Fatal("no sensitivity data")
+	}
+	if maxg, ok := res.BenchmarkMaxMeasured["gamess"]; ok {
+		rank := -1
+		for i, n := range sens {
+			if n == "gamess" {
+				rank = i
+			}
+		}
+		if rank > 2 && maxg > 1.3 {
+			t.Errorf("gamess rank %d among sensitive benchmarks (max %.2f)", rank, maxg)
+		}
+	}
+}
+
+func TestStressDefaultK(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Stress(0) // auto-K
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstK < 1 {
+		t.Fatalf("auto K = %d", res.WorstK)
+	}
+}
+
+func TestSpeedExperiment(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Speed(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The core speed claim: MPPM is orders of magnitude faster than
+	// detailed simulation; require at least 10x even at tiny test scale.
+	if res.Speedup < 10 {
+		t.Errorf("speedup = %.1fx, want > 10x", res.Speedup)
+	}
+	if res.MPPMPerMix <= 0 || res.DetailedPerMix <= 0 {
+		t.Fatal("missing timings")
+	}
+	if res.AmortizedSpeedup <= 0 {
+		t.Fatal("missing amortized speedup")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	l := testLab(t)
+	var buf bytes.Buffer
+
+	RenderTables(&buf)
+	if !strings.Contains(buf.String(), "config#6") {
+		t.Fatal("tables missing config#6")
+	}
+
+	acc, err := l.Accuracy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	acc.Render(&buf)
+	acc.RenderScatter(&buf)
+	if !strings.Contains(buf.String(), "STP") {
+		t.Fatal("accuracy render empty")
+	}
+
+	vr, err := l.Variability([]int{4, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	vr.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("variability render empty")
+	}
+
+	f6, err := l.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	f6.Render(&buf)
+	if !strings.Contains(buf.String(), "gamess") {
+		t.Fatal("figure 6 render missing gamess")
+	}
+
+	st, err := l.Stress(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	st.Render(&buf)
+	if !strings.Contains(buf.String(), "worst-case") {
+		t.Fatal("stress render incomplete")
+	}
+}
+
+func TestSixteenCoreAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-core simulation is slow")
+	}
+	l := testLab(t)
+	res, err := l.SixteenCoreAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 16 || res.LLC != "config#4" {
+		t.Fatalf("wrong setup: %d cores on %s", res.Cores, res.LLC)
+	}
+	if res.AvgSTPError > 0.12 {
+		t.Errorf("16-core STP error %.1f%%, want < 12%%", res.AvgSTPError*100)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	l := testLab(t)
+	res, err := l.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Variant] = r
+		if r.AvgSTPError < 0 || r.AvgSTPError > 0.5 {
+			t.Errorf("%s: STP error %v out of sane range", r.Variant, r.AvgSTPError)
+		}
+	}
+	// FOA (default) should beat the naive equal partition on slowdowns
+	// or at least not be worse by much — the reason the paper picked it.
+	foa, eq := byName["FOA (default)"], byName["equal-partition"]
+	if foa.AvgSlowdownError > eq.AvgSlowdownError*1.5+0.02 {
+		t.Errorf("FOA slowdown error %v much worse than equal-partition %v",
+			foa.AvgSlowdownError, eq.AvgSlowdownError)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "FOA") {
+		t.Fatal("ablation render incomplete")
+	}
+}
+
+func TestHeteroDesignSpace(t *testing.T) {
+	l := testLab(t)
+	res, err := l.HeteroDesignSpace(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(DefaultHeteroDesigns()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]HeteroRow{}
+	for _, r := range res.Rows {
+		byName[r.Design.Name] = r
+		if r.MeanSTP <= 0 || r.MeanANTT < 1-1e-9 {
+			t.Errorf("%s: degenerate metrics %+v", r.Design.Name, r)
+		}
+	}
+	// STP and ANTT are relative metrics: scaling every core uniformly
+	// cancels out of CPI_MC/CPI_SC, so the homogeneous designs must tie
+	// exactly. Heterogeneity shows up only through contention
+	// redistribution (the big core presses the shared LLC harder per
+	// wall-clock cycle).
+	allBig := byName["4 big (2x,2x,2x,2x)"].MeanSTP
+	allLittle := byName["4 little (1x,1x,1x,1x)"].MeanSTP
+	if allBig != allLittle {
+		t.Errorf("uniform scaling should cancel in STP: 4big %v vs 4little %v",
+			allBig, allLittle)
+	}
+	oneBig0 := byName["1 big slot0 (2x,1x,1x,1x)"].MeanSTP
+	oneBig3 := byName["1 big slot3 (1x,1x,1x,2x)"].MeanSTP
+	if oneBig0 == allLittle && oneBig3 == allLittle {
+		t.Error("heterogeneous placement had no contention effect at all")
+	}
+	if res.BestPlacementGain < 0 {
+		t.Errorf("placement gain %v negative", res.BestPlacementGain)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "design") {
+		t.Fatal("hetero render empty")
+	}
+	if _, err := l.HeteroDesignSpace(1); err == nil {
+		t.Fatal("mixCount=1 should error")
+	}
+}

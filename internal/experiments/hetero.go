@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// HeteroDesign is one heterogeneous multi-core configuration: per-slot
+// frequency multipliers on a shared-LLC quad-core (2.0 = "big" core at
+// twice the baseline frequency, 1.0 = "little").
+type HeteroDesign struct {
+	Name   string
+	Scales []float64
+}
+
+// HeteroRow reports one design's population metrics.
+type HeteroRow struct {
+	Design   HeteroDesign
+	MeanSTP  float64
+	MeanANTT float64
+	// BigBudget is the sum of frequency multipliers — a crude area/power
+	// proxy that makes designs comparable (more total frequency costs
+	// more, so the interesting question is placement, not quantity).
+	BigBudget float64
+}
+
+// HeteroResult is the heterogeneous design-space exploration dataset:
+// one of the paper's future-work items ("exploring the heterogeneous
+// multi-core design space"), driven entirely by MPPM — no multi-core
+// simulation.
+//
+// Note that STP and ANTT are relative metrics (multi-core over isolated
+// CPI on the same core), so uniformly scaling every core cancels out and
+// the homogeneous designs tie. What the sweep exposes is the contention
+// effect of heterogeneity: a big core presses the shared LLC harder per
+// wall-clock cycle, and which program owns it changes who wins and loses
+// cache space — the placement question the paper's future work poses.
+type HeteroResult struct {
+	Rows []HeteroRow
+	// BestPlacementGain is the STP gap between the best and worst
+	// placement of one big core across the mix population — the value of
+	// placing the big core well, which only a model this cheap can sweep.
+	BestPlacementGain float64
+}
+
+// DefaultHeteroDesigns returns the swept configurations: homogeneous
+// baselines plus every distinct placement count of big (2x) cores on a
+// quad-core.
+func DefaultHeteroDesigns() []HeteroDesign {
+	return []HeteroDesign{
+		{Name: "4 little (1x,1x,1x,1x)", Scales: []float64{1, 1, 1, 1}},
+		{Name: "1 big slot0 (2x,1x,1x,1x)", Scales: []float64{2, 1, 1, 1}},
+		{Name: "1 big slot3 (1x,1x,1x,2x)", Scales: []float64{1, 1, 1, 2}},
+		{Name: "2 big (2x,2x,1x,1x)", Scales: []float64{2, 2, 1, 1}},
+		{Name: "4 big (2x,2x,2x,2x)", Scales: []float64{2, 2, 2, 2}},
+	}
+}
+
+// HeteroDesignSpace evaluates the designs over mixCount random 4-program
+// mixes with MPPM. Because mixes are sorted multisets, slot position
+// correlates with benchmark identity (alphabetical), so placing the big
+// core at different slots genuinely changes which program gets it.
+func (l *Lab) HeteroDesignSpace(mixCount int) (*HeteroResult, error) {
+	if mixCount < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 mixes")
+	}
+	s, err := workload.NewSampler(suiteNames(), l.params.Seed+21)
+	if err != nil {
+		return nil, err
+	}
+	mixes, err := s.RandomMixes(mixCount, 4, true)
+	if err != nil {
+		return nil, err
+	}
+	set, err := l.ProfileSet(Config1())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &HeteroResult{}
+	for _, d := range DefaultHeteroDesigns() {
+		var stp, antt []float64
+		for _, mix := range mixes {
+			opts := l.params.ModelOpts
+			opts.FrequencyScale = d.Scales
+			pred, err := core.Predict(set, mix, opts)
+			if err != nil {
+				return nil, err
+			}
+			stp = append(stp, pred.STP)
+			antt = append(antt, pred.ANTT)
+		}
+		budget := 0.0
+		for _, sc := range d.Scales {
+			budget += sc
+		}
+		row := HeteroRow{
+			Design:    d,
+			MeanSTP:   stats.Mean(stp),
+			MeanANTT:  stats.Mean(antt),
+			BigBudget: budget,
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Placement gain: per mix, the best vs. worst single-big placement.
+	var gains []float64
+	for _, mix := range mixes {
+		best, worst := -1.0, 1e18
+		for slot := 0; slot < 4; slot++ {
+			scales := []float64{1, 1, 1, 1}
+			scales[slot] = 2
+			opts := l.params.ModelOpts
+			opts.FrequencyScale = scales
+			pred, err := core.Predict(set, mix, opts)
+			if err != nil {
+				return nil, err
+			}
+			if pred.STP > best {
+				best = pred.STP
+			}
+			if pred.STP < worst {
+				worst = pred.STP
+			}
+		}
+		if worst > 0 {
+			gains = append(gains, best/worst-1)
+		}
+	}
+	res.BestPlacementGain = stats.Mean(gains)
+	return res, nil
+}
+
+// Render writes the heterogeneous design-space table.
+func (r *HeteroResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Heterogeneous design space (future-work extension): MPPM sweep, no simulation.")
+	fmt.Fprintf(w, "  %-28s %8s %10s %10s\n", "design", "budget", "mean STP", "mean ANTT")
+	rows := append([]HeteroRow(nil), r.Rows...)
+	sort.Slice(rows, func(a, b int) bool { return rows[a].MeanSTP > rows[b].MeanSTP })
+	for _, row := range rows {
+		fmt.Fprintf(w, "  %-28s %8.1f %10.3f %10.3f\n",
+			row.Design.Name, row.BigBudget, row.MeanSTP, row.MeanANTT)
+	}
+	fmt.Fprintf(w, "  placing one big core well vs. badly is worth %.1f%% STP on average.\n",
+		r.BestPlacementGain*100)
+}

@@ -1,0 +1,312 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 4-6) on the reproduction's synthetic suite:
+//
+//	Table 1/2  — simulated machine configurations
+//	Figure 3   — STP/ANTT variability vs. number of workload mixes
+//	Figure 4   — MPPM accuracy (predicted vs. measured STP/ANTT), 2/4/8
+//	             cores plus the 16-core configuration #4 experiment
+//	Figure 5   — per-program slowdown accuracy
+//	Figure 6   — per-program CPI for the worst-STP four-program mix
+//	Section 4.3— speed of MPPM vs. detailed simulation
+//	Figure 7   — design ranking: current practice vs. MPPM (Spearman)
+//	Figure 8   — pairwise design decisions: agree/disagree fractions
+//	Figure 9   — stress-workload identification (sorted STP, worst-K)
+//
+// Every experiment is parameterized by Params so the full paper scale
+// (150 mixes, 10M-instruction traces) and the fast test/bench scale share
+// one code path. The Lab caches single-core profile sets and detailed
+// simulation results so experiments that share inputs (Figures 3, 4, 5,
+// 6 and 9 all build on the same 4-core dataset) pay for them once.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Params scales and seeds the experiments.
+type Params struct {
+	// TraceLength and IntervalLength configure the simulator (defaults:
+	// the paper-scale 10M / 200K).
+	TraceLength    int64
+	IntervalLength int64
+	// MixCount is the size of the detailed-simulation workload pool per
+	// core count (paper: 150).
+	MixCount int
+	// Cores are the multi-core sizes for the accuracy experiments
+	// (paper: 2, 4, 8).
+	Cores []int
+	// RankMixes is the number of MPPM-evaluated mixes for the Figure 7
+	// ranking (paper: 5000).
+	RankMixes int
+	// PracticeSets and PracticeMixes shape "current practice": sets of
+	// randomly chosen mixes (paper: 20 sets of 12).
+	PracticeSets  int
+	PracticeMixes int
+	// SixteenCoreMixes is the number of 16-program workloads evaluated on
+	// configuration #4 (paper: 25).
+	SixteenCoreMixes int
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Model options used for all MPPM evaluations.
+	ModelOpts core.Options
+}
+
+// FullScale returns the paper-scale parameters.
+func FullScale() Params {
+	return Params{
+		TraceLength:      trace.DefaultTraceLength,
+		IntervalLength:   profile.DefaultIntervalLength,
+		MixCount:         150,
+		Cores:            []int{2, 4, 8},
+		RankMixes:        5000,
+		PracticeSets:     20,
+		PracticeMixes:    12,
+		SixteenCoreMixes: 25,
+		Seed:             2011, // IISWC 2011
+	}
+}
+
+// QuickScale returns reduced parameters for tests and benchmarks: 1/5
+// trace length, 30-mix pools, fewer practice sets.
+func QuickScale() Params {
+	p := FullScale()
+	p.TraceLength = 2_000_000
+	p.IntervalLength = 40_000
+	p.MixCount = 30
+	p.Cores = []int{2, 4}
+	p.RankMixes = 300
+	p.PracticeSets = 8
+	p.PracticeMixes = 8
+	p.SixteenCoreMixes = 4
+	return p
+}
+
+// Lab shares expensive intermediate results between experiments.
+type Lab struct {
+	params Params
+	specs  []trace.Spec
+	byName map[string]trace.Spec
+
+	mu       sync.Mutex
+	profiles map[string]*profile.Set         // key: LLC config name
+	detailed map[string]*sim.MulticoreResult // key: LLC name + mix key
+	pools    map[int][]workload.Mix          // key: core count
+}
+
+// NewLab builds a lab over the full synthetic suite.
+func NewLab(p Params) (*Lab, error) {
+	if p.TraceLength < 1 || p.IntervalLength < 1 {
+		return nil, fmt.Errorf("experiments: invalid scale %+v", p)
+	}
+	if p.MixCount < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 mixes")
+	}
+	specs := trace.Suite()
+	byName := make(map[string]trace.Spec, len(specs))
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	return &Lab{
+		params:   p,
+		specs:    specs,
+		byName:   byName,
+		profiles: make(map[string]*profile.Set),
+		detailed: make(map[string]*sim.MulticoreResult),
+		pools:    make(map[int][]workload.Mix),
+	}, nil
+}
+
+// Params returns the lab's parameters.
+func (l *Lab) Params() Params { return l.params }
+
+// simConfig builds the simulator configuration for an LLC.
+func (l *Lab) simConfig(llc cache.Config) sim.Config {
+	cfg := sim.DefaultConfig(llc)
+	cfg.TraceLength = l.params.TraceLength
+	cfg.IntervalLength = l.params.IntervalLength
+	return cfg
+}
+
+// ProfileSet returns (profiling on first use) the single-core profiles of
+// the whole suite under the given LLC configuration — the paper's
+// "one-time cost".
+func (l *Lab) ProfileSet(llc cache.Config) (*profile.Set, error) {
+	l.mu.Lock()
+	if set, ok := l.profiles[llc.Name]; ok {
+		l.mu.Unlock()
+		return set, nil
+	}
+	l.mu.Unlock()
+
+	set, err := sim.ProfileSuite(l.specs, l.simConfig(llc))
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.profiles[llc.Name] = set
+	l.mu.Unlock()
+	return set, nil
+}
+
+// Pool returns the lab's reference workload pool for a core count: the
+// MixCount distinct random mixes whose detailed simulations anchor the
+// accuracy and ranking experiments.
+func (l *Lab) Pool(cores int) ([]workload.Mix, error) {
+	l.mu.Lock()
+	if p, ok := l.pools[cores]; ok {
+		l.mu.Unlock()
+		return p, nil
+	}
+	l.mu.Unlock()
+
+	s, err := workload.NewSampler(trace.SuiteNames(), l.params.Seed+int64(cores))
+	if err != nil {
+		return nil, err
+	}
+	pool, err := s.RandomMixes(l.params.MixCount, cores, true)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.pools[cores] = pool
+	l.mu.Unlock()
+	return pool, nil
+}
+
+// mixSpecs resolves a mix to trace specs.
+func (l *Lab) mixSpecs(mix workload.Mix) ([]trace.Spec, error) {
+	specs := make([]trace.Spec, len(mix))
+	for i, n := range mix {
+		s, ok := l.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", n)
+		}
+		specs[i] = s
+	}
+	return specs, nil
+}
+
+// Detailed returns the detailed multi-core simulation of a mix on an LLC
+// configuration, cached across experiments.
+func (l *Lab) Detailed(mix workload.Mix, llc cache.Config) (*sim.MulticoreResult, error) {
+	key := llc.Name + "/" + mix.Key()
+	l.mu.Lock()
+	if r, ok := l.detailed[key]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+
+	specs, err := l.mixSpecs(mix)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunMulticore(specs, l.simConfig(llc), nil)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.detailed[key] = res
+	l.mu.Unlock()
+	return res, nil
+}
+
+// DetailedBatch simulates many mixes in parallel (bounded by GOMAXPROCS)
+// and returns results aligned with the input order.
+func (l *Lab) DetailedBatch(mixes []workload.Mix, llc cache.Config) ([]*sim.MulticoreResult, error) {
+	out := make([]*sim.MulticoreResult, len(mixes))
+	errs := make([]error, len(mixes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range mixes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = l.Detailed(mixes[i], llc)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Predict runs MPPM for a mix on an LLC configuration using the lab's
+// model options.
+func (l *Lab) Predict(mix workload.Mix, llc cache.Config) (*core.Result, error) {
+	set, err := l.ProfileSet(llc)
+	if err != nil {
+		return nil, err
+	}
+	return core.Predict(set, mix, l.params.ModelOpts)
+}
+
+// PredictBatch evaluates MPPM for many mixes in parallel.
+func (l *Lab) PredictBatch(mixes []workload.Mix, llc cache.Config) ([]*core.Result, error) {
+	set, err := l.ProfileSet(llc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.Result, len(mixes))
+	errs := make([]error, len(mixes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range mixes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = core.Predict(set, mixes[i], l.params.ModelOpts)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SingleCPIs returns the isolated CPI of each program in the mix under
+// the given LLC configuration.
+func (l *Lab) SingleCPIs(mix workload.Mix, llc cache.Config) ([]float64, error) {
+	set, err := l.ProfileSet(llc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(mix))
+	for i, n := range mix {
+		p, err := set.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p.CPI()
+	}
+	return out, nil
+}
+
+// Config1 returns the paper's default LLC (smallest, "to stress our
+// model") and Config4 the 1MB/16-way LLC used for the 16-core runs.
+func Config1() cache.Config { return cache.LLCConfigs()[0] }
+
+// Config4 returns Table 2's configuration #4.
+func Config4() cache.Config { return cache.LLCConfigs()[3] }
+
+// suiteNames returns the benchmark names of the synthetic suite.
+func suiteNames() []string { return trace.SuiteNames() }

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RankingResult is the Figure 7 dataset: how well "current practice"
+// (a handful of randomly chosen mixes, simulated in detail) and MPPM
+// (thousands of modelled mixes) rank the six Table 2 LLC configurations
+// against the reference ranking from detailed simulation of the full
+// pool.
+type RankingResult struct {
+	Configs []string // config names in Table 2 order
+
+	// Reference: detailed simulation of the lab pool on each config.
+	ReferenceSTP  []float64 // average STP per config
+	ReferenceANTT []float64
+
+	// Current practice: per practice set, the Spearman rank correlation
+	// of the set's config ranking against the reference.
+	PracticeSpearmanSTP  []float64
+	PracticeSpearmanANTT []float64
+
+	// MPPM over RankMixes mixes.
+	MPPMSTP          []float64 // average predicted STP per config
+	MPPMANTT         []float64
+	MPPMSpearmanSTP  float64 // paper: 1.0
+	MPPMSpearmanANTT float64 // paper: 0.93
+
+	// Categorized records whether practice sets were drawn per category
+	// (Figure 7b) or uniformly (Figure 7a).
+	Categorized bool
+}
+
+// AvgPracticeSpearman returns the mean practice rank correlations (the
+// "avg" bars of Figure 7).
+func (r *RankingResult) AvgPracticeSpearman() (stp, antt float64) {
+	return stats.Mean(r.PracticeSpearmanSTP), stats.Mean(r.PracticeSpearmanANTT)
+}
+
+// poolMetrics computes per-mix STP/ANTT of the given mixes on a config
+// using detailed simulation.
+func (l *Lab) poolMetrics(mixes []workload.Mix, llc cache.Config) (stp, antt []float64, err error) {
+	det, err := l.DetailedBatch(mixes, llc)
+	if err != nil {
+		return nil, nil, err
+	}
+	stp = make([]float64, len(mixes))
+	antt = make([]float64, len(mixes))
+	for i, mix := range mixes {
+		sc, err := l.SingleCPIs(mix, llc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if stp[i], err = metrics.STP(sc, det[i].CPI); err != nil {
+			return nil, nil, err
+		}
+		if antt[i], err = metrics.ANTT(sc, det[i].CPI); err != nil {
+			return nil, nil, err
+		}
+	}
+	return stp, antt, nil
+}
+
+// practicePools returns the mixes "current practice" would simulate. For
+// the uniform variant (Figure 7a) the sets subsample the lab's detailed
+// pool (itself a uniform random sample, so a subsample is a uniform
+// random selection that reuses paid-for simulations). For the category
+// variant (Figure 7b) the sets subsample three category pools (MEM-only,
+// COMP-only, mixed) built from the profile-based classifier.
+func (l *Lab) practicePools(categorized bool) (pools [][]workload.Mix, err error) {
+	p := l.params
+	if categorized {
+		set, err := l.ProfileSet(Config1())
+		if err != nil {
+			return nil, err
+		}
+		classes := workload.Classify(set, workload.DefaultMemIntensityThreshold)
+		s, err := workload.NewSampler(suiteNames(), p.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		perCat := (p.PracticeMixes + 2) / 3
+		catPoolSize := perCat * p.PracticeSets
+		// Build category pools once; each practice set draws from them.
+		memPool := make([]workload.Mix, 0, catPoolSize)
+		compPool := make([]workload.Mix, 0, catPoolSize)
+		mixPool := make([]workload.Mix, 0, catPoolSize)
+		for i := 0; i < catPoolSize; i++ {
+			mm, err := s.CategoryMix(4, classes, workload.CatMemory)
+			if err != nil {
+				return nil, err
+			}
+			memPool = append(memPool, mm)
+			cm, err := s.CategoryMix(4, classes, workload.CatCompute)
+			if err != nil {
+				return nil, err
+			}
+			compPool = append(compPool, cm)
+			xm, err := s.CategoryMix(4, classes, workload.CatMixed)
+			if err != nil {
+				return nil, err
+			}
+			mixPool = append(mixPool, xm)
+		}
+		for set := 0; set < p.PracticeSets; set++ {
+			var mixes []workload.Mix
+			for i := 0; i < perCat; i++ {
+				mixes = append(mixes,
+					memPool[set*perCat+i], compPool[set*perCat+i], mixPool[set*perCat+i])
+			}
+			pools = append(pools, mixes[:p.PracticeMixes])
+		}
+		return pools, nil
+	}
+
+	pool, err := l.Pool(4)
+	if err != nil {
+		return nil, err
+	}
+	if p.PracticeMixes > len(pool) {
+		return nil, fmt.Errorf("experiments: practice mixes %d exceed pool %d",
+			p.PracticeMixes, len(pool))
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 9))
+	for set := 0; set < p.PracticeSets; set++ {
+		idx := rng.Perm(len(pool))[:p.PracticeMixes]
+		mixes := make([]workload.Mix, len(idx))
+		for k, i := range idx {
+			mixes[k] = pool[i]
+		}
+		pools = append(pools, mixes)
+	}
+	return pools, nil
+}
+
+// Ranking reproduces Figure 7: the reference config ranking from detailed
+// simulation of the full pool; PracticeSets simulated-practice rankings;
+// and the MPPM ranking over RankMixes modelled mixes.
+func (l *Lab) Ranking(categorized bool) (*RankingResult, error) {
+	configs := cache.LLCConfigs()
+	res := &RankingResult{Categorized: categorized}
+	for _, c := range configs {
+		res.Configs = append(res.Configs, c.Name)
+	}
+
+	// Reference: detailed simulation of the pool on every config.
+	pool, err := l.Pool(4)
+	if err != nil {
+		return nil, err
+	}
+	res.ReferenceSTP = make([]float64, len(configs))
+	res.ReferenceANTT = make([]float64, len(configs))
+	poolSTP := make([][]float64, len(configs))
+	poolANTT := make([][]float64, len(configs))
+	for ci, llc := range configs {
+		stp, antt, err := l.poolMetrics(pool, llc)
+		if err != nil {
+			return nil, err
+		}
+		poolSTP[ci], poolANTT[ci] = stp, antt
+		res.ReferenceSTP[ci] = stats.Mean(stp)
+		res.ReferenceANTT[ci] = stats.Mean(antt)
+	}
+
+	// Current practice: each set simulates its own mixes on every config
+	// and ranks the configs; compare to the reference ranking.
+	practice, err := l.practicePools(categorized)
+	if err != nil {
+		return nil, err
+	}
+	poolIndex := make(map[string]int, len(pool))
+	for i, mix := range pool {
+		poolIndex[mix.Key()] = i
+	}
+	for _, mixes := range practice {
+		setSTP := make([]float64, len(configs))
+		setANTT := make([]float64, len(configs))
+		for ci, llc := range configs {
+			if !categorized {
+				// Uniform practice sets subsample the pool: reuse the
+				// pool's per-mix metrics directly.
+				for _, mix := range mixes {
+					i := poolIndex[mix.Key()]
+					setSTP[ci] += poolSTP[ci][i]
+					setANTT[ci] += poolANTT[ci][i]
+				}
+				setSTP[ci] /= float64(len(mixes))
+				setANTT[ci] /= float64(len(mixes))
+				continue
+			}
+			stp, antt, err := l.poolMetrics(mixes, llc)
+			if err != nil {
+				return nil, err
+			}
+			setSTP[ci] = stats.Mean(stp)
+			setANTT[ci] = stats.Mean(antt)
+		}
+		rs, err := stats.Spearman(setSTP, res.ReferenceSTP)
+		if err != nil {
+			return nil, err
+		}
+		// ANTT is lower-is-better: rank correlation of the raw values
+		// still measures ranking agreement (both sides share direction).
+		ra, err := stats.Spearman(setANTT, res.ReferenceANTT)
+		if err != nil {
+			return nil, err
+		}
+		res.PracticeSpearmanSTP = append(res.PracticeSpearmanSTP, rs)
+		res.PracticeSpearmanANTT = append(res.PracticeSpearmanANTT, ra)
+	}
+
+	// MPPM: RankMixes random mixes evaluated by the model on every config.
+	s, err := workload.NewSampler(suiteNames(), l.params.Seed+10)
+	if err != nil {
+		return nil, err
+	}
+	distinct := true
+	if total, err := workload.NumMixes(len(l.specs), 4); err == nil &&
+		int64(l.params.RankMixes) > total {
+		distinct = false
+	}
+	rankMixes, err := s.RandomMixes(l.params.RankMixes, 4, distinct)
+	if err != nil {
+		return nil, err
+	}
+	res.MPPMSTP = make([]float64, len(configs))
+	res.MPPMANTT = make([]float64, len(configs))
+	for ci, llc := range configs {
+		preds, err := l.PredictBatch(rankMixes, llc)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range preds {
+			res.MPPMSTP[ci] += pr.STP
+			res.MPPMANTT[ci] += pr.ANTT
+		}
+		res.MPPMSTP[ci] /= float64(len(preds))
+		res.MPPMANTT[ci] /= float64(len(preds))
+	}
+	if res.MPPMSpearmanSTP, err = stats.Spearman(res.MPPMSTP, res.ReferenceSTP); err != nil {
+		return nil, err
+	}
+	if res.MPPMSpearmanANTT, err = stats.Spearman(res.MPPMANTT, res.ReferenceANTT); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// PairwiseOutcome tallies Figure 8's four buckets for one config pair.
+type PairwiseOutcome struct {
+	Config string // the config compared against config #1
+
+	// Fractions over practice sets.
+	AgreeBothRight        float64
+	AgreeBothWrong        float64
+	DisagreeMPPMRight     float64
+	DisagreePracticeRight float64
+}
+
+// PairwiseResult is the Figure 8 dataset.
+type PairwiseResult struct {
+	Outcomes []PairwiseOutcome
+}
+
+// Pairwise reproduces Figure 8: for configuration #1 versus each other
+// configuration, how often current practice (category-based sets, as in
+// the paper) agrees with MPPM on which config has better STP, and who is
+// right against the detailed-simulation reference.
+func (l *Lab) Pairwise() (*PairwiseResult, error) {
+	configs := cache.LLCConfigs()
+	pool, err := l.Pool(4)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference and MPPM mean STP per config.
+	refSTP := make([]float64, len(configs))
+	for ci, llc := range configs {
+		stp, _, err := l.poolMetrics(pool, llc)
+		if err != nil {
+			return nil, err
+		}
+		refSTP[ci] = stats.Mean(stp)
+	}
+	s, err := workload.NewSampler(suiteNames(), l.params.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	distinct := true
+	if total, err := workload.NumMixes(len(l.specs), 4); err == nil &&
+		int64(l.params.RankMixes) > total {
+		distinct = false
+	}
+	rankMixes, err := s.RandomMixes(l.params.RankMixes, 4, distinct)
+	if err != nil {
+		return nil, err
+	}
+	mppmSTP := make([]float64, len(configs))
+	for ci, llc := range configs {
+		preds, err := l.PredictBatch(rankMixes, llc)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range preds {
+			mppmSTP[ci] += pr.STP
+		}
+		mppmSTP[ci] /= float64(len(preds))
+	}
+
+	// Practice sets: category-based ("assuming multi-program categories").
+	practice, err := l.practicePools(true)
+	if err != nil {
+		return nil, err
+	}
+	practiceSTP := make([][]float64, len(practice)) // [set][config]
+	for si, mixes := range practice {
+		practiceSTP[si] = make([]float64, len(configs))
+		for ci, llc := range configs {
+			stp, _, err := l.poolMetrics(mixes, llc)
+			if err != nil {
+				return nil, err
+			}
+			practiceSTP[si][ci] = stats.Mean(stp)
+		}
+	}
+
+	res := &PairwiseResult{}
+	for ci := 1; ci < len(configs); ci++ {
+		out := PairwiseOutcome{Config: configs[ci].Name}
+		refBetter := refSTP[ci] > refSTP[0]
+		mppmBetter := mppmSTP[ci] > mppmSTP[0]
+		for si := range practice {
+			practiceBetter := practiceSTP[si][ci] > practiceSTP[si][0]
+			agree := practiceBetter == mppmBetter
+			mppmRight := mppmBetter == refBetter
+			switch {
+			case agree && mppmRight:
+				out.AgreeBothRight++
+			case agree && !mppmRight:
+				out.AgreeBothWrong++
+			case !agree && mppmRight:
+				out.DisagreeMPPMRight++
+			default:
+				out.DisagreePracticeRight++
+			}
+		}
+		n := float64(len(practice))
+		out.AgreeBothRight /= n
+		out.AgreeBothWrong /= n
+		out.DisagreeMPPMRight /= n
+		out.DisagreePracticeRight /= n
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return res, nil
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/plot"
+)
+
+// RenderTables writes the paper's Table 1 (baseline processor) and
+// Table 2 (LLC configurations) as text.
+func RenderTables(w io.Writer) {
+	p := cpu.DefaultParams()
+	h := cache.BaselineHierarchy(Config1())
+	fmt.Fprintln(w, "Table 1. Baseline processor configuration (reproduction).")
+	fmt.Fprintf(w, "  ROB window          %d instructions (LLC-miss overlap window)\n", p.ROBWindow)
+	fmt.Fprintf(w, "  core model          trace-driven, base CPI from trace + cache stalls\n")
+	fmt.Fprintf(w, "  L1 D-cache          %dKB, %d-way, LRU, %d cycle\n",
+		h.L1D.SizeBytes/1024, h.L1D.Ways, h.L1D.LatencyCycles)
+	fmt.Fprintf(w, "  L2 cache            private, %dKB, %d-way, %d cycles\n",
+		h.L2.SizeBytes/1024, h.L2.Ways, h.L2.LatencyCycles)
+	fmt.Fprintf(w, "  L3 cache            shared, see Table 2\n")
+	fmt.Fprintf(w, "  memory              %d cycles (overlapped misses pay %.0f)\n",
+		h.MemLatencyCycles, p.MemLatency*p.OverlapFactor)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Table 2. Last-level cache (LLC) configurations.")
+	fmt.Fprintf(w, "  %-10s %8s %6s %8s\n", "config", "size", "assoc", "latency")
+	for _, c := range cache.LLCConfigs() {
+		fmt.Fprintf(w, "  %-10s %6dKB %6d %8d\n",
+			c.Name, c.SizeBytes/1024, c.Ways, c.LatencyCycles)
+	}
+}
+
+// Render writes the Figure 3 series.
+func (r *VariabilityResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3. STP/ANTT 95%% confidence vs. number of %d-core workload mixes.\n", r.Cores)
+	fmt.Fprintf(w, "  %6s %9s %9s %8s %9s %9s %8s\n",
+		"mixes", "STP", "±CI", "rel", "ANTT", "±CI", "rel")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %6d %9.3f %9.3f %7.1f%% %9.3f %9.3f %7.1f%%\n",
+			p.Mixes, p.MeanSTP, p.STPHalfWidth, p.RelSTP()*100,
+			p.MeanANTT, p.ANTTHalfWidth, p.RelANTT()*100)
+	}
+}
+
+// Render writes the Figure 4/5 aggregate rows.
+func (r *AccuracyResult) Render(w io.Writer) {
+	stpCorr, anttCorr, err := r.Correlation()
+	fmt.Fprintf(w, "Figure 4/5. MPPM accuracy on %s, %d cores, %d mixes.\n",
+		r.LLC, r.Cores, len(r.Mixes))
+	fmt.Fprintf(w, "  avg |STP error|      %6.2f%%   (paper: 1.4-2.3%%)\n", r.AvgSTPError*100)
+	fmt.Fprintf(w, "  avg |ANTT error|     %6.2f%%   (paper: 1.5-2.9%%)\n", r.AvgANTTError*100)
+	fmt.Fprintf(w, "  avg |slowdown error| %6.2f%%   (paper: ~7%% at 2-8 cores, 4.5%% at 16)\n",
+		r.AvgSlowdownError*100)
+	if err == nil {
+		fmt.Fprintf(w, "  Pearson r (STP/ANTT) %6.3f / %.3f\n", stpCorr, anttCorr)
+	}
+}
+
+// RenderScatter writes the per-mix scatter rows of Figure 4.
+func (r *AccuracyResult) RenderScatter(w io.Writer) {
+	fmt.Fprintf(w, "  %-52s %8s %8s %8s %8s\n", "mix", "STPmeas", "STPpred", "ANTTmeas", "ANTTpred")
+	for _, m := range r.Mixes {
+		fmt.Fprintf(w, "  %-52s %8.3f %8.3f %8.3f %8.3f\n",
+			strings.Join(m.Mix, "+"), m.MeasuredSTP, m.PredictedSTP,
+			m.MeasuredANTT, m.PredictedANTT)
+	}
+}
+
+// Render writes the Figure 6 per-program CPI rows.
+func (r *Figure6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6. Per-program CPI for the worst-STP 4-program workload.")
+	render := func(tag string, m MixAccuracy) {
+		fmt.Fprintf(w, "  %s: %s (measured STP %.3f)\n", tag, strings.Join(m.Mix, "+"), m.MeasuredSTP)
+		fmt.Fprintf(w, "    %-12s %10s %12s %12s\n", "program", "isolated", "measured MC", "predicted MC")
+		for p, name := range m.Mix {
+			fmt.Fprintf(w, "    %-12s %10.3f %12.3f %12.3f\n",
+				name, m.SingleCPI[p], m.MeasuredCPI[p], m.PredictedCPI[p])
+		}
+	}
+	render("worst of pool", r.WorstOfPool)
+	render("paper's mix  ", r.PaperMix)
+}
+
+// Render writes the Section 4.3 speed rows.
+func (r *SpeedResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Section 4.3. Speed, %d-core workloads (this machine).\n", r.Cores)
+	fmt.Fprintf(w, "  detailed simulation  %12v per mix\n", r.DetailedPerMix)
+	fmt.Fprintf(w, "  MPPM evaluation      %12v per mix\n", r.MPPMPerMix)
+	fmt.Fprintf(w, "  speedup              %12.0fx (paper: up to 5 orders of magnitude)\n", r.Speedup)
+	fmt.Fprintf(w, "  one-time profiling   %12v for the whole suite\n", r.ProfilingCost)
+	fmt.Fprintf(w, "  amortized speedup    %12.1fx for %d mixes incl. profiling (paper: 62x)\n",
+		r.AmortizedSpeedup, r.CampaignMixes)
+}
+
+// Render writes the Figure 7 rows.
+func (r *RankingResult) Render(w io.Writer) {
+	variant := "(a) random selection"
+	if r.Categorized {
+		variant = "(b) random selection within categories"
+	}
+	fmt.Fprintf(w, "Figure 7%s. Rank correlation vs. detailed-simulation reference.\n", variant)
+	fmt.Fprintf(w, "  %-10s %12s %12s %12s %12s\n", "config", "ref STP", "ref ANTT", "MPPM STP", "MPPM ANTT")
+	for i, c := range r.Configs {
+		fmt.Fprintf(w, "  %-10s %12.4f %12.4f %12.4f %12.4f\n",
+			c, r.ReferenceSTP[i], r.ReferenceANTT[i], r.MPPMSTP[i], r.MPPMANTT[i])
+	}
+	fmt.Fprint(w, "  practice Spearman (STP):")
+	for _, v := range r.PracticeSpearmanSTP {
+		fmt.Fprintf(w, " %.2f", v)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "  practice Spearman (ANTT):")
+	for _, v := range r.PracticeSpearmanANTT {
+		fmt.Fprintf(w, " %.2f", v)
+	}
+	fmt.Fprintln(w)
+	avgS, avgA := r.AvgPracticeSpearman()
+	fmt.Fprintf(w, "  practice avg Spearman: STP %.3f, ANTT %.3f\n", avgS, avgA)
+	fmt.Fprintf(w, "  MPPM Spearman:         STP %.3f, ANTT %.3f (paper: 1.0 / 0.93)\n",
+		r.MPPMSpearmanSTP, r.MPPMSpearmanANTT)
+}
+
+// Render writes the Figure 8 rows.
+func (r *PairwiseResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8. config#1 vs. others: practice/MPPM agreement (fractions of practice sets).")
+	fmt.Fprintf(w, "  %-10s %12s %12s %14s %16s\n",
+		"config", "agree+right", "agree+wrong", "disagree:MPPM", "disagree:practice")
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(w, "  %-10s %11.0f%% %11.0f%% %13.0f%% %15.0f%%\n",
+			o.Config, o.AgreeBothRight*100, o.AgreeBothWrong*100,
+			o.DisagreeMPPMRight*100, o.DisagreePracticeRight*100)
+	}
+}
+
+// Render writes the Figure 9 rows.
+func (r *StressResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 9. Identifying stress workloads (sorted by measured STP).\n")
+	fmt.Fprintf(w, "  MPPM identifies %d of the %d worst-case workloads (paper: 23 of 25).\n",
+		r.WorstKOverlap, r.WorstK)
+	n := len(r.SortedMeasuredSTP)
+	step := n / 10
+	if step < 1 {
+		step = 1
+	}
+	fmt.Fprintf(w, "  %6s %12s %12s\n", "rank", "measured", "MPPM")
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(w, "  %6d %12.3f %12.3f\n", i+1,
+			r.SortedMeasuredSTP[i], r.SortedPredictedSTP[i])
+	}
+	fmt.Fprintln(w, "  most cache-sensitive benchmarks (max measured slowdown across pool):")
+	names := r.MostSensitiveBenchmarks()
+	if len(names) > 8 {
+		names = names[:8]
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "    %-12s measured %.2fx  predicted %.2fx\n",
+			n, r.BenchmarkMaxMeasured[n], r.BenchmarkMaxPredicted[n])
+	}
+}
+
+// SortedKeys returns map keys sorted for deterministic rendering.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RenderChart draws the Figure 3 confidence funnel as an ASCII chart:
+// the mean STP with its upper and lower 95% bounds versus mix count.
+func (r *VariabilityResult) RenderChart(w io.Writer) error {
+	xs := make([]float64, len(r.Points))
+	mean := plot.Series{Name: "mean STP", Marker: '*'}
+	upper := plot.Series{Name: "95% upper", Marker: '+'}
+	lower := plot.Series{Name: "95% lower", Marker: '-'}
+	for i, p := range r.Points {
+		xs[i] = float64(p.Mixes)
+		mean.Values = append(mean.Values, p.MeanSTP)
+		upper.Values = append(upper.Values, p.MeanSTP+p.STPHalfWidth)
+		lower.Values = append(lower.Values, p.MeanSTP-p.STPHalfWidth)
+	}
+	return plot.Lines(w, "Figure 3 chart: STP 95% confidence vs. number of mixes",
+		xs, []plot.Series{upper, mean, lower}, 60, 14)
+}
+
+// RenderChart draws the Figure 4 scatter (predicted vs. measured STP)
+// against the bisector.
+func (r *AccuracyResult) RenderChart(w io.Writer) error {
+	var xs, ys []float64
+	for _, m := range r.Mixes {
+		xs = append(xs, m.PredictedSTP)
+		ys = append(ys, m.MeasuredSTP)
+	}
+	title := fmt.Sprintf("Figure 4 chart: measured vs. predicted STP (%d cores)", r.Cores)
+	return plot.Scatter(w, title, xs, ys, 56, 18)
+}
+
+// RenderChart draws the Figure 9 sorted-STP curves (detailed simulation
+// and MPPM) over the workload rank.
+func (r *StressResult) RenderChart(w io.Writer) error {
+	xs := make([]float64, len(r.SortedMeasuredSTP))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return plot.Lines(w, "Figure 9 chart: workloads sorted by increasing STP",
+		xs, []plot.Series{
+			{Name: "detailed simulation", Values: r.SortedMeasuredSTP, Marker: 'o'},
+			{Name: "MPPM", Values: r.SortedPredictedSTP, Marker: '*'},
+		}, 60, 14)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/sim"
+
+	"repro/internal/workload"
+)
+
+// SpeedResult quantifies Section 4.3: how much faster MPPM evaluation is
+// than detailed multi-core simulation, measured on this machine.
+type SpeedResult struct {
+	Cores int
+
+	// Wall-clock per workload mix.
+	DetailedPerMix time.Duration
+	MPPMPerMix     time.Duration
+	Speedup        float64 // Detailed / MPPM (paper: up to 5 orders of magnitude)
+
+	// One-time single-core profiling cost for the whole suite.
+	ProfilingCost time.Duration
+
+	// AmortizedSpeedup is the speedup for a campaign of CampaignMixes
+	// workloads including the profiling cost (the paper's "62x faster
+	// for 150 workloads on 8 cores including single-core simulations").
+	CampaignMixes    int
+	AmortizedSpeedup float64
+}
+
+// Speed measures detailed-simulation versus MPPM wall-clock on sample
+// mixes with the given core count, using `reps` repetitions of each.
+func (l *Lab) Speed(cores, reps int) (*SpeedResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	s, err := workload.NewSampler(suiteNames(), l.params.Seed+12)
+	if err != nil {
+		return nil, err
+	}
+	mixes, err := s.RandomMixes(reps, cores, false)
+	if err != nil {
+		return nil, err
+	}
+	llc := Config1()
+
+	// Profiling cost (one-time): measured on a fresh run so a previously
+	// cached profile set does not make profiling look free.
+	profStart := time.Now()
+	if _, err := sim.ProfileSuite(l.specs, l.simConfig(llc)); err != nil {
+		return nil, err
+	}
+	profCost := time.Since(profStart)
+	if _, err := l.ProfileSet(llc); err != nil { // ensure cache for Predict
+		return nil, err
+	}
+
+	// MPPM per mix.
+	mppmStart := time.Now()
+	for _, mix := range mixes {
+		if _, err := l.Predict(mix, llc); err != nil {
+			return nil, err
+		}
+	}
+	mppmPer := time.Since(mppmStart) / time.Duration(len(mixes))
+
+	// Detailed per mix (bypass the cache: mixes are fresh).
+	detStart := time.Now()
+	for _, mix := range mixes {
+		specs, err := l.mixSpecs(mix)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.RunMulticore(specs, l.simConfig(llc), nil); err != nil {
+			return nil, err
+		}
+	}
+	detPer := time.Since(detStart) / time.Duration(len(mixes))
+
+	res := &SpeedResult{
+		Cores:          cores,
+		DetailedPerMix: detPer,
+		MPPMPerMix:     mppmPer,
+		ProfilingCost:  profCost,
+		CampaignMixes:  l.params.MixCount,
+	}
+	if mppmPer > 0 {
+		res.Speedup = float64(detPer) / float64(mppmPer)
+	}
+	campaignDetailed := float64(detPer) * float64(res.CampaignMixes)
+	campaignMPPM := float64(profCost) + float64(mppmPer)*float64(res.CampaignMixes)
+	if campaignMPPM > 0 {
+		res.AmortizedSpeedup = campaignDetailed / campaignMPPM
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// StressResult is the Figure 9 dataset: the pool's workloads sorted by
+// measured STP, the aligned MPPM predictions, and how many of the K worst
+// workloads MPPM identifies (paper: 23 of the 25 worst).
+type StressResult struct {
+	// SortedMeasuredSTP is the detailed-simulation STP of every pool
+	// workload, ascending; SortedPredictedSTP is the MPPM STP of the same
+	// workload at the same index (the two series of Figure 9).
+	SortedMeasuredSTP  []float64
+	SortedPredictedSTP []float64
+	// Mixes are the pool mixes in the same (measured-STP ascending) order.
+	Mixes []string
+
+	WorstK        int // K used for the overlap count
+	WorstKOverlap int // how many of detailed's K worst MPPM also flags
+
+	// MaxSlowdown per benchmark across the pool (Section 6's analysis:
+	// gamess 2.2x, gobmk 1.3x, soplex/omnetpp/h264/xalan 1.2x).
+	BenchmarkMaxMeasured  map[string]float64
+	BenchmarkMaxPredicted map[string]float64
+}
+
+// Stress reproduces Figure 9 and the Section 6 analysis on the lab's
+// 4-core pool. worstK is the "worst-case workload" cut (paper: 25).
+func (l *Lab) Stress(worstK int) (*StressResult, error) {
+	acc, err := l.Accuracy(4)
+	if err != nil {
+		return nil, err
+	}
+	n := len(acc.Mixes)
+	if worstK < 1 || worstK > n {
+		worstK = n / 6
+		if worstK < 1 {
+			worstK = 1
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return acc.Mixes[order[a]].MeasuredSTP < acc.Mixes[order[b]].MeasuredSTP
+	})
+
+	res := &StressResult{
+		WorstK:                worstK,
+		BenchmarkMaxMeasured:  map[string]float64{},
+		BenchmarkMaxPredicted: map[string]float64{},
+	}
+	measured := make([]float64, n)
+	predicted := make([]float64, n)
+	for rank, i := range order {
+		m := acc.Mixes[i]
+		res.SortedMeasuredSTP = append(res.SortedMeasuredSTP, m.MeasuredSTP)
+		res.SortedPredictedSTP = append(res.SortedPredictedSTP, m.PredictedSTP)
+		res.Mixes = append(res.Mixes, m.Mix.Key())
+		measured[rank] = m.MeasuredSTP
+		predicted[rank] = m.PredictedSTP
+	}
+	// Overlap computed on the original (unsorted) alignment.
+	var ms, ps []float64
+	for _, m := range acc.Mixes {
+		ms = append(ms, m.MeasuredSTP)
+		ps = append(ps, m.PredictedSTP)
+	}
+	overlap, err := stats.TopKOverlap(ps, ms, worstK)
+	if err != nil {
+		return nil, err
+	}
+	res.WorstKOverlap = overlap
+
+	for _, m := range acc.Mixes {
+		for p, name := range m.Mix {
+			if m.MeasuredSlowdown[p] > res.BenchmarkMaxMeasured[name] {
+				res.BenchmarkMaxMeasured[name] = m.MeasuredSlowdown[p]
+			}
+			if m.PredictedSlowdown[p] > res.BenchmarkMaxPredicted[name] {
+				res.BenchmarkMaxPredicted[name] = m.PredictedSlowdown[p]
+			}
+		}
+	}
+	return res, nil
+}
+
+// MostSensitiveBenchmarks returns the benchmarks ordered by decreasing
+// measured max slowdown — the Section 6 ranking where gamess dominates.
+func (r *StressResult) MostSensitiveBenchmarks() []string {
+	names := make([]string, 0, len(r.BenchmarkMaxMeasured))
+	for n := range r.BenchmarkMaxMeasured {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		ma, mb := r.BenchmarkMaxMeasured[names[a]], r.BenchmarkMaxMeasured[names[b]]
+		if ma != mb {
+			return ma > mb
+		}
+		return names[a] < names[b]
+	})
+	return names
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// VariabilityPoint is one point of the Figure 3 curves: the mean metric
+// and 95% confidence half-width an architect would obtain from n randomly
+// chosen workload mixes.
+type VariabilityPoint struct {
+	Mixes int
+	// Mean and CI of STP / ANTT, averaged over resamples of size n.
+	MeanSTP       float64
+	STPHalfWidth  float64 // absolute 95% CI half-width
+	MeanANTT      float64
+	ANTTHalfWidth float64
+}
+
+// RelSTP returns the STP half-width as a fraction of the mean (the
+// paper's "10% confidence interval for 10 mixes" figure).
+func (p VariabilityPoint) RelSTP() float64 {
+	if p.MeanSTP == 0 {
+		return 0
+	}
+	return p.STPHalfWidth / p.MeanSTP
+}
+
+// RelANTT returns the ANTT half-width as a fraction of the mean.
+func (p VariabilityPoint) RelANTT() float64 {
+	if p.MeanANTT == 0 {
+		return 0
+	}
+	return p.ANTTHalfWidth / p.MeanANTT
+}
+
+// VariabilityResult is the Figure 3 dataset.
+type VariabilityResult struct {
+	Cores  int
+	Points []VariabilityPoint
+}
+
+// Variability reproduces Figure 3: how the 95% confidence interval on
+// mean STP and ANTT narrows as the number of randomly selected workload
+// mixes grows. For each subset size it draws `resamples` random subsets
+// from the lab's detailed 4-core pool and averages the resulting
+// confidence intervals (one subset is what a single study would use; the
+// averaging smooths the curve).
+func (l *Lab) Variability(sizes []int, resamples int) (*VariabilityResult, error) {
+	if resamples < 1 {
+		return nil, fmt.Errorf("experiments: resamples < 1")
+	}
+	pool, err := l.Pool(4)
+	if err != nil {
+		return nil, err
+	}
+	det, err := l.DetailedBatch(pool, Config1())
+	if err != nil {
+		return nil, err
+	}
+	stp := make([]float64, len(pool))
+	antt := make([]float64, len(pool))
+	for i, mix := range pool {
+		sc, err := l.SingleCPIs(mix, Config1())
+		if err != nil {
+			return nil, err
+		}
+		if stp[i], err = metrics.STP(sc, det[i].CPI); err != nil {
+			return nil, err
+		}
+		if antt[i], err = metrics.ANTT(sc, det[i].CPI); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(l.params.Seed + 3))
+	res := &VariabilityResult{Cores: 4}
+	for _, n := range sizes {
+		if n < 2 || n > len(pool) {
+			return nil, fmt.Errorf("experiments: subset size %d outside [2,%d]", n, len(pool))
+		}
+		var pt VariabilityPoint
+		pt.Mixes = n
+		for r := 0; r < resamples; r++ {
+			idx := rng.Perm(len(pool))[:n]
+			ss := make([]float64, n)
+			as := make([]float64, n)
+			for k, i := range idx {
+				ss[k] = stp[i]
+				as[k] = antt[i]
+			}
+			ciS, err := stats.MeanCI(ss, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			ciA, err := stats.MeanCI(as, 0.95)
+			if err != nil {
+				return nil, err
+			}
+			pt.MeanSTP += ciS.Mean
+			pt.STPHalfWidth += ciS.HalfWidth
+			pt.MeanANTT += ciA.Mean
+			pt.ANTTHalfWidth += ciA.HalfWidth
+		}
+		f := float64(resamples)
+		pt.MeanSTP /= f
+		pt.STPHalfWidth /= f
+		pt.MeanANTT /= f
+		pt.ANTTHalfWidth /= f
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// DefaultVariabilitySizes returns the Figure 3 x-axis subset sizes,
+// capped at the pool size.
+func (l *Lab) DefaultVariabilitySizes() []int {
+	candidates := []int{5, 10, 20, 30, 60, 90, 120, 150}
+	var out []int
+	for _, c := range candidates {
+		if c <= l.params.MixCount {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != l.params.MixCount {
+		out = append(out, l.params.MixCount)
+	}
+	return out
+}

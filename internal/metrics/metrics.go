@@ -1,0 +1,71 @@
+// Package metrics implements the multi-program performance metrics used
+// throughout the paper: system throughput (STP, a.k.a. weighted speedup)
+// and average normalized turnaround time (ANTT), both defined over the
+// per-program single-core and multi-core CPIs (Eyerman & Eeckhout,
+// "System-level performance metrics for multi-program workloads",
+// IEEE Micro 2008).
+package metrics
+
+import "errors"
+
+// ErrBadInput is returned for empty or mismatched CPI vectors, or
+// non-positive CPIs.
+var ErrBadInput = errors.New("metrics: invalid CPI input")
+
+// STP returns the system throughput of a multi-program workload:
+//
+//	STP = sum_p CPI_SC,p / CPI_MC,p
+//
+// It quantifies accumulated progress of all programs; higher is better.
+// A workload of n programs that are not slowed down at all has STP = n.
+func STP(singleCPI, multiCPI []float64) (float64, error) {
+	if err := check(singleCPI, multiCPI); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for p := range singleCPI {
+		sum += singleCPI[p] / multiCPI[p]
+	}
+	return sum, nil
+}
+
+// ANTT returns the average normalized turnaround time:
+//
+//	ANTT = (1/n) sum_p CPI_MC,p / CPI_SC,p
+//
+// It quantifies the average per-program slowdown; lower is better, and 1
+// means no program was slowed down at all.
+func ANTT(singleCPI, multiCPI []float64) (float64, error) {
+	if err := check(singleCPI, multiCPI); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for p := range singleCPI {
+		sum += multiCPI[p] / singleCPI[p]
+	}
+	return sum / float64(len(singleCPI)), nil
+}
+
+// Slowdowns returns the per-program slowdown vector CPI_MC,p / CPI_SC,p.
+func Slowdowns(singleCPI, multiCPI []float64) ([]float64, error) {
+	if err := check(singleCPI, multiCPI); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(singleCPI))
+	for p := range singleCPI {
+		out[p] = multiCPI[p] / singleCPI[p]
+	}
+	return out, nil
+}
+
+func check(singleCPI, multiCPI []float64) error {
+	if len(singleCPI) == 0 || len(singleCPI) != len(multiCPI) {
+		return ErrBadInput
+	}
+	for p := range singleCPI {
+		if singleCPI[p] <= 0 || multiCPI[p] <= 0 {
+			return ErrBadInput
+		}
+	}
+	return nil
+}

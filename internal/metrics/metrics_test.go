@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSTPNoSlowdown(t *testing.T) {
+	sc := []float64{0.5, 1.0, 2.0, 0.8}
+	stp, err := STP(sc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stp != 4 {
+		t.Fatalf("STP with no slowdown = %v, want 4", stp)
+	}
+}
+
+func TestANTTNoSlowdown(t *testing.T) {
+	sc := []float64{0.5, 1.0, 2.0}
+	antt, err := ANTT(sc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if antt != 1 {
+		t.Fatalf("ANTT with no slowdown = %v, want 1", antt)
+	}
+}
+
+func TestSTPHalfSpeed(t *testing.T) {
+	sc := []float64{1, 1}
+	mc := []float64{2, 2}
+	stp, _ := STP(sc, mc)
+	if stp != 1 {
+		t.Fatalf("STP at half speed = %v, want 1", stp)
+	}
+	antt, _ := ANTT(sc, mc)
+	if antt != 2 {
+		t.Fatalf("ANTT at half speed = %v, want 2", antt)
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	sc := []float64{1, 2}
+	mc := []float64{1.5, 2}
+	s, err := Slowdowns(sc, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 1.5 || s[1] != 1 {
+		t.Fatalf("Slowdowns = %v", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		sc, mc []float64
+	}{
+		{nil, nil},
+		{[]float64{1}, []float64{1, 2}},
+		{[]float64{0}, []float64{1}},
+		{[]float64{1}, []float64{-1}},
+	}
+	for i, c := range cases {
+		if _, err := STP(c.sc, c.mc); err != ErrBadInput {
+			t.Errorf("case %d: STP err = %v, want ErrBadInput", i, err)
+		}
+		if _, err := ANTT(c.sc, c.mc); err != ErrBadInput {
+			t.Errorf("case %d: ANTT err = %v, want ErrBadInput", i, err)
+		}
+		if _, err := Slowdowns(c.sc, c.mc); err != ErrBadInput {
+			t.Errorf("case %d: Slowdowns err = %v, want ErrBadInput", i, err)
+		}
+	}
+}
+
+// Property: STP is bounded by (0, n] when multi-core CPIs are at least the
+// single-core CPIs (slowdowns >= 1), and ANTT >= 1 in that regime.
+func TestBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		sc := make([]float64, n)
+		mc := make([]float64, n)
+		for i := range sc {
+			sc[i] = 0.1 + rng.Float64()*3
+			mc[i] = sc[i] * (1 + rng.Float64()*4) // slowdown in [1, 5)
+		}
+		stp, err1 := STP(sc, mc)
+		antt, err2 := ANTT(sc, mc)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return stp > 0 && stp <= float64(n)+1e-12 && antt >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ANTT equals the arithmetic mean of Slowdowns, and STP equals
+// the sum of reciprocal slowdowns.
+func TestConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		sc := make([]float64, n)
+		mc := make([]float64, n)
+		for i := range sc {
+			sc[i] = 0.2 + rng.Float64()
+			mc[i] = 0.2 + rng.Float64()*2
+		}
+		s, _ := Slowdowns(sc, mc)
+		antt, _ := ANTT(sc, mc)
+		stp, _ := STP(sc, mc)
+		sumS, sumInv := 0.0, 0.0
+		for _, v := range s {
+			sumS += v
+			sumInv += 1 / v
+		}
+		return math.Abs(antt-sumS/float64(n)) < 1e-12 &&
+			math.Abs(stp-sumInv) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package plot renders small ASCII charts for the experiment reports:
+// line series (Figure 3's confidence funnels, Figure 9's sorted-STP
+// curves) and scatter plots against the bisector (Figure 4/5). Terminal
+// output keeps the reproduction fully self-contained — the figures land
+// in the same text report as the tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of y-values over a shared x-axis.
+type Series struct {
+	Name   string
+	Values []float64
+	Marker byte
+}
+
+// Lines renders one or more series over the given x labels into a
+// width x height character grid with a y-axis scale.
+func Lines(w io.Writer, title string, xs []float64, series []Series, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("plot: grid %dx%d too small", width, height)
+	}
+	if len(xs) < 2 {
+		return fmt.Errorf("plot: need at least 2 x values")
+	}
+	for _, s := range series {
+		if len(s.Values) != len(xs) {
+			return fmt.Errorf("plot: series %q has %d values for %d xs",
+				s.Name, len(s.Values), len(xs))
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xlo, xhi := xs[0], xs[len(xs)-1]
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xlo) / (xhi - xlo) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		// Connect consecutive points with interpolated markers.
+		for i := 1; i < len(xs); i++ {
+			c0, r0 := col(xs[i-1]), row(s.Values[i-1])
+			c1, r1 := col(xs[i]), row(s.Values[i])
+			steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+			if steps == 0 {
+				grid[r1][c1] = marker
+				continue
+			}
+			for k := 0; k <= steps; k++ {
+				c := c0 + (c1-c0)*k/steps
+				r := r0 + (r1-r0)*k/steps
+				grid[r][c] = marker
+			}
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	for r, line := range grid {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, " %8.3f |%s\n", y, string(line))
+	}
+	fmt.Fprintf(w, " %8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, " %8s  %-*.3g%*.3g\n", "", width/2, xlo, width-width/2, xhi)
+	var legend []string
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", m, s.Name))
+	}
+	fmt.Fprintf(w, " %8s  legend: %s\n", "", strings.Join(legend, "   "))
+	return nil
+}
+
+// Scatter renders (x, y) points with a y=x bisector, the shape of the
+// paper's Figure 4/5 accuracy plots: points hugging the diagonal mean
+// accurate predictions.
+func Scatter(w io.Writer, title string, xs, ys []float64, width, height int) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("plot: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("plot: empty scatter")
+	}
+	if width < 16 || height < 4 {
+		return fmt.Errorf("plot: grid %dx%d too small", width, height)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range xs {
+		lo = math.Min(lo, math.Min(xs[i], ys[i]))
+		hi = math.Max(hi, math.Max(xs[i], ys[i]))
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		return clamp(int(math.Round((x-lo)/(hi-lo)*float64(width-1))), 0, width-1)
+	}
+	row := func(y float64) int {
+		return clamp(int(math.Round((hi-y)/(hi-lo)*float64(height-1))), 0, height-1)
+	}
+	// Bisector first so points overwrite it.
+	steps := maxInt(width, height)
+	for k := 0; k <= steps; k++ {
+		v := lo + (hi-lo)*float64(k)/float64(steps)
+		grid[row(v)][col(v)] = '.'
+	}
+	for i := range xs {
+		grid[row(ys[i])][col(xs[i])] = 'o'
+	}
+
+	fmt.Fprintln(w, title)
+	for r, line := range grid {
+		y := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, " %8.3f |%s\n", y, string(line))
+	}
+	fmt.Fprintf(w, " %8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, " %8s  %-*.3g%*.3g\n", "", width/2, lo, width-width/2, hi)
+	fmt.Fprintf(w, " %8s  o data   . bisector (perfect prediction)\n", "")
+	return nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

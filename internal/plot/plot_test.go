@@ -1,0 +1,102 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 30, 60, 90, 120, 150}
+	err := Lines(&buf, "Figure 3 shape", xs, []Series{
+		{Name: "upper", Values: []float64{4.2, 3.9, 3.8, 3.75, 3.72, 3.7}, Marker: '+'},
+		{Name: "lower", Values: []float64{3.0, 3.3, 3.4, 3.45, 3.48, 3.5}, Marker: '-'},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 3 shape") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "legend") {
+		t.Fatal("missing markers or legend")
+	}
+	if got := strings.Count(out, "\n"); got < 12 {
+		t.Fatalf("too few lines: %d", got)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Lines(&buf, "t", []float64{1}, nil, 40, 10); err == nil {
+		t.Fatal("single x should error")
+	}
+	if err := Lines(&buf, "t", []float64{1, 2}, []Series{{Name: "s", Values: []float64{1}}}, 40, 10); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if err := Lines(&buf, "t", []float64{1, 2}, nil, 2, 2); err == nil {
+		t.Fatal("tiny grid should error")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Lines(&buf, "flat", []float64{0, 1, 2},
+		[]Series{{Name: "c", Values: []float64{5, 5, 5}}}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("flat series should still draw")
+	}
+}
+
+func TestScatterBasic(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1.05, 1.95, 3.1, 3.9}
+	if err := Scatter(&buf, "Figure 4 shape", xs, ys, 30, 12); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, ".") {
+		t.Fatal("missing points or bisector")
+	}
+	if !strings.Contains(out, "bisector") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, "t", []float64{1}, []float64{1, 2}, 30, 10); err == nil {
+		t.Fatal("mismatch should error")
+	}
+	if err := Scatter(&buf, "t", nil, nil, 30, 10); err == nil {
+		t.Fatal("empty should error")
+	}
+	if err := Scatter(&buf, "t", []float64{1}, []float64{1}, 4, 2); err == nil {
+		t.Fatal("tiny grid should error")
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, "one", []float64{2}, []float64{2}, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampHelpers(t *testing.T) {
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp broken")
+	}
+	if maxInt(2, 3) != 3 || maxInt(3, 2) != 3 {
+		t.Fatal("maxInt broken")
+	}
+	if absInt(-4) != 4 || absInt(4) != 4 {
+		t.Fatal("absInt broken")
+	}
+}

@@ -1,0 +1,432 @@
+// Package profile defines the single-core simulation profiles that feed
+// the Multi-Program Performance Model, mirroring Section 2.1 of the paper.
+//
+// A profile is a sequence of fixed-size instruction intervals (the paper
+// uses 20M instructions out of a 1B trace, i.e. 50 intervals; the
+// reproduction uses 200K out of 10M — also 50). Each interval records the
+// three characteristics the paper lists — single-core CPI, memory CPI and
+// the LLC stack distance counters — plus the LLC access count the FOA
+// contention model needs.
+//
+// The package also implements the two profile manipulations the model
+// layer relies on:
+//
+//   - circular window accumulation with fractional proration (the model
+//     advances each program by a fractional number of instructions and
+//     wraps around the trace, per Figure 2);
+//   - derived profiles for reduced LLC associativity and different access
+//     latency, which the paper highlights as a way to cover more design
+//     points from one set of single-core runs.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/sdc"
+)
+
+// DefaultIntervalLength is the profiling interval in instructions at the
+// reproduction's 1/100 scale (paper: 20M).
+const DefaultIntervalLength = 200_000
+
+// Meta describes how a profile was collected.
+type Meta struct {
+	Benchmark      string       `json:"benchmark"`
+	TraceLength    int64        `json:"trace_length"`
+	IntervalLength int64        `json:"interval_length"`
+	LLC            cache.Config `json:"llc"`
+	CPU            cpu.Params   `json:"cpu"`
+	Derived        bool         `json:"derived,omitempty"` // true for associativity-derived profiles
+}
+
+// Interval holds the measured characteristics of one profiling interval.
+type Interval struct {
+	Instructions int64        `json:"instructions"`
+	Cycles       float64      `json:"cycles"`
+	MemStall     float64      `json:"mem_stall"`
+	LLCAccesses  float64      `json:"llc_accesses"`
+	SDC          sdc.Counters `json:"sdc"`
+}
+
+// LLCMisses returns the interval's LLC miss count (the SDC's C>A counter).
+func (iv Interval) LLCMisses() float64 { return iv.SDC.Misses() }
+
+// CPI returns the interval's cycles per instruction.
+func (iv Interval) CPI() float64 {
+	if iv.Instructions == 0 {
+		return 0
+	}
+	return iv.Cycles / float64(iv.Instructions)
+}
+
+// MemCPI returns the interval's memory CPI component.
+func (iv Interval) MemCPI() float64 {
+	if iv.Instructions == 0 {
+		return 0
+	}
+	return iv.MemStall / float64(iv.Instructions)
+}
+
+// Profile is a complete single-core profile for one benchmark.
+type Profile struct {
+	Meta      Meta       `json:"meta"`
+	Intervals []Interval `json:"intervals"`
+
+	// cumInstr[i] is the number of instructions before interval i;
+	// populated lazily by index().
+	cumInstr []int64
+}
+
+// Validate checks internal consistency.
+func (p *Profile) Validate() error {
+	if len(p.Intervals) == 0 {
+		return fmt.Errorf("profile %s: no intervals", p.Meta.Benchmark)
+	}
+	var total int64
+	for i, iv := range p.Intervals {
+		if iv.Instructions <= 0 {
+			return fmt.Errorf("profile %s: interval %d has %d instructions",
+				p.Meta.Benchmark, i, iv.Instructions)
+		}
+		if iv.Cycles < 0 || iv.MemStall < 0 || iv.LLCAccesses < 0 {
+			return fmt.Errorf("profile %s: interval %d has negative counters",
+				p.Meta.Benchmark, i)
+		}
+		if err := iv.SDC.Validate(); err != nil {
+			return fmt.Errorf("profile %s: interval %d: %v", p.Meta.Benchmark, i, err)
+		}
+		if iv.SDC.Ways() != p.Meta.LLC.Ways {
+			return fmt.Errorf("profile %s: interval %d SDC has %d ways, LLC has %d",
+				p.Meta.Benchmark, i, iv.SDC.Ways(), p.Meta.LLC.Ways)
+		}
+		total += iv.Instructions
+	}
+	if total != p.Meta.TraceLength {
+		return fmt.Errorf("profile %s: intervals cover %d instructions, trace is %d",
+			p.Meta.Benchmark, total, p.Meta.TraceLength)
+	}
+	return nil
+}
+
+// TotalInstructions returns the total instruction count across intervals.
+func (p *Profile) TotalInstructions() int64 {
+	var n int64
+	for _, iv := range p.Intervals {
+		n += iv.Instructions
+	}
+	return n
+}
+
+// TotalCycles returns the total cycle count.
+func (p *Profile) TotalCycles() float64 {
+	c := 0.0
+	for _, iv := range p.Intervals {
+		c += iv.Cycles
+	}
+	return c
+}
+
+// CPI returns the whole-trace single-core CPI (CPI_SC in the paper).
+func (p *Profile) CPI() float64 {
+	n := p.TotalInstructions()
+	if n == 0 {
+		return 0
+	}
+	return p.TotalCycles() / float64(n)
+}
+
+// MemCPI returns the whole-trace memory CPI component (CPI_mem).
+func (p *Profile) MemCPI() float64 {
+	n := p.TotalInstructions()
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, iv := range p.Intervals {
+		s += iv.MemStall
+	}
+	return s / float64(n)
+}
+
+// LLCAccesses returns the total LLC access count.
+func (p *Profile) LLCAccesses() float64 {
+	a := 0.0
+	for _, iv := range p.Intervals {
+		a += iv.LLCAccesses
+	}
+	return a
+}
+
+// LLCMisses returns the total LLC miss count.
+func (p *Profile) LLCMisses() float64 {
+	m := 0.0
+	for _, iv := range p.Intervals {
+		m += iv.LLCMisses()
+	}
+	return m
+}
+
+// APKI returns LLC accesses per kilo-instruction.
+func (p *Profile) APKI() float64 {
+	n := p.TotalInstructions()
+	if n == 0 {
+		return 0
+	}
+	return p.LLCAccesses() / float64(n) * 1000
+}
+
+// MPKI returns LLC misses per kilo-instruction.
+func (p *Profile) MPKI() float64 {
+	n := p.TotalInstructions()
+	if n == 0 {
+		return 0
+	}
+	return p.LLCMisses() / float64(n) * 1000
+}
+
+// MemIntensity returns MemCPI / CPI, the fraction of execution time spent
+// waiting on memory. The workload classifier uses it to split the suite
+// into memory-intensive and compute-intensive programs.
+func (p *Profile) MemIntensity() float64 {
+	cpi := p.CPI()
+	if cpi == 0 {
+		return 0
+	}
+	return p.MemCPI() / cpi
+}
+
+func (p *Profile) index() []int64 {
+	if p.cumInstr == nil {
+		p.cumInstr = make([]int64, len(p.Intervals)+1)
+		for i, iv := range p.Intervals {
+			p.cumInstr[i+1] = p.cumInstr[i] + iv.Instructions
+		}
+	}
+	return p.cumInstr
+}
+
+// Window is the aggregate of profile characteristics over an instruction
+// window, with partial intervals prorated linearly.
+type Window struct {
+	Instructions float64
+	Cycles       float64
+	MemStall     float64
+	LLCAccesses  float64
+	SDC          sdc.Counters
+}
+
+// CPI returns the window's cycles per instruction.
+func (w Window) CPI() float64 {
+	if w.Instructions == 0 {
+		return 0
+	}
+	return w.Cycles / w.Instructions
+}
+
+// MemCPI returns the window's memory CPI.
+func (w Window) MemCPI() float64 {
+	if w.Instructions == 0 {
+		return 0
+	}
+	return w.MemStall / w.Instructions
+}
+
+// LLCMisses returns the window's LLC miss count.
+func (w Window) LLCMisses() float64 { return w.SDC.Misses() }
+
+// WindowAt aggregates the profile over n instructions starting at
+// absolute trace position pos. Positions wrap circularly around the
+// trace, matching the model's behaviour of programs restarting their
+// trace (Section 2.2: "faster running programs may iterate over their
+// trace more than five times"). Both pos and n may be fractional.
+func (p *Profile) WindowAt(pos, n float64) Window {
+	w := Window{SDC: sdc.New(p.Meta.LLC.Ways)}
+	if n <= 0 {
+		return w
+	}
+	cum := p.index()
+	total := float64(cum[len(cum)-1])
+	// Normalize pos into [0, total).
+	pos = modFloat(pos, total)
+
+	remaining := n
+	for remaining > 1e-9 {
+		if pos >= total {
+			pos = 0
+		}
+		// Find interval containing pos. Rounding can push pos onto the
+		// trace-end boundary, in which case the search returns the
+		// interval count; wrap to the start.
+		i := sort.Search(len(cum)-1, func(k int) bool { return float64(cum[k+1]) > pos })
+		if i >= len(p.Intervals) {
+			pos = 0
+			continue
+		}
+		iv := &p.Intervals[i]
+		ivStart := float64(cum[i])
+		ivLen := float64(iv.Instructions)
+		offset := pos - ivStart
+		avail := ivLen - offset
+		if avail <= 1e-9 {
+			// Rounding landed pos on (or within noise of) the interval's
+			// end: advance to the next boundary to guarantee progress.
+			pos = float64(cum[i+1])
+			continue
+		}
+		take := remaining
+		if take > avail {
+			take = avail
+		}
+		frac := take / ivLen
+		w.Instructions += take
+		w.Cycles += iv.Cycles * frac
+		w.MemStall += iv.MemStall * frac
+		w.LLCAccesses += iv.LLCAccesses * frac
+		w.SDC.AddScaled(iv.SDC, frac)
+		remaining -= take
+		pos += take
+	}
+	return w
+}
+
+func modFloat(x, m float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	r := x - float64(int64(x/m))*m
+	if r < 0 {
+		r += m
+	}
+	if r >= m {
+		// Guard against rounding producing r == m for x just below a
+		// multiple of m; positions must stay strictly inside [0, m).
+		r = 0
+	}
+	return r
+}
+
+// DeriveAssociativity returns a profile for an LLC with the same set
+// count but newWays < Ways and (possibly different) access latency,
+// without re-running single-core simulation. SDCs are folded; the hits
+// that fold into misses are charged the interval's measured average miss
+// penalty (falling back to the configured memory latency for intervals
+// with no observed misses), and the latency delta is charged to every
+// LLC access. The derivation assumes converted misses pay the average
+// penalty — the same assumption MPPM itself makes — so derived profiles
+// are approximate; TestDerivedProfileAccuracy quantifies the error.
+func (p *Profile) DeriveAssociativity(newWays int, newLatency int) (*Profile, error) {
+	if newWays > p.Meta.LLC.Ways {
+		return nil, fmt.Errorf("profile %s: cannot derive %d-way from %d-way profile",
+			p.Meta.Benchmark, newWays, p.Meta.LLC.Ways)
+	}
+	oldHitStall := p.Meta.CPU.LLCHitStall(p.Meta.LLC.LatencyCycles)
+	newHitStall := p.Meta.CPU.LLCHitStall(newLatency)
+	deltaHit := newHitStall - oldHitStall
+
+	out := &Profile{Meta: p.Meta}
+	out.Meta.Derived = true
+	out.Meta.LLC.Ways = newWays
+	out.Meta.LLC.SizeBytes = p.Meta.LLC.Sets() * int64(newWays) * p.Meta.LLC.LineSize
+	out.Meta.LLC.LatencyCycles = newLatency
+
+	out.Intervals = make([]Interval, len(p.Intervals))
+	for i, iv := range p.Intervals {
+		folded, err := iv.SDC.Fold(newWays)
+		if err != nil {
+			return nil, err
+		}
+		oldMisses := iv.LLCMisses()
+		extraMisses := folded.Misses() - oldMisses
+		penalty := p.Meta.CPU.MemLatency
+		if oldMisses > 0.5 {
+			penalty = iv.MemStall / oldMisses
+		}
+		extraStall := extraMisses * penalty
+		out.Intervals[i] = Interval{
+			Instructions: iv.Instructions,
+			Cycles:       iv.Cycles + extraStall + deltaHit*iv.LLCAccesses,
+			MemStall:     iv.MemStall + extraStall,
+			LLCAccesses:  iv.LLCAccesses,
+			SDC:          folded,
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the profile as indented JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes a profile written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Set is a keyed collection of profiles (one per benchmark) collected
+// under the same configuration.
+type Set struct {
+	Profiles map[string]*Profile `json:"profiles"`
+}
+
+// NewSet builds a Set from profiles, keyed by benchmark name.
+func NewSet(ps ...*Profile) *Set {
+	s := &Set{Profiles: make(map[string]*Profile, len(ps))}
+	for _, p := range ps {
+		s.Profiles[p.Meta.Benchmark] = p
+	}
+	return s
+}
+
+// Get returns the profile for a benchmark.
+func (s *Set) Get(name string) (*Profile, error) {
+	p, ok := s.Profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("profile: no profile for %q", name)
+	}
+	return p, nil
+}
+
+// Names returns the benchmark names in sorted order.
+func (s *Set) Names() []string {
+	names := make([]string, 0, len(s.Profiles))
+	for n := range s.Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON serializes the set.
+func (s *Set) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ReadSetJSON deserializes a Set and validates every profile.
+func ReadSetJSON(r io.Reader) (*Set, error) {
+	var s Set
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("profile: decode set: %w", err)
+	}
+	for name, p := range s.Profiles {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("profile: set entry %s: %w", name, err)
+		}
+	}
+	return &s, nil
+}

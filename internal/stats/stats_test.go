@@ -1,0 +1,398 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 2, 4}); !almostEqual(got, 12.0/7.0, 1e-12) {
+		t.Fatalf("HarmonicMean = %v, want %v", got, 12.0/7.0)
+	}
+}
+
+func TestHarmonicMeanNonPositive(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 0, 2}); got != 0 {
+		t.Fatalf("HarmonicMean with zero entry = %v, want 0", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+}
+
+func TestVarianceFewSamples(t *testing.T) {
+	if Variance([]float64{3}) != 0 || Variance(nil) != 0 {
+		t.Fatal("Variance of <2 samples should be 0")
+	}
+}
+
+func TestStdErr(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	want := StdDev(xs) / math.Sqrt(5)
+	if got := StdErr(xs); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("StdErr = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%v,%v,%v)", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatalf("MinMax(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		got, err := Percentile(xs, tc.p)
+		if err != nil || !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v,%v want %v", tc.p, got, err, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("Percentile(nil) should error")
+	}
+}
+
+func TestPercentileClamps(t *testing.T) {
+	xs := []float64{10, 20}
+	if got, _ := Percentile(xs, -5); got != 10 {
+		t.Fatalf("Percentile(-5) = %v, want 10", got)
+	}
+	if got, _ := Percentile(xs, 150); got != 20 {
+		t.Fatalf("Percentile(150) = %v, want 20", got)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.025, -1.959964},
+		{0.9999, 3.719016},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if !almostEqual(got, c.want, 1e-4) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileExtremes(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("NormalQuantile at 0/1 should be infinite")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Mod(math.Abs(u), 0.98) + 0.01 // p in [0.01, 0.99]
+		z := NormalQuantile(p)
+		return almostEqual(normalCDF(z), p, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Two-sided 95% critical values from standard t tables.
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {5, 2.571}, {10, 2.228},
+		{30, 2.042}, {100, 1.984}, {1000, 1.962},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.975, c.df)
+		tol := 0.01 * c.want
+		if c.df >= 5 {
+			tol = 0.005 * c.want
+		}
+		if !almostEqual(got, c.want, tol) {
+			t.Errorf("TQuantile(0.975, %d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	z := NormalQuantile(0.975)
+	tq := TQuantile(0.975, 100000)
+	if !almostEqual(z, tq, 1e-3) {
+		t.Fatalf("t with huge df = %v, normal = %v", tq, z)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 10, 12, 8}
+	ci, err := MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ci.Mean, 10.25, 1e-12) {
+		t.Fatalf("CI mean = %v", ci.Mean)
+	}
+	if ci.HalfWidth <= 0 {
+		t.Fatal("CI half-width should be positive")
+	}
+	if ci.Lo() >= ci.Mean || ci.Hi() <= ci.Mean {
+		t.Fatal("CI bounds should bracket the mean")
+	}
+	if ci.RelativeHalfWidth() <= 0 {
+		t.Fatal("relative half-width should be positive")
+	}
+}
+
+func TestMeanCIEdge(t *testing.T) {
+	if _, err := MeanCI(nil, 0.95); err != ErrEmpty {
+		t.Fatal("empty CI should error")
+	}
+	ci, err := MeanCI([]float64{5}, 0.95)
+	if err != nil || !math.IsInf(ci.HalfWidth, 1) {
+		t.Fatalf("single-sample CI = %+v, %v", ci, err)
+	}
+}
+
+func TestMeanCICoversTrueMean(t *testing.T) {
+	// Statistical sanity: a 95% CI should cover the true mean roughly 95%
+	// of the time. Use a fixed seed for determinism and a loose bound.
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 20)
+		for j := range xs {
+			xs[j] = 5 + rng.NormFloat64()
+		}
+		ci, _ := MeanCI(xs, 0.95)
+		if ci.Lo() <= 5 && 5 <= ci.Hi() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("coverage = %v, want roughly 0.95", frac)
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	r, err := Spearman(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Spearman = %v,%v want 1", r, err)
+	}
+}
+
+func TestSpearmanReversed(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{5, 4, 3, 2, 1}
+	r, _ := Spearman(xs, ys)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Spearman reversed = %v, want -1", r)
+	}
+}
+
+func TestSpearmanMonotonicInvariance(t *testing.T) {
+	// Spearman depends only on ranks: applying a monotonic transform to
+	// either side must not change the coefficient.
+	xs := []float64{3, 1, 4, 1.5, 9, 2.6}
+	ys := []float64{2, 7, 1, 8, 2.8, 1.8}
+	r1, _ := Spearman(xs, ys)
+	exp := make([]float64, len(xs))
+	for i, x := range xs {
+		exp[i] = math.Exp(x)
+	}
+	r2, _ := Spearman(exp, ys)
+	if !almostEqual(r1, r2, 1e-12) {
+		t.Fatalf("Spearman not invariant under monotonic transform: %v vs %v", r1, r2)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	r, _ := Spearman(xs, ys)
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Spearman with aligned ties = %v, want 1", r)
+	}
+}
+
+func TestSpearmanErrors(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Fatal("mismatched lengths should error")
+	}
+	if _, err := Spearman([]float64{1}, []float64{1}); err != ErrEmpty {
+		t.Fatal("single pair should error")
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v,%v", r, err)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || r != 0 {
+		t.Fatalf("Pearson with constant sample = %v,%v want 0", r, err)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	pred := []float64{110, 90}
+	ref := []float64{100, 100}
+	m, err := MAPE(pred, ref)
+	if err != nil || !almostEqual(m, 0.1, 1e-12) {
+		t.Fatalf("MAPE = %v,%v want 0.1", m, err)
+	}
+}
+
+func TestMAPESkipsZeroRef(t *testing.T) {
+	m, err := MAPE([]float64{5, 110}, []float64{0, 100})
+	if err != nil || !almostEqual(m, 0.1, 1e-12) {
+		t.Fatalf("MAPE = %v,%v want 0.1", m, err)
+	}
+}
+
+func TestMAPEErrors(t *testing.T) {
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Fatal("want ErrMismatch")
+	}
+	if _, err := MAPE(nil, nil); err != ErrEmpty {
+		t.Fatal("want ErrEmpty")
+	}
+}
+
+func TestAbsErrors(t *testing.T) {
+	es, err := AbsErrors([]float64{110, 95}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(es[0], 0.10, 1e-12) || !almostEqual(es[1], 0.05, 1e-12) {
+		t.Fatalf("AbsErrors = %v", es)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	ref := []float64{1, 2, 3, 4, 5, 6}
+	pred := []float64{1.1, 2.1, 10, 3.9, 5.1, 6.1} // index 2 leaves worst-3, index 3 enters
+	n, err := TopKOverlap(pred, ref, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("TopKOverlap = %d, want 2", n)
+	}
+}
+
+func TestTopKOverlapIdentical(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9}
+	n, err := TopKOverlap(xs, xs, 3)
+	if err != nil || n != 3 {
+		t.Fatalf("TopKOverlap identical = %d,%v want 3", n, err)
+	}
+}
+
+func TestTopKOverlapErrors(t *testing.T) {
+	if _, err := TopKOverlap([]float64{1}, []float64{1, 2}, 1); err != ErrMismatch {
+		t.Fatal("want ErrMismatch")
+	}
+	if _, err := TopKOverlap([]float64{1, 2}, []float64{1, 2}, 0); err != ErrEmpty {
+		t.Fatal("want ErrEmpty for k=0")
+	}
+	if _, err := TopKOverlap([]float64{1, 2}, []float64{1, 2}, 3); err != ErrEmpty {
+		t.Fatal("want ErrEmpty for k>n")
+	}
+}
+
+func TestSpearmanPropertySelfCorrelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		r, err := Spearman(xs, xs)
+		return err == nil && almostEqual(r, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,420 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KB and MB are byte-size helpers for the benchmark definitions.
+const (
+	KB = 1024
+	MB = 1024 * KB
+)
+
+// DefaultTraceLength is the per-benchmark trace length in instructions.
+// The paper uses 1B-instruction SimPoints; the reproduction runs at a
+// uniform 1/100 scale (10M instructions, 50 intervals of 200K).
+const DefaultTraceLength = 10_000_000
+
+// Every benchmark follows the same structural pattern:
+//
+//   - a small "stack" region (12-16KB, always L1-resident) carrying most
+//     references, which gives the realistic ~70-85% L1 hit rates real
+//     programs have;
+//   - a "local" region sized to live in the private L2;
+//   - the distinguishing regions: LLC-resident reuse sets for cache-
+//     sensitive programs (Dependent, so conflict misses pay the full
+//     memory latency like pointer chases do), huge streaming arrays for
+//     memory-bound programs (independent, so their compulsory misses
+//     enjoy memory-level parallelism), or giant irregular heaps (mcf);
+//   - a tiny "background miss" region far beyond the LLC, guaranteeing a
+//     few misses per profiling interval so the average miss penalty the
+//     model divides by is always defined, with the same dependence class
+//     as the benchmark's sensitive data so the measured penalty matches
+//     the penalty of sharing-induced conflict misses.
+//
+// Sizes are in real bytes against the paper's unscaled cache hierarchy
+// (32KB L1, 256KB L2, 512KB-2MB shared LLC).
+
+// Suite returns the 29 synthetic benchmarks standing in for SPEC CPU2006,
+// sorted by name. The population is tuned (see cmd/calibrate) so that it
+// spans the paper's behavioural space: compute-bound programs, streaming
+// and irregular memory-bound programs, and cache-sensitive programs.
+// gamess is deliberately the most sensitive to LLC sharing, matching the
+// paper's Section 6 finding (worst-case slowdown ~2.2x), with gobmk,
+// soplex, omnetpp, h264ref and xalancbmk in the ~1.2-1.3x tier.
+func Suite() []Spec {
+	specs := []Spec{
+		// --- Cache-sensitive tier -------------------------------------
+		{
+			// The paper's stress benchmark: a heavily reused set that fits
+			// a 512KB LLC alone but collapses under sharing.
+			Name: "gamess", Seed: 416,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 320 * KB, Dependent: true},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 0.5, BaseCPI: 0.42, RefsPerKI: 330, WriteFrac: 0.20, Weights: []float64{0.9235, 0.075, 0.0015}},
+				{Frac: 0.5, BaseCPI: 0.40, RefsPerKI: 350, WriteFrac: 0.22, Weights: []float64{0.9135, 0.085, 0.0015}},
+			},
+		},
+		{
+			Name: "gobmk", Seed: 445,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 28 * KB},
+				{Kind: Hot, Size: 320 * KB, Dependent: true},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 0.6, BaseCPI: 0.55, RefsPerKI: 300, WriteFrac: 0.18, Weights: []float64{0.7605, 0.22, 0.018, 0.0015}},
+				{Frac: 0.4, BaseCPI: 0.60, RefsPerKI: 280, WriteFrac: 0.16, Weights: []float64{0.754, 0.23, 0.0145, 0.0015}},
+			},
+		},
+		{
+			Name: "soplex", Seed: 450,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 48 * KB},
+				{Kind: Hot, Size: 448 * KB, Dependent: true},
+				{Kind: Stream, Size: 24 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 0.45, BaseCPI: 0.50, RefsPerKI: 360, WriteFrac: 0.15, Weights: []float64{0.675, 0.21, 0.065, 0.05}},
+				{Frac: 0.55, BaseCPI: 0.48, RefsPerKI: 380, WriteFrac: 0.14, Weights: []float64{0.67, 0.21, 0.05, 0.07}},
+			},
+		},
+		{
+			Name: "omnetpp", Seed: 471,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 40 * KB},
+				{Kind: Hot, Size: 560 * KB, Dependent: true},
+				{Kind: Stream, Size: 16 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.62, RefsPerKI: 340, WriteFrac: 0.25, Weights: []float64{0.685, 0.22, 0.06, 0.035}},
+			},
+		},
+		{
+			Name: "h264ref", Seed: 464,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 32 * KB},
+				{Kind: Hot, Size: 320 * KB, Dependent: true},
+				{Kind: Stream, Size: 4 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 0.7, BaseCPI: 0.45, RefsPerKI: 310, WriteFrac: 0.24, Weights: []float64{0.70, 0.22, 0.06, 0.02}},
+				{Frac: 0.3, BaseCPI: 0.42, RefsPerKI: 330, WriteFrac: 0.26, Weights: []float64{0.69, 0.22, 0.07, 0.02}},
+			},
+		},
+		{
+			Name: "xalancbmk", Seed: 483,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 36 * KB},
+				{Kind: Hot, Size: 512 * KB, Dependent: true},
+				{Kind: Stream, Size: 12 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.58, RefsPerKI: 350, WriteFrac: 0.20, Weights: []float64{0.68, 0.22, 0.055, 0.045}},
+			},
+		},
+		{
+			Name: "sjeng", Seed: 458,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 24 * KB},
+				{Kind: Hot, Size: 512 * KB, Dependent: true},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.55, RefsPerKI: 260, WriteFrac: 0.12, Weights: []float64{0.719, 0.245, 0.035, 0.001}},
+			},
+		},
+		// --- Streaming memory-bound tier ------------------------------
+		{
+			Name: "lbm", Seed: 470,
+			Regions: []Region{
+				{Kind: Hot, Size: 14 * KB},
+				{Kind: Hot, Size: 48 * KB},
+				{Kind: Stream, Size: 48 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.50, RefsPerKI: 420, WriteFrac: 0.40, Weights: []float64{0.68, 0.245, 0.075}},
+			},
+		},
+		{
+			Name: "libquantum", Seed: 462,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 32 * KB},
+				{Kind: Stream, Size: 32 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.40, RefsPerKI: 400, WriteFrac: 0.30, Weights: []float64{0.67, 0.25, 0.08}},
+			},
+		},
+		{
+			Name: "bwaves", Seed: 410,
+			Regions: []Region{
+				{Kind: Hot, Size: 14 * KB},
+				{Kind: Hot, Size: 64 * KB},
+				{Kind: Stream, Size: 40 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.55, RefsPerKI: 390, WriteFrac: 0.28, Weights: []float64{0.685, 0.25, 0.065}},
+			},
+		},
+		{
+			Name: "milc", Seed: 433,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 96 * KB},
+				{Kind: Stream, Size: 28 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 0.5, BaseCPI: 0.52, RefsPerKI: 380, WriteFrac: 0.30, Weights: []float64{0.68, 0.245, 0.075}},
+				{Frac: 0.5, BaseCPI: 0.50, RefsPerKI: 360, WriteFrac: 0.28, Weights: []float64{0.70, 0.245, 0.055}},
+			},
+		},
+		{
+			Name: "leslie3d", Seed: 437,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 128 * KB},
+				{Kind: Stream, Size: 24 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.58, RefsPerKI: 370, WriteFrac: 0.26, Weights: []float64{0.69, 0.25, 0.06}},
+			},
+		},
+		{
+			Name: "GemsFDTD", Seed: 459,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 48 * KB},
+				{Kind: Stream, Size: 36 * MB},
+				{Kind: Stride, Size: 8 * MB, Stride: 4 * KB},
+			},
+			Phases: []Phase{
+				{Frac: 0.6, BaseCPI: 0.60, RefsPerKI: 360, WriteFrac: 0.30, Weights: []float64{0.69, 0.25, 0.05, 0.01}},
+				{Frac: 0.4, BaseCPI: 0.58, RefsPerKI: 340, WriteFrac: 0.28, Weights: []float64{0.70, 0.25, 0.042, 0.008}},
+			},
+		},
+		{
+			Name: "mcf", Seed: 429,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 64 * KB},
+				{Kind: Hot, Size: 96 * MB, Dependent: true}, // huge pointer-chased graph
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.70, RefsPerKI: 380, WriteFrac: 0.18, Weights: []float64{0.705, 0.25, 0.045}},
+			},
+		},
+		{
+			Name: "astar", Seed: 473,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 200 * KB},
+				{Kind: Hot, Size: 20 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 0.5, BaseCPI: 0.62, RefsPerKI: 330, WriteFrac: 0.20, Weights: []float64{0.70, 0.275, 0.025}},
+				{Frac: 0.5, BaseCPI: 0.60, RefsPerKI: 310, WriteFrac: 0.18, Weights: []float64{0.72, 0.265, 0.015}},
+			},
+		},
+		{
+			Name: "sphinx3", Seed: 482,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 220 * KB, Dependent: true},
+				{Kind: Stream, Size: 16 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.55, RefsPerKI: 350, WriteFrac: 0.12, Weights: []float64{0.69, 0.265, 0.045}},
+			},
+		},
+		// --- Moderate / phased tier -----------------------------------
+		{
+			Name: "gcc", Seed: 403,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 40 * KB},
+				{Kind: Hot, Size: 640 * KB, Dependent: true},
+				{Kind: Stream, Size: 10 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 0.3, BaseCPI: 0.55, RefsPerKI: 320, WriteFrac: 0.22, Weights: []float64{0.69, 0.26, 0.032, 0.018}},
+				{Frac: 0.4, BaseCPI: 0.50, RefsPerKI: 280, WriteFrac: 0.18, Weights: []float64{0.716, 0.27, 0.008, 0.006}},
+				{Frac: 0.3, BaseCPI: 0.58, RefsPerKI: 340, WriteFrac: 0.24, Weights: []float64{0.688, 0.25, 0.04, 0.022}},
+			},
+		},
+		{
+			Name: "bzip2", Seed: 401,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 48 * KB},
+				{Kind: Hot, Size: 640 * KB, Dependent: true},
+				{Kind: Stream, Size: 8 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 0.5, BaseCPI: 0.52, RefsPerKI: 300, WriteFrac: 0.25, Weights: []float64{0.694, 0.26, 0.028, 0.018}},
+				{Frac: 0.5, BaseCPI: 0.48, RefsPerKI: 260, WriteFrac: 0.22, Weights: []float64{0.718, 0.265, 0.01, 0.007}},
+			},
+		},
+		{
+			Name: "perlbench", Seed: 400,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 36 * KB},
+				{Kind: Hot, Size: 200 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.50, RefsPerKI: 320, WriteFrac: 0.24, Weights: []float64{0.64, 0.22, 0.135, 0.005}},
+			},
+		},
+		{
+			Name: "zeusmp", Seed: 434,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 160 * KB},
+				{Kind: Stream, Size: 20 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.56, RefsPerKI: 330, WriteFrac: 0.30, Weights: []float64{0.70, 0.245, 0.055}},
+			},
+		},
+		{
+			Name: "cactusADM", Seed: 436,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 180 * KB},
+				{Kind: Stream, Size: 18 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.60, RefsPerKI: 300, WriteFrac: 0.32, Weights: []float64{0.70, 0.25, 0.05}},
+			},
+		},
+		{
+			Name: "wrf", Seed: 481,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 28 * KB},
+				{Kind: Hot, Size: 240 * KB, Dependent: true},
+				{Kind: Stream, Size: 14 * MB},
+			},
+			Phases: []Phase{
+				{Frac: 0.6, BaseCPI: 0.55, RefsPerKI: 310, WriteFrac: 0.24, Weights: []float64{0.685, 0.23, 0.05, 0.035}},
+				{Frac: 0.4, BaseCPI: 0.52, RefsPerKI: 290, WriteFrac: 0.22, Weights: []float64{0.70, 0.24, 0.038, 0.022}},
+			},
+		},
+		// --- Compute-bound tier ---------------------------------------
+		{
+			Name: "hmmer", Seed: 456,
+			Regions: []Region{
+				{Kind: Hot, Size: 14 * KB},
+				{Kind: Hot, Size: 100 * KB}, // fits comfortably in private L2
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.45, RefsPerKI: 360, WriteFrac: 0.15, Weights: []float64{0.699, 0.30, 0.001}},
+			},
+		},
+		{
+			Name: "povray", Seed: 453,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 64 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.60, RefsPerKI: 280, WriteFrac: 0.12, Weights: []float64{0.719, 0.28, 0.001}},
+			},
+		},
+		{
+			Name: "namd", Seed: 444,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 96 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.48, RefsPerKI: 300, WriteFrac: 0.14, Weights: []float64{0.709, 0.29, 0.001}},
+			},
+		},
+		{
+			Name: "gromacs", Seed: 435,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 110 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.52, RefsPerKI: 320, WriteFrac: 0.18, Weights: []float64{0.6985, 0.30, 0.0015}},
+			},
+		},
+		{
+			Name: "calculix", Seed: 454,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 80 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.46, RefsPerKI: 290, WriteFrac: 0.16, Weights: []float64{0.7185, 0.28, 0.0015}},
+			},
+		},
+		{
+			Name: "dealII", Seed: 447,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 28 * KB},
+				{Kind: Hot, Size: 150 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 1.0, BaseCPI: 0.50, RefsPerKI: 330, WriteFrac: 0.20, Weights: []float64{0.6565, 0.22, 0.122, 0.0015}},
+			},
+		},
+		{
+			Name: "tonto", Seed: 465,
+			Regions: []Region{
+				{Kind: Hot, Size: 12 * KB},
+				{Kind: Hot, Size: 72 * KB},
+				{Kind: Hot, Size: 8 * MB, Dependent: true},
+			},
+			Phases: []Phase{
+				{Frac: 0.5, BaseCPI: 0.55, RefsPerKI: 270, WriteFrac: 0.15, Weights: []float64{0.718, 0.28, 0.002}},
+				{Frac: 0.5, BaseCPI: 0.50, RefsPerKI: 300, WriteFrac: 0.17, Weights: []float64{0.698, 0.30, 0.002}},
+			},
+		},
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// SuiteNames returns the benchmark names in sorted order.
+func SuiteNames() []string {
+	specs := Suite()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName returns the spec with the given name from the suite.
+func ByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReaderImplementsSource(t *testing.T) {
+	r, err := NewReader(simpleSpec(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src Source = r
+	if src.Name() != "test" {
+		t.Fatalf("Name = %q", src.Name())
+	}
+	if src.Instructions() != 10_000 {
+		t.Fatalf("Instructions = %d", src.Instructions())
+	}
+}
+
+func TestNewRecordedValidation(t *testing.T) {
+	if _, err := NewRecorded("", []Ref{{Gap: 1}}); err == nil {
+		t.Fatal("empty name should error")
+	}
+	if _, err := NewRecorded("x", []Ref{{Gap: 0}}); err == nil {
+		t.Fatal("zero gap should error")
+	}
+	if _, err := NewRecorded("x", []Ref{{Gap: 1, GapCycles: -1}}); err == nil {
+		t.Fatal("negative gap cycles should error")
+	}
+	if _, err := NewRecorded("x", nil); err == nil {
+		t.Fatal("empty trace should error")
+	}
+}
+
+func TestRecordedReplay(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0, Gap: 10, GapCycles: 5},
+		{Addr: 64, Write: true, Gap: 20, GapCycles: 10},
+		{Addr: 128, Dependent: true, Gap: 5, GapCycles: 2.5},
+	}
+	rec, err := NewRecorded("hand", refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Instructions() != 35 {
+		t.Fatalf("instructions = %d", rec.Instructions())
+	}
+	for lap := 0; lap < 2; lap++ {
+		for i := range refs {
+			got, ok := rec.Next()
+			if !ok || got != refs[i] {
+				t.Fatalf("lap %d ref %d: %+v ok=%v", lap, i, got, ok)
+			}
+		}
+		if _, ok := rec.Next(); ok {
+			t.Fatal("trace should end")
+		}
+		rec.Reset()
+	}
+}
+
+func TestTraceSerializationRoundTrip(t *testing.T) {
+	rd, err := NewReader(simpleSpec(), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rd); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name() != rd.Name() || rec.Instructions() != rd.Instructions() {
+		t.Fatalf("metadata lost: %q/%d", rec.Name(), rec.Instructions())
+	}
+	// Bit-exact replay of the original stream.
+	rd.Reset()
+	for {
+		want, ok1 := rd.Next()
+		got, ok2 := rec.Next()
+		if ok1 != ok2 {
+			t.Fatal("stream lengths differ")
+		}
+		if !ok1 {
+			break
+		}
+		if got != want {
+			t.Fatalf("ref differs: %+v vs %+v", got, want)
+		}
+	}
+}
+
+func TestWriteTraceResetsSource(t *testing.T) {
+	rd, _ := NewReader(simpleSpec(), 10_000)
+	rd.Next() // disturb position
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Pos() != 0 {
+		t.Fatal("WriteTrace should leave the source reset")
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	rd, _ := NewReader(simpleSpec(), 1000)
+	if err := WriteTrace(&buf, rd); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // corrupt version field
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("corrupted version: err = %v", err)
+	}
+}
+
+func TestReadTraceTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	rd, _ := NewReader(simpleSpec(), 1000)
+	if err := WriteTrace(&buf, rd); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated record should error")
+	}
+}
+
+func TestWriteTraceRejectsLongName(t *testing.T) {
+	rec, _ := NewRecorded(strings.Repeat("x", 256), []Ref{{Gap: 1}})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec); err == nil {
+		t.Fatal("256-byte name should error")
+	}
+}

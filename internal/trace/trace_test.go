@@ -1,0 +1,395 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func simpleSpec() Spec {
+	return Spec{
+		Name: "test",
+		Seed: 7,
+		Regions: []Region{
+			{Kind: Hot, Size: 64 * KB},
+			{Kind: Stream, Size: 1 * MB},
+		},
+		Phases: []Phase{
+			{Frac: 0.5, BaseCPI: 0.5, RefsPerKI: 300, WriteFrac: 0.2, Weights: []float64{0.7, 0.3}},
+			{Frac: 0.5, BaseCPI: 0.8, RefsPerKI: 200, WriteFrac: 0.1, Weights: []float64{0.4, 0.6}},
+		},
+	}
+}
+
+func TestSpecValidateOK(t *testing.T) {
+	s := simpleSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	mk := func(mutate func(*Spec)) Spec {
+		s := simpleSpec()
+		mutate(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no name", mk(func(s *Spec) { s.Name = "" })},
+		{"no regions", mk(func(s *Spec) { s.Regions = nil })},
+		{"no phases", mk(func(s *Spec) { s.Phases = nil })},
+		{"bad frac", mk(func(s *Spec) { s.Phases[0].Frac = 0 })},
+		{"bad cpi", mk(func(s *Spec) { s.Phases[0].BaseCPI = -1 })},
+		{"bad refs", mk(func(s *Spec) { s.Phases[0].RefsPerKI = 0 })},
+		{"bad writefrac", mk(func(s *Spec) { s.Phases[0].WriteFrac = 1.5 })},
+		{"weights mismatch", mk(func(s *Spec) { s.Phases[0].Weights = []float64{1} })},
+		{"negative weight", mk(func(s *Spec) { s.Phases[0].Weights[0] = -1 })},
+		{"zero weights", mk(func(s *Spec) { s.Phases[0].Weights = []float64{0, 0} })},
+		{"fracs not 1", mk(func(s *Spec) { s.Phases[0].Frac = 0.9 })},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", c.name)
+		}
+	}
+}
+
+func TestNewReaderRejectsBadLength(t *testing.T) {
+	if _, err := NewReader(simpleSpec(), 0); err == nil {
+		t.Fatal("want error for zero length")
+	}
+}
+
+func TestReaderDeterminism(t *testing.T) {
+	r1, err := NewReader(simpleSpec(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewReader(simpleSpec(), 100_000)
+	for {
+		a, ok1 := r1.Next()
+		b, ok2 := r2.Next()
+		if ok1 != ok2 {
+			t.Fatal("streams ended at different points")
+		}
+		if !ok1 {
+			break
+		}
+		if a != b {
+			t.Fatalf("divergent refs: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestReaderResetReproduces(t *testing.T) {
+	r, _ := NewReader(simpleSpec(), 50_000)
+	var first []Ref
+	for {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		first = append(first, ref)
+	}
+	r.Reset()
+	if r.Pos() != 0 {
+		t.Fatal("Pos != 0 after Reset")
+	}
+	for i := range first {
+		ref, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream shorter after reset at %d", i)
+		}
+		if ref != first[i] {
+			t.Fatalf("ref %d differs after reset: %+v vs %+v", i, ref, first[i])
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream longer after reset")
+	}
+}
+
+func TestReaderInstructionBudgetExact(t *testing.T) {
+	const n = 123_457
+	r, _ := NewReader(simpleSpec(), n)
+	var total int64
+	for {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		if ref.Gap < 1 {
+			t.Fatalf("gap %d < 1", ref.Gap)
+		}
+		total += ref.Gap
+	}
+	if total != n {
+		t.Fatalf("total instructions = %d, want %d", total, n)
+	}
+	if r.Pos() != n {
+		t.Fatalf("Pos = %d, want %d", r.Pos(), n)
+	}
+}
+
+func TestReaderMeanGapMatchesRefsPerKI(t *testing.T) {
+	spec := Spec{
+		Name: "gap", Seed: 3,
+		Regions: []Region{{Kind: Hot, Size: 64 * KB}},
+		Phases: []Phase{
+			{Frac: 1, BaseCPI: 0.5, RefsPerKI: 250, WriteFrac: 0, Weights: []float64{1}},
+		},
+	}
+	r, _ := NewReader(spec, 2_000_000)
+	var refs int64
+	for {
+		_, ok := r.Next()
+		if !ok {
+			break
+		}
+		refs++
+	}
+	perKI := float64(refs) / 2000.0
+	if math.Abs(perKI-250) > 12 {
+		t.Fatalf("refs per KI = %v, want ~250", perKI)
+	}
+}
+
+func TestReaderWriteFraction(t *testing.T) {
+	spec := simpleSpec()
+	spec.Phases = spec.Phases[:1]
+	spec.Phases[0].Frac = 1
+	spec.Phases[0].WriteFrac = 0.3
+	r, _ := NewReader(spec, 1_000_000)
+	var writes, total float64
+	for {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		total++
+		if ref.Write {
+			writes++
+		}
+	}
+	frac := writes / total
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("write fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestReaderAddressesLineAlignedAndInBounds(t *testing.T) {
+	spec := simpleSpec()
+	r, _ := NewReader(spec, 200_000)
+	limit := spec.Footprint() + uint64(len(spec.Regions))*LineSize
+	for {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		if ref.Addr%LineSize != 0 {
+			t.Fatalf("address %#x not line-aligned", ref.Addr)
+		}
+		if ref.Addr >= limit {
+			t.Fatalf("address %#x beyond footprint %#x", ref.Addr, limit)
+		}
+	}
+}
+
+func TestStreamRegionIsSequential(t *testing.T) {
+	spec := Spec{
+		Name: "seq", Seed: 11,
+		Regions: []Region{{Kind: Stream, Size: 4 * KB}}, // 64 lines
+		Phases: []Phase{
+			{Frac: 1, BaseCPI: 0.5, RefsPerKI: 500, WriteFrac: 0, Weights: []float64{1}},
+		},
+	}
+	r, _ := NewReader(spec, 100_000)
+	var prev uint64
+	first := true
+	for {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		if !first {
+			want := (prev + 1) % 64
+			if ref.Line()%64 != want {
+				t.Fatalf("stream not sequential: line %d after %d", ref.Line()%64, prev)
+			}
+		}
+		prev = ref.Line() % 64
+		first = false
+	}
+}
+
+func TestStrideRegionAdvancesByStride(t *testing.T) {
+	spec := Spec{
+		Name: "stride", Seed: 12,
+		Regions: []Region{{Kind: Stride, Size: 64 * KB, Stride: 4 * KB}},
+		Phases: []Phase{
+			{Frac: 1, BaseCPI: 0.5, RefsPerKI: 500, WriteFrac: 0, Weights: []float64{1}},
+		},
+	}
+	r, _ := NewReader(spec, 50_000)
+	ref1, _ := r.Next()
+	ref2, _ := r.Next()
+	const lines = 64 * KB / LineSize
+	const step = 4 * KB / LineSize
+	if (ref1.Line()+step)%lines != ref2.Line()%lines {
+		t.Fatalf("stride step wrong: %d then %d", ref1.Line(), ref2.Line())
+	}
+}
+
+func TestPhaseTransitionChangesBehaviour(t *testing.T) {
+	// The two phases have different BaseCPI; refs in the second half must
+	// carry GapCycles at the second phase's rate.
+	spec := simpleSpec()
+	r, _ := NewReader(spec, 1_000_000)
+	for {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		cpi := ref.GapCycles / float64(ref.Gap)
+		if r.Pos() <= 500_000 {
+			if math.Abs(cpi-0.5) > 1e-9 {
+				t.Fatalf("phase 1 CPI = %v at pos %d", cpi, r.Pos())
+			}
+		} else if r.Pos() > 505_000 { // allow one straddling gap
+			if math.Abs(cpi-0.8) > 1e-9 {
+				t.Fatalf("phase 2 CPI = %v at pos %d", cpi, r.Pos())
+			}
+		}
+	}
+}
+
+func TestExpectedBaseCPI(t *testing.T) {
+	r, _ := NewReader(simpleSpec(), 10_000)
+	if got := r.ExpectedBaseCPI(); math.Abs(got-0.65) > 1e-12 {
+		t.Fatalf("ExpectedBaseCPI = %v, want 0.65", got)
+	}
+}
+
+func TestSuiteHas29ValidBenchmarks(t *testing.T) {
+	specs := Suite()
+	if len(specs) != 29 {
+		t.Fatalf("suite has %d benchmarks, want 29", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate benchmark %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestSuiteSorted(t *testing.T) {
+	names := SuiteNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("suite not sorted: %s >= %s", names[i-1], names[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("gamess")
+	if err != nil || s.Name != "gamess" {
+		t.Fatalf("ByName(gamess) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should error")
+	}
+}
+
+func TestSuiteSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, s := range Suite() {
+		if other, dup := seen[s.Seed]; dup {
+			t.Errorf("seed %d shared by %s and %s", s.Seed, s.Name, other)
+		}
+		seen[s.Seed] = s.Name
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if Hot.String() != "hot" || Stream.String() != "stream" || Stride.String() != "stride" {
+		t.Fatal("RegionKind.String broken")
+	}
+	if RegionKind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	s := Spec{
+		Name: "fp", Seed: 1,
+		Regions: []Region{{Kind: Hot, Size: 100}, {Kind: Hot, Size: 64}},
+		Phases:  []Phase{{Frac: 1, BaseCPI: 1, RefsPerKI: 100, Weights: []float64{1, 1}}},
+	}
+	// 100 bytes rounds to 2 lines (128B) + 1 line (64B) = 192 bytes.
+	if got := s.Footprint(); got != 192 {
+		t.Fatalf("Footprint = %d, want 192", got)
+	}
+}
+
+func TestXorshiftFloat64Range(t *testing.T) {
+	x := newXorshift(123)
+	for i := 0; i < 10000; i++ {
+		f := x.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestXorshiftZeroSeedSafe(t *testing.T) {
+	x := newXorshift(0)
+	if x.next() == 0 && x.next() == 0 {
+		t.Fatal("zero-seed xorshift stuck at zero")
+	}
+}
+
+// Property: for any suite benchmark and any positive length, the generated
+// gaps sum exactly to the requested length.
+func TestGapSumProperty(t *testing.T) {
+	specs := Suite()
+	f := func(pick uint8, lenSeed uint32) bool {
+		spec := specs[int(pick)%len(specs)]
+		length := int64(lenSeed%100_000) + 1000
+		r, err := NewReader(spec, length)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for {
+			ref, ok := r.Next()
+			if !ok {
+				break
+			}
+			total += ref.Gap
+		}
+		return total == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReaderNext(b *testing.B) {
+	spec, _ := ByName("gamess")
+	r, _ := NewReader(spec, int64(b.N)*10+1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Next(); !ok {
+			r.Reset()
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package workload builds multi-program workload mixes: the multiset
+// combinations the paper counts (Section 1: C(N+M-1, M) possible mixes),
+// uniform random samples of them (current practice), and the
+// category-structured samples (memory-intensive / compute-intensive /
+// mixed) that Section 5 evaluates.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/profile"
+)
+
+// Mix is one multi-program workload: benchmark names, one per core.
+// Repeats are allowed (two copies of gamess is a valid mix). Mixes are
+// kept in sorted order so equal multisets compare equal.
+type Mix []string
+
+// Key returns a canonical string identity for the multiset.
+func (m Mix) Key() string { return strings.Join(m, "|") }
+
+// Clone returns a copy.
+func (m Mix) Clone() Mix { return append(Mix(nil), m...) }
+
+// normalize sorts the mix in place and returns it.
+func (m Mix) normalize() Mix {
+	sort.Strings(m)
+	return m
+}
+
+// NumMixes returns the number of distinct multi-program workloads of m
+// programs drawn from n benchmarks: C(n+m-1, m). It errors when the
+// result would overflow int64 (the paper's point is exactly that this
+// number explodes).
+func NumMixes(n, m int) (int64, error) {
+	if n < 1 || m < 1 {
+		return 0, fmt.Errorf("workload: need n>=1, m>=1 (got %d, %d)", n, m)
+	}
+	// C(n+m-1, m) computed incrementally with overflow checks.
+	result := int64(1)
+	for i := 1; i <= m; i++ {
+		num := int64(n + i - 1)
+		if result > (1<<62)/num {
+			return 0, fmt.Errorf("workload: C(%d+%d-1,%d) overflows int64", n, m, m)
+		}
+		result = result * num / int64(i)
+	}
+	return result, nil
+}
+
+// Enumerate calls fn for every multiset of size m over names, in
+// lexicographic order. Enumeration stops early when fn returns false.
+// The Mix passed to fn is reused between calls; clone it to retain it.
+func Enumerate(names []string, m int, fn func(Mix) bool) error {
+	if len(names) == 0 || m < 1 {
+		return fmt.Errorf("workload: need names and m>=1")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	idx := make([]int, m)
+	mix := make(Mix, m)
+	for {
+		for i, j := range idx {
+			mix[i] = sorted[j]
+		}
+		if !fn(mix) {
+			return nil
+		}
+		// Advance the non-decreasing index vector.
+		k := m - 1
+		for k >= 0 && idx[k] == len(sorted)-1 {
+			k--
+		}
+		if k < 0 {
+			return nil
+		}
+		idx[k]++
+		for i := k + 1; i < m; i++ {
+			idx[i] = idx[k]
+		}
+	}
+}
+
+// Sampler draws random workload mixes deterministically from a seed.
+type Sampler struct {
+	rng   *rand.Rand
+	names []string
+}
+
+// NewSampler builds a sampler over the given benchmark names.
+func NewSampler(names []string, seed int64) (*Sampler, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workload: no benchmark names")
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), names: sorted}, nil
+}
+
+// Random returns one uniform random mix of m programs (independent draws
+// with repetition — the paper's "randomly chosen" workloads).
+func (s *Sampler) Random(m int) Mix {
+	mix := make(Mix, m)
+	for i := range mix {
+		mix[i] = s.names[s.rng.Intn(len(s.names))]
+	}
+	return mix.normalize()
+}
+
+// RandomFrom returns one mix drawn from the given name pool.
+func (s *Sampler) RandomFrom(pool []string, m int) (Mix, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("workload: empty pool")
+	}
+	mix := make(Mix, m)
+	for i := range mix {
+		mix[i] = pool[s.rng.Intn(len(pool))]
+	}
+	return mix.normalize(), nil
+}
+
+// RandomMixes returns count mixes of m programs. With distinct=true the
+// mixes are distinct multisets (sampling caps at the total number of
+// multisets available).
+func (s *Sampler) RandomMixes(count, m int, distinct bool) ([]Mix, error) {
+	if count < 1 || m < 1 {
+		return nil, fmt.Errorf("workload: need count>=1, m>=1")
+	}
+	if !distinct {
+		out := make([]Mix, count)
+		for i := range out {
+			out[i] = s.Random(m)
+		}
+		return out, nil
+	}
+	if total, err := NumMixes(len(s.names), m); err == nil && int64(count) > total {
+		return nil, fmt.Errorf("workload: requested %d distinct mixes, only %d exist", count, total)
+	}
+	seen := make(map[string]bool, count)
+	out := make([]Mix, 0, count)
+	for len(out) < count {
+		mix := s.Random(m)
+		if k := mix.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, mix)
+		}
+	}
+	return out, nil
+}
+
+// Class labels a benchmark's memory behaviour.
+type Class int
+
+const (
+	// Compute marks compute-intensive programs (low memory CPI share).
+	Compute Class = iota
+	// Memory marks memory-intensive programs.
+	Memory
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	if c == Memory {
+		return "MEM"
+	}
+	return "COMP"
+}
+
+// DefaultMemIntensityThreshold splits the suite into memory- and
+// compute-intensive classes on MemCPI/CPI. The suite's population is
+// bimodal around it (compute tier <= 0.33, memory tier >= 0.44).
+const DefaultMemIntensityThreshold = 0.40
+
+// Classify labels every profiled benchmark by memory intensity, the way
+// architects build workload categories in the practice Section 5 studies.
+func Classify(set *profile.Set, threshold float64) map[string]Class {
+	out := make(map[string]Class, len(set.Profiles))
+	for name, p := range set.Profiles {
+		if p.MemIntensity() >= threshold {
+			out[name] = Memory
+		} else {
+			out[name] = Compute
+		}
+	}
+	return out
+}
+
+// Category identifies the structured workload categories of Section 5's
+// "random per category" practice.
+type Category int
+
+const (
+	// CatMemory mixes contain memory-intensive programs only.
+	CatMemory Category = iota
+	// CatCompute mixes contain compute-intensive programs only.
+	CatCompute
+	// CatMixed mixes are half memory-, half compute-intensive.
+	CatMixed
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case CatMemory:
+		return "MEM"
+	case CatCompute:
+		return "COMP"
+	default:
+		return "MIX"
+	}
+}
+
+// CategoryMix draws one mix of m programs from the given category, using
+// the provided class labels.
+func (s *Sampler) CategoryMix(m int, classes map[string]Class, cat Category) (Mix, error) {
+	var mem, comp []string
+	for _, n := range s.names {
+		if cl, ok := classes[n]; ok && cl == Memory {
+			mem = append(mem, n)
+		} else if ok {
+			comp = append(comp, n)
+		}
+	}
+	switch cat {
+	case CatMemory:
+		return s.RandomFrom(mem, m)
+	case CatCompute:
+		return s.RandomFrom(comp, m)
+	case CatMixed:
+		half := m / 2
+		a, err := s.RandomFrom(mem, half)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.RandomFrom(comp, m-half)
+		if err != nil {
+			return nil, err
+		}
+		return append(a, b...).normalize(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown category %d", cat)
+	}
+}
+
+// CategorySet draws perCat mixes from each of the three categories
+// (3*perCat mixes total) — the paper's Figure 7(b) setup uses perCat=4
+// on a quad-core, i.e. "4 MEM / 4 COMP / 4 MIX workload mixes per set".
+func (s *Sampler) CategorySet(perCat, m int, classes map[string]Class) ([]Mix, error) {
+	out := make([]Mix, 0, 3*perCat)
+	for _, cat := range []Category{CatMemory, CatCompute, CatMixed} {
+		for i := 0; i < perCat; i++ {
+			mix, err := s.CategoryMix(m, classes, cat)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, mix)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,309 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/sdc"
+)
+
+func TestNumMixesPaperNumbers(t *testing.T) {
+	// Section 1 of the paper: 29 benchmarks give 435 two-program mixes,
+	// 35,960 four-program mixes and >30.2M eight-program mixes.
+	cases := []struct {
+		n, m int
+		want int64
+	}{
+		{29, 2, 435},
+		{29, 4, 35960},
+		{29, 8, 30260340},
+		{5, 1, 5},
+		{1, 3, 1},
+	}
+	for _, c := range cases {
+		got, err := NumMixes(c.n, c.m)
+		if err != nil {
+			t.Fatalf("NumMixes(%d,%d): %v", c.n, c.m, err)
+		}
+		if got != c.want {
+			t.Errorf("NumMixes(%d,%d) = %d, want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestNumMixesErrors(t *testing.T) {
+	if _, err := NumMixes(0, 2); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := NumMixes(2, 0); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, err := NumMixes(1000, 200); err == nil {
+		t.Fatal("huge combination should report overflow")
+	}
+}
+
+func TestEnumerateCountsMatch(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	count := 0
+	err := Enumerate(names, 3, func(m Mix) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NumMixes(4, 3)
+	if int64(count) != want {
+		t.Fatalf("enumerated %d mixes, want %d", count, want)
+	}
+}
+
+func TestEnumerateSortedAndDistinct(t *testing.T) {
+	names := []string{"c", "a", "b"}
+	seen := map[string]bool{}
+	prev := ""
+	err := Enumerate(names, 2, func(m Mix) bool {
+		for i := 1; i < len(m); i++ {
+			if m[i-1] > m[i] {
+				t.Fatalf("mix %v not sorted", m)
+			}
+		}
+		k := m.Key()
+		if seen[k] {
+			t.Fatalf("duplicate mix %v", m)
+		}
+		seen[k] = true
+		if k <= prev {
+			t.Fatalf("not lexicographic: %q after %q", k, prev)
+		}
+		prev = k
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	count := 0
+	_ = Enumerate([]string{"a", "b"}, 2, func(m Mix) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("stopped after %d, want 2", count)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	if err := Enumerate(nil, 2, func(Mix) bool { return true }); err == nil {
+		t.Fatal("empty names should error")
+	}
+	if err := Enumerate([]string{"a"}, 0, func(Mix) bool { return true }); err == nil {
+		t.Fatal("m=0 should error")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	s1, err := NewSampler(names, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewSampler(names, 42)
+	for i := 0; i < 20; i++ {
+		m1, m2 := s1.Random(4), s2.Random(4)
+		if m1.Key() != m2.Key() {
+			t.Fatal("same seed produced different mixes")
+		}
+	}
+	s3, _ := NewSampler(names, 43)
+	diff := false
+	for i := 0; i < 20; i++ {
+		if s1.Random(4).Key() != s3.Random(4).Key() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSamplerEmptyNames(t *testing.T) {
+	if _, err := NewSampler(nil, 1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRandomMixesDistinct(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	s, _ := NewSampler(names, 7)
+	// All 6 distinct 2-mixes of 3 names.
+	mixes, err := s.RandomMixes(6, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, m := range mixes {
+		if seen[m.Key()] {
+			t.Fatalf("duplicate %v", m)
+		}
+		seen[m.Key()] = true
+	}
+}
+
+func TestRandomMixesTooManyDistinct(t *testing.T) {
+	s, _ := NewSampler([]string{"a", "b"}, 7)
+	if _, err := s.RandomMixes(10, 2, true); err == nil {
+		t.Fatal("asking for more distinct mixes than exist should error")
+	}
+}
+
+func TestRandomMixesWithRepetition(t *testing.T) {
+	s, _ := NewSampler([]string{"a", "b"}, 7)
+	mixes, err := s.RandomMixes(10, 2, false)
+	if err != nil || len(mixes) != 10 {
+		t.Fatalf("mixes = %v, err = %v", mixes, err)
+	}
+}
+
+func TestRandomMixesErrors(t *testing.T) {
+	s, _ := NewSampler([]string{"a"}, 7)
+	if _, err := s.RandomMixes(0, 2, false); err == nil {
+		t.Fatal("count=0 should error")
+	}
+}
+
+func TestMixKeyAndClone(t *testing.T) {
+	m := Mix{"b", "a"}.normalize()
+	if m.Key() != "a|b" {
+		t.Fatalf("Key = %q", m.Key())
+	}
+	c := m.Clone()
+	c[0] = "z"
+	if m[0] != "a" {
+		t.Fatal("Clone aliases")
+	}
+}
+
+// syntheticSet builds a profile set with controlled memory intensity.
+func syntheticSet(t *testing.T, intensity map[string]float64) *profile.Set {
+	t.Helper()
+	ps := make([]*profile.Profile, 0, len(intensity))
+	for name, mi := range intensity {
+		cpi := 1.0
+		p := &profile.Profile{
+			Meta: profile.Meta{
+				Benchmark:      name,
+				TraceLength:    100,
+				IntervalLength: 100,
+				LLC:            cache.Config{Name: "llc", SizeBytes: 2 * 64, Ways: 2, LineSize: 64},
+				CPU:            cpu.DefaultParams(),
+			},
+			Intervals: []profile.Interval{{
+				Instructions: 100,
+				Cycles:       cpi * 100,
+				MemStall:     mi * cpi * 100,
+				LLCAccesses:  10,
+				SDC:          sdc.Counters{5, 3, 2},
+			}},
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return profile.NewSet(ps...)
+}
+
+func TestClassify(t *testing.T) {
+	set := syntheticSet(t, map[string]float64{
+		"memheavy": 0.7, "borderline": 0.41, "compute": 0.05,
+	})
+	classes := Classify(set, DefaultMemIntensityThreshold)
+	if classes["memheavy"] != Memory || classes["borderline"] != Memory {
+		t.Fatalf("classes = %v", classes)
+	}
+	if classes["compute"] != Compute {
+		t.Fatalf("classes = %v", classes)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Memory.String() != "MEM" || Compute.String() != "COMP" {
+		t.Fatal("Class.String broken")
+	}
+	if CatMemory.String() != "MEM" || CatCompute.String() != "COMP" || CatMixed.String() != "MIX" {
+		t.Fatal("Category.String broken")
+	}
+}
+
+func TestCategoryMix(t *testing.T) {
+	set := syntheticSet(t, map[string]float64{
+		"m1": 0.6, "m2": 0.7, "c1": 0.1, "c2": 0.05,
+	})
+	classes := Classify(set, 0.4)
+	s, _ := NewSampler(set.Names(), 11)
+
+	mem, err := s.CategoryMix(4, classes, CatMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range mem {
+		if classes[n] != Memory {
+			t.Fatalf("MEM mix contains %s", n)
+		}
+	}
+	comp, err := s.CategoryMix(4, classes, CatCompute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range comp {
+		if classes[n] != Compute {
+			t.Fatalf("COMP mix contains %s", n)
+		}
+	}
+	mixed, err := s.CategoryMix(4, classes, CatMixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := 0
+	for _, n := range mixed {
+		if classes[n] == Memory {
+			nm++
+		}
+	}
+	if nm != 2 {
+		t.Fatalf("MIX mix has %d memory programs, want 2: %v", nm, mixed)
+	}
+}
+
+func TestCategoryMixEmptyClassErrors(t *testing.T) {
+	set := syntheticSet(t, map[string]float64{"c1": 0.1})
+	classes := Classify(set, 0.4)
+	s, _ := NewSampler(set.Names(), 1)
+	if _, err := s.CategoryMix(2, classes, CatMemory); err == nil {
+		t.Fatal("no memory benchmarks: should error")
+	}
+	if _, err := s.CategoryMix(2, classes, Category(99)); err == nil {
+		t.Fatal("unknown category should error")
+	}
+}
+
+func TestCategorySet(t *testing.T) {
+	set := syntheticSet(t, map[string]float64{
+		"m1": 0.6, "m2": 0.7, "m3": 0.8, "c1": 0.1, "c2": 0.05, "c3": 0.2,
+	})
+	classes := Classify(set, 0.4)
+	s, _ := NewSampler(set.Names(), 5)
+	mixes, err := s.CategorySet(4, 4, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 12 {
+		t.Fatalf("got %d mixes, want 12 (4 per category)", len(mixes))
+	}
+}

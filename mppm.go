@@ -1,0 +1,411 @@
+// Package mppm is the public facade of the Multi-Program Performance
+// Model reproduction (Van Craeynest & Eeckhout, "The Multi-Program
+// Performance Model: Debunking Current Practice in Multi-Core
+// Simulation", IISWC 2011).
+//
+// The package wires together the internal building blocks — synthetic
+// benchmark traces, the trace-driven multi-core simulator, single-core
+// profiling, cache contention models and the iterative MPPM solver —
+// behind a small API:
+//
+//	suite := mppm.Benchmarks()                  // the 29 synthetic benchmarks
+//	sys := mppm.NewSystem(mppm.DefaultLLC())    // Table 1 machine + an LLC
+//	set, _ := sys.ProfileAll(suite)             // one-time single-core profiling
+//	pred, _ := sys.Predict(set, []string{"gamess", "lbm", "soplex", "mcf"})
+//	meas, _ := sys.Simulate([]string{"gamess", "lbm", "soplex", "mcf"})
+//
+// Predict evaluates the analytical model in well under a second per mix;
+// Simulate runs the detailed reference simulator. Both report per-program
+// multi-core CPIs plus the STP and ANTT metrics, so model and simulation
+// are directly comparable (the paper's Figure 4).
+package mppm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported building blocks. The aliases keep example and downstream
+// code on a single import while the implementation lives in internal
+// packages.
+type (
+	// Benchmark describes one synthetic benchmark (see internal/trace).
+	Benchmark = trace.Spec
+	// LLCConfig describes a last-level cache configuration.
+	LLCConfig = cache.Config
+	// Profile is a single-core simulation profile.
+	Profile = profile.Profile
+	// ProfileSet maps benchmark names to profiles.
+	ProfileSet = profile.Set
+	// Prediction is an MPPM model result.
+	Prediction = core.Result
+	// ModelOptions tunes the MPPM solver.
+	ModelOptions = core.Options
+	// Mix is a multi-program workload.
+	Mix = workload.Mix
+	// ContentionModel estimates sharing-induced conflict misses.
+	ContentionModel = contention.Model
+)
+
+// NewProfileSet builds a ProfileSet from profiles, keyed by benchmark
+// name (useful with derived profiles, see Profile.DeriveAssociativity).
+func NewProfileSet(ps ...*Profile) *ProfileSet { return profile.NewSet(ps...) }
+
+// ReadProfileSet deserializes a profile set written by
+// (*ProfileSet).WriteJSON, validating every profile.
+func ReadProfileSet(r io.Reader) (*ProfileSet, error) {
+	return profile.ReadSetJSON(r)
+}
+
+// Benchmarks returns the 29 synthetic SPEC CPU2006 stand-ins.
+func Benchmarks() []Benchmark { return trace.Suite() }
+
+// BenchmarkNames returns the suite's benchmark names, sorted.
+func BenchmarkNames() []string { return trace.SuiteNames() }
+
+// BenchmarkByName returns one benchmark by name.
+func BenchmarkByName(name string) (Benchmark, error) { return trace.ByName(name) }
+
+// LLCConfigs returns the paper's Table 2 configurations.
+func LLCConfigs() []LLCConfig { return cache.LLCConfigs() }
+
+// LLCConfigByName returns a Table 2 configuration by name ("config#1".."config#6").
+func LLCConfigByName(name string) (LLCConfig, error) { return cache.LLCConfigByName(name) }
+
+// DefaultLLC returns configuration #1, the paper's default (smallest LLC,
+// chosen "to stress our model").
+func DefaultLLC() LLCConfig { return cache.LLCConfigs()[0] }
+
+// ContentionModels returns the available cache contention models, the
+// paper's FOA first.
+func ContentionModels() []ContentionModel { return contention.Models() }
+
+// ContentionModelByName returns a contention model by name.
+func ContentionModelByName(name string) (ContentionModel, error) {
+	return contention.ByName(name)
+}
+
+// System is a fully configured machine: the Table 1 baseline core and
+// private caches plus one shared LLC configuration, at a given trace
+// scale.
+type System struct {
+	cfg sim.Config
+}
+
+// NewSystem builds a System with the paper's baseline core/private-cache
+// parameters and the given LLC, at the default 10M-instruction scale.
+func NewSystem(llc LLCConfig) *System {
+	return &System{cfg: sim.DefaultConfig(llc)}
+}
+
+// NewSystemScaled builds a System with custom trace and profiling
+// interval lengths (useful for quick experimentation; accuracy
+// conclusions should use the default scale).
+func NewSystemScaled(llc LLCConfig, traceLength, intervalLength int64) (*System, error) {
+	cfg := sim.DefaultConfig(llc)
+	cfg.TraceLength = traceLength
+	cfg.IntervalLength = intervalLength
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// LLC returns the system's LLC configuration.
+func (s *System) LLC() LLCConfig { return s.cfg.Hierarchy.LLC }
+
+// TraceLength returns the per-benchmark trace length in instructions.
+func (s *System) TraceLength() int64 { return s.cfg.TraceLength }
+
+// Profile runs one benchmark in isolation and returns its single-core
+// profile (CPI, memory CPI and LLC stack distance counters per interval).
+func (s *System) Profile(b Benchmark) (*Profile, error) {
+	return sim.Profile(b, s.cfg)
+}
+
+// ProfileAll profiles many benchmarks in parallel — the paper's one-time
+// cost preceding any number of model evaluations.
+func (s *System) ProfileAll(bs []Benchmark) (*ProfileSet, error) {
+	return sim.ProfileSuite(bs, s.cfg)
+}
+
+// Predict evaluates MPPM for the mix using default model options.
+func (s *System) Predict(set *ProfileSet, mix []string) (*Prediction, error) {
+	return core.Predict(set, mix, core.Options{})
+}
+
+// PredictWithOptions evaluates MPPM with explicit solver options.
+func (s *System) PredictWithOptions(set *ProfileSet, mix []string, opts ModelOptions) (*Prediction, error) {
+	return core.Predict(set, mix, opts)
+}
+
+// Measurement reports a detailed multi-core simulation in the same shape
+// as a Prediction, so the two are directly comparable.
+type Measurement struct {
+	Benchmarks []string
+	SingleCPI  []float64
+	MultiCPI   []float64
+	Slowdown   []float64
+	STP        float64
+	ANTT       float64
+}
+
+// Simulate runs the detailed multi-core reference simulator for a mix
+// and derives STP/ANTT against the given profile set's single-core CPIs.
+// When set is nil the single-core CPIs are profiled on the fly.
+func (s *System) SimulateWithProfiles(set *ProfileSet, mix []string) (*Measurement, error) {
+	specs := make([]trace.Spec, len(mix))
+	for i, n := range mix {
+		b, err := trace.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = b
+	}
+	res, err := sim.RunMulticore(specs, s.cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	sc := make([]float64, len(mix))
+	for i, n := range mix {
+		var p *Profile
+		if set != nil {
+			if p, err = set.Get(n); err != nil {
+				return nil, err
+			}
+		} else {
+			if p, err = sim.Profile(specs[i], s.cfg); err != nil {
+				return nil, err
+			}
+		}
+		sc[i] = p.CPI()
+	}
+	m := &Measurement{
+		Benchmarks: res.Benchmarks,
+		SingleCPI:  sc,
+		MultiCPI:   res.CPI,
+	}
+	if m.Slowdown, err = metrics.Slowdowns(sc, res.CPI); err != nil {
+		return nil, err
+	}
+	if m.STP, err = metrics.STP(sc, res.CPI); err != nil {
+		return nil, err
+	}
+	if m.ANTT, err = metrics.ANTT(sc, res.CPI); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Simulate is SimulateWithProfiles with on-the-fly single-core profiling.
+func (s *System) Simulate(mix []string) (*Measurement, error) {
+	return s.SimulateWithProfiles(nil, mix)
+}
+
+// Compare holds a side-by-side prediction and measurement for one mix.
+type Compare struct {
+	Prediction  *Prediction
+	Measurement *Measurement
+}
+
+// STPError returns the prediction's relative STP error.
+func (c Compare) STPError() float64 {
+	return (c.Prediction.STP - c.Measurement.STP) / c.Measurement.STP
+}
+
+// ANTTError returns the prediction's relative ANTT error.
+func (c Compare) ANTTError() float64 {
+	return (c.Prediction.ANTT - c.Measurement.ANTT) / c.Measurement.ANTT
+}
+
+// CompareMix predicts and simulates the same mix.
+func (s *System) CompareMix(set *ProfileSet, mix []string) (*Compare, error) {
+	pred, err := s.Predict(set, mix)
+	if err != nil {
+		return nil, err
+	}
+	meas, err := s.SimulateWithProfiles(set, mix)
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Prediction: pred, Measurement: meas}, nil
+}
+
+// ConfidenceReport summarizes MPPM predictions over many mixes with 95%
+// confidence bounds — the paper's contribution #3 ("MPPM provides
+// confidence bounds on its performance estimates").
+type ConfidenceReport struct {
+	Mixes int
+	STP   stats.ConfidenceInterval
+	ANTT  stats.ConfidenceInterval
+}
+
+// PredictMany evaluates MPPM over many mixes and returns the per-mix
+// results plus a confidence report.
+func (s *System) PredictMany(set *ProfileSet, mixes []Mix, opts ModelOptions) ([]*Prediction, *ConfidenceReport, error) {
+	if len(mixes) == 0 {
+		return nil, nil, fmt.Errorf("mppm: no mixes")
+	}
+	preds := make([]*Prediction, len(mixes))
+	stp := make([]float64, len(mixes))
+	antt := make([]float64, len(mixes))
+	for i, mix := range mixes {
+		p, err := core.Predict(set, mix, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds[i] = p
+		stp[i] = p.STP
+		antt[i] = p.ANTT
+	}
+	ciS, err := stats.MeanCI(stp, 0.95)
+	if err != nil {
+		return nil, nil, err
+	}
+	ciA, err := stats.MeanCI(antt, 0.95)
+	if err != nil {
+		return nil, nil, err
+	}
+	return preds, &ConfidenceReport{Mixes: len(mixes), STP: ciS, ANTT: ciA}, nil
+}
+
+// RandomMixes draws deterministic random workload mixes over the suite.
+func RandomMixes(count, cores int, seed int64) ([]Mix, error) {
+	s, err := workload.NewSampler(trace.SuiteNames(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return s.RandomMixes(count, cores, true)
+}
+
+// NumMixes returns C(N+M-1, M): the number of distinct M-program mixes
+// over N benchmarks (the combinatorial explosion of Section 1).
+func NumMixes(benchmarks, cores int) (int64, error) {
+	return workload.NumMixes(benchmarks, cores)
+}
+
+// StressMix describes one low-STP workload found by StressSearch.
+type StressMix struct {
+	Mix Mix
+	STP float64
+	// WorstProgram and WorstSlowdown identify the program the model says
+	// suffers most.
+	WorstProgram  string
+	WorstSlowdown float64
+}
+
+// StressSearch evaluates MPPM over the given mixes and returns the k
+// lowest-STP workloads, worst first — the Section 6 use case: finding
+// stress workloads without simulating them.
+func (s *System) StressSearch(set *ProfileSet, mixes []Mix, k int) ([]StressMix, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("mppm: k < 1")
+	}
+	all := make([]StressMix, 0, len(mixes))
+	for _, mix := range mixes {
+		p, err := core.Predict(set, mix, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		name, slow := p.MaxSlowdown()
+		all = append(all, StressMix{
+			Mix: mix, STP: p.STP, WorstProgram: name, WorstSlowdown: slow,
+		})
+	}
+	// Partial selection sort: k is small.
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].STP < all[min].STP {
+				min = j
+			}
+		}
+		all[i], all[min] = all[min], all[i]
+	}
+	return all[:k], nil
+}
+
+// Class labels a benchmark memory-intensive or compute-intensive, the
+// way Section 5's category-structured practice buckets the suite.
+type Class = workload.Class
+
+// Classification constants.
+const (
+	Compute = workload.Compute
+	Memory  = workload.Memory
+)
+
+// Classify labels every profiled benchmark by memory intensity
+// (MemCPI/CPI >= threshold means memory-intensive). Pass
+// DefaultMemIntensityThreshold for the standard split.
+func Classify(set *ProfileSet, threshold float64) map[string]Class {
+	return workload.Classify(set, threshold)
+}
+
+// DefaultMemIntensityThreshold is the standard MEM/COMP split point.
+const DefaultMemIntensityThreshold = workload.DefaultMemIntensityThreshold
+
+// TraceSource is a replayable memory-reference stream; synthetic
+// benchmarks, recorded traces and user implementations all satisfy it.
+type TraceSource = trace.Source
+
+// ExportTrace serializes a benchmark's reference stream at the given
+// length to w in the repository's binary trace format.
+func ExportTrace(w io.Writer, b Benchmark, length int64) error {
+	rd, err := trace.NewReader(b, length)
+	if err != nil {
+		return err
+	}
+	return trace.WriteTrace(w, rd)
+}
+
+// ImportTrace deserializes a trace written by ExportTrace.
+func ImportTrace(r io.Reader) (TraceSource, error) {
+	return trace.ReadTrace(r)
+}
+
+// ProfileSource profiles an arbitrary trace source on this system.
+func (s *System) ProfileSource(src TraceSource) (*Profile, error) {
+	return sim.ProfileSource(src, s.cfg, sim.ProfileOptions{})
+}
+
+// SimulateSources runs the detailed multi-core simulator over arbitrary
+// trace sources, one per core.
+func (s *System) SimulateSources(srcs []TraceSource) (*Measurement, error) {
+	res, err := sim.RunMulticoreSources(srcs, s.cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	sc := make([]float64, len(srcs))
+	for i, src := range srcs {
+		p, err := sim.ProfileSource(src, s.cfg, sim.ProfileOptions{})
+		if err != nil {
+			return nil, err
+		}
+		sc[i] = p.CPI()
+	}
+	m := &Measurement{Benchmarks: res.Benchmarks, SingleCPI: sc, MultiCPI: res.CPI}
+	if m.Slowdown, err = metrics.Slowdowns(sc, res.CPI); err != nil {
+		return nil, err
+	}
+	if m.STP, err = metrics.STP(sc, res.CPI); err != nil {
+		return nil, err
+	}
+	if m.ANTT, err = metrics.ANTT(sc, res.CPI); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

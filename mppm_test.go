@@ -1,0 +1,284 @@
+package mppm
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// Shared quick-scale system/profiles for the facade tests.
+var (
+	facadeOnce sync.Once
+	facadeSys  *System
+	facadeSet  *ProfileSet
+	facadeErr  error
+)
+
+func quickSystem(t *testing.T) (*System, *ProfileSet) {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeSys, facadeErr = NewSystemScaled(DefaultLLC(), 1_000_000, 50_000)
+		if facadeErr != nil {
+			return
+		}
+		facadeSet, facadeErr = facadeSys.ProfileAll(Benchmarks())
+	})
+	if facadeErr != nil {
+		t.Fatal(facadeErr)
+	}
+	return facadeSys, facadeSet
+}
+
+func TestBenchmarksSuite(t *testing.T) {
+	if len(Benchmarks()) != 29 {
+		t.Fatalf("suite = %d benchmarks, want 29", len(Benchmarks()))
+	}
+	if len(BenchmarkNames()) != 29 {
+		t.Fatal("names mismatch")
+	}
+	if _, err := BenchmarkByName("gamess"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestLLCConfigAccessors(t *testing.T) {
+	if len(LLCConfigs()) != 6 {
+		t.Fatal("want 6 LLC configs")
+	}
+	if DefaultLLC().Name != "config#1" {
+		t.Fatalf("default LLC = %s", DefaultLLC().Name)
+	}
+	c, err := LLCConfigByName("config#3")
+	if err != nil || c.SizeBytes != 1<<20 {
+		t.Fatalf("config#3 = %+v, %v", c, err)
+	}
+}
+
+func TestContentionModelAccessors(t *testing.T) {
+	if len(ContentionModels()) < 3 {
+		t.Fatal("want at least 3 contention models")
+	}
+	m, err := ContentionModelByName("FOA")
+	if err != nil || m.Name() != "FOA" {
+		t.Fatalf("FOA lookup = %v, %v", m, err)
+	}
+}
+
+func TestNewSystemScaledValidates(t *testing.T) {
+	if _, err := NewSystemScaled(DefaultLLC(), 0, 0); err == nil {
+		t.Fatal("invalid scale should error")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := NewSystem(DefaultLLC())
+	if sys.LLC().Name != "config#1" {
+		t.Fatal("LLC accessor wrong")
+	}
+	if sys.TraceLength() != 10_000_000 {
+		t.Fatalf("default trace length = %d", sys.TraceLength())
+	}
+}
+
+func TestPredictAndSimulateAgree(t *testing.T) {
+	sys, set := quickSystem(t)
+	mix := []string{"gamess", "lbm", "soplex", "povray"}
+	cmp, err := sys.CompareMix(set, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmp.STPError()) > 0.15 {
+		t.Errorf("STP error %.1f%%, want within 15%% at quick scale", cmp.STPError()*100)
+	}
+	if math.Abs(cmp.ANTTError()) > 0.15 {
+		t.Errorf("ANTT error %.1f%%", cmp.ANTTError()*100)
+	}
+	if cmp.Measurement.STP <= 0 || cmp.Measurement.STP > 4 {
+		t.Fatalf("measured STP = %v", cmp.Measurement.STP)
+	}
+	for i := range mix {
+		if cmp.Measurement.Slowdown[i] < 0.999 {
+			t.Errorf("%s measured slowdown %v < 1", mix[i], cmp.Measurement.Slowdown[i])
+		}
+	}
+}
+
+func TestSimulateWithoutProfiles(t *testing.T) {
+	sys, _ := quickSystem(t)
+	m, err := sys.Simulate([]string{"povray", "namd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.STP < 1.8 || m.STP > 2.0+1e-9 {
+		t.Fatalf("compute pair STP = %v, want ~2", m.STP)
+	}
+}
+
+func TestPredictManyConfidence(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, err := RandomMixes(12, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, rep, err := sys.PredictMany(set, mixes, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 12 || rep.Mixes != 12 {
+		t.Fatalf("preds = %d, report mixes = %d", len(preds), rep.Mixes)
+	}
+	if rep.STP.HalfWidth <= 0 || rep.ANTT.HalfWidth <= 0 {
+		t.Fatal("confidence interval missing")
+	}
+	if rep.STP.Lo() > rep.STP.Hi() {
+		t.Fatal("inverted interval")
+	}
+	if _, _, err := sys.PredictMany(set, nil, ModelOptions{}); err == nil {
+		t.Fatal("empty mixes should error")
+	}
+}
+
+func TestNumMixesMatchesPaper(t *testing.T) {
+	n, err := NumMixes(29, 4)
+	if err != nil || n != 35960 {
+		t.Fatalf("NumMixes(29,4) = %d, %v", n, err)
+	}
+}
+
+func TestRandomMixesDeterministic(t *testing.T) {
+	a, err := RandomMixes(5, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomMixes(5, 4, 7)
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestStressSearchFindsCacheSensitiveMixes(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, err := RandomMixes(40, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := sys.StressSearch(set, mixes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worst) != 5 {
+		t.Fatalf("got %d stress mixes", len(worst))
+	}
+	for i := 1; i < len(worst); i++ {
+		if worst[i].STP < worst[i-1].STP {
+			t.Fatal("stress mixes not sorted worst-first")
+		}
+	}
+	if worst[0].WorstSlowdown < 1 || worst[0].WorstProgram == "" {
+		t.Fatalf("missing worst-program diagnostics: %+v", worst[0])
+	}
+	if _, err := sys.StressSearch(set, mixes, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestPredictWithOptionsSwapsContention(t *testing.T) {
+	sys, set := quickSystem(t)
+	mix := []string{"gamess", "lbm", "milc", "libquantum"}
+	m, err := ContentionModelByName("equal-partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.PredictWithOptions(set, mix, ModelOptions{Contention: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Predict(set, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.STP == b.STP {
+		t.Fatal("different contention models should give different STP on a contended mix")
+	}
+}
+
+func TestClassifySplitsSuite(t *testing.T) {
+	_, set := quickSystem(t)
+	classes := Classify(set, DefaultMemIntensityThreshold)
+	if len(classes) != 29 {
+		t.Fatalf("classified %d benchmarks", len(classes))
+	}
+	var mem, comp int
+	for _, c := range classes {
+		if c == Memory {
+			mem++
+		} else {
+			comp++
+		}
+	}
+	if mem == 0 || comp == 0 {
+		t.Fatalf("degenerate classification: %d MEM, %d COMP", mem, comp)
+	}
+	if classes["lbm"] != Memory {
+		t.Error("lbm should be memory-intensive")
+	}
+	if classes["povray"] != Compute {
+		t.Error("povray should be compute-intensive")
+	}
+}
+
+func TestExportImportTraceRoundTrip(t *testing.T) {
+	sys, _ := quickSystem(t)
+	b, err := BenchmarkByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportTrace(&buf, b, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	src, err := ImportTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "hmmer" || src.Instructions() != 100_000 {
+		t.Fatalf("imported trace: %s/%d", src.Name(), src.Instructions())
+	}
+	p, err := sys.ProfileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPI() <= 0 {
+		t.Fatal("profile from imported trace empty")
+	}
+}
+
+func TestSimulateSources(t *testing.T) {
+	sys, _ := quickSystem(t)
+	var srcs []TraceSource
+	for _, n := range []string{"povray", "namd"} {
+		b, _ := BenchmarkByName(n)
+		var buf bytes.Buffer
+		if err := ExportTrace(&buf, b, 200_000); err != nil {
+			t.Fatal(err)
+		}
+		src, err := ImportTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, src)
+	}
+	m, err := sys.SimulateSources(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.STP < 1.8 || m.STP > 2.0+1e-9 {
+		t.Fatalf("STP = %v, want ~2 for compute pair", m.STP)
+	}
+}
