@@ -10,11 +10,16 @@
 package mppm
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -396,4 +401,55 @@ func BenchmarkAblationDerivedProfiles(b *testing.B) {
 		stp = pred.STP
 	}
 	b.ReportMetric(stp, "STP-derived")
+}
+
+// BenchmarkSweep measures evaluation-engine throughput (model
+// predictions per second) at 1, 4 and GOMAXPROCS workers — the perf
+// anchor for the engine behind System.Sweep and the mppmd service.
+// Single-core profiles are pre-warmed so the numbers isolate the
+// model-evaluation hot path the paper's Section 4.3 speed claim is
+// about.
+func BenchmarkSweep(b *testing.B) {
+	mixes, err := RandomMixes(64, 4, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	llcs := cache.LLCConfigs()[:1]
+	jobs := engine.SweepJobs(mixes, llcs, engine.Predict, core.Options{})
+
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.New(engine.Config{
+				TraceLength:    1_000_000,
+				IntervalLength: 20_000,
+				Workers:        workers,
+			})
+			// Pre-warm the profile cache: the sweep benchmark measures
+			// evaluation throughput, not the one-time profiling cost.
+			if _, err := eng.ProfileSet(context.Background(), llcs[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.Run(context.Background(), jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range results {
+					if results[j].Err != nil {
+						b.Fatal(results[j].Err)
+					}
+				}
+			}
+			b.StopTimer()
+			preds := float64(len(jobs)) * float64(b.N)
+			b.ReportMetric(preds/b.Elapsed().Seconds(), "predictions/s")
+		})
+	}
 }

@@ -1,0 +1,88 @@
+// Command mppmd serves the Multi-Program Performance Model as a JSON
+// HTTP prediction service. Where the mppm CLI answers one question per
+// process, mppmd keeps the expensive single-core profiles warm in a
+// singleflight cache and answers predict/simulate/sweep requests from a
+// shared bounded worker pool.
+//
+// Start it and ask for a sweep:
+//
+//	mppmd -addr :8080 &
+//	curl -s localhost:8080/v1/benchmarks | head
+//	curl -s -X POST localhost:8080/v1/predict \
+//	    -d '{"mix":["gamess","lbm","soplex","mcf"]}'
+//	curl -s -X POST localhost:8080/v1/sweep \
+//	    -d '{"mixes":[["gamess","lbm"],["mcf","milc"]],"kind":"predict"}'
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		traceLen    = flag.Int64("trace-length", 0, "per-benchmark trace length in instructions (0 = paper scale, 10M)")
+		interval    = flag.Int64("interval", 0, "profiling interval length in instructions (0 = paper scale, 200K)")
+		workers     = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+		drainWindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*addr, *traceLen, *interval, *workers, *drainWindow); err != nil {
+		fmt.Fprintln(os.Stderr, "mppmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, traceLen, interval int64, workers int, drainWindow time.Duration) error {
+	eng := engine.New(engine.Config{
+		TraceLength:    traceLen,
+		IntervalLength: interval,
+		Workers:        workers,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.New(eng).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mppmd: listening on %s", addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("mppmd: shutting down (drain %s)", drainWindow)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWindow)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}

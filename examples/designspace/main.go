@@ -3,10 +3,16 @@
 // with what a handful of randomly chosen mixes would conclude — the
 // "current practice" the paper debunks.
 //
+// The whole 6-config x 400-mix grid is one System.Sweep call: the
+// evaluation engine fans the 2400 evaluations over a bounded worker
+// pool and computes each (benchmark, LLC) single-core profile exactly
+// once behind a singleflight cache.
+//
 // Run with: go run ./examples/designspace
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -26,34 +32,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	few := mixes[:fewMixes]
+
+	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), traceLen, interval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep, err := sys.Sweep(context.Background(), mixes, mppm.LLCConfigs())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	type row struct {
 		name            string
 		manySTP, fewSTP float64
 	}
-	var rows []row
-
-	for _, llc := range mppm.LLCConfigs() {
-		sys, err := mppm.NewSystemScaled(llc, traceLen, interval)
-		if err != nil {
-			log.Fatal(err)
+	rows := make([]row, len(sweep.Configs))
+	for c, llc := range sweep.Configs {
+		fewSum := 0.0
+		for m := 0; m < fewMixes; m++ {
+			fewSum += sweep.Predictions[c][m].STP
 		}
-		set, err := sys.ProfileAll(mppm.Benchmarks())
-		if err != nil {
-			log.Fatal(err)
-		}
-		_, many, err := sys.PredictMany(set, mixes, mppm.ModelOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		_, fewRep, err := sys.PredictMany(set, few, mppm.ModelOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows = append(rows, row{llc.Name, many.STP.Mean, fewRep.STP.Mean})
-		fmt.Printf("evaluated %s: avg STP %.4f over %d mixes (95%% CI ±%.4f)\n",
-			llc.Name, many.STP.Mean, manyMixes, many.STP.HalfWidth)
+		rows[c] = row{llc.Name, sweep.MeanSTP(c), fewSum / fewMixes}
+		fmt.Printf("evaluated %s: avg STP %.4f over %d mixes\n",
+			llc.Name, rows[c].manySTP, manyMixes)
 	}
 
 	rank := func(key func(row) float64) []string {

@@ -1,0 +1,471 @@
+// Package engine is the concurrent evaluation engine behind every batch
+// entry point of the reproduction: the experiments Lab, the mppm facade
+// batch API and the mppmd prediction service all schedule work here.
+//
+// A Job names one evaluation — a workload mix on an LLC configuration,
+// either through the analytical MPPM model (Predict) or the detailed
+// reference simulator (Simulate) — and Run executes a batch of jobs on
+// a bounded worker pool with cancellation, per-job error capture,
+// progress callbacks and deterministic result ordering (result i always
+// corresponds to job i).
+//
+// The engine memoizes the expensive intermediates. Single-core profiles
+// are cached per (benchmark, LLC) behind a singleflight gate, so any
+// number of concurrent jobs that need the same profile compute it
+// exactly once — the paper's "one-time cost" becomes one time across
+// the whole process, not one time per request. Detailed multi-core
+// simulations, which are deterministic, are likewise cached per
+// (mix, LLC).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/engine/pool"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Kind selects how a Job is evaluated.
+type Kind int
+
+const (
+	// Predict evaluates the analytical MPPM model (~ms per mix).
+	Predict Kind = iota
+	// Simulate runs the detailed multi-core reference simulator.
+	Simulate
+)
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case Predict:
+		return "predict"
+	case Simulate:
+		return "simulate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// KindByName parses a wire name produced by Kind.String.
+func KindByName(name string) (Kind, error) {
+	switch name {
+	case "predict", "":
+		return Predict, nil
+	case "simulate":
+		return Simulate, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown job kind %q", name)
+	}
+}
+
+// Job is one (mix, LLC, contention model, kind) evaluation request.
+type Job struct {
+	Mix  workload.Mix
+	LLC  cache.Config
+	Kind Kind
+	// Opts tunes the MPPM solver (contention model, smoothing, ...).
+	// Ignored for Simulate jobs.
+	Opts core.Options
+}
+
+// Result is the outcome of one Job. Exactly one of Err or the payload
+// fields is meaningful: on success Prediction (Predict jobs) or
+// Simulation (Simulate jobs) is set and the shared summary fields
+// (SingleCPI, MultiCPI, Slowdown, STP, ANTT) are populated for both
+// kinds, so model and simulation results are directly comparable.
+type Result struct {
+	Job Job
+	Err error
+
+	Prediction *core.Result
+	Simulation *sim.MulticoreResult
+
+	Benchmarks []string
+	SingleCPI  []float64
+	MultiCPI   []float64
+	Slowdown   []float64
+	STP        float64
+	ANTT       float64
+}
+
+// Config shapes an Engine.
+type Config struct {
+	// TraceLength and IntervalLength scale the simulator; zero means the
+	// paper-scale defaults (10M / 200K instructions).
+	TraceLength    int64
+	IntervalLength int64
+	// Workers bounds the worker pool; zero or negative means GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is called after each job of a Run batch
+	// completes with the number of finished jobs and the batch size. It
+	// must be safe for concurrent use.
+	OnProgress func(done, total int)
+}
+
+// Engine schedules evaluation jobs over a bounded worker pool and owns
+// the process-wide profile and simulation caches. It is safe for
+// concurrent use by multiple goroutines (e.g. HTTP handlers).
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	profiles map[string]*call[*profile.Profile]
+	sims     map[string]*call[*sim.MulticoreResult]
+
+	profileComputes atomic.Int64
+	simComputes     atomic.Int64
+}
+
+// call is a singleflight slot: the first goroutine to claim a key
+// computes; everyone else waits on done (or their context).
+type call[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// New returns an Engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.TraceLength == 0 {
+		cfg.TraceLength = trace.DefaultTraceLength
+	}
+	if cfg.IntervalLength == 0 {
+		cfg.IntervalLength = profile.DefaultIntervalLength
+	}
+	return &Engine{
+		cfg:      cfg,
+		profiles: make(map[string]*call[*profile.Profile]),
+		sims:     make(map[string]*call[*sim.MulticoreResult]),
+	}
+}
+
+// SimConfig returns the simulator configuration the engine uses for an
+// LLC configuration.
+func (e *Engine) SimConfig(llc cache.Config) sim.Config {
+	cfg := sim.DefaultConfig(llc)
+	cfg.TraceLength = e.cfg.TraceLength
+	cfg.IntervalLength = e.cfg.IntervalLength
+	return cfg
+}
+
+// maxCachedSims bounds the detailed-simulation result cache. Profiles
+// live in a finite space (suite x LLC configs) and are kept forever,
+// but the mix space is combinatorial: a long-running service fed
+// distinct mixes would otherwise grow without bound. Beyond the cap,
+// results are still singleflight-deduplicated while in flight but are
+// not retained.
+const maxCachedSims = 4096
+
+// llcKey identifies an LLC configuration (plus the engine scale) for
+// cache keying. Geometry is included so two custom configs sharing a
+// name cannot alias.
+func (e *Engine) llcKey(llc cache.Config) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%d", llc.Name, llc.SizeBytes, llc.Ways, llc.LineSize, llc.LatencyCycles)
+}
+
+// ProfileComputations reports how many single-core profiles the engine
+// has actually simulated (cache misses). Used by tests to assert the
+// singleflight property; handy for ops counters too.
+func (e *Engine) ProfileComputations() int64 { return e.profileComputes.Load() }
+
+// SimulationComputations reports how many detailed multi-core
+// simulations the engine has actually run (cache misses).
+func (e *Engine) SimulationComputations() int64 { return e.simComputes.Load() }
+
+// claim looks up key in calls, returning either an existing slot
+// (owned=false) or a freshly inserted one the caller must complete
+// (owned=true).
+func claim[T any](mu *sync.Mutex, calls map[string]*call[T], key string) (c *call[T], owned bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if c, ok := calls[key]; ok {
+		return c, false
+	}
+	c = &call[T]{done: make(chan struct{})}
+	calls[key] = c
+	return c, true
+}
+
+// finish completes a claimed slot. Errors are evicted so a later call
+// can retry; successful values stay cached forever.
+func finish[T any](mu *sync.Mutex, calls map[string]*call[T], key string, c *call[T], val T, err error) {
+	c.val, c.err = val, err
+	if err != nil {
+		mu.Lock()
+		delete(calls, key)
+		mu.Unlock()
+	}
+	close(c.done)
+}
+
+// await blocks until a slot completes or ctx is cancelled.
+func await[T any](ctx context.Context, c *call[T]) (T, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// Profile returns the single-core profile of one benchmark under an LLC
+// configuration, computing it at most once per (benchmark, LLC) across
+// all concurrent callers.
+func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config) (*profile.Profile, error) {
+	key := spec.Name + "\x00" + e.llcKey(llc)
+	c, owned := claim(&e.mu, e.profiles, key)
+	if !owned {
+		return await(ctx, c)
+	}
+	e.profileComputes.Add(1)
+	p, err := sim.Profile(spec, e.SimConfig(llc))
+	finish(&e.mu, e.profiles, key, c, p, err)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ProfileSet profiles the whole synthetic suite under an LLC
+// configuration in parallel and returns the profiles as a set — the
+// engine-cached equivalent of sim.ProfileSuite.
+func (e *Engine) ProfileSet(ctx context.Context, llc cache.Config) (*profile.Set, error) {
+	specs := trace.Suite()
+	profiles := make([]*profile.Profile, len(specs))
+	err := pool.Map(ctx, len(specs), e.cfg.Workers, func(ctx context.Context, i int) error {
+		p, err := e.Profile(ctx, specs[i], llc)
+		if err != nil {
+			return err
+		}
+		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return profile.NewSet(profiles...), nil
+}
+
+// mixSpecs resolves mix names to suite trace specs.
+func mixSpecs(mix workload.Mix) ([]trace.Spec, error) {
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("engine: empty mix")
+	}
+	specs := make([]trace.Spec, len(mix))
+	for i, n := range mix {
+		s, err := trace.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+	return specs, nil
+}
+
+// mixProfiles fetches (computing at most once each) the per-slot
+// profiles of a mix.
+func (e *Engine) mixProfiles(ctx context.Context, specs []trace.Spec, llc cache.Config) ([]*profile.Profile, error) {
+	ps := make([]*profile.Profile, len(specs))
+	for i, s := range specs {
+		p, err := e.Profile(ctx, s, llc)
+		if err != nil {
+			return nil, err
+		}
+		ps[i] = p
+	}
+	return ps, nil
+}
+
+// simulate returns the detailed multi-core simulation of a mix,
+// computing it at most once per (mix, LLC) across concurrent callers.
+func (e *Engine) simulate(ctx context.Context, mix workload.Mix, specs []trace.Spec, llc cache.Config) (*sim.MulticoreResult, error) {
+	key := mix.Key() + "\x00" + e.llcKey(llc)
+	c, owned := claim(&e.mu, e.sims, key)
+	if !owned {
+		return await(ctx, c)
+	}
+	e.simComputes.Add(1)
+	res, err := sim.RunMulticore(specs, e.SimConfig(llc), nil)
+	if err == nil {
+		e.mu.Lock()
+		if len(e.sims) > maxCachedSims {
+			delete(e.sims, key)
+		}
+		e.mu.Unlock()
+	}
+	finish(&e.mu, e.sims, key, c, res, err)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Predictions unpacks a batch of Predict results, failing on the first
+// per-job error — the shared tail of every batch-predict entry point.
+func Predictions(results []Result) ([]*core.Result, error) {
+	out := make([]*core.Result, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Prediction
+	}
+	return out, nil
+}
+
+// Simulations unpacks a batch of Simulate results, failing on the
+// first per-job error.
+func Simulations(results []Result) ([]*sim.MulticoreResult, error) {
+	out := make([]*sim.MulticoreResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Simulation
+	}
+	return out, nil
+}
+
+// runJob evaluates one job, with its error captured in the Result.
+func (e *Engine) runJob(ctx context.Context, job Job) Result {
+	res := Result{Job: job}
+	specs, err := mixSpecs(job.Mix)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if err := job.LLC.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	profiles, err := e.mixProfiles(ctx, specs, job.LLC)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	switch job.Kind {
+	case Predict:
+		model, err := core.New(profiles, job.Opts)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		pred, err := model.Run()
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Prediction = pred
+		res.Benchmarks = pred.Benchmarks
+		res.SingleCPI = pred.SingleCPI
+		res.MultiCPI = pred.MultiCPI
+		res.Slowdown = pred.Slowdown
+		res.STP = pred.STP
+		res.ANTT = pred.ANTT
+
+	case Simulate:
+		meas, err := e.simulate(ctx, job.Mix, specs, job.LLC)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		sc := make([]float64, len(profiles))
+		for i, p := range profiles {
+			sc[i] = p.CPI()
+		}
+		res.Simulation = meas
+		res.Benchmarks = meas.Benchmarks
+		res.SingleCPI = sc
+		res.MultiCPI = meas.CPI
+		if res.Slowdown, err = metrics.Slowdowns(sc, meas.CPI); err != nil {
+			res.Err = err
+			return res
+		}
+		if res.STP, err = metrics.STP(sc, meas.CPI); err != nil {
+			res.Err = err
+			return res
+		}
+		if res.ANTT, err = metrics.ANTT(sc, meas.CPI); err != nil {
+			res.Err = err
+			return res
+		}
+
+	default:
+		res.Err = fmt.Errorf("engine: unknown job kind %d", job.Kind)
+	}
+	return res
+}
+
+// Run evaluates a batch of jobs on the worker pool and returns results
+// aligned with the input order: results[i] is the outcome of jobs[i].
+// Per-job failures are captured in Result.Err and do not abort the
+// batch; Run itself fails only on context cancellation (returning
+// ctx.Err()) or an empty batch.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("engine: no jobs")
+	}
+	results := make([]Result, len(jobs))
+	var done atomic.Int64
+	err := pool.Map(ctx, len(jobs), e.cfg.Workers, func(ctx context.Context, i int) error {
+		r := e.runJob(ctx, jobs[i])
+		// A job that failed only because the batch was cancelled should
+		// surface as batch cancellation, not a per-job error.
+		if r.Err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		results[i] = r
+		if e.cfg.OnProgress != nil {
+			e.cfg.OnProgress(int(done.Add(1)), len(jobs))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SweepJobs builds the len(llcs) x len(mixes) job grid of a sweep in
+// row-major order (all mixes of llcs[0] first).
+func SweepJobs(mixes []workload.Mix, llcs []cache.Config, kind Kind, opts core.Options) []Job {
+	jobs := make([]Job, 0, len(mixes)*len(llcs))
+	for _, llc := range llcs {
+		for _, mix := range mixes {
+			jobs = append(jobs, Job{Mix: mix, LLC: llc, Kind: kind, Opts: opts})
+		}
+	}
+	return jobs
+}
+
+// Sweep evaluates every mix on every LLC configuration and returns the
+// results indexed [config][mix].
+func (e *Engine) Sweep(ctx context.Context, mixes []workload.Mix, llcs []cache.Config, kind Kind, opts core.Options) ([][]Result, error) {
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("engine: no mixes")
+	}
+	if len(llcs) == 0 {
+		return nil, fmt.Errorf("engine: no LLC configurations")
+	}
+	flat, err := e.Run(ctx, SweepJobs(mixes, llcs, kind, opts))
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]Result, len(llcs))
+	for i := range llcs {
+		grid[i] = flat[i*len(mixes) : (i+1)*len(mixes)]
+	}
+	return grid, nil
+}

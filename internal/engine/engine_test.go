@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testScale keeps engine tests fast: 1/50 of the paper's trace length.
+const (
+	testTraceLen = 200_000
+	testInterval = 10_000
+)
+
+func newTestEngine(workers int) *Engine {
+	return New(Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+		Workers:        workers,
+	})
+}
+
+func testMixes(t *testing.T, count, cores int) []workload.Mix {
+	t.Helper()
+	s, err := workload.NewSampler(trace.SuiteNames(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes, err := s.RandomMixes(count, cores, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mixes
+}
+
+func TestRunDeterministicOrder(t *testing.T) {
+	mixes := testMixes(t, 24, 2)
+	llc := cache.LLCConfigs()[0]
+	jobs := SweepJobs(mixes, []cache.Config{llc}, Predict, core.Options{})
+
+	// Two engines with different worker counts must produce identical
+	// results in identical positions.
+	ref, err := newTestEngine(1).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newTestEngine(8).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if ref[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, ref[i].Err, got[i].Err)
+		}
+		if ref[i].Job.Mix.Key() != mixes[i].Key() || got[i].Job.Mix.Key() != mixes[i].Key() {
+			t.Fatalf("job %d result misaligned with input order", i)
+		}
+		if ref[i].STP != got[i].STP || ref[i].ANTT != got[i].ANTT {
+			t.Fatalf("job %d: STP/ANTT differ across worker counts: %v/%v vs %v/%v",
+				i, ref[i].STP, ref[i].ANTT, got[i].STP, got[i].ANTT)
+		}
+	}
+}
+
+func TestRunCancellationMidSweep(t *testing.T) {
+	mixes := testMixes(t, 64, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := New(Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+		Workers:        2,
+		OnProgress: func(done, total int) {
+			if done == 3 {
+				cancel()
+			}
+		},
+	})
+	jobs := SweepJobs(mixes, cache.LLCConfigs()[:2], Predict, core.Options{})
+	_, err := eng.Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestProfileCacheSingleflight(t *testing.T) {
+	eng := newTestEngine(0)
+	llc := cache.LLCConfigs()[0]
+	specs := trace.Suite()[:4]
+
+	// Hammer the same four profiles from 32 goroutines.
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, s := range specs {
+				if _, err := eng.Profile(context.Background(), s, llc); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.ProfileComputations(); got != int64(len(specs)) {
+		t.Fatalf("computed %d profiles for %d (benchmark, LLC) pairs", got, len(specs))
+	}
+
+	// The same profiles under a different LLC are distinct cache entries.
+	if _, err := eng.Profile(context.Background(), specs[0], cache.LLCConfigs()[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.ProfileComputations(); got != int64(len(specs))+1 {
+		t.Fatalf("second LLC config did not create a new cache entry: %d computations", got)
+	}
+}
+
+func TestSweepComputesEachProfileOnce(t *testing.T) {
+	eng := newTestEngine(0)
+	mixes := testMixes(t, 40, 4)
+	llcs := cache.LLCConfigs()[:2]
+
+	grid, err := eng.Sweep(context.Background(), mixes, llcs, Predict, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(llcs) || len(grid[0]) != len(mixes) {
+		t.Fatalf("grid shape %dx%d, want %dx%d", len(grid), len(grid[0]), len(llcs), len(mixes))
+	}
+	distinct := make(map[string]bool)
+	for _, llc := range llcs {
+		for _, mix := range mixes {
+			for _, b := range mix {
+				distinct[b+"/"+llc.Name] = true
+			}
+		}
+	}
+	if got := eng.ProfileComputations(); got != int64(len(distinct)) {
+		t.Fatalf("computed %d profiles, want exactly %d distinct (benchmark, LLC) pairs",
+			got, len(distinct))
+	}
+	for c := range grid {
+		for m := range grid[c] {
+			if grid[c][m].Err != nil {
+				t.Fatalf("sweep job (%d,%d): %v", c, m, grid[c][m].Err)
+			}
+		}
+	}
+}
+
+func TestSimulationCache(t *testing.T) {
+	eng := newTestEngine(0)
+	mix := workload.Mix{"gamess", "lbm"}
+	llc := cache.LLCConfigs()[0]
+	jobs := []Job{{Mix: mix, LLC: llc, Kind: Simulate}, {Mix: mix, LLC: llc, Kind: Simulate}}
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	if got := eng.SimulationComputations(); got != 1 {
+		t.Fatalf("ran %d detailed simulations for one distinct (mix, LLC), want 1", got)
+	}
+	if results[0].Simulation != results[1].Simulation {
+		t.Fatal("cached simulation not shared")
+	}
+	if results[0].STP <= 0 || results[0].ANTT <= 0 {
+		t.Fatalf("degenerate metrics: STP=%v ANTT=%v", results[0].STP, results[0].ANTT)
+	}
+}
+
+func TestRunPerJobErrorCapture(t *testing.T) {
+	eng := newTestEngine(0)
+	llc := cache.LLCConfigs()[0]
+	jobs := []Job{
+		{Mix: workload.Mix{"gamess", "lbm"}, LLC: llc, Kind: Predict},
+		{Mix: workload.Mix{"no-such-benchmark"}, LLC: llc, Kind: Predict},
+		{Mix: workload.Mix{"mcf", "milc"}, LLC: llc, Kind: Predict},
+	}
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "no-such-benchmark") {
+		t.Fatalf("bad job error = %v, want unknown-benchmark", results[1].Err)
+	}
+}
+
+func TestPredictMatchesCore(t *testing.T) {
+	eng := newTestEngine(0)
+	llc := cache.LLCConfigs()[0]
+	mix := workload.Mix{"gamess", "lbm", "soplex", "mcf"}
+	results, err := eng.Run(context.Background(), []Job{{Mix: mix, LLC: llc, Kind: Predict}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	set, err := eng.ProfileSet(context.Background(), llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Predict(set, mix, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Prediction; got.STP != want.STP || got.ANTT != want.ANTT {
+		t.Fatalf("engine prediction STP/ANTT %v/%v != core %v/%v",
+			got.STP, got.ANTT, want.STP, want.ANTT)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var total int
+	eng := New(Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+		OnProgress: func(done, t int) {
+			mu.Lock()
+			seen[done] = true
+			total = t
+			mu.Unlock()
+		},
+	})
+	mixes := testMixes(t, 10, 2)
+	jobs := SweepJobs(mixes, cache.LLCConfigs()[:1], Predict, core.Options{})
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if total != len(jobs) {
+		t.Fatalf("progress total %d, want %d", total, len(jobs))
+	}
+	for i := 1; i <= len(jobs); i++ {
+		if !seen[i] {
+			t.Fatalf("progress callback never reported done=%d", i)
+		}
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Predict, Simulate} {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := KindByName("bogus"); err == nil {
+		t.Fatal("KindByName accepted bogus kind")
+	}
+	if k, err := KindByName(""); err != nil || k != Predict {
+		t.Fatalf("empty kind: got %v, %v, want Predict", k, err)
+	}
+}

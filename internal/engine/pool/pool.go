@@ -1,0 +1,70 @@
+// Package pool provides the repository's single bounded-concurrency
+// primitive. Every parallel fan-out — suite profiling, batch detailed
+// simulation, batch model evaluation, engine sweeps — runs through
+// Map, so worker bounding, cancellation and error propagation are
+// implemented exactly once.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means GOMAXPROCS). Indices are handed out in
+// order, so results written to slot i of a caller-owned slice are
+// deterministically placed regardless of scheduling.
+//
+// The first non-nil error from fn cancels the remaining work and is
+// returned. If ctx is cancelled, in-flight calls observe the
+// cancellation through their ctx argument, no further indices are
+// dispatched, and Map returns ctx.Err(). Map returns nil only after fn
+// has completed for every index.
+func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if wctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,116 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]atomic.Int32
+	err := Map(context.Background(), n, 8, func(_ context.Context, i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestMapBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	err := Map(context.Background(), 50, workers, func(_ context.Context, _ int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent workers, want <= %d", got, workers)
+	}
+}
+
+func TestMapDefaultsToGOMAXPROCS(t *testing.T) {
+	var cur, max atomic.Int32
+	err := Map(context.Background(), 64, 0, func(_ context.Context, _ int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, limit := max.Load(), int32(runtime.GOMAXPROCS(0)); got > limit {
+		t.Fatalf("observed %d concurrent workers, want <= GOMAXPROCS (%d)", got, limit)
+	}
+}
+
+func TestMapPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Map(context.Background(), 10_000, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("error did not cancel remaining work")
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := Map(ctx, 10_000, 2, func(ctx context.Context, i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 10_000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if err := Map(context.Background(), 0, 4, func(_ context.Context, _ int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,12 +20,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -90,16 +91,21 @@ func QuickScale() Params {
 	return p
 }
 
-// Lab shares expensive intermediate results between experiments.
+// Lab shares expensive intermediate results between experiments. All
+// parallel evaluation and per-(benchmark, LLC) profile and detailed-
+// simulation caching is delegated to an evaluation engine, so the Lab,
+// the mppm facade and the mppmd service share one concurrency
+// implementation; the Lab additionally memoizes the assembled profile
+// Sets and workload pools its tight per-mix loops index into.
 type Lab struct {
 	params Params
 	specs  []trace.Spec
 	byName map[string]trace.Spec
+	eng    *engine.Engine
 
 	mu       sync.Mutex
-	profiles map[string]*profile.Set         // key: LLC config name
-	detailed map[string]*sim.MulticoreResult // key: LLC name + mix key
-	pools    map[int][]workload.Mix          // key: core count
+	profiles map[string]*profile.Set // key: LLC config name
+	pools    map[int][]workload.Mix  // key: core count
 }
 
 // NewLab builds a lab over the full synthetic suite.
@@ -116,11 +122,14 @@ func NewLab(p Params) (*Lab, error) {
 		byName[s.Name] = s
 	}
 	return &Lab{
-		params:   p,
-		specs:    specs,
-		byName:   byName,
+		params: p,
+		specs:  specs,
+		byName: byName,
+		eng: engine.New(engine.Config{
+			TraceLength:    p.TraceLength,
+			IntervalLength: p.IntervalLength,
+		}),
 		profiles: make(map[string]*profile.Set),
-		detailed: make(map[string]*sim.MulticoreResult),
 		pools:    make(map[int][]workload.Mix),
 	}, nil
 }
@@ -138,7 +147,8 @@ func (l *Lab) simConfig(llc cache.Config) sim.Config {
 
 // ProfileSet returns (profiling on first use) the single-core profiles of
 // the whole suite under the given LLC configuration — the paper's
-// "one-time cost".
+// "one-time cost". Profiling runs through the engine's singleflight
+// cache, so concurrent experiments compute each profile exactly once.
 func (l *Lab) ProfileSet(llc cache.Config) (*profile.Set, error) {
 	l.mu.Lock()
 	if set, ok := l.profiles[llc.Name]; ok {
@@ -147,7 +157,7 @@ func (l *Lab) ProfileSet(llc cache.Config) (*profile.Set, error) {
 	}
 	l.mu.Unlock()
 
-	set, err := sim.ProfileSuite(l.specs, l.simConfig(llc))
+	set, err := l.eng.ProfileSet(context.Background(), llc)
 	if err != nil {
 		return nil, err
 	}
@@ -196,53 +206,24 @@ func (l *Lab) mixSpecs(mix workload.Mix) ([]trace.Spec, error) {
 }
 
 // Detailed returns the detailed multi-core simulation of a mix on an LLC
-// configuration, cached across experiments.
+// configuration, cached across experiments by the engine.
 func (l *Lab) Detailed(mix workload.Mix, llc cache.Config) (*sim.MulticoreResult, error) {
-	key := llc.Name + "/" + mix.Key()
-	l.mu.Lock()
-	if r, ok := l.detailed[key]; ok {
-		l.mu.Unlock()
-		return r, nil
-	}
-	l.mu.Unlock()
-
-	specs, err := l.mixSpecs(mix)
+	out, err := l.DetailedBatch([]workload.Mix{mix}, llc)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunMulticore(specs, l.simConfig(llc), nil)
-	if err != nil {
-		return nil, err
-	}
-	l.mu.Lock()
-	l.detailed[key] = res
-	l.mu.Unlock()
-	return res, nil
+	return out[0], nil
 }
 
 // DetailedBatch simulates many mixes in parallel (bounded by GOMAXPROCS)
 // and returns results aligned with the input order.
 func (l *Lab) DetailedBatch(mixes []workload.Mix, llc cache.Config) ([]*sim.MulticoreResult, error) {
-	out := make([]*sim.MulticoreResult, len(mixes))
-	errs := make([]error, len(mixes))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range mixes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = l.Detailed(mixes[i], llc)
-		}(i)
+	jobs := engine.SweepJobs(mixes, []cache.Config{llc}, engine.Simulate, core.Options{})
+	results, err := l.eng.Run(context.Background(), jobs)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return engine.Simulations(results)
 }
 
 // Predict runs MPPM for a mix on an LLC configuration using the lab's
@@ -257,30 +238,12 @@ func (l *Lab) Predict(mix workload.Mix, llc cache.Config) (*core.Result, error) 
 
 // PredictBatch evaluates MPPM for many mixes in parallel.
 func (l *Lab) PredictBatch(mixes []workload.Mix, llc cache.Config) ([]*core.Result, error) {
-	set, err := l.ProfileSet(llc)
+	jobs := engine.SweepJobs(mixes, []cache.Config{llc}, engine.Predict, l.params.ModelOpts)
+	results, err := l.eng.Run(context.Background(), jobs)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*core.Result, len(mixes))
-	errs := make([]error, len(mixes))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range mixes {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = core.Predict(set, mixes[i], l.params.ModelOpts)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return engine.Predictions(results)
 }
 
 // SingleCPIs returns the isolated CPI of each program in the mix under

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -78,7 +79,9 @@ type Profile struct {
 	Intervals []Interval `json:"intervals"`
 
 	// cumInstr[i] is the number of instructions before interval i;
-	// populated lazily by index().
+	// populated lazily by index(), guarded by cumOnce: profiles are
+	// shared read-only across concurrent model evaluations.
+	cumOnce  sync.Once
 	cumInstr []int64
 }
 
@@ -201,12 +204,13 @@ func (p *Profile) MemIntensity() float64 {
 }
 
 func (p *Profile) index() []int64 {
-	if p.cumInstr == nil {
-		p.cumInstr = make([]int64, len(p.Intervals)+1)
+	p.cumOnce.Do(func() {
+		cum := make([]int64, len(p.Intervals)+1)
 		for i, iv := range p.Intervals {
-			p.cumInstr[i+1] = p.cumInstr[i] + iv.Instructions
+			cum[i+1] = cum[i] + iv.Instructions
 		}
-	}
+		p.cumInstr = cum
+	})
 	return p.cumInstr
 }
 

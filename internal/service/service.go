@@ -1,0 +1,357 @@
+// Package service exposes the evaluation engine as a JSON-over-HTTP
+// prediction service — the network face of the paper's headline
+// property that MPPM evaluates a multi-program mix in milliseconds
+// where detailed simulation takes hours.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz        liveness probe
+//	GET  /v1/benchmarks  the synthetic suite, LLC configs, contention models
+//	POST /v1/predict     evaluate MPPM for one mix on one LLC config
+//	POST /v1/simulate    run the detailed reference simulator for one mix
+//	POST /v1/sweep       batch: many mixes x many LLC configs in one request
+//
+// Handlers run requests through a shared engine.Engine, so concurrent
+// requests share one worker pool and one singleflight profile cache:
+// a hundred clients asking about the same benchmark profile cost one
+// profiling run. Request cancellation (client disconnect) propagates
+// into the engine through the request context.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cache"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Request limits. The body cap alone would admit sweeps of ~80k mixes,
+// so mix width, mix count and config count are bounded explicitly to
+// keep one request from monopolizing the shared worker pool.
+const (
+	maxRequestBytes = 8 << 20
+	maxMixWidth     = 64   // programs per mix (paper max is 16 cores)
+	maxSweepMixes   = 2048 // mixes per sweep request
+	maxSweepConfigs = 16   // LLC configs per sweep request
+)
+
+// Server serves the prediction API from one shared engine.
+type Server struct {
+	eng *engine.Engine
+}
+
+// New returns a Server over the given engine.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone; nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// BenchmarkInfo describes one suite benchmark.
+type BenchmarkInfo struct {
+	Name string `json:"name"`
+}
+
+// LLCInfo describes one Table 2 LLC configuration.
+type LLCInfo struct {
+	Name          string `json:"name"`
+	SizeBytes     int64  `json:"size_bytes"`
+	Ways          int    `json:"ways"`
+	LineSize      int64  `json:"line_size"`
+	LatencyCycles int    `json:"latency_cycles"`
+}
+
+// CatalogResponse is the /v1/benchmarks payload.
+type CatalogResponse struct {
+	Benchmarks       []BenchmarkInfo `json:"benchmarks"`
+	LLCConfigs       []LLCInfo       `json:"llc_configs"`
+	ContentionModels []string        `json:"contention_models"`
+	TraceLength      int64           `json:"trace_length"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	resp := CatalogResponse{
+		TraceLength: s.eng.SimConfig(cache.LLCConfigs()[0]).TraceLength,
+	}
+	for _, name := range trace.SuiteNames() {
+		resp.Benchmarks = append(resp.Benchmarks, BenchmarkInfo{Name: name})
+	}
+	for _, c := range cache.LLCConfigs() {
+		resp.LLCConfigs = append(resp.LLCConfigs, LLCInfo{
+			Name: c.Name, SizeBytes: c.SizeBytes, Ways: c.Ways,
+			LineSize: c.LineSize, LatencyCycles: c.LatencyCycles,
+		})
+	}
+	for _, m := range contention.Models() {
+		resp.ContentionModels = append(resp.ContentionModels, m.Name())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EvalRequest asks for one mix on one LLC configuration.
+type EvalRequest struct {
+	Mix []string `json:"mix"`
+	// Config is a Table 2 name ("config#1".."config#6"); empty means the
+	// paper's default config#1.
+	Config string `json:"config,omitempty"`
+	// Contention selects the contention model for predictions; empty
+	// means the paper's FOA.
+	Contention string `json:"contention,omitempty"`
+}
+
+// MixResult is the JSON shape of one evaluated mix, shared by predict,
+// simulate and sweep responses.
+type MixResult struct {
+	Mix        []string  `json:"mix"`
+	Config     string    `json:"config"`
+	Kind       string    `json:"kind"`
+	Error      string    `json:"error,omitempty"`
+	Benchmarks []string  `json:"benchmarks,omitempty"`
+	SingleCPI  []float64 `json:"single_cpi,omitempty"`
+	MultiCPI   []float64 `json:"multi_cpi,omitempty"`
+	Slowdown   []float64 `json:"slowdown,omitempty"`
+	STP        float64   `json:"stp,omitempty"`
+	ANTT       float64   `json:"antt,omitempty"`
+	Iterations int       `json:"iterations,omitempty"`
+}
+
+func toMixResult(r engine.Result) MixResult {
+	out := MixResult{
+		Mix:    r.Job.Mix,
+		Config: r.Job.LLC.Name,
+		Kind:   r.Job.Kind.String(),
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	out.Benchmarks = r.Benchmarks
+	out.SingleCPI = r.SingleCPI
+	out.MultiCPI = r.MultiCPI
+	out.Slowdown = r.Slowdown
+	out.STP = r.STP
+	out.ANTT = r.ANTT
+	if r.Prediction != nil {
+		out.Iterations = r.Prediction.Iterations
+	}
+	return out
+}
+
+// resolveEval turns an EvalRequest into engine job parameters.
+func resolveEval(req EvalRequest) (cache.Config, core.Options, error) {
+	var opts core.Options
+	llcName := req.Config
+	if llcName == "" {
+		llcName = cache.LLCConfigs()[0].Name
+	}
+	llc, err := cache.LLCConfigByName(llcName)
+	if err != nil {
+		return cache.Config{}, opts, err
+	}
+	if req.Contention != "" {
+		m, err := contention.ByName(req.Contention)
+		if err != nil {
+			return cache.Config{}, opts, err
+		}
+		opts.Contention = m
+	}
+	if err := validateMix(req.Mix); err != nil {
+		return cache.Config{}, opts, err
+	}
+	return llc, opts, nil
+}
+
+func validateMix(mix []string) error {
+	if len(mix) == 0 {
+		return errors.New("mix is empty")
+	}
+	if len(mix) > maxMixWidth {
+		return fmt.Errorf("mix has %d programs, limit is %d", len(mix), maxMixWidth)
+	}
+	return nil
+}
+
+func (s *Server) runOne(w http.ResponseWriter, r *http.Request, kind engine.Kind) {
+	var req EvalRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	llc, opts, err := resolveEval(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job := engine.Job{Mix: workload.Mix(req.Mix), LLC: llc, Kind: kind, Opts: opts}
+	results, err := s.eng.Run(r.Context(), []engine.Job{job})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	res := results[0]
+	if res.Err != nil {
+		// Unknown benchmark names etc. are client errors.
+		writeError(w, http.StatusBadRequest, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toMixResult(res))
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.runOne(w, r, engine.Predict)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.runOne(w, r, engine.Simulate)
+}
+
+// SweepRequest asks for a batch evaluation: every mix on every config.
+type SweepRequest struct {
+	Mixes [][]string `json:"mixes"`
+	// Configs lists Table 2 names; empty means all six.
+	Configs []string `json:"configs,omitempty"`
+	// Kind is "predict" (default) or "simulate".
+	Kind       string `json:"kind,omitempty"`
+	Contention string `json:"contention,omitempty"`
+}
+
+// SweepConfigResult holds one config's row of a sweep.
+type SweepConfigResult struct {
+	Config  string      `json:"config"`
+	Results []MixResult `json:"results"`
+	// MeanSTP averages STP over the config's successfully evaluated
+	// mixes — the design-ranking quantity of the paper's Section 5.
+	MeanSTP float64 `json:"mean_stp"`
+}
+
+// SweepResponse is the /v1/sweep payload.
+type SweepResponse struct {
+	Kind    string              `json:"kind"`
+	Mixes   int                 `json:"mixes"`
+	Configs []SweepConfigResult `json:"configs"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	kind, err := engine.KindByName(req.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Mixes) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("mixes is empty"))
+		return
+	}
+	if len(req.Mixes) > maxSweepMixes {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep has %d mixes, limit is %d", len(req.Mixes), maxSweepMixes))
+		return
+	}
+	if len(req.Configs) > maxSweepConfigs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep has %d configs, limit is %d", len(req.Configs), maxSweepConfigs))
+		return
+	}
+	var opts core.Options
+	if req.Contention != "" {
+		m, err := contention.ByName(req.Contention)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts.Contention = m
+	}
+	var llcs []cache.Config
+	if len(req.Configs) == 0 {
+		llcs = cache.LLCConfigs()
+	} else {
+		for _, name := range req.Configs {
+			llc, err := cache.LLCConfigByName(name)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			llcs = append(llcs, llc)
+		}
+	}
+	mixes := make([]workload.Mix, len(req.Mixes))
+	for i, m := range req.Mixes {
+		if err := validateMix(m); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("mix %d: %w", i, err))
+			return
+		}
+		mixes[i] = workload.Mix(m)
+	}
+
+	grid, err := s.eng.Sweep(r.Context(), mixes, llcs, kind, opts)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := SweepResponse{Kind: kind.String(), Mixes: len(mixes)}
+	for i, llc := range llcs {
+		row := SweepConfigResult{Config: llc.Name, Results: make([]MixResult, 0, len(mixes))}
+		sum, n := 0.0, 0
+		for _, res := range grid[i] {
+			row.Results = append(row.Results, toMixResult(res))
+			if res.Err == nil {
+				sum += res.STP
+				n++
+			}
+		}
+		if n > 0 {
+			row.MeanSTP = sum / float64(n)
+		}
+		resp.Configs = append(resp.Configs, row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

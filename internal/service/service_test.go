@@ -1,0 +1,326 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+const (
+	testTraceLen = 200_000
+	testInterval = 10_000
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+	})
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestCatalog(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cat CatalogResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Benchmarks) != len(trace.SuiteNames()) {
+		t.Fatalf("%d benchmarks, want %d", len(cat.Benchmarks), len(trace.SuiteNames()))
+	}
+	if len(cat.LLCConfigs) != 6 {
+		t.Fatalf("%d LLC configs, want 6", len(cat.LLCConfigs))
+	}
+	if len(cat.ContentionModels) == 0 || cat.ContentionModels[0] != "FOA" {
+		t.Fatalf("contention models %v, want FOA first", cat.ContentionModels)
+	}
+	if cat.TraceLength != testTraceLen {
+		t.Fatalf("trace length %d, want %d", cat.TraceLength, testTraceLen)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/predict", EvalRequest{
+		Mix: []string{"gamess", "lbm", "soplex", "mcf"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res MixResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "predict" || res.Config != "config#1" {
+		t.Fatalf("kind/config = %q/%q", res.Kind, res.Config)
+	}
+	if res.STP <= 0 || res.STP > 4 || res.ANTT < 1 {
+		t.Fatalf("implausible metrics STP=%v ANTT=%v", res.STP, res.ANTT)
+	}
+	if len(res.MultiCPI) != 4 || len(res.Slowdown) != 4 {
+		t.Fatalf("per-program vectors wrong length: %+v", res)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("prediction reported zero solver iterations")
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/simulate", EvalRequest{
+		Mix:    []string{"gamess", "lbm"},
+		Config: "config#2",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res MixResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "simulate" || res.Config != "config#2" {
+		t.Fatalf("kind/config = %q/%q", res.Kind, res.Config)
+	}
+	if res.STP <= 0 {
+		t.Fatalf("STP = %v", res.STP)
+	}
+	for i, s := range res.Slowdown {
+		if s < 1 {
+			t.Fatalf("slowdown[%d] = %v < 1", i, s)
+		}
+	}
+}
+
+func bigMixJSON(n int) string {
+	mix := make([]string, n)
+	for i := range mix {
+		mix[i] = "gamess"
+	}
+	b, _ := json.Marshal(mix)
+	return string(b)
+}
+
+func manyMixesJSON(n int) string {
+	mixes := make([][]string, n)
+	for i := range mixes {
+		mixes[i] = []string{"gamess"}
+	}
+	b, _ := json.Marshal(mixes)
+	return string(b)
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		path string
+		body string
+	}{
+		{"empty mix", "/v1/predict", `{"mix":[]}`},
+		{"unknown benchmark", "/v1/predict", `{"mix":["nope"]}`},
+		{"unknown config", "/v1/predict", `{"mix":["gamess"],"config":"config#9"}`},
+		{"unknown contention", "/v1/predict", `{"mix":["gamess"],"contention":"nope"}`},
+		{"unknown field", "/v1/predict", `{"mix":["gamess"],"bogus":1}`},
+		{"malformed json", "/v1/sweep", `{"mixes":`},
+		{"no mixes", "/v1/sweep", `{"mixes":[]}`},
+		{"sweep bad kind", "/v1/sweep", `{"mixes":[["gamess"]],"kind":"frobnicate"}`},
+		{"oversized mix", "/v1/predict", fmt.Sprintf(`{"mix":%s}`, bigMixJSON(65))},
+		{"oversized sweep mix", "/v1/sweep", fmt.Sprintf(`{"mixes":[%s]}`, bigMixJSON(65))},
+		{"too many mixes", "/v1/sweep", fmt.Sprintf(`{"mixes":%s}`, manyMixesJSON(2049))},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+		}
+		var e errorBody
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", tc.name, data)
+		}
+	}
+}
+
+// TestSweepLarge is the acceptance-criteria request: 100 mixes x all 6
+// LLC configurations in one call, with every (benchmark, LLC) profile
+// computed at most once across the whole sweep.
+func TestSweepLarge(t *testing.T) {
+	ts, eng := newTestServer(t)
+	s, err := workload.NewSampler(trace.SuiteNames(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes, err := s.RandomMixes(100, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SweepRequest{Mixes: make([][]string, len(mixes))}
+	for i, m := range mixes {
+		req.Mixes[i] = m
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(data, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Mixes != 100 || len(sw.Configs) != 6 {
+		t.Fatalf("sweep shape: %d mixes x %d configs", sw.Mixes, len(sw.Configs))
+	}
+	for _, row := range sw.Configs {
+		if len(row.Results) != 100 {
+			t.Fatalf("config %s has %d results", row.Config, len(row.Results))
+		}
+		if row.MeanSTP <= 0 {
+			t.Fatalf("config %s mean STP %v", row.Config, row.MeanSTP)
+		}
+		for i, r := range row.Results {
+			if r.Error != "" {
+				t.Fatalf("config %s mix %d: %s", row.Config, i, r.Error)
+			}
+			if r.Mix[0] != mixes[i][0] {
+				t.Fatalf("config %s: result %d misaligned with request order", row.Config, i)
+			}
+		}
+	}
+	// Every benchmark appears in some mix, so the exact profile count is
+	// #distinct (benchmark, LLC) pairs touched by the sweep.
+	distinct := make(map[string]bool)
+	for _, row := range sw.Configs {
+		for _, m := range mixes {
+			for _, b := range m {
+				distinct[b+"/"+row.Config] = true
+			}
+		}
+	}
+	if got := eng.ProfileComputations(); got != int64(len(distinct)) {
+		t.Fatalf("computed %d profiles, want exactly %d", got, len(distinct))
+	}
+}
+
+// TestConcurrentRequests hammers the server from many goroutines (run
+// under -race in CI) and checks that identical requests get identical
+// answers while the profile cache still computes each profile once.
+func TestConcurrentRequests(t *testing.T) {
+	ts, eng := newTestServer(t)
+	mix := []string{"gamess", "lbm", "soplex", "mcf"}
+
+	ref, data := postJSON(t, ts.URL+"/v1/predict", EvalRequest{Mix: mix})
+	if ref.StatusCode != http.StatusOK {
+		t.Fatalf("seed request failed: %s", data)
+	}
+	var want MixResult
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var body any
+			path := "/v1/predict"
+			switch g % 3 {
+			case 0:
+				body = EvalRequest{Mix: mix}
+			case 1:
+				body = EvalRequest{Mix: mix, Config: "config#3"}
+			case 2:
+				path = "/v1/sweep"
+				body = SweepRequest{Mixes: [][]string{mix, {"mcf", "milc"}}, Configs: []string{"config#1"}}
+			}
+			buf, _ := json.Marshal(body)
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			out, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, out)
+				return
+			}
+			if g%3 == 0 {
+				var got MixResult
+				if err := json.Unmarshal(out, &got); err != nil {
+					errs <- err
+					return
+				}
+				if got.STP != want.STP || got.ANTT != want.ANTT {
+					errs <- fmt.Errorf("goroutine %d: STP/ANTT %v/%v, want %v/%v",
+						g, got.STP, got.ANTT, want.STP, want.ANTT)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// config#1 and config#3 profiles for the touched benchmarks only.
+	if got := eng.ProfileComputations(); got > 2*int64(len(trace.SuiteNames())) {
+		t.Fatalf("profile cache leak: %d computations", got)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

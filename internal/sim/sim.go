@@ -18,13 +18,13 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/engine/pool"
 	"repro/internal/profile"
 	"repro/internal/sdc"
 	"repro/internal/trace"
@@ -204,23 +204,16 @@ func ProfileSuite(specs []trace.Spec, cfg Config) (*profile.Set, error) {
 		return nil, err
 	}
 	profiles := make([]*profile.Profile, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range specs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			profiles[i], errs[i] = Profile(specs[i], cfg)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Map(context.Background(), len(specs), 0, func(_ context.Context, i int) error {
+		p, err := Profile(specs[i], cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return profile.NewSet(profiles...), nil
 }

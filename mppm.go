@@ -21,12 +21,15 @@
 package mppm
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/sim"
@@ -97,9 +100,13 @@ func ContentionModelByName(name string) (ContentionModel, error) {
 
 // System is a fully configured machine: the Table 1 baseline core and
 // private caches plus one shared LLC configuration, at a given trace
-// scale.
+// scale. Batch methods share one lazily-built evaluation engine, so
+// repeated calls reuse cached single-core profiles.
 type System struct {
 	cfg sim.Config
+
+	engOnce sync.Once
+	eng     *engine.Engine
 }
 
 // NewSystem builds a System with the paper's baseline core/private-cache
@@ -277,6 +284,92 @@ func (s *System) PredictMany(set *ProfileSet, mixes []Mix, opts ModelOptions) ([
 		return nil, nil, err
 	}
 	return preds, &ConfidenceReport{Mixes: len(mixes), STP: ciS, ANTT: ciA}, nil
+}
+
+// engine returns the system's shared evaluation engine, built on first
+// use at the system's trace scale.
+func (s *System) engine() *engine.Engine {
+	s.engOnce.Do(func() {
+		s.eng = engine.New(engine.Config{
+			TraceLength:    s.cfg.TraceLength,
+			IntervalLength: s.cfg.IntervalLength,
+		})
+	})
+	return s.eng
+}
+
+// PredictBatch evaluates MPPM for many mixes concurrently on the
+// system's LLC, bounded by GOMAXPROCS workers, with results aligned to
+// the input order. Single-core profiles are computed at most once per
+// benchmark across all batch calls on this System; cancel ctx to abort
+// mid-batch.
+func (s *System) PredictBatch(ctx context.Context, mixes []Mix) ([]*Prediction, error) {
+	return s.PredictBatchWithOptions(ctx, mixes, ModelOptions{})
+}
+
+// PredictBatchWithOptions is PredictBatch with explicit solver options.
+func (s *System) PredictBatchWithOptions(ctx context.Context, mixes []Mix, opts ModelOptions) ([]*Prediction, error) {
+	jobs := engine.SweepJobs(mixes, []cache.Config{s.LLC()}, engine.Predict, opts)
+	results, err := s.engine().Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Predictions(results)
+}
+
+// SweepResult reports a design-space sweep: every mix evaluated on
+// every LLC configuration.
+type SweepResult struct {
+	Configs []LLCConfig
+	Mixes   []Mix
+	// Predictions[c][m] is Mixes[m] evaluated on Configs[c].
+	Predictions [][]*Prediction
+}
+
+// MeanSTP returns the average predicted STP of configuration c over all
+// mixes — the Section 5 design-ranking quantity.
+func (r *SweepResult) MeanSTP(c int) float64 {
+	if len(r.Predictions[c]) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range r.Predictions[c] {
+		sum += p.STP
+	}
+	return sum / float64(len(r.Predictions[c]))
+}
+
+// Sweep evaluates MPPM for every mix on every LLC configuration through
+// the system's evaluation engine (nil configs means all six Table 2
+// configurations). The engine's singleflight cache guarantees each
+// (benchmark, LLC) single-core profile is computed at most once across
+// the whole sweep, no matter how many mixes share a benchmark.
+func (s *System) Sweep(ctx context.Context, mixes []Mix, configs []LLCConfig) (*SweepResult, error) {
+	return s.SweepWithOptions(ctx, mixes, configs, ModelOptions{})
+}
+
+// SweepWithOptions is Sweep with explicit solver options.
+func (s *System) SweepWithOptions(ctx context.Context, mixes []Mix, configs []LLCConfig, opts ModelOptions) (*SweepResult, error) {
+	if configs == nil {
+		configs = LLCConfigs()
+	}
+	grid, err := s.engine().Sweep(ctx, mixes, configs, engine.Predict, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Configs:     configs,
+		Mixes:       mixes,
+		Predictions: make([][]*Prediction, len(configs)),
+	}
+	for c := range configs {
+		row, err := engine.Predictions(grid[c])
+		if err != nil {
+			return nil, err
+		}
+		res.Predictions[c] = row
+	}
+	return res, nil
 }
 
 // RandomMixes draws deterministic random workload mixes over the suite.

@@ -2,6 +2,8 @@ package mppm
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -280,5 +282,71 @@ func TestSimulateSources(t *testing.T) {
 	}
 	if m.STP < 1.8 || m.STP > 2.0+1e-9 {
 		t.Fatalf("STP = %v, want ~2 for compute pair", m.STP)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, err := RandomMixes(6, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sys.PredictBatch(context.Background(), mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(mixes) {
+		t.Fatalf("%d results for %d mixes", len(batch), len(mixes))
+	}
+	for i, mix := range mixes {
+		want, err := sys.Predict(set, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].STP != want.STP || batch[i].ANTT != want.ANTT {
+			t.Fatalf("mix %d: batch STP/ANTT %v/%v != sequential %v/%v",
+				i, batch[i].STP, batch[i].ANTT, want.STP, want.ANTT)
+		}
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	sys, _ := quickSystem(t)
+	mixes, err := RandomMixes(5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := LLCConfigs()[:2]
+	res, err := sys.Sweep(context.Background(), mixes, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) != len(configs) {
+		t.Fatalf("%d config rows, want %d", len(res.Predictions), len(configs))
+	}
+	for c := range configs {
+		if len(res.Predictions[c]) != len(mixes) {
+			t.Fatalf("config %d has %d results", c, len(res.Predictions[c]))
+		}
+		if m := res.MeanSTP(c); m <= 0 || m > float64(len(mixes[0])) {
+			t.Fatalf("config %d mean STP %v implausible", c, m)
+		}
+	}
+	// A bigger LLC should not hurt throughput on average.
+	if res.MeanSTP(1) < res.MeanSTP(0)-1e-9 {
+		t.Logf("note: config#2 mean STP %v < config#1 %v", res.MeanSTP(1), res.MeanSTP(0))
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	sys, _ := quickSystem(t)
+	mixes, err := RandomMixes(4, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Sweep(ctx, mixes, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
