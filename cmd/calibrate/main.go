@@ -6,15 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"sync"
 
-	"repro/internal/cache"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	mppm "repro"
 )
 
 func main() {
@@ -22,40 +20,44 @@ func main() {
 	llcName := flag.String("llc", "config#1", "LLC configuration (Table 2 name)")
 	probes := flag.Bool("probes", true, "run probe multi-core workloads")
 	flag.Parse()
-
-	llc, err := cache.LLCConfigByName(*llcName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(*length, *llcName, *probes); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
 		os.Exit(1)
 	}
-	cfg := sim.DefaultConfig(llc)
-	cfg.TraceLength = *length
-	cfg.IntervalLength = *length / 50
+}
 
-	specs := trace.Suite()
-	set, err := sim.ProfileSuite(specs, cfg)
+func run(length int64, llcName string, probes bool) error {
+	llc, err := mppm.LLCConfigByName(llcName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
+	}
+	sys, err := mppm.NewSystemScaled(llc, length, length/50)
+	if err != nil {
+		return err
+	}
+	set, err := sys.ProfileAll(mppm.Benchmarks())
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("%-12s %7s %7s %7s %8s %8s %8s\n",
 		"benchmark", "CPI", "memCPI", "memInt", "APKI", "MPKI", "footMB")
 	for _, name := range set.Names() {
 		p, _ := set.Get(name)
-		spec, _ := trace.ByName(name)
+		spec, _ := mppm.BenchmarkByName(name)
 		fmt.Printf("%-12s %7.3f %7.3f %7.3f %8.2f %8.2f %8.1f\n",
 			name, p.CPI(), p.MemCPI(), p.MemIntensity(), p.APKI(), p.MPKI(),
 			float64(spec.Footprint())/(1<<20))
 	}
 
-	if !*probes {
-		return
+	if !probes {
+		return nil
 	}
 
 	// Probe mixes: gamess under streaming pressure, a homogeneous gamess
-	// quad, the paper's Figure 6 mix, and a compute-only mix.
-	mixes := [][]string{
+	// quad, the paper's Figure 6 mix, and a compute-only mix — one batch
+	// simulation request.
+	mixes := []mppm.Mix{
 		{"gamess", "lbm", "milc", "libquantum"},
 		{"gamess", "gamess", "gamess", "gamess"},
 		{"hmmer", "gamess", "soplex", "gamess"},
@@ -63,53 +65,35 @@ func main() {
 		{"gobmk", "soplex", "omnetpp", "xalancbmk"},
 		{"mcf", "lbm", "gamess", "gobmk"},
 	}
-	type probeResult struct {
-		names []string
-		slow  []float64
+	res, err := sys.Eval(context.Background(), mppm.NewRequest(mppm.KindSimulate, mixes))
+	if err != nil {
+		return err
 	}
-	results := make([]probeResult, len(mixes))
-	var wg sync.WaitGroup
-	for mi, mix := range mixes {
-		wg.Add(1)
-		go func(mi int, mix []string) {
-			defer wg.Done()
-			ss := make([]trace.Spec, len(mix))
-			for i, n := range mix {
-				ss[i], _ = trace.ByName(n)
-			}
-			res, err := sim.RunMulticore(ss, cfg, nil)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			slow := make([]float64, len(mix))
-			for i, n := range mix {
-				p, _ := set.Get(n)
-				slow[i] = res.CPI[i] / p.CPI()
-			}
-			results[mi] = probeResult{names: mix, slow: slow}
-		}(mi, mix)
-	}
-	wg.Wait()
 
 	fmt.Println("\nprobe workloads (per-program slowdown vs isolated):")
-	for _, r := range results {
-		if r.names == nil {
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		if sc.Err != nil {
+			fmt.Fprintln(os.Stderr, sc.Err)
 			continue
 		}
-		fmt.Printf("  mix [%v]:", r.names)
-		for i := range r.names {
-			fmt.Printf(" %.2f", r.slow[i])
+		fmt.Printf("  mix [%v]:", []string(sc.Mix))
+		for j := range sc.Mix {
+			fmt.Printf(" %.2f", sc.Measurement.Slowdown[j])
 		}
 		fmt.Println()
 	}
 
 	// Max slowdown per benchmark across probes (Section 6 style).
 	maxSlow := map[string]float64{}
-	for _, r := range results {
-		for i, n := range r.names {
-			if r.slow[i] > maxSlow[n] {
-				maxSlow[n] = r.slow[i]
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		if sc.Err != nil {
+			continue
+		}
+		for j, n := range sc.Measurement.Benchmarks {
+			if sc.Measurement.Slowdown[j] > maxSlow[n] {
+				maxSlow[n] = sc.Measurement.Slowdown[j]
 			}
 		}
 	}
@@ -122,4 +106,5 @@ func main() {
 	for _, n := range names {
 		fmt.Printf("  %-12s %.2f\n", n, maxSlow[n])
 	}
+	return nil
 }

@@ -1,5 +1,9 @@
 // Command mppm is the command-line interface to the Multi-Program
-// Performance Model reproduction.
+// Performance Model reproduction. Every evaluating subcommand is a thin
+// adapter that decodes its flags into the shared mppm.Request shape and
+// executes it through System.Eval, so the CLI, the library and the
+// mppmd service share one evaluation path (cancellation included:
+// Ctrl-C aborts a long rank or stress search cleanly).
 //
 // Subcommands:
 //
@@ -16,58 +20,71 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	mppm "repro"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches a CLI invocation; it is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "list":
-		err = cmdList(args)
+		err = cmdList(stdout, rest, stderr)
 	case "profile":
-		err = cmdProfile(args)
+		err = cmdProfile(stdout, rest, stderr)
 	case "predict":
-		err = cmdPredict(args)
+		err = cmdPredict(ctx, stdout, rest, stderr)
 	case "simulate":
-		err = cmdSimulate(args)
+		err = cmdSimulate(ctx, stdout, rest, stderr)
 	case "compare":
-		err = cmdCompare(args)
+		err = cmdCompare(ctx, stdout, rest, stderr)
 	case "rank":
-		err = cmdRank(args)
+		err = cmdRank(ctx, stdout, rest, stderr)
 	case "stress":
-		err = cmdStress(args)
+		err = cmdStress(ctx, stdout, rest, stderr)
 	case "count":
-		err = cmdCount(args)
+		err = cmdCount(stdout, rest, stderr)
 	case "classify":
-		err = cmdClassify(args)
+		err = cmdClassify(stdout, rest, stderr)
 	case "export":
-		err = cmdExport(args)
+		err = cmdExport(stderr, rest)
 	case "-h", "--help", "help":
-		usage()
+		usage(stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "mppm: unknown subcommand %q\n\n", cmd)
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mppm: unknown subcommand %q\n\n", cmd)
+		usage(stderr)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mppm:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mppm:", err)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: mppm <subcommand> [flags]
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: mppm <subcommand> [flags]
 
 subcommands:
   list      list the synthetic benchmark suite
@@ -82,6 +99,14 @@ subcommands:
   export    serialize a benchmark's trace to the binary trace format`)
 }
 
+// newFlagSet builds a flag set that reports errors instead of exiting,
+// so the CLI is testable end to end.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
 // scaleFlags adds the common -llc/-n/-interval flags.
 type scaleFlags struct {
 	llc      *string
@@ -92,8 +117,8 @@ type scaleFlags struct {
 func addScaleFlags(fs *flag.FlagSet) scaleFlags {
 	return scaleFlags{
 		llc:      fs.String("llc", "config#1", "LLC configuration (Table 2 name)"),
-		length:   fs.Int64("n", 10_000_000, "trace length in instructions"),
-		interval: fs.Int64("interval", 200_000, "profiling interval in instructions"),
+		length:   fs.Int64("n", mppm.DefaultTraceLength, "trace length in instructions"),
+		interval: fs.Int64("interval", mppm.DefaultIntervalLength, "profiling interval in instructions"),
 	}
 }
 
@@ -105,7 +130,7 @@ func (s scaleFlags) system() (*mppm.System, error) {
 	return mppm.NewSystemScaled(llc, *s.length, *s.interval)
 }
 
-func parseMix(s string) ([]string, error) {
+func parseMix(s string) (mppm.Mix, error) {
 	if s == "" {
 		return nil, fmt.Errorf("missing -mix (comma-separated benchmark names)")
 	}
@@ -116,18 +141,46 @@ func parseMix(s string) ([]string, error) {
 			return nil, err
 		}
 	}
-	return mix, nil
+	return mppm.Mix(mix), nil
 }
 
-func cmdList(args []string) error {
-	fs := flag.NewFlagSet("list", flag.ExitOnError)
+// loadProfiles reads a profile set written by "mppm profile". An empty
+// path returns nil: evaluations then draw on the engine's profile
+// cache, computing only the profiles the request actually needs.
+func loadProfiles(path string) (*mppm.ProfileSet, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mppm.ReadProfileSet(f)
+}
+
+// evalOne runs a single-mix request and returns its scenario.
+func evalOne(ctx context.Context, sys *mppm.System, kind mppm.Kind, mix mppm.Mix, opts ...mppm.Option) (*mppm.Scenario, error) {
+	res, err := sys.Eval(ctx, mppm.NewRequest(kind, []mppm.Mix{mix}, opts...))
+	if err != nil {
+		return nil, err
+	}
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		return nil, sc.Err
+	}
+	return sc, nil
+}
+
+func cmdList(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("list", stderr)
 	verbose := fs.Bool("v", false, "include region detail")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %8s %7s %s\n", "benchmark", "footMB", "phases", "regions")
+	fmt.Fprintf(stdout, "%-12s %8s %7s %s\n", "benchmark", "footMB", "phases", "regions")
 	for _, b := range mppm.Benchmarks() {
-		fmt.Printf("%-12s %8.1f %7d %d\n",
+		fmt.Fprintf(stdout, "%-12s %8.1f %7d %d\n",
 			b.Name, float64(b.Footprint())/(1<<20), len(b.Phases), len(b.Regions))
 		if *verbose {
 			for _, r := range b.Regions {
@@ -135,15 +188,15 @@ func cmdList(args []string) error {
 				if r.Dependent {
 					dep = " dependent"
 				}
-				fmt.Printf("    %-8s %8.1fKB%s\n", r.Kind, float64(r.Size)/1024, dep)
+				fmt.Fprintf(stdout, "    %-8s %8.1fKB%s\n", r.Kind, float64(r.Size)/1024, dep)
 			}
 		}
 	}
 	return nil
 }
 
-func cmdProfile(args []string) error {
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+func cmdProfile(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("profile", stderr)
 	sf := addScaleFlags(fs)
 	out := fs.String("out", "", "output file for the profile set JSON (default: stdout)")
 	bench := fs.String("bench", "", "profile only these comma-separated benchmarks")
@@ -170,7 +223,7 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -182,29 +235,16 @@ func cmdProfile(args []string) error {
 	if err := set.WriteJSON(w); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "profiled %d benchmarks on %s (%d-instruction traces)\n",
+	fmt.Fprintf(stderr, "profiled %d benchmarks on %s (%d-instruction traces)\n",
 		len(bs), sys.LLC().Name, sys.TraceLength())
 	return nil
 }
 
-// loadOrProfile loads a profile set from -profiles or profiles in-process.
-func loadOrProfile(sys *mppm.System, path string) (*mppm.ProfileSet, error) {
-	if path == "" {
-		return sys.ProfileAll(mppm.Benchmarks())
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return mppm.ReadProfileSet(f)
-}
-
-func cmdPredict(args []string) error {
-	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+func cmdPredict(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("predict", stderr)
 	sf := addScaleFlags(fs)
 	mixFlag := fs.String("mix", "", "comma-separated benchmark names")
-	profiles := fs.String("profiles", "", "profile set JSON from 'mppm profile' (default: profile in-process)")
+	profiles := fs.String("profiles", "", "profile set JSON from 'mppm profile' (default: engine-cached profiling)")
 	model := fs.String("model", "FOA", "contention model (FOA, FOA-reuse, SDC-compete, equal-partition)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,7 +257,7 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := loadOrProfile(sys, *profiles)
+	set, err := loadProfiles(*profiles)
 	if err != nil {
 		return err
 	}
@@ -225,24 +265,26 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := sys.PredictWithOptions(set, mix, mppm.ModelOptions{Contention: cm})
+	sc, err := evalOne(ctx, sys, mppm.KindPredict, mix,
+		mppm.WithProfiles(set), mppm.WithOptions(mppm.ModelOptions{Contention: cm}))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("MPPM prediction for [%s] on %s (%s):\n",
+	pred := sc.Prediction
+	fmt.Fprintf(stdout, "MPPM prediction for [%s] on %s (%s):\n",
 		strings.Join(mix, " "), sys.LLC().Name, cm.Name())
-	fmt.Printf("  %-12s %10s %10s %10s\n", "program", "CPI(SC)", "CPI(MC)", "slowdown")
+	fmt.Fprintf(stdout, "  %-12s %10s %10s %10s\n", "program", "CPI(SC)", "CPI(MC)", "slowdown")
 	for i, n := range pred.Benchmarks {
-		fmt.Printf("  %-12s %10.3f %10.3f %9.2fx\n",
+		fmt.Fprintf(stdout, "  %-12s %10.3f %10.3f %9.2fx\n",
 			n, pred.SingleCPI[i], pred.MultiCPI[i], pred.Slowdown[i])
 	}
-	fmt.Printf("  STP %.3f   ANTT %.3f   (%d iterations)\n",
+	fmt.Fprintf(stdout, "  STP %.3f   ANTT %.3f   (%d iterations)\n",
 		pred.STP, pred.ANTT, pred.Iterations)
 	return nil
 }
 
-func cmdSimulate(args []string) error {
-	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+func cmdSimulate(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("simulate", stderr)
 	sf := addScaleFlags(fs)
 	mixFlag := fs.String("mix", "", "comma-separated benchmark names")
 	if err := fs.Parse(args); err != nil {
@@ -256,25 +298,26 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	meas, err := sys.Simulate(mix)
+	sc, err := evalOne(ctx, sys, mppm.KindSimulate, mix)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("detailed simulation of [%s] on %s:\n", strings.Join(mix, " "), sys.LLC().Name)
-	fmt.Printf("  %-12s %10s %10s %10s\n", "program", "CPI(SC)", "CPI(MC)", "slowdown")
+	meas := sc.Measurement
+	fmt.Fprintf(stdout, "detailed simulation of [%s] on %s:\n", strings.Join(mix, " "), sys.LLC().Name)
+	fmt.Fprintf(stdout, "  %-12s %10s %10s %10s\n", "program", "CPI(SC)", "CPI(MC)", "slowdown")
 	for i, n := range meas.Benchmarks {
-		fmt.Printf("  %-12s %10.3f %10.3f %9.2fx\n",
+		fmt.Fprintf(stdout, "  %-12s %10.3f %10.3f %9.2fx\n",
 			n, meas.SingleCPI[i], meas.MultiCPI[i], meas.Slowdown[i])
 	}
-	fmt.Printf("  STP %.3f   ANTT %.3f\n", meas.STP, meas.ANTT)
+	fmt.Fprintf(stdout, "  STP %.3f   ANTT %.3f\n", meas.STP, meas.ANTT)
 	return nil
 }
 
-func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+func cmdCompare(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("compare", stderr)
 	sf := addScaleFlags(fs)
 	mixFlag := fs.String("mix", "", "comma-separated benchmark names")
-	profiles := fs.String("profiles", "", "profile set JSON (default: profile in-process)")
+	profiles := fs.String("profiles", "", "profile set JSON (default: engine-cached profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -286,88 +329,93 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := loadOrProfile(sys, *profiles)
+	set, err := loadProfiles(*profiles)
 	if err != nil {
 		return err
 	}
-	cmp, err := sys.CompareMix(set, mix)
+	sc, err := evalOne(ctx, sys, mppm.KindCompare, mix, mppm.WithProfiles(set))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("MPPM vs. detailed simulation for [%s] on %s:\n",
+	fmt.Fprintf(stdout, "MPPM vs. detailed simulation for [%s] on %s:\n",
 		strings.Join(mix, " "), sys.LLC().Name)
-	fmt.Printf("  %-12s %12s %12s %10s\n", "program", "measured MC", "predicted MC", "error")
-	for i, n := range cmp.Measurement.Benchmarks {
-		m, p := cmp.Measurement.MultiCPI[i], cmp.Prediction.MultiCPI[i]
-		fmt.Printf("  %-12s %12.3f %12.3f %+9.1f%%\n", n, m, p, (p-m)/m*100)
+	fmt.Fprintf(stdout, "  %-12s %12s %12s %10s\n", "program", "measured MC", "predicted MC", "error")
+	for i, n := range sc.Measurement.Benchmarks {
+		m, p := sc.Measurement.MultiCPI[i], sc.Prediction.MultiCPI[i]
+		fmt.Fprintf(stdout, "  %-12s %12.3f %12.3f %+9.1f%%\n", n, m, p, (p-m)/m*100)
 	}
-	fmt.Printf("  STP  measured %.3f predicted %.3f (%+.1f%%)\n",
-		cmp.Measurement.STP, cmp.Prediction.STP, cmp.STPError()*100)
-	fmt.Printf("  ANTT measured %.3f predicted %.3f (%+.1f%%)\n",
-		cmp.Measurement.ANTT, cmp.Prediction.ANTT, cmp.ANTTError()*100)
+	fmt.Fprintf(stdout, "  STP  measured %.3f predicted %.3f (%+.1f%%)\n",
+		sc.Measurement.STP, sc.Prediction.STP, sc.STPError()*100)
+	fmt.Fprintf(stdout, "  ANTT measured %.3f predicted %.3f (%+.1f%%)\n",
+		sc.Measurement.ANTT, sc.Prediction.ANTT, sc.ANTTError()*100)
 	return nil
 }
 
-func cmdRank(args []string) error {
-	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+func cmdRank(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("rank", stderr)
 	mixes := fs.Int("mixes", 1000, "number of random mixes to evaluate per config")
 	cores := fs.Int("cores", 4, "programs per mix")
 	seed := fs.Int64("seed", 1, "mix sampling seed")
-	length := fs.Int64("n", 10_000_000, "trace length in instructions")
-	interval := fs.Int64("interval", 200_000, "profiling interval")
+	length := fs.Int64("n", mppm.DefaultTraceLength, "trace length in instructions")
+	interval := fs.Int64("interval", mppm.DefaultIntervalLength, "profiling interval")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ms, err := mppm.RandomMixes(*mixes, *cores, *seed)
+	if err != nil {
+		return err
+	}
+	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), *length, *interval)
+	if err != nil {
+		return err
+	}
+	// The whole 6-config x N-mix grid is one request; the engine computes
+	// each (benchmark, LLC) profile exactly once across it.
+	res, err := sys.Eval(ctx, mppm.NewRequest(mppm.KindPredict, ms,
+		mppm.WithConfigs(mppm.LLCConfigs()...)))
+	if err != nil {
+		return err
+	}
+	if err := res.Err(); err != nil {
 		return err
 	}
 	type row struct {
 		name      string
 		stp, antt float64
 	}
-	var rows []row
-	ms, err := mppm.RandomMixes(*mixes, *cores, *seed)
-	if err != nil {
-		return err
-	}
-	for _, llc := range mppm.LLCConfigs() {
-		sys, err := mppm.NewSystemScaled(llc, *length, *interval)
-		if err != nil {
-			return err
-		}
-		set, err := sys.ProfileAll(mppm.Benchmarks())
-		if err != nil {
-			return err
-		}
-		_, rep, err := sys.PredictMany(set, ms, mppm.ModelOptions{})
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row{llc.Name, rep.STP.Mean, rep.ANTT.Mean})
-		fmt.Fprintf(os.Stderr, "ranked %s\n", llc.Name)
+	rows := make([]row, len(res.Configs))
+	for c, llc := range res.Configs {
+		rows[c] = row{llc.Name, res.MeanSTP(c), res.MeanANTT(c)}
+		fmt.Fprintf(stderr, "ranked %s\n", llc.Name)
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].stp > rows[b].stp })
-	fmt.Printf("MPPM ranking over %d %d-program mixes (best STP first):\n", *mixes, *cores)
-	fmt.Printf("  %-10s %10s %10s\n", "config", "avg STP", "avg ANTT")
+	fmt.Fprintf(stdout, "MPPM ranking over %d %d-program mixes (best STP first):\n", *mixes, *cores)
+	fmt.Fprintf(stdout, "  %-10s %10s %10s\n", "config", "avg STP", "avg ANTT")
 	for _, r := range rows {
-		fmt.Printf("  %-10s %10.4f %10.4f\n", r.name, r.stp, r.antt)
+		fmt.Fprintf(stdout, "  %-10s %10.4f %10.4f\n", r.name, r.stp, r.antt)
 	}
 	return nil
 }
 
-func cmdStress(args []string) error {
-	fs := flag.NewFlagSet("stress", flag.ExitOnError)
+func cmdStress(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("stress", stderr)
 	sf := addScaleFlags(fs)
 	mixes := fs.Int("mixes", 2000, "number of random mixes to search")
 	cores := fs.Int("cores", 4, "programs per mix")
 	k := fs.Int("k", 10, "how many stress workloads to report")
 	seed := fs.Int64("seed", 1, "mix sampling seed")
-	profiles := fs.String("profiles", "", "profile set JSON (default: profile in-process)")
+	profiles := fs.String("profiles", "", "profile set JSON (default: engine-cached profiling)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *k < 1 {
+		return fmt.Errorf("stress: k < 1")
 	}
 	sys, err := sf.system()
 	if err != nil {
 		return err
 	}
-	set, err := loadOrProfile(sys, *profiles)
+	set, err := loadProfiles(*profiles)
 	if err != nil {
 		return err
 	}
@@ -375,20 +423,26 @@ func cmdStress(args []string) error {
 	if err != nil {
 		return err
 	}
-	worst, err := sys.StressSearch(set, ms, *k)
+	res, err := sys.Eval(ctx, mppm.NewRequest(mppm.KindPredict, ms,
+		mppm.WithProfiles(set), mppm.WithTopK(*k)))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("worst %d of %d mixes by predicted STP on %s:\n", *k, *mixes, sys.LLC().Name)
-	for i, w := range worst {
-		fmt.Printf("  %2d. STP %6.3f  worst program %s (%.2fx)  [%s]\n",
-			i+1, w.STP, w.WorstProgram, w.WorstSlowdown, strings.Join(w.Mix, " "))
+	if err := res.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "worst %d of %d mixes by predicted STP on %s:\n", *k, *mixes, sys.LLC().Name)
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		prog, slow := sc.Prediction.MaxSlowdown()
+		fmt.Fprintf(stdout, "  %2d. STP %6.3f  worst program %s (%.2fx)  [%s]\n",
+			i+1, sc.STP(), prog, slow, strings.Join(sc.Mix, " "))
 	}
 	return nil
 }
 
-func cmdClassify(args []string) error {
-	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+func cmdClassify(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("classify", stderr)
 	sf := addScaleFlags(fs)
 	profiles := fs.String("profiles", "", "profile set JSON (default: profile in-process)")
 	threshold := fs.Float64("threshold", mppm.DefaultMemIntensityThreshold,
@@ -400,25 +454,30 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := loadOrProfile(sys, *profiles)
+	set, err := loadProfiles(*profiles)
 	if err != nil {
 		return err
 	}
+	if set == nil {
+		if set, err = sys.ProfileAll(mppm.Benchmarks()); err != nil {
+			return err
+		}
+	}
 	classes := mppm.Classify(set, *threshold)
 	names := set.Names()
-	fmt.Printf("%-12s %6s %8s\n", "benchmark", "class", "memInt")
+	fmt.Fprintf(stdout, "%-12s %6s %8s\n", "benchmark", "class", "memInt")
 	for _, n := range names {
 		p, err := set.Get(n)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-12s %6s %8.3f\n", n, classes[n], p.MemIntensity())
+		fmt.Fprintf(stdout, "%-12s %6s %8.3f\n", n, classes[n], p.MemIntensity())
 	}
 	return nil
 }
 
-func cmdExport(args []string) error {
-	fs := flag.NewFlagSet("export", flag.ExitOnError)
+func cmdExport(stderr io.Writer, args []string) error {
+	fs := newFlagSet("export", stderr)
 	bench := fs.String("bench", "", "benchmark name")
 	length := fs.Int64("n", 1_000_000, "trace length in instructions")
 	out := fs.String("out", "", "output file (required)")
@@ -440,12 +499,12 @@ func cmdExport(args []string) error {
 	if err := mppm.ExportTrace(f, b, *length); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d instructions) to %s\n", *bench, *length, *out)
+	fmt.Fprintf(stderr, "wrote %s (%d instructions) to %s\n", *bench, *length, *out)
 	return nil
 }
 
-func cmdCount(args []string) error {
-	fs := flag.NewFlagSet("count", flag.ExitOnError)
+func cmdCount(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("count", stderr)
 	n := fs.Int("benchmarks", 29, "number of benchmarks")
 	m := fs.Int("cores", 4, "number of hardware contexts")
 	if err := fs.Parse(args); err != nil {
@@ -455,6 +514,6 @@ func cmdCount(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("C(%d+%d-1, %d) = %d possible multi-program workloads\n", *n, *m, *m, c)
+	fmt.Fprintf(stdout, "C(%d+%d-1, %d) = %d possible multi-program workloads\n", *n, *m, *m, c)
 	return nil
 }

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scale keeps the smoke tests fast: 1/50 of the paper's trace length.
+var scale = []string{"-n", "200000", "-interval", "10000"}
+
+// TestSubcommandSmoke drives the real subcommand dispatch end to end at
+// the small trace scale, asserting exit codes and key output fields.
+func TestSubcommandSmoke(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		exit     int
+		stdout   []string // substrings that must appear on stdout
+		noStdout bool     // expect empty stdout (errors go to stderr)
+	}{
+		{
+			name:   "list",
+			args:   []string{"list"},
+			exit:   0,
+			stdout: []string{"benchmark", "gamess", "lbm", "mcf"},
+		},
+		{
+			name: "predict",
+			args: append([]string{"predict", "-mix", "gamess,lbm,soplex,mcf"}, scale...),
+			exit: 0,
+			stdout: []string{
+				"MPPM prediction for [gamess lbm soplex mcf] on config#1",
+				"CPI(SC)", "slowdown", "STP", "ANTT", "iterations",
+			},
+		},
+		{
+			name: "predict alternate contention model",
+			args: append([]string{"predict", "-mix", "gamess,lbm", "-model", "equal-partition"}, scale...),
+			exit: 0,
+			stdout: []string{
+				"(equal-partition)", "STP",
+			},
+		},
+		{
+			name: "compare",
+			args: append([]string{"compare", "-mix", "gamess,lbm"}, scale...),
+			exit: 0,
+			stdout: []string{
+				"MPPM vs. detailed simulation for [gamess lbm] on config#1",
+				"measured MC", "predicted MC",
+				"STP  measured", "ANTT measured",
+			},
+		},
+		{
+			name: "rank",
+			args: []string{"rank", "-mixes", "6", "-cores", "2", "-n", "200000", "-interval", "10000"},
+			exit: 0,
+			stdout: []string{
+				"MPPM ranking over 6 2-program mixes",
+				"avg STP", "avg ANTT",
+				"config#1", "config#2", "config#3", "config#4", "config#5", "config#6",
+			},
+		},
+		{
+			name: "stress",
+			args: append([]string{"stress", "-mixes", "8", "-cores", "2", "-k", "3"}, scale...),
+			exit: 0,
+			stdout: []string{
+				"worst 3 of 8 mixes by predicted STP",
+				"1. STP", "3. STP", "worst program",
+			},
+		},
+		{
+			name:   "count",
+			args:   []string{"count", "-benchmarks", "29", "-cores", "4"},
+			exit:   0,
+			stdout: []string{"35960 possible multi-program workloads"},
+		},
+		{
+			name:     "unknown subcommand",
+			args:     []string{"frobnicate"},
+			exit:     2,
+			noStdout: true,
+		},
+		{
+			name:     "no subcommand",
+			args:     nil,
+			exit:     2,
+			noStdout: true,
+		},
+		{
+			name:     "predict missing mix",
+			args:     append([]string{"predict"}, scale...),
+			exit:     1,
+			noStdout: true,
+		},
+		{
+			name:     "predict unknown benchmark",
+			args:     append([]string{"predict", "-mix", "nope"}, scale...),
+			exit:     1,
+			noStdout: true,
+		},
+		{
+			name:     "predict unknown llc",
+			args:     []string{"predict", "-mix", "gamess", "-llc", "config#9"},
+			exit:     1,
+			noStdout: true,
+		},
+		{
+			name:     "stress k zero",
+			args:     append([]string{"stress", "-mixes", "4", "-cores", "2", "-k", "0"}, scale...),
+			exit:     1,
+			noStdout: true,
+		},
+		{
+			name:     "rank bad scale",
+			args:     []string{"rank", "-mixes", "4", "-cores", "2", "-n", "0", "-interval", "0"},
+			exit:     1,
+			noStdout: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.exit {
+				t.Fatalf("exit %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			out := stdout.String()
+			for _, want := range tc.stdout {
+				if !strings.Contains(out, want) {
+					t.Errorf("stdout missing %q:\n%s", want, out)
+				}
+			}
+			if tc.noStdout && out != "" {
+				t.Errorf("expected empty stdout, got:\n%s", out)
+			}
+			if tc.exit != 0 && stderr.Len() == 0 {
+				t.Error("failure produced no stderr diagnostics")
+			}
+		})
+	}
+}
+
+// TestProfileRoundTrip writes a profile set with "mppm profile" and
+// feeds it back to predict via -profiles.
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profiles.json")
+
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"profile", "-bench", "gamess,lbm", "-out", path}, scale...)
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("profile exit %d: %s", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "profiled 2 benchmarks") {
+		t.Fatalf("profile diagnostics: %s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	args = append([]string{"predict", "-mix", "gamess,lbm", "-profiles", path}, scale...)
+	if got := run(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("predict exit %d: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "STP") {
+		t.Fatalf("predict output missing STP:\n%s", stdout.String())
+	}
+
+	// A mix outside the stored set must fail cleanly (missing profiles).
+	stdout.Reset()
+	stderr.Reset()
+	args = append([]string{"predict", "-mix", "mcf", "-profiles", path}, scale...)
+	if got := run(args, &stdout, &stderr); got != 1 {
+		t.Fatalf("predict with missing profile: exit %d, want 1", got)
+	}
+}

@@ -1,18 +1,21 @@
 // Command mppmd serves the Multi-Program Performance Model as a JSON
 // HTTP prediction service. Where the mppm CLI answers one question per
 // process, mppmd keeps the expensive single-core profiles warm in a
-// singleflight cache and answers predict/simulate/sweep requests from a
-// shared bounded worker pool.
+// singleflight cache and answers evaluation requests from a shared
+// bounded worker pool.
 //
-// Start it and ask for a sweep:
+// Start it and ask for an evaluation:
 //
 //	mppmd -addr :8080 &
 //	curl -s localhost:8080/v1/benchmarks | head
-//	curl -s -X POST localhost:8080/v1/predict \
+//	curl -s -X POST localhost:8080/v1/eval \
 //	    -d '{"mix":["gamess","lbm","soplex","mcf"]}'
-//	curl -s -X POST localhost:8080/v1/sweep \
-//	    -d '{"mixes":[["gamess","lbm"],["mcf","milc"]],"kind":"predict"}'
+//	curl -s -X POST localhost:8080/v1/eval \
+//	    -d '{"kind":"compare","mixes":[["gamess","lbm"],["mcf","milc"]],
+//	         "configs":["config#1","config#4"]}'
 //
+// The pre-/v1/eval endpoints (/v1/predict, /v1/simulate, /v1/sweep)
+// remain as thin adapters over the same request path.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
@@ -28,34 +31,38 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/engine"
+	mppm "repro"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		llcName     = flag.String("llc", "config#1", "default LLC configuration (requests override per call)")
 		traceLen    = flag.Int64("trace-length", 0, "per-benchmark trace length in instructions (0 = paper scale, 10M)")
 		interval    = flag.Int64("interval", 0, "profiling interval length in instructions (0 = paper scale, 200K)")
 		workers     = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 		drainWindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
-	if err := run(*addr, *traceLen, *interval, *workers, *drainWindow); err != nil {
+	if err := run(*addr, *llcName, *traceLen, *interval, *workers, *drainWindow); err != nil {
 		fmt.Fprintln(os.Stderr, "mppmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, traceLen, interval int64, workers int, drainWindow time.Duration) error {
-	eng := engine.New(engine.Config{
-		TraceLength:    traceLen,
-		IntervalLength: interval,
-		Workers:        workers,
-	})
+func run(addr, llcName string, traceLen, interval int64, workers int, drainWindow time.Duration) error {
+	llc, err := mppm.LLCConfigByName(llcName)
+	if err != nil {
+		return err
+	}
+	sys := mppm.NewSystem(llc,
+		mppm.WithScale(traceLen, interval),
+		mppm.WithWorkers(workers),
+	)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           service.New(eng).Handler(),
+		Handler:           service.New(sys).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

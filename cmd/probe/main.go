@@ -1,21 +1,20 @@
 // Command probe measures MPPM prediction error against detailed
 // simulation over random workload mixes — a quick development check of
 // the Figure 4 experiment at reduced scale.
+//
+// One KindCompare request evaluates every mix through the model and
+// the reference simulator concurrently; the error statistics are read
+// off the paired scenarios.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
-	"sync"
+	"os"
 
-	"repro/internal/cache"
-	"repro/internal/contention"
-	"repro/internal/core"
-	"repro/internal/metrics"
-	"repro/internal/sim"
-	"repro/internal/trace"
-	"repro/internal/workload"
+	mppm "repro"
 )
 
 func main() {
@@ -26,75 +25,57 @@ func main() {
 	model := flag.String("model", "FOA", "contention model")
 	verbose := flag.Bool("v", false, "per-mix detail")
 	flag.Parse()
+	if err := run(*nmix, *cores, *length, *paperC, *model, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "probe:", err)
+		os.Exit(1)
+	}
+}
 
-	cfg := sim.DefaultConfig(cache.LLCConfigs()[0])
-	cfg.TraceLength = *length
-	cfg.IntervalLength = *length / 50
-	set, err := sim.ProfileSuite(trace.Suite(), cfg)
+func run(nmix, cores int, length int64, paperC bool, model string, verbose bool) error {
+	cm, err := mppm.ContentionModelByName(model)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	s, _ := workload.NewSampler(trace.SuiteNames(), 12345)
-	mixes, _ := s.RandomMixes(*nmix, *cores, true)
+	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), length, length/50)
+	if err != nil {
+		return err
+	}
+	mixes, err := mppm.RandomMixes(nmix, cores, 12345)
+	if err != nil {
+		return err
+	}
 
-	type row struct{ stpErr, anttErr, slowErr float64 }
-	rows := make([]row, len(mixes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 24)
-	for i, mix := range mixes {
-		wg.Add(1)
-		go func(i int, mix workload.Mix) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			specs := make([]trace.Spec, len(mix))
-			sc := make([]float64, len(mix))
-			for j, n := range mix {
-				specs[j], _ = trace.ByName(n)
-				p, _ := set.Get(n)
-				sc[j] = p.CPI()
-			}
-			det, err := sim.RunMulticore(specs, cfg, nil)
-			if err != nil {
-				panic(err)
-			}
-			cm, err := contention.ByName(*model)
-			if err != nil {
-				panic(err)
-			}
-			pred, err := core.Predict(set, mix, core.Options{PaperDenominator: *paperC, Contention: cm})
-			if err != nil {
-				panic(err)
-			}
-			stpM, _ := metrics.STP(sc, det.CPI)
-			anttM, _ := metrics.ANTT(sc, det.CPI)
-			sErr := 0.0
-			for j := range mix {
-				sm := det.CPI[j] / sc[j]
-				sErr += math.Abs(pred.Slowdown[j]-sm) / sm
-			}
-			rows[i] = row{
-				stpErr:  math.Abs(pred.STP-stpM) / stpM,
-				anttErr: math.Abs(pred.ANTT-anttM) / anttM,
-				slowErr: sErr / float64(len(mix)),
-			}
-			if *verbose {
-				fmt.Printf("%-50v stp %+5.1f%% antt %+5.1f%%\n", mix,
-					(pred.STP-stpM)/stpM*100, (pred.ANTT-anttM)/anttM*100)
-			}
-		}(i, mix)
+	res, err := sys.Eval(context.Background(), mppm.NewRequest(mppm.KindCompare, mixes,
+		mppm.WithOptions(mppm.ModelOptions{PaperDenominator: paperC, Contention: cm})))
+	if err != nil {
+		return err
 	}
-	wg.Wait()
+	if err := res.Err(); err != nil {
+		return err
+	}
+
 	var stp, antt, slow, worst float64
-	for _, r := range rows {
-		stp += r.stpErr
-		antt += r.anttErr
-		slow += r.slowErr
-		if r.stpErr > worst {
-			worst = r.stpErr
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		pred, meas := sc.Prediction, sc.Measurement
+		sErr := 0.0
+		for j := range sc.Mix {
+			sErr += math.Abs(pred.Slowdown[j]-meas.Slowdown[j]) / meas.Slowdown[j]
+		}
+		stpErr := math.Abs(sc.STPError())
+		stp += stpErr
+		antt += math.Abs(sc.ANTTError())
+		slow += sErr / float64(len(sc.Mix))
+		if stpErr > worst {
+			worst = stpErr
+		}
+		if verbose {
+			fmt.Printf("%-50v stp %+5.1f%% antt %+5.1f%%\n", sc.Mix,
+				sc.STPError()*100, sc.ANTTError()*100)
 		}
 	}
-	n := float64(len(rows))
+	n := float64(len(res.Scenarios))
 	fmt.Printf("mixes=%d cores=%d: avg |STP err| %.2f%%  avg |ANTT err| %.2f%%  avg slowdown err %.2f%%  worst STP %.2f%%\n",
-		len(mixes), *cores, stp/n*100, antt/n*100, slow/n*100, worst*100)
+		len(mixes), cores, stp/n*100, antt/n*100, slow/n*100, worst*100)
+	return nil
 }

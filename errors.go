@@ -1,0 +1,31 @@
+package mppm
+
+import "repro/internal/mppmerr"
+
+// The evaluation error taxonomy. Every error returned by Eval,
+// EvalStream and the wrapper methods wraps exactly one of these
+// sentinels when the failure has a classifiable cause, so callers (and
+// the mppmd service, which maps them onto HTTP status codes) can branch
+// with errors.Is instead of string matching:
+//
+//	res, err := sys.Eval(ctx, req)
+//	switch {
+//	case errors.Is(err, mppm.ErrUnknownBenchmark): // 404-style: no such benchmark
+//	case errors.Is(err, mppm.ErrEmptyMix):         // 400-style: request names no programs
+//	case errors.Is(err, mppm.ErrBadConfig):        // 400-style: bad LLC/contention/scale
+//	case errors.Is(err, mppm.ErrNoProfiles):       // supplied profile set is incomplete
+//	}
+var (
+	// ErrUnknownBenchmark reports a benchmark name outside the synthetic
+	// suite.
+	ErrUnknownBenchmark = mppmerr.ErrUnknownBenchmark
+	// ErrEmptyMix reports a request with no programs or no mixes.
+	ErrEmptyMix = mppmerr.ErrEmptyMix
+	// ErrBadConfig reports an invalid or unknown machine configuration
+	// (LLC geometry or name, contention model, trace scale, request
+	// shape).
+	ErrBadConfig = mppmerr.ErrBadConfig
+	// ErrNoProfiles reports an explicit profile set that is missing a
+	// required benchmark profile.
+	ErrNoProfiles = mppmerr.ErrNoProfiles
+)

@@ -3,10 +3,10 @@
 // with what a handful of randomly chosen mixes would conclude — the
 // "current practice" the paper debunks.
 //
-// The whole 6-config x 400-mix grid is one System.Sweep call: the
-// evaluation engine fans the 2400 evaluations over a bounded worker
-// pool and computes each (benchmark, LLC) single-core profile exactly
-// once behind a singleflight cache.
+// The whole 6-config x 400-mix grid is one Eval request with
+// WithConfigs: the evaluation engine fans the 2400 scenarios over a
+// bounded worker pool and computes each (benchmark, LLC) single-core
+// profile exactly once behind a singleflight cache.
 //
 // Run with: go run ./examples/designspace
 package main
@@ -33,12 +33,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), traceLen, interval)
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(traceLen, interval))
+	res, err := sys.Eval(context.Background(),
+		mppm.NewRequest(mppm.KindPredict, mixes, mppm.WithConfigs(mppm.LLCConfigs()...)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sweep, err := sys.Sweep(context.Background(), mixes, mppm.LLCConfigs())
-	if err != nil {
+	if err := res.Err(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -46,13 +47,13 @@ func main() {
 		name            string
 		manySTP, fewSTP float64
 	}
-	rows := make([]row, len(sweep.Configs))
-	for c, llc := range sweep.Configs {
+	rows := make([]row, len(res.Configs))
+	for c, llc := range res.Configs {
 		fewSum := 0.0
 		for m := 0; m < fewMixes; m++ {
-			fewSum += sweep.Predictions[c][m].STP
+			fewSum += res.At(c, m).STP()
 		}
-		rows[c] = row{llc.Name, sweep.MeanSTP(c), fewSum / fewMixes}
+		rows[c] = row{llc.Name, res.MeanSTP(c), fewSum / fewMixes}
 		fmt.Printf("evaluated %s: avg STP %.4f over %d mixes\n",
 			llc.Name, rows[c].manySTP, manyMixes)
 	}

@@ -6,12 +6,15 @@
 //
 // The experiment: place the cache-sensitive gamess on a big (2x) or
 // little (1x) core alongside streaming co-runners and see how frequency
-// and cache contention interact.
+// and cache contention interact. Each core assignment is one request
+// with its own solver options; the engine's profile cache makes the
+// repeated evaluations nearly free.
 //
 // Run with: go run ./examples/heterogeneous
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,17 +22,10 @@ import (
 )
 
 func main() {
-	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), 2_000_000, 40_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("profiling the suite (one-time cost)...")
-	set, err := sys.ProfileAll(mppm.Benchmarks())
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(2_000_000, 40_000))
 
-	mix := []string{"gamess", "lbm", "milc", "povray"}
+	mix := mppm.Mix{"gamess", "lbm", "milc", "povray"}
 	configs := []struct {
 		name  string
 		scale []float64
@@ -40,18 +36,21 @@ func main() {
 		{"big povray (2x)", []float64{1, 1, 1, 2}},
 	}
 
-	fmt.Printf("\nmix: %v\n", mix)
+	fmt.Printf("mix: %v\n", mix)
 	fmt.Printf("%-22s %10s %10s %28s\n", "core assignment", "STP", "ANTT", "per-program slowdown")
 	for _, c := range configs {
-		pred, err := sys.PredictWithOptions(set, mix, mppm.ModelOptions{
-			FrequencyScale: c.scale,
-		})
+		res, err := sys.Eval(ctx, mppm.NewRequest(mppm.KindPredict, []mppm.Mix{mix},
+			mppm.WithOptions(mppm.ModelOptions{FrequencyScale: c.scale})))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s %10.3f %10.3f    ", c.name, pred.STP, pred.ANTT)
+		sc := &res.Scenarios[0]
+		if sc.Err != nil {
+			log.Fatal(sc.Err)
+		}
+		fmt.Printf("%-22s %10.3f %10.3f    ", c.name, sc.Prediction.STP, sc.Prediction.ANTT)
 		for i := range mix {
-			fmt.Printf("%5.2fx ", pred.Slowdown[i])
+			fmt.Printf("%5.2fx ", sc.Prediction.Slowdown[i])
 		}
 		fmt.Println()
 	}

@@ -1,15 +1,17 @@
-// Quickstart: profile a few benchmarks once, then predict multi-core
-// performance for a workload mix with MPPM and check the prediction
-// against the detailed reference simulator.
+// Quickstart: predict multi-core performance for a workload mix with
+// MPPM and check the prediction against the detailed reference
+// simulator — one KindCompare request.
 //
 // This is the paper's Figure 1 pipeline end to end: single-core
-// simulation profiling (one-time cost) -> analytical multi-program
+// simulation profiling (one-time cost, handled transparently by the
+// evaluation engine's profile cache) -> analytical multi-program
 // performance model -> estimated multi-program performance.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,38 +19,28 @@ import (
 )
 
 func main() {
-	// A reduced scale keeps the example fast; drop NewSystemScaled for
-	// the paper-scale 10M-instruction traces.
-	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), 2_000_000, 40_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// One-time cost: profile the suite in isolation. The profiles hold
-	// per-interval CPI, memory CPI and LLC stack distance counters.
-	fmt.Println("profiling the suite (one-time cost)...")
-	set, err := sys.ProfileAll(mppm.Benchmarks())
-	if err != nil {
-		log.Fatal(err)
-	}
+	// A reduced scale keeps the example fast; drop WithScale for the
+	// paper-scale 10M-instruction traces.
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(2_000_000, 40_000))
 
 	// The mix under study: the paper's worst-case four-program workload
-	// (two copies of gamess with hmmer and soplex).
-	mix := []string{"gamess", "gamess", "hmmer", "soplex"}
-
-	// MPPM: analytical, sub-second.
-	pred, err := sys.Predict(set, mix)
+	// (two copies of gamess with hmmer and soplex). A KindCompare request
+	// evaluates the analytical model and the detailed simulator for every
+	// scenario; the engine profiles each benchmark in isolation exactly
+	// once (the paper's "one-time cost") on the way.
+	mix := mppm.Mix{"gamess", "gamess", "hmmer", "soplex"}
+	res, err := sys.Eval(context.Background(),
+		mppm.NewRequest(mppm.KindCompare, []mppm.Mix{mix}))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Reference: detailed multi-core simulation of the same mix.
-	meas, err := sys.SimulateWithProfiles(set, mix)
-	if err != nil {
-		log.Fatal(err)
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		log.Fatal(sc.Err)
 	}
+	pred, meas := sc.Prediction, sc.Measurement
 
-	fmt.Printf("\nworkload: %v on %s\n\n", mix, sys.LLC().Name)
+	fmt.Printf("workload: %v on %s\n\n", mix, sc.Config.Name)
 	fmt.Printf("%-10s %10s %12s %12s %12s\n",
 		"program", "CPI(alone)", "CPI(meas)", "CPI(MPPM)", "slowdown")
 	for i, name := range mix {
@@ -57,8 +49,8 @@ func main() {
 			meas.Slowdown[i])
 	}
 	fmt.Printf("\nSTP:  measured %.3f, MPPM %.3f (%+.1f%% error)\n",
-		meas.STP, pred.STP, (pred.STP-meas.STP)/meas.STP*100)
+		meas.STP, pred.STP, sc.STPError()*100)
 	fmt.Printf("ANTT: measured %.3f, MPPM %.3f (%+.1f%% error)\n",
-		meas.ANTT, pred.ANTT, (pred.ANTT-meas.ANTT)/meas.ANTT*100)
+		meas.ANTT, pred.ANTT, sc.ANTTError()*100)
 	fmt.Println("\nthe cache-sensitive gamess copies suffer most, as in the paper's Figure 6.")
 }

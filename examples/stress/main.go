@@ -3,10 +3,14 @@
 // the ones that stress the machine hardest (lowest predicted STP), plus
 // the benchmarks most sensitive to cache sharing.
 //
+// The worst-K search is one request (WithTopK); the sensitivity scan
+// consumes a second, larger request incrementally through EvalStream.
+//
 // Run with: go run ./examples/stress
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -15,15 +19,8 @@ import (
 )
 
 func main() {
-	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), 2_000_000, 40_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("profiling the suite (one-time cost)...")
-	set, err := sys.ProfileAll(mppm.Benchmarks())
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(2_000_000, 40_000))
 
 	const searchSpace = 3000
 	mixes, err := mppm.RandomMixes(searchSpace, 4, 7)
@@ -32,27 +29,33 @@ func main() {
 	}
 	fmt.Printf("searching %d four-program mixes with MPPM...\n\n", searchSpace)
 
-	worst, err := sys.StressSearch(set, mixes, 10)
+	// One request: evaluate every mix, keep the ten worst by STP.
+	res, err := sys.Eval(ctx, mppm.NewRequest(mppm.KindPredict, mixes, mppm.WithTopK(10)))
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("ten worst workloads by predicted STP:")
-	for i, w := range worst {
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		prog, slow := sc.Prediction.MaxSlowdown()
 		fmt.Printf("  %2d. STP %6.3f  worst: %-10s %.2fx  %v\n",
-			i+1, w.STP, w.WorstProgram, w.WorstSlowdown, w.Mix)
+			i+1, sc.STP(), prog, slow, sc.Mix)
 	}
 
-	// Aggregate per-benchmark worst-case slowdowns over the search, the
-	// paper's "gamess gets slowed down by 2.2x" analysis.
+	// Aggregate per-benchmark worst-case slowdowns over a slice of the
+	// search, the paper's "gamess gets slowed down by 2.2x" analysis —
+	// streamed, so the aggregation runs while scenarios still compute.
 	maxSlow := map[string]float64{}
-	preds, _, err := sys.PredictMany(set, mixes[:600], mppm.ModelOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, p := range preds {
-		for i, name := range p.Benchmarks {
-			if p.Slowdown[i] > maxSlow[name] {
-				maxSlow[name] = p.Slowdown[i]
+	for sc, err := range sys.EvalStream(ctx, mppm.NewRequest(mppm.KindPredict, mixes[:600])) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, name := range sc.Prediction.Benchmarks {
+			if sc.Prediction.Slowdown[i] > maxSlow[name] {
+				maxSlow[name] = sc.Prediction.Slowdown[i]
 			}
 		}
 	}

@@ -3,10 +3,14 @@
 // mixes cheaply, so the 95% confidence interval on mean STP/ANTT can be
 // driven arbitrarily tight — something detailed simulation cannot afford.
 //
+// All 2000 evaluations are one Eval request; the per-N confidence
+// intervals are then computed over prefixes of the result.
+//
 // Run with: go run ./examples/variability
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,15 +18,7 @@ import (
 )
 
 func main() {
-	sys, err := mppm.NewSystemScaled(mppm.DefaultLLC(), 2_000_000, 40_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("profiling the suite (one-time cost)...")
-	set, err := sys.ProfileAll(mppm.Benchmarks())
-	if err != nil {
-		log.Fatal(err)
-	}
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(2_000_000, 40_000))
 
 	const total = 2000
 	mixes, err := mppm.RandomMixes(total, 4, 11)
@@ -30,9 +26,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	fmt.Printf("evaluating %d mixes in one request...\n", total)
+	res, err := sys.Eval(context.Background(), mppm.NewRequest(mppm.KindPredict, mixes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := res.Predictions()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("\n%8s %10s %12s %10s %12s\n", "mixes", "mean STP", "STP 95% CI", "mean ANTT", "ANTT 95% CI")
 	for _, n := range []int{10, 20, 50, 150, 500, total} {
-		_, rep, err := sys.PredictMany(set, mixes[:n], mppm.ModelOptions{})
+		rep, err := mppm.Confidence(preds[:n])
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,8 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/mppmerr"
 )
 
 // Config describes one cache.
@@ -36,17 +38,17 @@ func (c Config) Lines() int64 { return c.SizeBytes / c.LineSize }
 // power-of-two set count, and at least one way.
 func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.LineSize <= 0 {
-		return fmt.Errorf("cache %s: non-positive size", c.Name)
+		return fmt.Errorf("cache %s: non-positive size: %w", c.Name, mppmerr.ErrBadConfig)
 	}
 	if c.Ways < 1 {
-		return fmt.Errorf("cache %s: ways %d < 1", c.Name, c.Ways)
+		return fmt.Errorf("cache %s: ways %d < 1: %w", c.Name, c.Ways, mppmerr.ErrBadConfig)
 	}
 	if c.SizeBytes%(c.LineSize*int64(c.Ways)) != 0 {
-		return fmt.Errorf("cache %s: size %d not divisible by line*ways", c.Name, c.SizeBytes)
+		return fmt.Errorf("cache %s: size %d not divisible by line*ways: %w", c.Name, c.SizeBytes, mppmerr.ErrBadConfig)
 	}
 	sets := c.Sets()
 	if sets&(sets-1) != 0 {
-		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+		return fmt.Errorf("cache %s: set count %d not a power of two: %w", c.Name, sets, mppmerr.ErrBadConfig)
 	}
 	return nil
 }

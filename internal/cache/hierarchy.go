@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/mppmerr"
+)
 
 // Level identifies where an access was satisfied in the hierarchy.
 type Level int
@@ -116,5 +120,5 @@ func LLCConfigByName(name string) (Config, error) {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("cache: unknown LLC config %q", name)
+	return Config{}, fmt.Errorf("cache: unknown LLC config %q: %w", name, mppmerr.ErrBadConfig)
 }

@@ -15,6 +15,7 @@ package contention
 import (
 	"fmt"
 
+	"repro/internal/mppmerr"
 	"repro/internal/sdc"
 )
 
@@ -213,7 +214,7 @@ func ByName(name string) (Model, error) {
 	case "equal-partition", "equal":
 		return EqualPartition{}, nil
 	default:
-		return nil, fmt.Errorf("contention: unknown model %q", name)
+		return nil, fmt.Errorf("contention: unknown model %q: %w", name, mppmerr.ErrBadConfig)
 	}
 }
 

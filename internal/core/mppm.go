@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/contention"
 	"repro/internal/metrics"
+	"repro/internal/mppmerr"
 	"repro/internal/profile"
 )
 
@@ -118,7 +119,7 @@ type Model struct {
 // collected on identical LLC and core configurations.
 func New(profiles []*profile.Profile, opts Options) (*Model, error) {
 	if len(profiles) == 0 {
-		return nil, fmt.Errorf("core: no profiles")
+		return nil, fmt.Errorf("core: no profiles: %w", mppmerr.ErrNoProfiles)
 	}
 	for i, p := range profiles {
 		if p == nil {
@@ -348,7 +349,7 @@ func queueWait(rho, s float64) float64 {
 // a profile set and mix names, run the model, and return the result.
 func Predict(set *profile.Set, mix []string, opts Options) (*Result, error) {
 	if len(mix) == 0 {
-		return nil, fmt.Errorf("core: empty mix")
+		return nil, fmt.Errorf("core: %w", mppmerr.ErrEmptyMix)
 	}
 	profs := make([]*profile.Profile, len(mix))
 	for i, name := range mix {

@@ -21,6 +21,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine/pool"
 	"repro/internal/metrics"
+	"repro/internal/mppmerr"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -76,6 +78,11 @@ type Job struct {
 	// Opts tunes the MPPM solver (contention model, smoothing, ...).
 	// Ignored for Simulate jobs.
 	Opts core.Options
+	// Profiles, when non-nil, supplies the single-core profiles
+	// explicitly instead of the engine's per-(benchmark, LLC)
+	// singleflight cache — the path for derived or deserialized profile
+	// sets, whose members need not belong to the synthetic suite.
+	Profiles *profile.Set
 }
 
 // Result is the outcome of one Job. Exactly one of Err or the payload
@@ -241,7 +248,13 @@ func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config)
 // configuration in parallel and returns the profiles as a set — the
 // engine-cached equivalent of sim.ProfileSuite.
 func (e *Engine) ProfileSet(ctx context.Context, llc cache.Config) (*profile.Set, error) {
-	specs := trace.Suite()
+	return e.ProfileSpecs(ctx, trace.Suite(), llc)
+}
+
+// ProfileSpecs profiles the given benchmarks under an LLC configuration
+// in parallel, each at most once per (benchmark, LLC) across all
+// concurrent callers.
+func (e *Engine) ProfileSpecs(ctx context.Context, specs []trace.Spec, llc cache.Config) (*profile.Set, error) {
 	profiles := make([]*profile.Profile, len(specs))
 	err := pool.Map(ctx, len(specs), e.cfg.Workers, func(ctx context.Context, i int) error {
 		p, err := e.Profile(ctx, specs[i], llc)
@@ -260,7 +273,7 @@ func (e *Engine) ProfileSet(ctx context.Context, llc cache.Config) (*profile.Set
 // mixSpecs resolves mix names to suite trace specs.
 func mixSpecs(mix workload.Mix) ([]trace.Spec, error) {
 	if len(mix) == 0 {
-		return nil, fmt.Errorf("engine: empty mix")
+		return nil, fmt.Errorf("engine: %w", mppmerr.ErrEmptyMix)
 	}
 	specs := make([]trace.Spec, len(mix))
 	for i, n := range mix {
@@ -273,10 +286,25 @@ func mixSpecs(mix workload.Mix) ([]trace.Spec, error) {
 	return specs, nil
 }
 
-// mixProfiles fetches (computing at most once each) the per-slot
-// profiles of a mix.
-func (e *Engine) mixProfiles(ctx context.Context, specs []trace.Spec, llc cache.Config) ([]*profile.Profile, error) {
-	ps := make([]*profile.Profile, len(specs))
+// mixProfiles fetches the per-slot profiles of a mix: from the job's
+// explicit profile set when one is given, otherwise from the engine
+// cache (computing each at most once).
+func (e *Engine) mixProfiles(ctx context.Context, job Job, llc cache.Config) ([]*profile.Profile, error) {
+	ps := make([]*profile.Profile, len(job.Mix))
+	if job.Profiles != nil {
+		for i, n := range job.Mix {
+			p, err := job.Profiles.Get(n)
+			if err != nil {
+				return nil, err
+			}
+			ps[i] = p
+		}
+		return ps, nil
+	}
+	specs, err := mixSpecs(job.Mix)
+	if err != nil {
+		return nil, err
+	}
 	for i, s := range specs {
 		p, err := e.Profile(ctx, s, llc)
 		if err != nil {
@@ -340,16 +368,15 @@ func Simulations(results []Result) ([]*sim.MulticoreResult, error) {
 // runJob evaluates one job, with its error captured in the Result.
 func (e *Engine) runJob(ctx context.Context, job Job) Result {
 	res := Result{Job: job}
-	specs, err := mixSpecs(job.Mix)
-	if err != nil {
-		res.Err = err
+	if len(job.Mix) == 0 {
+		res.Err = fmt.Errorf("engine: %w", mppmerr.ErrEmptyMix)
 		return res
 	}
 	if err := job.LLC.Validate(); err != nil {
 		res.Err = err
 		return res
 	}
-	profiles, err := e.mixProfiles(ctx, specs, job.LLC)
+	profiles, err := e.mixProfiles(ctx, job, job.LLC)
 	if err != nil {
 		res.Err = err
 		return res
@@ -376,6 +403,11 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 		res.ANTT = pred.ANTT
 
 	case Simulate:
+		specs, err := mixSpecs(job.Mix)
+		if err != nil {
+			res.Err = err
+			return res
+		}
 		meas, err := e.simulate(ctx, job.Mix, specs, job.LLC)
 		if err != nil {
 			res.Err = err
@@ -436,6 +468,82 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		return nil, err
 	}
 	return results, nil
+}
+
+// Stream evaluates a batch of jobs on the worker pool and yields
+// (index, result) pairs in input order as results become available, so
+// a large sweep's consumer can start processing (or forwarding) result
+// 0 while result 10000 is still computing. Per-job failures are
+// captured in Result.Err exactly as in Run.
+//
+// The stream is truncated by context cancellation: jobs that were not
+// finished when ctx was cancelled are never yielded, and the consumer
+// observes ctx.Err() on its own context. Breaking out of the iteration
+// early cancels the remaining work.
+func (e *Engine) Stream(ctx context.Context, jobs []Job) iter.Seq2[int, Result] {
+	return func(yield func(int, Result) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		type slot struct {
+			i int
+			r Result
+		}
+		// Buffered to len(jobs): workers never block on the consumer, so
+		// an early break cannot strand a worker on a dead channel.
+		ch := make(chan slot, len(jobs))
+		go func() {
+			defer close(ch)
+			_ = pool.Map(ctx, len(jobs), e.cfg.Workers, func(ctx context.Context, i int) error {
+				r := e.runJob(ctx, jobs[i])
+				// A job that failed only because the stream was cancelled
+				// is dropped: cancellation truncates the stream rather than
+				// surfacing as per-job errors.
+				if r.Err != nil && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				ch <- slot{i, r}
+				return nil
+			})
+		}()
+
+		// Reorder-buffer completions into input order.
+		pending := make(map[int]Result)
+		next := 0
+		for s := range ch {
+			pending[s.i] = s.r
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if !yield(next, r) {
+					return
+				}
+				next++
+			}
+		}
+	}
+}
+
+// SimulateSources runs the detailed multi-core simulator over arbitrary
+// trace sources, one per core. Sources are opaque streams, so unlike
+// suite mixes the result is not cached; the call still honors ctx.
+func (e *Engine) SimulateSources(ctx context.Context, srcs []trace.Source, llc cache.Config) (*sim.MulticoreResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sim.RunMulticoreSources(srcs, e.SimConfig(llc), nil)
+}
+
+// ProfileSource profiles one arbitrary trace source under an LLC
+// configuration. Like SimulateSources it is uncached.
+func (e *Engine) ProfileSource(ctx context.Context, src trace.Source, llc cache.Config) (*profile.Profile, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sim.ProfileSource(src, e.SimConfig(llc), sim.ProfileOptions{})
 }
 
 // SweepJobs builds the len(llcs) x len(mixes) job grid of a sweep in

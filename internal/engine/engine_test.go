@@ -9,6 +9,8 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/mppmerr"
+	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -258,6 +260,131 @@ func TestProgressCallback(t *testing.T) {
 		if !seen[i] {
 			t.Fatalf("progress callback never reported done=%d", i)
 		}
+	}
+}
+
+func TestStreamOrderedIncremental(t *testing.T) {
+	eng := newTestEngine(4)
+	mixes := testMixes(t, 16, 2)
+	jobs := SweepJobs(mixes, cache.LLCConfigs()[:1], Predict, core.Options{})
+
+	want, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for i, r := range eng.Stream(context.Background(), jobs) {
+		if i != next {
+			t.Fatalf("stream yielded index %d, want %d", i, next)
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.STP != want[i].STP {
+			t.Fatalf("job %d: stream STP %v != run STP %v", i, r.STP, want[i].STP)
+		}
+		next++
+	}
+	if next != len(jobs) {
+		t.Fatalf("stream yielded %d results, want %d", next, len(jobs))
+	}
+}
+
+func TestStreamEarlyBreakCancelsWork(t *testing.T) {
+	eng := newTestEngine(2)
+	mixes := testMixes(t, 32, 2)
+	jobs := SweepJobs(mixes, cache.LLCConfigs()[:1], Predict, core.Options{})
+	n := 0
+	for _, r := range eng.Stream(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("consumed %d results, want 3", n)
+	}
+}
+
+func TestStreamCancelTruncates(t *testing.T) {
+	eng := newTestEngine(1)
+	mixes := testMixes(t, 32, 2)
+	jobs := SweepJobs(mixes, cache.LLCConfigs()[:1], Predict, core.Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	for _, r := range eng.Stream(ctx, jobs) {
+		if r.Err != nil {
+			t.Fatalf("cancelled stream yielded a per-job error: %v", r.Err)
+		}
+		n++
+		if n == 2 {
+			cancel()
+		}
+	}
+	if n < 2 || n == len(jobs) {
+		t.Fatalf("stream yielded %d results after cancel, want a truncated stream", n)
+	}
+}
+
+func TestJobExplicitProfiles(t *testing.T) {
+	eng := newTestEngine(0)
+	llc := cache.LLCConfigs()[0]
+	set, err := eng.ProfileSet(context.Background(), llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.ProfileComputations()
+
+	mix := workload.Mix{"gamess", "lbm"}
+	results, err := eng.Run(context.Background(), []Job{
+		{Mix: mix, LLC: llc, Kind: Predict, Profiles: set},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if got := eng.ProfileComputations(); got != before {
+		t.Fatalf("explicit-profile job computed %d extra profiles", got-before)
+	}
+
+	// A set that lacks the benchmark wraps ErrNoProfiles.
+	empty := profile.NewSet()
+	results, err = eng.Run(context.Background(), []Job{
+		{Mix: mix, LLC: llc, Kind: Predict, Profiles: empty},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, mppmerr.ErrNoProfiles) {
+		t.Fatalf("missing profile error = %v, want ErrNoProfiles", results[0].Err)
+	}
+}
+
+func TestTypedErrorTaxonomy(t *testing.T) {
+	eng := newTestEngine(0)
+	llc := cache.LLCConfigs()[0]
+	results, err := eng.Run(context.Background(), []Job{
+		{Mix: workload.Mix{}, LLC: llc, Kind: Predict},
+		{Mix: workload.Mix{"no-such-benchmark"}, LLC: llc, Kind: Predict},
+		{Mix: workload.Mix{"gamess"}, LLC: cache.Config{Name: "bad", SizeBytes: 3, Ways: 1, LineSize: 64}, Kind: Predict},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, mppmerr.ErrEmptyMix) {
+		t.Fatalf("empty mix error = %v, want ErrEmptyMix", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, mppmerr.ErrUnknownBenchmark) {
+		t.Fatalf("unknown benchmark error = %v, want ErrUnknownBenchmark", results[1].Err)
+	}
+	if !errors.Is(results[2].Err, mppmerr.ErrBadConfig) {
+		t.Fatalf("bad config error = %v, want ErrBadConfig", results[2].Err)
 	}
 }
 

@@ -227,13 +227,13 @@ func (l *Lab) DetailedBatch(mixes []workload.Mix, llc cache.Config) ([]*sim.Mult
 }
 
 // Predict runs MPPM for a mix on an LLC configuration using the lab's
-// model options.
+// model options, through the engine like every other evaluation.
 func (l *Lab) Predict(mix workload.Mix, llc cache.Config) (*core.Result, error) {
-	set, err := l.ProfileSet(llc)
+	out, err := l.PredictBatch([]workload.Mix{mix}, llc)
 	if err != nil {
 		return nil, err
 	}
-	return core.Predict(set, mix, l.params.ModelOpts)
+	return out[0], nil
 }
 
 // PredictBatch evaluates MPPM for many mixes in parallel.

@@ -1,0 +1,31 @@
+// Package mppmerr defines the sentinel errors of the evaluation API.
+//
+// The sentinels live in their own leaf package so that every layer can
+// classify failures the same way: the internal building blocks (trace,
+// cache, contention, profile, core, engine) wrap them into the errors
+// they return, the public mppm facade re-exports them, and the HTTP
+// service maps them onto status codes (unknown benchmark → 404,
+// malformed request → 400, anything else → 500). Callers test with
+// errors.Is; the sentinel text is the stable, human-readable suffix of
+// the wrapped message.
+package mppmerr
+
+import "errors"
+
+var (
+	// ErrUnknownBenchmark marks a benchmark name that is not in the
+	// synthetic suite (and, for explicit profile sets, not profiled).
+	ErrUnknownBenchmark = errors.New("unknown benchmark")
+
+	// ErrEmptyMix marks an evaluation request with no programs (or a
+	// batch request with no mixes).
+	ErrEmptyMix = errors.New("empty mix")
+
+	// ErrBadConfig marks an invalid or unknown machine configuration:
+	// LLC geometry, contention model name, trace scale, request shape.
+	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrNoProfiles marks an evaluation that needs single-core profiles
+	// which are missing from the supplied profile set.
+	ErrNoProfiles = errors.New("missing profiles")
+)

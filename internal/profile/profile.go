@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/mppmerr"
 	"repro/internal/sdc"
 )
 
@@ -400,7 +401,7 @@ func NewSet(ps ...*Profile) *Set {
 func (s *Set) Get(name string) (*Profile, error) {
 	p, ok := s.Profiles[name]
 	if !ok {
-		return nil, fmt.Errorf("profile: no profile for %q", name)
+		return nil, fmt.Errorf("profile: no profile for %q: %w", name, mppmerr.ErrNoProfiles)
 	}
 	return p, nil
 }

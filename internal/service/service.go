@@ -1,4 +1,4 @@
-// Package service exposes the evaluation engine as a JSON-over-HTTP
+// Package service exposes the evaluation API as a JSON-over-HTTP
 // prediction service — the network face of the paper's headline
 // property that MPPM evaluates a multi-program mix in milliseconds
 // where detailed simulation takes hours.
@@ -7,29 +7,32 @@
 //
 //	GET  /healthz        liveness probe
 //	GET  /v1/benchmarks  the synthetic suite, LLC configs, contention models
-//	POST /v1/predict     evaluate MPPM for one mix on one LLC config
-//	POST /v1/simulate    run the detailed reference simulator for one mix
-//	POST /v1/sweep       batch: many mixes x many LLC configs in one request
+//	POST /v1/eval        the canonical endpoint: any kind, mixes x configs, top-k
+//	POST /v1/predict     compat: one mix, one LLC config, MPPM model
+//	POST /v1/simulate    compat: one mix, one LLC config, detailed simulator
+//	POST /v1/sweep       compat: many mixes x many LLC configs
 //
-// Handlers run requests through a shared engine.Engine, so concurrent
-// requests share one worker pool and one singleflight profile cache:
-// a hundred clients asking about the same benchmark profile cost one
-// profiling run. Request cancellation (client disconnect) propagates
-// into the engine through the request context.
+// Every handler decodes into the same wire shape (EvalRequest), builds
+// one mppm.Request and executes it through System.Eval, so the service
+// is a thin adapter over the exact API library users call: one shared
+// worker pool, one singleflight profile cache, request cancellation
+// (client disconnect) propagating into the engine.
+//
+// Errors map onto status codes through the mppm error taxonomy:
+// ErrUnknownBenchmark → 404, ErrEmptyMix/ErrBadConfig/ErrNoProfiles →
+// 400, cancellation → 503, anything else (solver failure) → 500.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
-	"repro/internal/cache"
+	mppm "repro"
 	"repro/internal/contention"
-	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // Request limits. The body cap alone would admit sweeps of ~80k mixes,
@@ -38,18 +41,18 @@ import (
 const (
 	maxRequestBytes = 8 << 20
 	maxMixWidth     = 64   // programs per mix (paper max is 16 cores)
-	maxSweepMixes   = 2048 // mixes per sweep request
-	maxSweepConfigs = 16   // LLC configs per sweep request
+	maxSweepMixes   = 2048 // mixes per request
+	maxSweepConfigs = 16   // LLC configs per request
 )
 
-// Server serves the prediction API from one shared engine.
+// Server serves the prediction API from one shared evaluation system.
 type Server struct {
-	eng *engine.Engine
+	sys *mppm.System
 }
 
-// New returns a Server over the given engine.
-func New(eng *engine.Engine) *Server {
-	return &Server{eng: eng}
+// New returns a Server over the given system.
+func New(sys *mppm.System) *Server {
+	return &Server{sys: sys}
 }
 
 // Handler returns the service's HTTP handler.
@@ -57,6 +60,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -76,15 +80,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone; nothing useful to do
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+// statusFor maps the mppm error taxonomy onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, mppm.ErrUnknownBenchmark):
+		return http.StatusNotFound
+	case errors.Is(err, mppm.ErrEmptyMix),
+		errors.Is(err, mppm.ErrBadConfig),
+		errors.Is(err, mppm.ErrNoProfiles):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		badRequest(w, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
 	return true
@@ -118,12 +142,12 @@ type CatalogResponse struct {
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	resp := CatalogResponse{
-		TraceLength: s.eng.SimConfig(cache.LLCConfigs()[0]).TraceLength,
+		TraceLength: s.sys.TraceLength(),
 	}
 	for _, name := range trace.SuiteNames() {
 		resp.Benchmarks = append(resp.Benchmarks, BenchmarkInfo{Name: name})
 	}
-	for _, c := range cache.LLCConfigs() {
+	for _, c := range mppm.LLCConfigs() {
 		resp.LLCConfigs = append(resp.LLCConfigs, LLCInfo{
 			Name: c.Name, SizeBytes: c.SizeBytes, Ways: c.Ways,
 			LineSize: c.LineSize, LatencyCycles: c.LatencyCycles,
@@ -135,19 +159,220 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// EvalRequest asks for one mix on one LLC configuration.
+// EvalRequest is the one wire shape every evaluation endpoint decodes:
+// it mirrors mppm.Request field for field. /v1/eval accepts all of it;
+// the compat endpoints accept the subset their old bodies used (the
+// kind is then implied by the path).
 type EvalRequest struct {
-	Mix []string `json:"mix"`
-	// Config is a Table 2 name ("config#1".."config#6"); empty means the
-	// paper's default config#1.
-	Config string `json:"config,omitempty"`
+	// Kind is "predict" (default), "simulate" or "compare".
+	Kind string `json:"kind,omitempty"`
+	// Mix is the single-mix shorthand; Mixes the batch form. Exactly one
+	// of the two may be set.
+	Mix   []string   `json:"mix,omitempty"`
+	Mixes [][]string `json:"mixes,omitempty"`
+	// Config is the single-config shorthand; Configs the sweep form.
+	// Table 2 names ("config#1".."config#6"); empty means the paper's
+	// default config#1.
+	Config  string   `json:"config,omitempty"`
+	Configs []string `json:"configs,omitempty"`
 	// Contention selects the contention model for predictions; empty
 	// means the paper's FOA.
 	Contention string `json:"contention,omitempty"`
+	// TopK, when positive, keeps only the k lowest-STP scenarios.
+	TopK int `json:"top_k,omitempty"`
 }
 
-// MixResult is the JSON shape of one evaluated mix, shared by predict,
-// simulate and sweep responses.
+// buildRequest validates the wire request and lowers it onto the shared
+// mppm.Request. kindOverride pins the evaluation kind for the compat
+// endpoints; pass nil to honor the body's kind field.
+func buildRequest(req EvalRequest, kindOverride *mppm.Kind) (mppm.Request, error) {
+	var zero mppm.Request
+
+	kind := mppm.KindPredict
+	if kindOverride != nil {
+		kind = *kindOverride
+	} else {
+		var err error
+		if kind, err = mppm.KindByName(req.Kind); err != nil {
+			return zero, err
+		}
+	}
+
+	if len(req.Mix) > 0 && len(req.Mixes) > 0 {
+		return zero, fmt.Errorf("set either mix or mixes, not both: %w", mppm.ErrBadConfig)
+	}
+	raw := req.Mixes
+	if len(req.Mix) > 0 {
+		raw = [][]string{req.Mix}
+	}
+	if len(raw) == 0 {
+		return zero, fmt.Errorf("request names no mixes: %w", mppm.ErrEmptyMix)
+	}
+	if len(raw) > maxSweepMixes {
+		return zero, fmt.Errorf("request has %d mixes, limit is %d: %w",
+			len(raw), maxSweepMixes, mppm.ErrBadConfig)
+	}
+	mixes := make([]mppm.Mix, len(raw))
+	for i, m := range raw {
+		if len(m) == 0 {
+			return zero, fmt.Errorf("mix %d is empty: %w", i, mppm.ErrEmptyMix)
+		}
+		if len(m) > maxMixWidth {
+			return zero, fmt.Errorf("mix %d has %d programs, limit is %d: %w",
+				i, len(m), maxMixWidth, mppm.ErrBadConfig)
+		}
+		mixes[i] = mppm.Mix(m)
+	}
+
+	if req.Config != "" && len(req.Configs) > 0 {
+		return zero, fmt.Errorf("set either config or configs, not both: %w", mppm.ErrBadConfig)
+	}
+	names := req.Configs
+	if req.Config != "" {
+		names = []string{req.Config}
+	}
+	if len(names) > maxSweepConfigs {
+		return zero, fmt.Errorf("request has %d configs, limit is %d: %w",
+			len(names), maxSweepConfigs, mppm.ErrBadConfig)
+	}
+	var opts []mppm.Option
+	if len(names) > 0 {
+		configs := make([]mppm.LLCConfig, len(names))
+		for i, name := range names {
+			llc, err := mppm.LLCConfigByName(name)
+			if err != nil {
+				return zero, err
+			}
+			configs[i] = llc
+		}
+		opts = append(opts, mppm.WithConfigs(configs...))
+	}
+
+	if req.Contention != "" {
+		m, err := contention.ByName(req.Contention)
+		if err != nil {
+			return zero, err
+		}
+		opts = append(opts, mppm.WithOptions(mppm.ModelOptions{Contention: m}))
+	}
+	if req.TopK < 0 {
+		return zero, fmt.Errorf("negative top_k %d: %w", req.TopK, mppm.ErrBadConfig)
+	}
+	if req.TopK > 0 {
+		opts = append(opts, mppm.WithTopK(req.TopK))
+	}
+	return mppm.NewRequest(kind, mixes, opts...), nil
+}
+
+// Metrics is the JSON shape of one evaluated side (model prediction or
+// detailed simulation) of a scenario.
+type Metrics struct {
+	Benchmarks []string  `json:"benchmarks"`
+	SingleCPI  []float64 `json:"single_cpi"`
+	MultiCPI   []float64 `json:"multi_cpi"`
+	Slowdown   []float64 `json:"slowdown"`
+	STP        float64   `json:"stp"`
+	ANTT       float64   `json:"antt"`
+	Iterations int       `json:"iterations,omitempty"`
+}
+
+// ScenarioResult is one (mix, config) outcome of a /v1/eval response.
+type ScenarioResult struct {
+	Mix         []string `json:"mix"`
+	Config      string   `json:"config"`
+	Error       string   `json:"error,omitempty"`
+	Prediction  *Metrics `json:"prediction,omitempty"`
+	Measurement *Metrics `json:"measurement,omitempty"`
+	// STPError/ANTTError report the model's relative error on compare
+	// scenarios.
+	STPError  float64 `json:"stp_error,omitempty"`
+	ANTTError float64 `json:"antt_error,omitempty"`
+}
+
+// EvalResponse is the /v1/eval payload.
+type EvalResponse struct {
+	Kind      string           `json:"kind"`
+	Mixes     int              `json:"mixes"`
+	Configs   []string         `json:"configs"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+func predictionMetrics(p *mppm.Prediction) *Metrics {
+	return &Metrics{
+		Benchmarks: p.Benchmarks, SingleCPI: p.SingleCPI, MultiCPI: p.MultiCPI,
+		Slowdown: p.Slowdown, STP: p.STP, ANTT: p.ANTT, Iterations: p.Iterations,
+	}
+}
+
+func measurementMetrics(m *mppm.Measurement) *Metrics {
+	return &Metrics{
+		Benchmarks: m.Benchmarks, SingleCPI: m.SingleCPI, MultiCPI: m.MultiCPI,
+		Slowdown: m.Slowdown, STP: m.STP, ANTT: m.ANTT,
+	}
+}
+
+func toScenarioResult(sc *mppm.Scenario) ScenarioResult {
+	out := ScenarioResult{Mix: sc.Mix, Config: sc.Config.Name}
+	if sc.Err != nil {
+		out.Error = sc.Err.Error()
+		return out
+	}
+	if sc.Prediction != nil {
+		out.Prediction = predictionMetrics(sc.Prediction)
+	}
+	if sc.Measurement != nil {
+		out.Measurement = measurementMetrics(sc.Measurement)
+	}
+	if sc.Prediction != nil && sc.Measurement != nil {
+		out.STPError = sc.STPError()
+		out.ANTTError = sc.ANTTError()
+	}
+	return out
+}
+
+// handleEval is the canonical evaluation endpoint. Per-scenario
+// failures are embedded in the response rows so a batch survives one
+// bad mix, except when every scenario failed — then the first error's
+// status is returned directly (e.g. 404 for a single unknown-benchmark
+// mix).
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	mreq, err := buildRequest(req, nil)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.sys.Eval(r.Context(), mreq)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	allFailed := true
+	for i := range res.Scenarios {
+		if res.Scenarios[i].Err == nil {
+			allFailed = false
+			break
+		}
+	}
+	if allFailed && len(res.Scenarios) > 0 {
+		writeError(w, res.Err())
+		return
+	}
+	resp := EvalResponse{Kind: res.Kind.String(), Mixes: len(res.Mixes)}
+	for _, c := range res.Configs {
+		resp.Configs = append(resp.Configs, c.Name)
+	}
+	for i := range res.Scenarios {
+		resp.Scenarios = append(resp.Scenarios, toScenarioResult(&res.Scenarios[i]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MixResult is the JSON shape of one evaluated mix on the compat
+// predict/simulate/sweep endpoints.
 type MixResult struct {
 	Mix        []string  `json:"mix"`
 	Config     string    `json:"config"`
@@ -162,103 +387,61 @@ type MixResult struct {
 	Iterations int       `json:"iterations,omitempty"`
 }
 
-func toMixResult(r engine.Result) MixResult {
-	out := MixResult{
-		Mix:    r.Job.Mix,
-		Config: r.Job.LLC.Name,
-		Kind:   r.Job.Kind.String(),
-	}
-	if r.Err != nil {
-		out.Error = r.Err.Error()
+func toMixResult(kind mppm.Kind, sc *mppm.Scenario) MixResult {
+	out := MixResult{Mix: sc.Mix, Config: sc.Config.Name, Kind: kind.String()}
+	if sc.Err != nil {
+		out.Error = sc.Err.Error()
 		return out
 	}
-	out.Benchmarks = r.Benchmarks
-	out.SingleCPI = r.SingleCPI
-	out.MultiCPI = r.MultiCPI
-	out.Slowdown = r.Slowdown
-	out.STP = r.STP
-	out.ANTT = r.ANTT
-	if r.Prediction != nil {
-		out.Iterations = r.Prediction.Iterations
+	switch {
+	case sc.Prediction != nil:
+		p := sc.Prediction
+		out.Benchmarks, out.SingleCPI, out.MultiCPI = p.Benchmarks, p.SingleCPI, p.MultiCPI
+		out.Slowdown, out.STP, out.ANTT = p.Slowdown, p.STP, p.ANTT
+		out.Iterations = p.Iterations
+	case sc.Measurement != nil:
+		m := sc.Measurement
+		out.Benchmarks, out.SingleCPI, out.MultiCPI = m.Benchmarks, m.SingleCPI, m.MultiCPI
+		out.Slowdown, out.STP, out.ANTT = m.Slowdown, m.STP, m.ANTT
 	}
 	return out
 }
 
-// resolveEval turns an EvalRequest into engine job parameters.
-func resolveEval(req EvalRequest) (cache.Config, core.Options, error) {
-	var opts core.Options
-	llcName := req.Config
-	if llcName == "" {
-		llcName = cache.LLCConfigs()[0].Name
-	}
-	llc, err := cache.LLCConfigByName(llcName)
-	if err != nil {
-		return cache.Config{}, opts, err
-	}
-	if req.Contention != "" {
-		m, err := contention.ByName(req.Contention)
-		if err != nil {
-			return cache.Config{}, opts, err
-		}
-		opts.Contention = m
-	}
-	if err := validateMix(req.Mix); err != nil {
-		return cache.Config{}, opts, err
-	}
-	return llc, opts, nil
-}
-
-func validateMix(mix []string) error {
-	if len(mix) == 0 {
-		return errors.New("mix is empty")
-	}
-	if len(mix) > maxMixWidth {
-		return fmt.Errorf("mix has %d programs, limit is %d", len(mix), maxMixWidth)
-	}
-	return nil
-}
-
-func (s *Server) runOne(w http.ResponseWriter, r *http.Request, kind engine.Kind) {
+// runOne serves the compat single-mix endpoints by delegating to the
+// same request path as /v1/eval with the kind pinned.
+func (s *Server) runOne(w http.ResponseWriter, r *http.Request, kind mppm.Kind) {
 	var req EvalRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	llc, opts, err := resolveEval(req)
+	if len(req.Mixes) > 0 || len(req.Configs) > 0 || req.Kind != "" || req.TopK != 0 {
+		badRequest(w, fmt.Errorf("batch fields are for /v1/eval; use mix and config here"))
+		return
+	}
+	mreq, err := buildRequest(req, &kind)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	job := engine.Job{Mix: workload.Mix(req.Mix), LLC: llc, Kind: kind, Opts: opts}
-	results, err := s.eng.Run(r.Context(), []engine.Job{job})
+	res, err := s.sys.Eval(r.Context(), mreq)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, err)
 		return
 	}
-	res := results[0]
-	if res.Err != nil {
-		// Unknown benchmark names etc. are client errors.
-		writeError(w, http.StatusBadRequest, res.Err)
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		writeError(w, sc.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toMixResult(res))
+	writeJSON(w, http.StatusOK, toMixResult(kind, sc))
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	s.runOne(w, r, engine.Predict)
+	s.runOne(w, r, mppm.KindPredict)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	s.runOne(w, r, engine.Simulate)
-}
-
-// SweepRequest asks for a batch evaluation: every mix on every config.
-type SweepRequest struct {
-	Mixes [][]string `json:"mixes"`
-	// Configs lists Table 2 names; empty means all six.
-	Configs []string `json:"configs,omitempty"`
-	// Kind is "predict" (default) or "simulate".
-	Kind       string `json:"kind,omitempty"`
-	Contention string `json:"contention,omitempty"`
+	s.runOne(w, r, mppm.KindSimulate)
 }
 
 // SweepConfigResult holds one config's row of a sweep.
@@ -277,74 +460,46 @@ type SweepResponse struct {
 	Configs []SweepConfigResult `json:"configs"`
 }
 
+// handleSweep is the compat batch endpoint: the same request path as
+// /v1/eval, reshaped into per-config rows. Empty configs means all six
+// Table 2 configurations (the /v1/eval default is config#1 only).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
+	var req EvalRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	kind, err := engine.KindByName(req.Kind)
+	if req.Kind == "compare" {
+		badRequest(w, fmt.Errorf("kind compare is for /v1/eval"))
+		return
+	}
+	if req.TopK != 0 {
+		badRequest(w, fmt.Errorf("top_k is for /v1/eval"))
+		return
+	}
+	if len(req.Configs) == 0 && req.Config == "" {
+		for _, c := range mppm.LLCConfigs() {
+			req.Configs = append(req.Configs, c.Name)
+		}
+	}
+	mreq, err := buildRequest(req, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
-	if len(req.Mixes) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("mixes is empty"))
-		return
-	}
-	if len(req.Mixes) > maxSweepMixes {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("sweep has %d mixes, limit is %d", len(req.Mixes), maxSweepMixes))
-		return
-	}
-	if len(req.Configs) > maxSweepConfigs {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("sweep has %d configs, limit is %d", len(req.Configs), maxSweepConfigs))
-		return
-	}
-	var opts core.Options
-	if req.Contention != "" {
-		m, err := contention.ByName(req.Contention)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		opts.Contention = m
-	}
-	var llcs []cache.Config
-	if len(req.Configs) == 0 {
-		llcs = cache.LLCConfigs()
-	} else {
-		for _, name := range req.Configs {
-			llc, err := cache.LLCConfigByName(name)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			llcs = append(llcs, llc)
-		}
-	}
-	mixes := make([]workload.Mix, len(req.Mixes))
-	for i, m := range req.Mixes {
-		if err := validateMix(m); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("mix %d: %w", i, err))
-			return
-		}
-		mixes[i] = workload.Mix(m)
-	}
-
-	grid, err := s.eng.Sweep(r.Context(), mixes, llcs, kind, opts)
+	res, err := s.sys.Eval(r.Context(), mreq)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, err)
 		return
 	}
-	resp := SweepResponse{Kind: kind.String(), Mixes: len(mixes)}
-	for i, llc := range llcs {
-		row := SweepConfigResult{Config: llc.Name, Results: make([]MixResult, 0, len(mixes))}
+	resp := SweepResponse{Kind: res.Kind.String(), Mixes: len(res.Mixes)}
+	for c, llc := range res.Configs {
+		row := SweepConfigResult{Config: llc.Name, Results: make([]MixResult, 0, len(res.Mixes))}
 		sum, n := 0.0, 0
-		for _, res := range grid[i] {
-			row.Results = append(row.Results, toMixResult(res))
-			if res.Err == nil {
-				sum += res.STP
+		for m := range res.Mixes {
+			sc := res.At(c, m)
+			row.Results = append(row.Results, toMixResult(res.Kind, sc))
+			if sc.Err == nil {
+				sum += sc.STP()
 				n++
 			}
 		}

@@ -10,7 +10,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/engine"
+	mppm "repro"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -20,15 +20,12 @@ const (
 	testInterval = 10_000
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+func newTestServer(t *testing.T) (*httptest.Server, *mppm.System) {
 	t.Helper()
-	eng := engine.New(engine.Config{
-		TraceLength:    testTraceLen,
-		IntervalLength: testInterval,
-	})
-	ts := httptest.NewServer(New(eng).Handler())
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(testTraceLen, testInterval))
+	ts := httptest.NewServer(New(sys).Handler())
 	t.Cleanup(ts.Close)
-	return ts, eng
+	return ts, sys
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -129,6 +126,146 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 }
 
+// TestEvalEndpoint exercises the canonical endpoint: a compare request
+// over two mixes and two configs, scenarios in config-major order with
+// both sides populated.
+func TestEvalEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/eval", EvalRequest{
+		Kind:    "compare",
+		Mixes:   [][]string{{"gamess", "lbm"}, {"mcf", "milc"}},
+		Configs: []string{"config#1", "config#2"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res EvalResponse
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "compare" || res.Mixes != 2 || len(res.Configs) != 2 {
+		t.Fatalf("response shape: %s %d mixes %v configs", res.Kind, res.Mixes, res.Configs)
+	}
+	if len(res.Scenarios) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(res.Scenarios))
+	}
+	for i, sc := range res.Scenarios {
+		wantConfig := res.Configs[i/2]
+		if sc.Config != wantConfig {
+			t.Fatalf("scenario %d on %s, want %s (config-major order)", i, sc.Config, wantConfig)
+		}
+		if sc.Error != "" {
+			t.Fatalf("scenario %d: %s", i, sc.Error)
+		}
+		if sc.Prediction == nil || sc.Measurement == nil {
+			t.Fatalf("compare scenario %d missing a side", i)
+		}
+		if sc.Prediction.STP <= 0 || sc.Measurement.STP <= 0 {
+			t.Fatalf("scenario %d degenerate STP", i)
+		}
+	}
+}
+
+// TestEvalTopK asks /v1/eval for the 2 worst of 8 mixes by predicted
+// STP — the stress-search shape.
+func TestEvalTopK(t *testing.T) {
+	ts, _ := newTestServer(t)
+	s, err := workload.NewSampler(trace.SuiteNames(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes, err := s.RandomMixes(8, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := EvalRequest{Mixes: make([][]string, len(mixes)), TopK: 2}
+	for i, m := range mixes {
+		req.Mixes[i] = m
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res EvalResponse
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("top_k kept %d scenarios, want 2", len(res.Scenarios))
+	}
+	if res.Scenarios[0].Prediction.STP > res.Scenarios[1].Prediction.STP {
+		t.Fatal("top_k scenarios not worst-first")
+	}
+}
+
+// TestErrorStatusMapping is the error-taxonomy contract: unknown
+// benchmark → 404, malformed requests → 400.
+func TestErrorStatusMapping(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"unknown benchmark", "/v1/predict", `{"mix":["nope"]}`, http.StatusNotFound},
+		{"unknown benchmark eval", "/v1/eval", `{"mix":["nope"]}`, http.StatusNotFound},
+		{"unknown benchmark sweep-wide", "/v1/eval", `{"mixes":[["nope"],["also-nope"]]}`, http.StatusNotFound},
+		{"empty mix", "/v1/predict", `{"mix":[]}`, http.StatusBadRequest},
+		{"unknown config", "/v1/predict", `{"mix":["gamess"],"config":"config#9"}`, http.StatusBadRequest},
+		{"unknown contention", "/v1/predict", `{"mix":["gamess"],"contention":"nope"}`, http.StatusBadRequest},
+		{"unknown field", "/v1/predict", `{"mix":["gamess"],"bogus":1}`, http.StatusBadRequest},
+		{"batch field on predict", "/v1/predict", `{"mixes":[["gamess"]]}`, http.StatusBadRequest},
+		{"malformed json", "/v1/sweep", `{"mixes":`, http.StatusBadRequest},
+		{"no mixes", "/v1/sweep", `{"mixes":[]}`, http.StatusBadRequest},
+		{"sweep bad kind", "/v1/sweep", `{"mixes":[["gamess"]],"kind":"frobnicate"}`, http.StatusBadRequest},
+		{"sweep compare kind", "/v1/sweep", `{"mixes":[["gamess"]],"kind":"compare"}`, http.StatusBadRequest},
+		{"eval bad kind", "/v1/eval", `{"mix":["gamess"],"kind":"frobnicate"}`, http.StatusBadRequest},
+		{"eval mix and mixes", "/v1/eval", `{"mix":["gamess"],"mixes":[["lbm"]]}`, http.StatusBadRequest},
+		{"eval negative top_k", "/v1/eval", `{"mix":["gamess"],"top_k":-1}`, http.StatusBadRequest},
+		{"oversized mix", "/v1/predict", fmt.Sprintf(`{"mix":%s}`, bigMixJSON(65)), http.StatusBadRequest},
+		{"oversized sweep mix", "/v1/sweep", fmt.Sprintf(`{"mixes":[%s]}`, bigMixJSON(65)), http.StatusBadRequest},
+		{"too many mixes", "/v1/sweep", fmt.Sprintf(`{"mixes":%s}`, manyMixesJSON(2049)), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
+		}
+		var e errorBody
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing: %s", tc.name, data)
+		}
+	}
+}
+
+// TestEvalPartialFailure checks batch semantics: one bad mix among good
+// ones is embedded per-scenario, not fatal.
+func TestEvalPartialFailure(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, data := postJSON(t, ts.URL+"/v1/eval", EvalRequest{
+		Mixes: [][]string{{"gamess"}, {"nope"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res EvalResponse
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios[0].Error != "" || res.Scenarios[0].Prediction == nil {
+		t.Fatalf("good scenario: %+v", res.Scenarios[0])
+	}
+	if res.Scenarios[1].Error == "" {
+		t.Fatal("bad scenario did not report its error")
+	}
+}
+
 func bigMixJSON(n int) string {
 	mix := make([]string, n)
 	for i := range mix {
@@ -147,47 +284,11 @@ func manyMixesJSON(n int) string {
 	return string(b)
 }
 
-func TestBadRequests(t *testing.T) {
-	ts, _ := newTestServer(t)
-	cases := []struct {
-		name string
-		path string
-		body string
-	}{
-		{"empty mix", "/v1/predict", `{"mix":[]}`},
-		{"unknown benchmark", "/v1/predict", `{"mix":["nope"]}`},
-		{"unknown config", "/v1/predict", `{"mix":["gamess"],"config":"config#9"}`},
-		{"unknown contention", "/v1/predict", `{"mix":["gamess"],"contention":"nope"}`},
-		{"unknown field", "/v1/predict", `{"mix":["gamess"],"bogus":1}`},
-		{"malformed json", "/v1/sweep", `{"mixes":`},
-		{"no mixes", "/v1/sweep", `{"mixes":[]}`},
-		{"sweep bad kind", "/v1/sweep", `{"mixes":[["gamess"]],"kind":"frobnicate"}`},
-		{"oversized mix", "/v1/predict", fmt.Sprintf(`{"mix":%s}`, bigMixJSON(65))},
-		{"oversized sweep mix", "/v1/sweep", fmt.Sprintf(`{"mixes":[%s]}`, bigMixJSON(65))},
-		{"too many mixes", "/v1/sweep", fmt.Sprintf(`{"mixes":%s}`, manyMixesJSON(2049))},
-	}
-	for _, tc := range cases {
-		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		data, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
-		}
-		var e errorBody
-		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error envelope missing: %s", tc.name, data)
-		}
-	}
-}
-
 // TestSweepLarge is the acceptance-criteria request: 100 mixes x all 6
 // LLC configurations in one call, with every (benchmark, LLC) profile
 // computed at most once across the whole sweep.
 func TestSweepLarge(t *testing.T) {
-	ts, eng := newTestServer(t)
+	ts, sys := newTestServer(t)
 	s, err := workload.NewSampler(trace.SuiteNames(), 11)
 	if err != nil {
 		t.Fatal(err)
@@ -196,7 +297,7 @@ func TestSweepLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := SweepRequest{Mixes: make([][]string, len(mixes))}
+	req := EvalRequest{Mixes: make([][]string, len(mixes))}
 	for i, m := range mixes {
 		req.Mixes[i] = m
 	}
@@ -238,7 +339,7 @@ func TestSweepLarge(t *testing.T) {
 			}
 		}
 	}
-	if got := eng.ProfileComputations(); got != int64(len(distinct)) {
+	if got := sys.EngineStats().ProfileComputations; got != int64(len(distinct)) {
 		t.Fatalf("computed %d profiles, want exactly %d", got, len(distinct))
 	}
 }
@@ -247,7 +348,7 @@ func TestSweepLarge(t *testing.T) {
 // under -race in CI) and checks that identical requests get identical
 // answers while the profile cache still computes each profile once.
 func TestConcurrentRequests(t *testing.T) {
-	ts, eng := newTestServer(t)
+	ts, sys := newTestServer(t)
 	mix := []string{"gamess", "lbm", "soplex", "mcf"}
 
 	ref, data := postJSON(t, ts.URL+"/v1/predict", EvalRequest{Mix: mix})
@@ -267,14 +368,17 @@ func TestConcurrentRequests(t *testing.T) {
 			defer wg.Done()
 			var body any
 			path := "/v1/predict"
-			switch g % 3 {
+			switch g % 4 {
 			case 0:
 				body = EvalRequest{Mix: mix}
 			case 1:
 				body = EvalRequest{Mix: mix, Config: "config#3"}
 			case 2:
 				path = "/v1/sweep"
-				body = SweepRequest{Mixes: [][]string{mix, {"mcf", "milc"}}, Configs: []string{"config#1"}}
+				body = EvalRequest{Mixes: [][]string{mix, {"mcf", "milc"}}, Configs: []string{"config#1"}}
+			case 3:
+				path = "/v1/eval"
+				body = EvalRequest{Mixes: [][]string{mix, {"mcf", "milc"}}}
 			}
 			buf, _ := json.Marshal(body)
 			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
@@ -288,7 +392,7 @@ func TestConcurrentRequests(t *testing.T) {
 				errs <- fmt.Errorf("goroutine %d: status %d: %s", g, resp.StatusCode, out)
 				return
 			}
-			if g%3 == 0 {
+			if g%4 == 0 {
 				var got MixResult
 				if err := json.Unmarshal(out, &got); err != nil {
 					errs <- err
@@ -308,7 +412,7 @@ func TestConcurrentRequests(t *testing.T) {
 	}
 
 	// config#1 and config#3 profiles for the touched benchmarks only.
-	if got := eng.ProfileComputations(); got > 2*int64(len(trace.SuiteNames())) {
+	if got := sys.EngineStats().ProfileComputations; got > 2*int64(len(trace.SuiteNames())) {
 		t.Fatalf("profile cache leak: %d computations", got)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/engine/pool"
+	"repro/internal/mppmerr"
 	"repro/internal/profile"
 	"repro/internal/sdc"
 	"repro/internal/trace"
@@ -69,13 +70,14 @@ func (c Config) Validate() error {
 		return err
 	}
 	if c.TraceLength < 1 {
-		return fmt.Errorf("sim: non-positive trace length")
+		return fmt.Errorf("sim: non-positive trace length: %w", mppmerr.ErrBadConfig)
 	}
 	if c.IntervalLength < 1 || c.IntervalLength > c.TraceLength {
-		return fmt.Errorf("sim: interval length %d outside [1, trace length]", c.IntervalLength)
+		return fmt.Errorf("sim: interval length %d outside [1, trace length]: %w",
+			c.IntervalLength, mppmerr.ErrBadConfig)
 	}
 	if c.MemBandwidthOccupancy < 0 {
-		return fmt.Errorf("sim: negative memory bandwidth occupancy")
+		return fmt.Errorf("sim: negative memory bandwidth occupancy: %w", mppmerr.ErrBadConfig)
 	}
 	return nil
 }

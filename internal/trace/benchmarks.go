@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/mppmerr"
 )
 
 // KB and MB are byte-size helpers for the benchmark definitions.
@@ -416,5 +418,5 @@ func ByName(name string) (Spec, error) {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("trace: unknown benchmark %q", name)
+	return Spec{}, fmt.Errorf("trace: %q: %w", name, mppmerr.ErrUnknownBenchmark)
 }

@@ -6,18 +6,26 @@
 // The package wires together the internal building blocks — synthetic
 // benchmark traces, the trace-driven multi-core simulator, single-core
 // profiling, cache contention models and the iterative MPPM solver —
-// behind a small API:
+// behind one evaluation API: build a Request naming workload mixes, an
+// evaluation kind (predict, simulate or compare) and LLC
+// configurations, and hand it to System.Eval:
 //
-//	suite := mppm.Benchmarks()                  // the 29 synthetic benchmarks
-//	sys := mppm.NewSystem(mppm.DefaultLLC())    // Table 1 machine + an LLC
-//	set, _ := sys.ProfileAll(suite)             // one-time single-core profiling
-//	pred, _ := sys.Predict(set, []string{"gamess", "lbm", "soplex", "mcf"})
-//	meas, _ := sys.Simulate([]string{"gamess", "lbm", "soplex", "mcf"})
+//	sys := mppm.NewSystem(mppm.DefaultLLC())
+//	mixes := []mppm.Mix{{"gamess", "lbm", "soplex", "mcf"}}
+//	res, _ := sys.Eval(ctx, mppm.NewRequest(mppm.KindCompare, mixes))
+//	sc := res.Scenarios[0]
+//	fmt.Println(sc.Prediction.STP, sc.Measurement.STP)
 //
-// Predict evaluates the analytical model in well under a second per mix;
-// Simulate runs the detailed reference simulator. Both report per-program
-// multi-core CPIs plus the STP and ANTT metrics, so model and simulation
-// are directly comparable (the paper's Figure 4).
+// Predict scenarios evaluate the analytical model in well under a
+// second per mix; Simulate scenarios run the detailed reference
+// simulator; Compare runs both so model and simulation are directly
+// comparable (the paper's Figure 4). Everything — single mixes,
+// thousand-mix batches, design-space sweeps over every Table 2 LLC,
+// stress searches — executes through one concurrent evaluation engine
+// with bounded workers, context cancellation and singleflight profile
+// caching, and EvalStream yields sweep scenarios incrementally. The
+// pre-Request methods (Predict, Simulate, Sweep, ...) remain as thin
+// deprecated wrappers over Eval.
 package mppm
 
 import (
@@ -60,6 +68,14 @@ type (
 	ContentionModel = contention.Model
 )
 
+// Default simulator scale: the paper's 10M-instruction traces profiled
+// in 200K-instruction intervals (a uniform 1/100 of the paper's 1B
+// SimPoints).
+const (
+	DefaultTraceLength    = trace.DefaultTraceLength
+	DefaultIntervalLength = profile.DefaultIntervalLength
+)
+
 // NewProfileSet builds a ProfileSet from profiles, keyed by benchmark
 // name (useful with derived profiles, see Profile.DeriveAssociativity).
 func NewProfileSet(ps ...*Profile) *ProfileSet { return profile.NewSet(ps...) }
@@ -99,61 +115,114 @@ func ContentionModelByName(name string) (ContentionModel, error) {
 }
 
 // System is a fully configured machine: the Table 1 baseline core and
-// private caches plus one shared LLC configuration, at a given trace
-// scale. Batch methods share one lazily-built evaluation engine, so
-// repeated calls reuse cached single-core profiles.
+// private caches plus one default shared LLC configuration, at a given
+// trace scale. All evaluation runs through one lazily-built engine, so
+// every Eval on a System shares cached single-core profiles and one
+// bounded worker pool.
 type System struct {
-	cfg sim.Config
+	cfg     sim.Config
+	workers int
 
 	engOnce sync.Once
 	eng     *engine.Engine
 }
 
+// SystemOption configures a System at construction.
+type SystemOption func(*System)
+
+// WithScale sets custom trace and profiling interval lengths (useful
+// for quick experimentation; accuracy conclusions should use the
+// default scale). Zero values keep the defaults.
+func WithScale(traceLength, intervalLength int64) SystemOption {
+	return func(s *System) {
+		if traceLength != 0 {
+			s.cfg.TraceLength = traceLength
+		}
+		if intervalLength != 0 {
+			s.cfg.IntervalLength = intervalLength
+		}
+	}
+}
+
+// WithWorkers bounds the evaluation worker pool; zero or negative means
+// GOMAXPROCS.
+func WithWorkers(n int) SystemOption {
+	return func(s *System) { s.workers = n }
+}
+
 // NewSystem builds a System with the paper's baseline core/private-cache
-// parameters and the given LLC, at the default 10M-instruction scale.
-func NewSystem(llc LLCConfig) *System {
-	return &System{cfg: sim.DefaultConfig(llc)}
+// parameters and the given default LLC. An invalid WithScale surfaces
+// as ErrBadConfig from the first evaluation.
+func NewSystem(llc LLCConfig, opts ...SystemOption) *System {
+	s := &System{cfg: sim.DefaultConfig(llc)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // NewSystemScaled builds a System with custom trace and profiling
-// interval lengths (useful for quick experimentation; accuracy
-// conclusions should use the default scale).
+// interval lengths, validating them eagerly. Unlike WithScale, zero
+// values are invalid rather than defaults.
 func NewSystemScaled(llc LLCConfig, traceLength, intervalLength int64) (*System, error) {
-	cfg := sim.DefaultConfig(llc)
-	cfg.TraceLength = traceLength
-	cfg.IntervalLength = intervalLength
-	if err := cfg.Validate(); err != nil {
+	s := NewSystem(llc)
+	s.cfg.TraceLength = traceLength
+	s.cfg.IntervalLength = intervalLength
+	if err := s.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg}, nil
+	return s, nil
 }
 
-// LLC returns the system's LLC configuration.
+// LLC returns the system's default LLC configuration (requests override
+// it per call with WithConfigs).
 func (s *System) LLC() LLCConfig { return s.cfg.Hierarchy.LLC }
 
 // TraceLength returns the per-benchmark trace length in instructions.
 func (s *System) TraceLength() int64 { return s.cfg.TraceLength }
 
+// engine returns the system's shared evaluation engine, built on first
+// use at the system's trace scale.
+func (s *System) engine() *engine.Engine {
+	s.engOnce.Do(func() {
+		s.eng = engine.New(engine.Config{
+			TraceLength:    s.cfg.TraceLength,
+			IntervalLength: s.cfg.IntervalLength,
+			Workers:        s.workers,
+		})
+	})
+	return s.eng
+}
+
+// EngineStats reports the evaluation engine's cache-miss counters: how
+// many single-core profiles and detailed simulations were actually
+// computed (as opposed to served from the singleflight caches).
+type EngineStats struct {
+	ProfileComputations    int64
+	SimulationComputations int64
+}
+
+// EngineStats returns the system's evaluation-engine counters.
+func (s *System) EngineStats() EngineStats {
+	return EngineStats{
+		ProfileComputations:    s.engine().ProfileComputations(),
+		SimulationComputations: s.engine().SimulationComputations(),
+	}
+}
+
 // Profile runs one benchmark in isolation and returns its single-core
-// profile (CPI, memory CPI and LLC stack distance counters per interval).
+// profile (CPI, memory CPI and LLC stack distance counters per
+// interval), computed at most once per (benchmark, LLC) on this System.
 func (s *System) Profile(b Benchmark) (*Profile, error) {
-	return sim.Profile(b, s.cfg)
+	return s.engine().Profile(context.Background(), b, s.LLC())
 }
 
 // ProfileAll profiles many benchmarks in parallel — the paper's one-time
-// cost preceding any number of model evaluations.
+// cost preceding any number of model evaluations. The profiles land in
+// the same engine cache every Eval draws from, so explicit profiling is
+// an optimization, never a requirement.
 func (s *System) ProfileAll(bs []Benchmark) (*ProfileSet, error) {
-	return sim.ProfileSuite(bs, s.cfg)
-}
-
-// Predict evaluates MPPM for the mix using default model options.
-func (s *System) Predict(set *ProfileSet, mix []string) (*Prediction, error) {
-	return core.Predict(set, mix, core.Options{})
-}
-
-// PredictWithOptions evaluates MPPM with explicit solver options.
-func (s *System) PredictWithOptions(set *ProfileSet, mix []string, opts ModelOptions) (*Prediction, error) {
-	return core.Predict(set, mix, opts)
+	return s.engine().ProfileSpecs(context.Background(), bs, s.LLC())
 }
 
 // Measurement reports a detailed multi-core simulation in the same shape
@@ -167,54 +236,56 @@ type Measurement struct {
 	ANTT       float64
 }
 
-// Simulate runs the detailed multi-core reference simulator for a mix
-// and derives STP/ANTT against the given profile set's single-core CPIs.
-// When set is nil the single-core CPIs are profiled on the fly.
-func (s *System) SimulateWithProfiles(set *ProfileSet, mix []string) (*Measurement, error) {
-	specs := make([]trace.Spec, len(mix))
-	for i, n := range mix {
-		b, err := trace.ByName(n)
-		if err != nil {
-			return nil, err
-		}
-		specs[i] = b
-	}
-	res, err := sim.RunMulticore(specs, s.cfg, nil)
+// singleScenario evaluates one mix through Eval and returns its scenario.
+func (s *System) singleScenario(kind Kind, mix []string, opts ...Option) (*Scenario, error) {
+	res, err := s.Eval(context.Background(), NewRequest(kind, []Mix{Mix(mix)}, opts...))
 	if err != nil {
 		return nil, err
 	}
-	sc := make([]float64, len(mix))
-	for i, n := range mix {
-		var p *Profile
-		if set != nil {
-			if p, err = set.Get(n); err != nil {
-				return nil, err
-			}
-		} else {
-			if p, err = sim.Profile(specs[i], s.cfg); err != nil {
-				return nil, err
-			}
-		}
-		sc[i] = p.CPI()
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		return nil, sc.Err
 	}
-	m := &Measurement{
-		Benchmarks: res.Benchmarks,
-		SingleCPI:  sc,
-		MultiCPI:   res.CPI,
-	}
-	if m.Slowdown, err = metrics.Slowdowns(sc, res.CPI); err != nil {
-		return nil, err
-	}
-	if m.STP, err = metrics.STP(sc, res.CPI); err != nil {
-		return nil, err
-	}
-	if m.ANTT, err = metrics.ANTT(sc, res.CPI); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return sc, nil
 }
 
-// Simulate is SimulateWithProfiles with on-the-fly single-core profiling.
+// Predict evaluates MPPM for the mix using default model options.
+//
+// Deprecated: use Eval with a KindPredict Request; pass the set with
+// WithProfiles (or omit it to use the engine's profile cache).
+func (s *System) Predict(set *ProfileSet, mix []string) (*Prediction, error) {
+	return s.PredictWithOptions(set, mix, ModelOptions{})
+}
+
+// PredictWithOptions evaluates MPPM with explicit solver options.
+//
+// Deprecated: use Eval with WithProfiles and WithOptions.
+func (s *System) PredictWithOptions(set *ProfileSet, mix []string, opts ModelOptions) (*Prediction, error) {
+	sc, err := s.singleScenario(KindPredict, mix, WithProfiles(set), WithOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return sc.Prediction, nil
+}
+
+// SimulateWithProfiles runs the detailed multi-core simulator for a mix
+// and derives STP/ANTT against the given profile set's single-core
+// CPIs. When set is nil the single-core CPIs come from the engine's
+// profile cache.
+//
+// Deprecated: use Eval with a KindSimulate Request.
+func (s *System) SimulateWithProfiles(set *ProfileSet, mix []string) (*Measurement, error) {
+	sc, err := s.singleScenario(KindSimulate, mix, WithProfiles(set))
+	if err != nil {
+		return nil, err
+	}
+	return sc.Measurement, nil
+}
+
+// Simulate is SimulateWithProfiles with engine-cached single-core
+// profiling.
+//
+// Deprecated: use Eval with a KindSimulate Request.
 func (s *System) Simulate(mix []string) (*Measurement, error) {
 	return s.SimulateWithProfiles(nil, mix)
 }
@@ -236,16 +307,15 @@ func (c Compare) ANTTError() float64 {
 }
 
 // CompareMix predicts and simulates the same mix.
+//
+// Deprecated: use Eval with a KindCompare Request; each Scenario then
+// carries both Prediction and Measurement plus STPError/ANTTError.
 func (s *System) CompareMix(set *ProfileSet, mix []string) (*Compare, error) {
-	pred, err := s.Predict(set, mix)
+	sc, err := s.singleScenario(KindCompare, mix, WithProfiles(set))
 	if err != nil {
 		return nil, err
 	}
-	meas, err := s.SimulateWithProfiles(set, mix)
-	if err != nil {
-		return nil, err
-	}
-	return &Compare{Prediction: pred, Measurement: meas}, nil
+	return &Compare{Prediction: sc.Prediction, Measurement: sc.Measurement}, nil
 }
 
 // ConfidenceReport summarizes MPPM predictions over many mixes with 95%
@@ -257,64 +327,68 @@ type ConfidenceReport struct {
 	ANTT  stats.ConfidenceInterval
 }
 
-// PredictMany evaluates MPPM over many mixes and returns the per-mix
-// results plus a confidence report.
-func (s *System) PredictMany(set *ProfileSet, mixes []Mix, opts ModelOptions) ([]*Prediction, *ConfidenceReport, error) {
-	if len(mixes) == 0 {
-		return nil, nil, fmt.Errorf("mppm: no mixes")
-	}
-	preds := make([]*Prediction, len(mixes))
-	stp := make([]float64, len(mixes))
-	antt := make([]float64, len(mixes))
-	for i, mix := range mixes {
-		p, err := core.Predict(set, mix, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		preds[i] = p
+// Confidence computes a 95% confidence report over a slice of
+// predictions (at least two).
+func Confidence(preds []*Prediction) (*ConfidenceReport, error) {
+	stp := make([]float64, len(preds))
+	antt := make([]float64, len(preds))
+	for i, p := range preds {
 		stp[i] = p.STP
 		antt[i] = p.ANTT
 	}
 	ciS, err := stats.MeanCI(stp, 0.95)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ciA, err := stats.MeanCI(antt, 0.95)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return preds, &ConfidenceReport{Mixes: len(mixes), STP: ciS, ANTT: ciA}, nil
+	return &ConfidenceReport{Mixes: len(preds), STP: ciS, ANTT: ciA}, nil
 }
 
-// engine returns the system's shared evaluation engine, built on first
-// use at the system's trace scale.
-func (s *System) engine() *engine.Engine {
-	s.engOnce.Do(func() {
-		s.eng = engine.New(engine.Config{
-			TraceLength:    s.cfg.TraceLength,
-			IntervalLength: s.cfg.IntervalLength,
-		})
-	})
-	return s.eng
+// PredictMany evaluates MPPM over many mixes concurrently and returns
+// the per-mix results plus a confidence report.
+//
+// Deprecated: use Eval with a KindPredict Request over the mixes, then
+// Result.Predictions and Result.Confidence.
+func (s *System) PredictMany(set *ProfileSet, mixes []Mix, opts ModelOptions) ([]*Prediction, *ConfidenceReport, error) {
+	res, err := s.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set), WithOptions(opts)))
+	if err != nil {
+		return nil, nil, err
+	}
+	preds, err := res.Predictions()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := res.Confidence()
+	if err != nil {
+		return nil, nil, err
+	}
+	return preds, rep, nil
 }
 
 // PredictBatch evaluates MPPM for many mixes concurrently on the
-// system's LLC, bounded by GOMAXPROCS workers, with results aligned to
-// the input order. Single-core profiles are computed at most once per
-// benchmark across all batch calls on this System; cancel ctx to abort
+// system's LLC, bounded by the worker pool, with results aligned to the
+// input order. Single-core profiles are computed at most once per
+// benchmark across all calls on this System; cancel ctx to abort
 // mid-batch.
+//
+// Deprecated: use Eval with a KindPredict Request.
 func (s *System) PredictBatch(ctx context.Context, mixes []Mix) ([]*Prediction, error) {
 	return s.PredictBatchWithOptions(ctx, mixes, ModelOptions{})
 }
 
 // PredictBatchWithOptions is PredictBatch with explicit solver options.
+//
+// Deprecated: use Eval with WithOptions.
 func (s *System) PredictBatchWithOptions(ctx context.Context, mixes []Mix, opts ModelOptions) ([]*Prediction, error) {
-	jobs := engine.SweepJobs(mixes, []cache.Config{s.LLC()}, engine.Predict, opts)
-	results, err := s.engine().Run(ctx, jobs)
+	res, err := s.Eval(ctx, NewRequest(KindPredict, mixes, WithOptions(opts)))
 	if err != nil {
 		return nil, err
 	}
-	return engine.Predictions(results)
+	return res.Predictions()
 }
 
 // SweepResult reports a design-space sweep: every mix evaluated on
@@ -339,37 +413,43 @@ func (r *SweepResult) MeanSTP(c int) float64 {
 	return sum / float64(len(r.Predictions[c]))
 }
 
-// Sweep evaluates MPPM for every mix on every LLC configuration through
-// the system's evaluation engine (nil configs means all six Table 2
-// configurations). The engine's singleflight cache guarantees each
-// (benchmark, LLC) single-core profile is computed at most once across
-// the whole sweep, no matter how many mixes share a benchmark.
+// Sweep evaluates MPPM for every mix on every LLC configuration (nil
+// configs means all six Table 2 configurations).
+//
+// Deprecated: use Eval with WithConfigs — or EvalStream to consume a
+// large sweep incrementally.
 func (s *System) Sweep(ctx context.Context, mixes []Mix, configs []LLCConfig) (*SweepResult, error) {
 	return s.SweepWithOptions(ctx, mixes, configs, ModelOptions{})
 }
 
 // SweepWithOptions is Sweep with explicit solver options.
+//
+// Deprecated: use Eval with WithConfigs and WithOptions.
 func (s *System) SweepWithOptions(ctx context.Context, mixes []Mix, configs []LLCConfig, opts ModelOptions) (*SweepResult, error) {
 	if configs == nil {
 		configs = LLCConfigs()
 	}
-	grid, err := s.engine().Sweep(ctx, mixes, configs, engine.Predict, opts)
+	res, err := s.Eval(ctx, NewRequest(KindPredict, mixes, WithConfigs(configs...), WithOptions(opts)))
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{
-		Configs:     configs,
-		Mixes:       mixes,
-		Predictions: make([][]*Prediction, len(configs)),
+	out := &SweepResult{
+		Configs:     res.Configs,
+		Mixes:       res.Mixes,
+		Predictions: make([][]*Prediction, len(res.Configs)),
 	}
-	for c := range configs {
-		row, err := engine.Predictions(grid[c])
-		if err != nil {
-			return nil, err
+	for c := range res.Configs {
+		row := make([]*Prediction, len(res.Mixes))
+		for m := range res.Mixes {
+			sc := res.At(c, m)
+			if sc.Err != nil {
+				return nil, sc.Err
+			}
+			row[m] = sc.Prediction
 		}
-		res.Predictions[c] = row
+		out.Predictions[c] = row
 	}
-	return res, nil
+	return out, nil
 }
 
 // RandomMixes draws deterministic random workload mixes over the suite.
@@ -400,35 +480,30 @@ type StressMix struct {
 // StressSearch evaluates MPPM over the given mixes and returns the k
 // lowest-STP workloads, worst first — the Section 6 use case: finding
 // stress workloads without simulating them.
+//
+// Deprecated: use Eval with a KindPredict Request and WithTopK(k).
 func (s *System) StressSearch(set *ProfileSet, mixes []Mix, k int) ([]StressMix, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("mppm: k < 1")
+		return nil, fmt.Errorf("mppm: k < 1: %w", ErrBadConfig)
 	}
-	all := make([]StressMix, 0, len(mixes))
-	for _, mix := range mixes {
-		p, err := core.Predict(set, mix, core.Options{})
-		if err != nil {
-			return nil, err
+	res, err := s.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set), WithTopK(k)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StressMix, 0, k)
+	for i := range res.Scenarios {
+		sc := &res.Scenarios[i]
+		if sc.Err != nil {
+			return nil, sc.Err
 		}
-		name, slow := p.MaxSlowdown()
-		all = append(all, StressMix{
-			Mix: mix, STP: p.STP, WorstProgram: name, WorstSlowdown: slow,
+		name, slow := sc.Prediction.MaxSlowdown()
+		out = append(out, StressMix{
+			Mix: sc.Mix, STP: sc.Prediction.STP,
+			WorstProgram: name, WorstSlowdown: slow,
 		})
 	}
-	// Partial selection sort: k is small.
-	if k > len(all) {
-		k = len(all)
-	}
-	for i := 0; i < k; i++ {
-		min := i
-		for j := i + 1; j < len(all); j++ {
-			if all[j].STP < all[min].STP {
-				min = j
-			}
-		}
-		all[i], all[min] = all[min], all[i]
-	}
-	return all[:k], nil
+	return out, nil
 }
 
 // Class labels a benchmark memory-intensive or compute-intensive, the
@@ -472,19 +547,20 @@ func ImportTrace(r io.Reader) (TraceSource, error) {
 
 // ProfileSource profiles an arbitrary trace source on this system.
 func (s *System) ProfileSource(src TraceSource) (*Profile, error) {
-	return sim.ProfileSource(src, s.cfg, sim.ProfileOptions{})
+	return s.engine().ProfileSource(context.Background(), src, s.LLC())
 }
 
 // SimulateSources runs the detailed multi-core simulator over arbitrary
 // trace sources, one per core.
 func (s *System) SimulateSources(srcs []TraceSource) (*Measurement, error) {
-	res, err := sim.RunMulticoreSources(srcs, s.cfg, nil)
+	ctx := context.Background()
+	res, err := s.engine().SimulateSources(ctx, srcs, s.LLC())
 	if err != nil {
 		return nil, err
 	}
 	sc := make([]float64, len(srcs))
 	for i, src := range srcs {
-		p, err := sim.ProfileSource(src, s.cfg, sim.ProfileOptions{})
+		p, err := s.engine().ProfileSource(ctx, src, s.LLC())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,293 @@
+package mppm
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestKindByNameRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindPredict, KindSimulate, KindCompare} {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := KindByName(""); err != nil || k != KindPredict {
+		t.Fatalf("empty kind = %v, %v, want KindPredict", k, err)
+	}
+	if _, err := KindByName("frobnicate"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown kind error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestEvalPredictGrid(t *testing.T) {
+	sys, _ := quickSystem(t)
+	mixes, err := RandomMixes(3, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := LLCConfigs()[:2]
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithConfigs(configs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != len(mixes)*len(configs) {
+		t.Fatalf("%d scenarios, want %d", len(res.Scenarios), len(mixes)*len(configs))
+	}
+	for c := range configs {
+		for m := range mixes {
+			sc := res.At(c, m)
+			if sc.Err != nil {
+				t.Fatalf("scenario (%d,%d): %v", c, m, sc.Err)
+			}
+			if sc.Config.Name != configs[c].Name || sc.Mix.Key() != mixes[m].Key() {
+				t.Fatalf("scenario (%d,%d) misaligned: %s on %s", c, m, sc.Mix, sc.Config.Name)
+			}
+			if sc.Prediction == nil || sc.Measurement != nil {
+				t.Fatalf("predict scenario has wrong payloads: %+v", sc)
+			}
+			if sc.STP() <= 0 {
+				t.Fatalf("scenario (%d,%d) STP %v", c, m, sc.STP())
+			}
+		}
+		if res.MeanSTP(c) <= 0 || res.MeanANTT(c) < 1 {
+			t.Fatalf("config %d means: STP %v ANTT %v", c, res.MeanSTP(c), res.MeanANTT(c))
+		}
+	}
+	preds, err := res.Predictions()
+	if err != nil || len(preds) != len(res.Scenarios) {
+		t.Fatalf("Predictions: %d, %v", len(preds), err)
+	}
+	if rep, err := res.Confidence(); err != nil || rep.Mixes != len(res.Scenarios) {
+		t.Fatalf("Confidence: %+v, %v", rep, err)
+	}
+}
+
+func TestEvalCompareJoinsBothSides(t *testing.T) {
+	sys, set := quickSystem(t)
+	mix := Mix{"gamess", "lbm", "soplex", "povray"}
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindCompare, []Mix{mix}, WithProfiles(set)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		t.Fatal(sc.Err)
+	}
+	if sc.Prediction == nil || sc.Measurement == nil {
+		t.Fatalf("compare scenario missing a side: %+v", sc)
+	}
+	if e := sc.STPError(); e < -0.5 || e > 0.5 {
+		t.Fatalf("STP error %v implausible", e)
+	}
+	if sc.Measurement.STP <= 0 || sc.Prediction.STP <= 0 {
+		t.Fatal("degenerate STP")
+	}
+}
+
+func TestEvalTopKKeepsWorstFirst(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, err := RandomMixes(12, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set), WithTopK(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 3 {
+		t.Fatalf("TopK kept %d scenarios, want 3", len(res.Scenarios))
+	}
+	for i := 1; i < len(res.Scenarios); i++ {
+		if res.Scenarios[i].STP() < res.Scenarios[i-1].STP() {
+			t.Fatal("TopK scenarios not sorted worst-first")
+		}
+	}
+	// The kept worst must be the global minimum of the full grid.
+	min := full.Scenarios[0].STP()
+	for i := range full.Scenarios {
+		if s := full.Scenarios[i].STP(); s < min {
+			min = s
+		}
+	}
+	if res.Scenarios[0].STP() != min {
+		t.Fatalf("TopK worst %v != grid min %v", res.Scenarios[0].STP(), min)
+	}
+}
+
+func TestEvalTypedErrors(t *testing.T) {
+	sys, _ := quickSystem(t)
+	ctx := context.Background()
+
+	if _, err := sys.Eval(ctx, NewRequest(KindPredict, nil)); !errors.Is(err, ErrEmptyMix) {
+		t.Fatalf("no mixes: %v, want ErrEmptyMix", err)
+	}
+	if _, err := sys.Eval(ctx, NewRequest(KindPredict, []Mix{{}})); !errors.Is(err, ErrEmptyMix) {
+		t.Fatalf("empty mix: %v, want ErrEmptyMix", err)
+	}
+	if _, err := sys.Eval(ctx, NewRequest(Kind(42), []Mix{{"gamess"}})); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad kind: %v, want ErrBadConfig", err)
+	}
+	bad := LLCConfig{Name: "bogus", SizeBytes: 3, Ways: 1, LineSize: 64}
+	if _, err := sys.Eval(ctx, NewRequest(KindPredict, []Mix{{"gamess"}}, WithConfigs(bad))); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad config: %v, want ErrBadConfig", err)
+	}
+
+	// An invalid WithScale surfaces as ErrBadConfig from the first
+	// evaluation, per the NewSystem contract.
+	badScale := NewSystem(DefaultLLC(), WithScale(-1, 100))
+	res0, err := badScale.Eval(ctx, NewRequest(KindPredict, []Mix{{"gamess"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res0.Scenarios[0].Err, ErrBadConfig) {
+		t.Fatalf("bad scale: %v, want ErrBadConfig", res0.Scenarios[0].Err)
+	}
+
+	// Per-scenario errors are captured, not fatal to the batch.
+	res, err := sys.Eval(ctx, NewRequest(KindPredict, []Mix{{"gamess"}, {"nope"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios[0].Err != nil {
+		t.Fatalf("good mix failed: %v", res.Scenarios[0].Err)
+	}
+	if !errors.Is(res.Scenarios[1].Err, ErrUnknownBenchmark) {
+		t.Fatalf("unknown benchmark: %v, want ErrUnknownBenchmark", res.Scenarios[1].Err)
+	}
+	if !errors.Is(res.Err(), ErrUnknownBenchmark) {
+		t.Fatalf("Result.Err: %v", res.Err())
+	}
+
+	// An explicit profile set missing a benchmark yields ErrNoProfiles.
+	small := NewProfileSet()
+	res, err = sys.Eval(ctx, NewRequest(KindPredict, []Mix{{"gamess"}}, WithProfiles(small)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Scenarios[0].Err, ErrNoProfiles) {
+		t.Fatalf("missing profile: %v, want ErrNoProfiles", res.Scenarios[0].Err)
+	}
+}
+
+func TestEvalMatchesWrappers(t *testing.T) {
+	sys, set := quickSystem(t)
+	mix := Mix{"gamess", "lbm", "milc", "mcf"}
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, []Mix{mix}, WithProfiles(set)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.Predict(set, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Scenarios[0].Prediction
+	if got.STP != want.STP || got.ANTT != want.ANTT {
+		t.Fatalf("Eval STP/ANTT %v/%v != wrapper %v/%v", got.STP, got.ANTT, want.STP, want.ANTT)
+	}
+}
+
+func TestEvalStreamYieldsInOrder(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, err := RandomMixes(6, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRequest(KindPredict, mixes, WithProfiles(set))
+	want, err := sys.Eval(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for sc, err := range sys.EvalStream(context.Background(), req) {
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if sc.Mix.Key() != want.Scenarios[i].Mix.Key() {
+			t.Fatalf("scenario %d out of order: %v", i, sc.Mix)
+		}
+		if sc.STP() != want.Scenarios[i].STP() {
+			t.Fatalf("scenario %d STP %v != Eval %v", i, sc.STP(), want.Scenarios[i].STP())
+		}
+		i++
+	}
+	if i != len(want.Scenarios) {
+		t.Fatalf("stream yielded %d scenarios, want %d", i, len(want.Scenarios))
+	}
+}
+
+// TestEvalStreamCancelMidStream is the acceptance-criteria test:
+// EvalStream yields incrementally, and cancelling the context mid-
+// stream terminates the iteration with ctx.Err() instead of the
+// remaining scenarios.
+func TestEvalStreamCancelMidStream(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, err := RandomMixes(8, 2, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var yielded int
+	var terminal error
+	for sc, err := range sys.EvalStream(ctx, NewRequest(KindPredict, mixes, WithProfiles(set))) {
+		if err != nil {
+			terminal = err
+			if sc.Mix != nil {
+				t.Fatalf("terminal error carried a scenario: %v", sc.Mix)
+			}
+			break
+		}
+		yielded++
+		cancel() // cancel after the first successful scenario
+	}
+	if !errors.Is(terminal, context.Canceled) {
+		t.Fatalf("terminal error %v, want context.Canceled", terminal)
+	}
+	if yielded == 0 || yielded >= len(mixes) {
+		t.Fatalf("yielded %d scenarios before cancel, want 0 < n < %d", yielded, len(mixes))
+	}
+}
+
+func TestEvalStreamRejectsTopK(t *testing.T) {
+	sys, set := quickSystem(t)
+	mixes, _ := RandomMixes(2, 2, 31)
+	for _, err := range sys.EvalStream(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set), WithTopK(1))) {
+		if !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("TopK stream error %v, want ErrBadConfig", err)
+		}
+		return
+	}
+	t.Fatal("stream yielded nothing")
+}
+
+func TestEvalSimulateScenario(t *testing.T) {
+	sys, _ := quickSystem(t)
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindSimulate, []Mix{{"povray", "namd"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		t.Fatal(sc.Err)
+	}
+	if sc.Measurement == nil || sc.Prediction != nil {
+		t.Fatalf("simulate scenario has wrong payloads: %+v", sc)
+	}
+	if sc.Measurement.STP < 1.8 || sc.Measurement.STP > 2.0+1e-9 {
+		t.Fatalf("compute pair STP = %v, want ~2", sc.Measurement.STP)
+	}
+}
