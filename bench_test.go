@@ -59,6 +59,21 @@ func getBenchLab(b *testing.B) *experiments.Lab {
 	return benchLab
 }
 
+// evalScenario evaluates one mix through the Request API, failing the
+// bench on any error — the Eval-based replacement for the deprecated
+// single-mix facade wrappers in these benchmarks.
+func evalScenario(b *testing.B, sys *System, kind Kind, mix Mix, opts ...Option) *Scenario {
+	res, err := sys.Eval(context.Background(), NewRequest(kind, []Mix{mix}, opts...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		b.Fatal(sc.Err)
+	}
+	return sc
+}
+
 func BenchmarkTable1Baseline(b *testing.B) {
 	// Table 1 is configuration data; the bench exercises its validation
 	// and construction path.
@@ -172,9 +187,7 @@ func BenchmarkSpeedDetailedSim(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.SimulateWithProfiles(set, pool[i%len(pool)]); err != nil {
-			b.Fatal(err)
-		}
+		evalScenario(b, sys, KindSimulate, Mix(pool[i%len(pool)]), WithProfiles(set))
 	}
 }
 
@@ -194,9 +207,7 @@ func BenchmarkSpeedMPPM(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Predict(set, pool[i%len(pool)]); err != nil {
-			b.Fatal(err)
-		}
+		evalScenario(b, sys, KindPredict, Mix(pool[i%len(pool)]), WithProfiles(set))
 	}
 }
 
@@ -286,12 +297,9 @@ func BenchmarkAblationContentionModels(b *testing.B) {
 		b.Run(m.Name(), func(b *testing.B) {
 			var stp float64
 			for i := 0; i < b.N; i++ {
-				pred, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
-					ModelOptions{Contention: m})
-				if err != nil {
-					b.Fatal(err)
-				}
-				stp = pred.STP
+				sc := evalScenario(b, sys, KindPredict, mixes[i%len(mixes)],
+					WithProfiles(set), WithOptions(ModelOptions{Contention: m}))
+				stp = sc.Prediction.STP
 			}
 			b.ReportMetric(stp, "STP")
 		})
@@ -310,10 +318,8 @@ func BenchmarkAblationSmoothing(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
-					ModelOptions{Smoothing: f}); err != nil {
-					b.Fatal(err)
-				}
+				evalScenario(b, sys, KindPredict, mixes[i%len(mixes)],
+					WithProfiles(set), WithOptions(ModelOptions{Smoothing: f}))
 			}
 		})
 	}
@@ -326,10 +332,8 @@ func BenchmarkAblationChunkLength(b *testing.B) {
 		name := map[int64]string{2: "L=trace/2", 5: "L=trace/5", 20: "L=trace/20"}[div]
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
-					ModelOptions{ChunkL: tl / div}); err != nil {
-					b.Fatal(err)
-				}
+				evalScenario(b, sys, KindPredict, mixes[i%len(mixes)],
+					WithProfiles(set), WithOptions(ModelOptions{ChunkL: tl / div}))
 			}
 		})
 	}
@@ -345,12 +349,9 @@ func BenchmarkAblationPaperDenominator(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var antt float64
 			for i := 0; i < b.N; i++ {
-				pred, err := sys.PredictWithOptions(set, mixes[i%len(mixes)],
-					ModelOptions{PaperDenominator: paper})
-				if err != nil {
-					b.Fatal(err)
-				}
-				antt = pred.ANTT
+				sc := evalScenario(b, sys, KindPredict, mixes[i%len(mixes)],
+					WithProfiles(set), WithOptions(ModelOptions{PaperDenominator: paper}))
+				antt = sc.Prediction.ANTT
 			}
 			b.ReportMetric(antt, "ANTT")
 		})

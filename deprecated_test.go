@@ -1,0 +1,136 @@
+package mppm
+
+// The pre-Request facade methods (Predict, Simulate, Sweep, ...) are
+// deprecated thin wrappers over Eval, kept for compatibility. This file
+// is their only remaining in-repo caller: everything else — tests,
+// benchmarks, examples, commands — goes through the Request API, so the
+// CI staticcheck job's deprecation check (SA1019) stays meaningful for
+// new code. (staticcheck does not flag same-package use, which is
+// exactly the carve-out a wrapper-compat test needs.)
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestDeprecatedWrappersMatchEval drives every deprecated wrapper once
+// and checks it returns exactly what the equivalent Request yields —
+// the wrappers must stay shims, not forks.
+func TestDeprecatedWrappersMatchEval(t *testing.T) {
+	sys, set := quickSystem(t)
+	mix := Mix{"gamess", "lbm", "milc", "mcf"}
+	ctx := context.Background()
+
+	evalOne := func(kind Kind, opts ...Option) *Scenario {
+		t.Helper()
+		res, err := sys.Eval(ctx, NewRequest(kind, []Mix{mix}, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := &res.Scenarios[0]
+		if sc.Err != nil {
+			t.Fatal(sc.Err)
+		}
+		return sc
+	}
+
+	want := evalOne(KindPredict, WithProfiles(set))
+	if p, err := sys.Predict(set, mix); err != nil || p.STP != want.Prediction.STP {
+		t.Fatalf("Predict: %v, %v (want STP %v)", p, err, want.Prediction.STP)
+	}
+	opts := ModelOptions{PaperDenominator: true}
+	wantOpts := evalOne(KindPredict, WithProfiles(set), WithOptions(opts))
+	if p, err := sys.PredictWithOptions(set, mix, opts); err != nil || p.STP != wantOpts.Prediction.STP {
+		t.Fatalf("PredictWithOptions: %v, %v", p, err)
+	}
+
+	wantSim := evalOne(KindSimulate, WithProfiles(set))
+	if m, err := sys.SimulateWithProfiles(set, mix); err != nil || m.STP != wantSim.Measurement.STP {
+		t.Fatalf("SimulateWithProfiles: %v, %v", m, err)
+	}
+	if m, err := sys.Simulate(mix); err != nil || m.STP != wantSim.Measurement.STP {
+		t.Fatalf("Simulate: %v, %v", m, err)
+	}
+
+	wantCmp := evalOne(KindCompare, WithProfiles(set))
+	cmp, err := sys.CompareMix(set, mix)
+	if err != nil || cmp.Prediction.STP != wantCmp.Prediction.STP ||
+		cmp.Measurement.STP != wantCmp.Measurement.STP {
+		t.Fatalf("CompareMix: %+v, %v", cmp, err)
+	}
+	if math.Abs(cmp.STPError()-wantCmp.STPError()) > 1e-15 {
+		t.Fatalf("Compare.STPError %v != Scenario.STPError %v", cmp.STPError(), wantCmp.STPError())
+	}
+
+	mixes, err := RandomMixes(4, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := sys.Eval(ctx, NewRequest(KindPredict, mixes, WithProfiles(set)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPreds, err := batchRes.Predictions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, rep, err := sys.PredictMany(set, mixes, ModelOptions{})
+	if err != nil || len(preds) != len(wantPreds) {
+		t.Fatalf("PredictMany: %d preds, %v", len(preds), err)
+	}
+	for i := range preds {
+		if preds[i].STP != wantPreds[i].STP {
+			t.Fatalf("PredictMany mix %d STP %v != Eval %v", i, preds[i].STP, wantPreds[i].STP)
+		}
+	}
+	if rep.Mixes != len(mixes) {
+		t.Fatalf("PredictMany report covers %d mixes", rep.Mixes)
+	}
+	batch, err := sys.PredictBatch(ctx, mixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		// PredictBatch uses the engine profile cache rather than set; the
+		// profiles are identical, so results must be too.
+		if batch[i].STP != wantPreds[i].STP {
+			t.Fatalf("PredictBatch mix %d STP %v != Eval %v", i, batch[i].STP, wantPreds[i].STP)
+		}
+	}
+
+	configs := LLCConfigs()[:2]
+	wantSweep, err := sys.Eval(ctx, NewRequest(KindPredict, mixes, WithConfigs(configs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := sys.Sweep(ctx, mixes, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range configs {
+		for m := range mixes {
+			if sweep.Predictions[c][m].STP != wantSweep.At(c, m).Prediction.STP {
+				t.Fatalf("Sweep (%d,%d) STP diverges", c, m)
+			}
+		}
+	}
+
+	wantStress, err := sys.Eval(ctx, NewRequest(KindPredict, mixes, WithProfiles(set), WithTopK(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stress, err := sys.StressSearch(set, mixes, 2)
+	if err != nil || len(stress) != 2 {
+		t.Fatalf("StressSearch: %d mixes, %v", len(stress), err)
+	}
+	for i := range stress {
+		if stress[i].STP != wantStress.Scenarios[i].STP() {
+			t.Fatalf("StressSearch rank %d STP %v != Eval %v",
+				i, stress[i].STP, wantStress.Scenarios[i].STP())
+		}
+	}
+	if _, err := sys.StressSearch(set, mixes, 0); err == nil {
+		t.Fatal("StressSearch k=0 should error")
+	}
+}

@@ -1,0 +1,145 @@
+package contention
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sdc"
+)
+
+func randomInputs(rng *rand.Rand, n, ways int) []Input {
+	progs := make([]Input, n)
+	for i := range progs {
+		c := make(sdc.Counters, ways+1)
+		for k := range c {
+			c[k] = float64(rng.Intn(200))
+		}
+		progs[i] = Input{SDC: c}
+	}
+	return progs
+}
+
+// TestBindMatchesExtraMisses: for every registered model the bound
+// evaluator must produce exactly what the one-shot ExtraMisses path
+// produces (they share the implementation, so equality is bitwise).
+func TestBindMatchesExtraMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range Models() {
+		t.Run(m.Name(), func(t *testing.T) {
+			for _, ways := range []int{1, 2, 4, 16} {
+				for _, n := range []int{1, 2, 4, 8} {
+					ev, err := Bind(m, ways, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					dst := make([]float64, n)
+					for trial := 0; trial < 20; trial++ {
+						progs := randomInputs(rng, n, ways)
+						want, err := m.ExtraMisses(ways, progs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := ev.ExtraMissesInto(dst, progs); err != nil {
+							t.Fatal(err)
+						}
+						for i := range dst {
+							if dst[i] != want[i] {
+								t.Fatalf("ways=%d n=%d program %d: bound %v, one-shot %v",
+									ways, n, i, dst[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBindErrors covers the hoisted validation plus the cheap
+// per-evaluation shape checks.
+func TestBindErrors(t *testing.T) {
+	for _, m := range Models() {
+		if _, err := Bind(m, 0, 2); err == nil {
+			t.Errorf("%s: Bind with 0 ways should fail", m.Name())
+		}
+		if _, err := Bind(m, 4, 0); err == nil {
+			t.Errorf("%s: Bind with 0 programs should fail", m.Name())
+		}
+		ev, err := Bind(m, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := []Input{mkInput(1, 2, 3), mkInput(4, 5, 6)}
+		dst := make([]float64, 2)
+		if err := ev.ExtraMissesInto(dst, ok[:1]); err == nil {
+			t.Errorf("%s: wrong program count should fail", m.Name())
+		}
+		if err := ev.ExtraMissesInto(dst[:1], ok); err == nil {
+			t.Errorf("%s: short dst should fail", m.Name())
+		}
+		bad := []Input{mkInput(1, 2, 3), mkInput(4, 5)}
+		if err := ev.ExtraMissesInto(dst, bad); err == nil {
+			t.Errorf("%s: mismatched SDC ways should fail", m.Name())
+		}
+		if err := ev.ExtraMissesInto(dst, ok); err != nil {
+			t.Errorf("%s: valid inputs failed: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestGenericBindAdapter exercises the fallback for models that do not
+// implement Binder.
+func TestGenericBindAdapter(t *testing.T) {
+	m := modelFunc{name: "shim", fn: FOA{}.ExtraMisses}
+	ev, err := Bind(m, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []Input{mkInput(10, 20, 30, 40, 5), mkInput(50, 0, 0, 0, 100)}
+	want, err := FOA{}.ExtraMisses(4, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 2)
+	if err := ev.ExtraMissesInto(dst, progs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("program %d: adapter %v, direct %v", i, dst[i], want[i])
+		}
+	}
+}
+
+type modelFunc struct {
+	name string
+	fn   func(int, []Input) ([]float64, error)
+}
+
+func (m modelFunc) Name() string { return m.name }
+func (m modelFunc) ExtraMisses(ways int, progs []Input) ([]float64, error) {
+	return m.fn(ways, progs)
+}
+
+// TestEvaluatorZeroAlloc locks in the no-allocation property of every
+// bound evaluator's steady state.
+func TestEvaluatorZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range Models() {
+		ev, err := Bind(m, 16, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs := randomInputs(rng, 4, 16)
+		dst := make([]float64, 4)
+		allocs := testing.AllocsPerRun(500, func() {
+			if err := ev.ExtraMissesInto(dst, progs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ExtraMissesInto allocates %v times per call, want 0",
+				m.Name(), allocs)
+		}
+	}
+}

@@ -37,15 +37,102 @@ type Model interface {
 	// ExtraMisses returns, for each program, the additional misses it
 	// suffers when the given programs share an LLC with the given
 	// associativity, beyond its standalone misses over the same window.
+	//
+	// ExtraMisses validates its inputs and allocates its result on every
+	// call; iterative solvers should Bind once and call
+	// Evaluator.ExtraMissesInto per iteration instead.
 	ExtraMisses(ways int, progs []Input) ([]float64, error)
 }
 
-func validate(ways int, progs []Input) error {
+// Evaluator is a contention model bound to a fixed LLC associativity and
+// program count. Binding hoists the full input validation and any
+// per-evaluation scratch out of a solver's iteration loop: an iterative
+// model evaluation binds once and then calls ExtraMissesInto thousands
+// of times with zero allocations.
+//
+// An Evaluator may own scratch buffers and is therefore safe for use by
+// only one goroutine at a time; bind one per solver instance, not one
+// per process.
+type Evaluator interface {
+	// ExtraMissesInto fills dst[i] with program i's sharing-induced extra
+	// misses. len(dst) and len(progs) must equal the bound program count
+	// and each SDC must have the bound associativity; counter values are
+	// trusted (the caller is expected to derive them from validated
+	// profiles), so only shapes are checked.
+	ExtraMissesInto(dst []float64, progs []Input) error
+}
+
+// Binder is implemented by models that provide a pre-bound evaluator.
+// All models in this package implement it; Bind adapts those that do
+// not.
+type Binder interface {
+	Bind(ways, n int) (Evaluator, error)
+}
+
+// Bind returns an Evaluator for m over an LLC with the given
+// associativity shared by n programs. Models implementing Binder get
+// their optimized evaluator; any other Model is adapted generically
+// (correct, but allocating per evaluation).
+func Bind(m Model, ways, n int) (Evaluator, error) {
+	if err := validateShape(ways, n); err != nil {
+		return nil, err
+	}
+	if b, ok := m.(Binder); ok {
+		return b.Bind(ways, n)
+	}
+	return &genericEval{m: m, ways: ways, n: n}, nil
+}
+
+// genericEval adapts a Binder-less Model to the Evaluator interface.
+type genericEval struct {
+	m       Model
+	ways, n int
+}
+
+func (e *genericEval) ExtraMissesInto(dst []float64, progs []Input) error {
+	if err := checkBound(e.ways, e.n, dst, progs); err != nil {
+		return err
+	}
+	out, err := e.m.ExtraMisses(e.ways, progs)
+	if err != nil {
+		return err
+	}
+	copy(dst, out)
+	return nil
+}
+
+func validateShape(ways, n int) error {
 	if ways < 1 {
 		return fmt.Errorf("contention: ways %d < 1", ways)
 	}
-	if len(progs) == 0 {
+	if n < 1 {
 		return fmt.Errorf("contention: no programs")
+	}
+	return nil
+}
+
+// checkBound is the per-evaluation shape check shared by all bound
+// evaluators: cheap (no counter-value validation, no allocation), it
+// only guards against mismatched slice shapes.
+func checkBound(ways, n int, dst []float64, progs []Input) error {
+	if len(progs) != n {
+		return fmt.Errorf("contention: bound to %d programs, got %d", n, len(progs))
+	}
+	if len(dst) != n {
+		return fmt.Errorf("contention: dst has %d slots for %d programs", len(dst), n)
+	}
+	for i := range progs {
+		if progs[i].SDC.Ways() != ways {
+			return fmt.Errorf("contention: program %d SDC has %d ways, cache has %d",
+				i, progs[i].SDC.Ways(), ways)
+		}
+	}
+	return nil
+}
+
+func validate(ways int, progs []Input) error {
+	if err := validateShape(ways, len(progs)); err != nil {
+		return err
 	}
 	for i, p := range progs {
 		if err := p.SDC.Validate(); err != nil {
@@ -57,6 +144,23 @@ func validate(ways int, progs []Input) error {
 		}
 	}
 	return nil
+}
+
+// extraMisses is the shared deprecated-style entry point: full
+// validation, a one-shot bind and a freshly allocated result.
+func extraMisses(m Binder, ways int, progs []Input) ([]float64, error) {
+	if err := validate(ways, progs); err != nil {
+		return nil, err
+	}
+	ev, err := m.Bind(ways, len(progs))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(progs))
+	if err := ev.ExtraMissesInto(out, progs); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // FOA is the Frequency of Access model (Chandra et al., HPCA 2005), the
@@ -71,23 +175,47 @@ func (FOA) Name() string { return "FOA" }
 
 // ExtraMisses implements Model.
 func (FOA) ExtraMisses(ways int, progs []Input) ([]float64, error) {
-	if err := validate(ways, progs); err != nil {
+	return extraMisses(FOA{}, ways, progs)
+}
+
+// Bind implements Binder.
+func (FOA) Bind(ways, n int) (Evaluator, error) {
+	if err := validateShape(ways, n); err != nil {
 		return nil, err
 	}
+	return &foaEval{ways: ways, n: n, acc: make([]float64, n)}, nil
+}
+
+type foaEval struct {
+	ways, n int
+	acc     []float64 // per-bind scratch: access count per program
+}
+
+func (e *foaEval) ExtraMissesInto(dst []float64, progs []Input) error {
+	if err := checkBound(e.ways, e.n, dst, progs); err != nil {
+		return err
+	}
 	total := 0.0
-	for _, p := range progs {
-		total += p.Accesses()
+	for i := range progs {
+		e.acc[i] = progs[i].Accesses()
+		total += e.acc[i]
 	}
-	out := make([]float64, len(progs))
 	if total == 0 {
-		return out, nil
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
 	}
-	for i, p := range progs {
-		share := p.Accesses() / total
-		eff := float64(ways) * share
-		out[i] = p.SDC.ExtraMissesAtWays(eff)
+	for i := range progs {
+		share := e.acc[i] / total
+		eff := float64(e.ways) * share
+		extra := progs[i].SDC.MissesBeyond(eff, e.acc[i]) - progs[i].Misses()
+		if extra < 0 {
+			extra = 0
+		}
+		dst[i] = extra
 	}
-	return out, nil
+	return nil
 }
 
 // FOAReuse is a refinement of FOA that distinguishes pollution from
@@ -112,33 +240,60 @@ func (FOAReuse) Name() string { return "FOA-reuse" }
 
 // ExtraMisses implements Model.
 func (FOAReuse) ExtraMisses(ways int, progs []Input) ([]float64, error) {
-	if err := validate(ways, progs); err != nil {
+	return extraMisses(FOAReuse{}, ways, progs)
+}
+
+// Bind implements Binder.
+func (FOAReuse) Bind(ways, n int) (Evaluator, error) {
+	if err := validateShape(ways, n); err != nil {
 		return nil, err
 	}
-	const beta = 0.5
-	pressure := make([]float64, len(progs))
-	for i, p := range progs {
-		pressure[i] = p.Misses() + beta*(p.Accesses()-p.Misses())
+	return &foaReuseEval{
+		ways: ways, n: n,
+		pressure: make([]float64, n),
+		acc:      make([]float64, n),
+	}, nil
+}
+
+type foaReuseEval struct {
+	ways, n  int
+	pressure []float64 // per-bind scratch: misses + beta*hits per program
+	acc      []float64 // per-bind scratch: access count per program
+}
+
+func (e *foaReuseEval) ExtraMissesInto(dst []float64, progs []Input) error {
+	if err := checkBound(e.ways, e.n, dst, progs); err != nil {
+		return err
 	}
-	out := make([]float64, len(progs))
-	for i, p := range progs {
-		own := p.Accesses()
+	const beta = 0.5
+	for i := range progs {
+		m := progs[i].Misses()
+		e.acc[i] = progs[i].Accesses()
+		e.pressure[i] = m + beta*(e.acc[i]-m)
+	}
+	for i := range progs {
+		dst[i] = 0
+		own := e.acc[i]
 		if own == 0 {
 			continue
 		}
 		foreign := 0.0
 		for j := range progs {
 			if j != i {
-				foreign += pressure[j]
+				foreign += e.pressure[j]
 			}
 		}
-		eff := float64(ways) * own / (own + foreign)
-		if eff > float64(ways) {
-			eff = float64(ways)
+		eff := float64(e.ways) * own / (own + foreign)
+		if eff > float64(e.ways) {
+			eff = float64(e.ways)
 		}
-		out[i] = p.SDC.ExtraMissesAtWays(eff)
+		extra := progs[i].SDC.MissesBeyond(eff, own) - progs[i].Misses()
+		if extra < 0 {
+			extra = 0
+		}
+		dst[i] = extra
 	}
-	return out, nil
+	return nil
 }
 
 // EqualPartition is a baseline model that statically splits the cache
@@ -151,15 +306,31 @@ func (EqualPartition) Name() string { return "equal-partition" }
 
 // ExtraMisses implements Model.
 func (EqualPartition) ExtraMisses(ways int, progs []Input) ([]float64, error) {
-	if err := validate(ways, progs); err != nil {
+	return extraMisses(EqualPartition{}, ways, progs)
+}
+
+// Bind implements Binder. The per-program effective share is fixed by
+// (ways, n), so it is computed once here.
+func (EqualPartition) Bind(ways, n int) (Evaluator, error) {
+	if err := validateShape(ways, n); err != nil {
 		return nil, err
 	}
-	eff := float64(ways) / float64(len(progs))
-	out := make([]float64, len(progs))
-	for i, p := range progs {
-		out[i] = p.SDC.ExtraMissesAtWays(eff)
+	return &equalEval{ways: ways, n: n, eff: float64(ways) / float64(n)}, nil
+}
+
+type equalEval struct {
+	ways, n int
+	eff     float64
+}
+
+func (e *equalEval) ExtraMissesInto(dst []float64, progs []Input) error {
+	if err := checkBound(e.ways, e.n, dst, progs); err != nil {
+		return err
 	}
-	return out, nil
+	for i := range progs {
+		dst[i] = progs[i].SDC.ExtraMissesAtWays(e.eff)
+	}
+	return nil
 }
 
 // SDCCompete is the stack-distance-competition model of Chandra et al.:
@@ -173,17 +344,36 @@ func (SDCCompete) Name() string { return "SDC-compete" }
 
 // ExtraMisses implements Model.
 func (SDCCompete) ExtraMisses(ways int, progs []Input) ([]float64, error) {
-	if err := validate(ways, progs); err != nil {
+	return extraMisses(SDCCompete{}, ways, progs)
+}
+
+// Bind implements Binder.
+func (SDCCompete) Bind(ways, n int) (Evaluator, error) {
+	if err := validateShape(ways, n); err != nil {
 		return nil, err
 	}
-	granted := make([]int, len(progs))
-	for w := 0; w < ways; w++ {
+	return &sdcCompeteEval{ways: ways, n: n, granted: make([]int, n)}, nil
+}
+
+type sdcCompeteEval struct {
+	ways, n int
+	granted []int // per-bind scratch: ways granted so far per program
+}
+
+func (e *sdcCompeteEval) ExtraMissesInto(dst []float64, progs []Input) error {
+	if err := checkBound(e.ways, e.n, dst, progs); err != nil {
+		return err
+	}
+	for i := range e.granted {
+		e.granted[i] = 0
+	}
+	for w := 0; w < e.ways; w++ {
 		best, bestGain := -1, -1.0
-		for i, p := range progs {
-			if granted[i] >= ways {
+		for i := range progs {
+			if e.granted[i] >= e.ways {
 				continue
 			}
-			gain := p.SDC[granted[i]] // hits unlocked by one more way
+			gain := progs[i].SDC[e.granted[i]] // hits unlocked by one more way
 			if gain > bestGain {
 				best, bestGain = i, gain
 			}
@@ -191,13 +381,12 @@ func (SDCCompete) ExtraMisses(ways int, progs []Input) ([]float64, error) {
 		if best < 0 {
 			break
 		}
-		granted[best]++
+		e.granted[best]++
 	}
-	out := make([]float64, len(progs))
-	for i, p := range progs {
-		out[i] = p.SDC.ExtraMissesAtWays(float64(granted[i]))
+	for i := range progs {
+		dst[i] = progs[i].SDC.ExtraMissesAtWays(float64(e.granted[i]))
 	}
-	return out, nil
+	return nil
 }
 
 // ByName returns a registered model by name.

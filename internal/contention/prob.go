@@ -39,40 +39,63 @@ func (Prob) Name() string { return "Prob" }
 
 // ExtraMisses implements Model.
 func (Prob) ExtraMisses(ways int, progs []Input) ([]float64, error) {
-	if err := validate(ways, progs); err != nil {
+	return extraMisses(Prob{}, ways, progs)
+}
+
+// Bind implements Binder.
+func (Prob) Bind(ways, n int) (Evaluator, error) {
+	if err := validateShape(ways, n); err != nil {
 		return nil, err
 	}
-	const beta = 0.5
-	pressure := make([]float64, len(progs))
-	for i, p := range progs {
-		pressure[i] = p.Misses() + beta*(p.Accesses()-p.Misses())
+	return &probEval{
+		ways: ways, n: n,
+		pressure: make([]float64, n),
+		acc:      make([]float64, n),
+	}, nil
+}
+
+type probEval struct {
+	ways, n  int
+	pressure []float64 // per-bind scratch: misses + beta*hits per program
+	acc      []float64 // per-bind scratch: access count per program
+}
+
+func (e *probEval) ExtraMissesInto(dst []float64, progs []Input) error {
+	if err := checkBound(e.ways, e.n, dst, progs); err != nil {
+		return err
 	}
-	out := make([]float64, len(progs))
-	for i, p := range progs {
-		own := p.Accesses()
+	const beta = 0.5
+	for i := range progs {
+		m := progs[i].Misses()
+		e.acc[i] = progs[i].Accesses()
+		e.pressure[i] = m + beta*(e.acc[i]-m)
+	}
+	for i := range progs {
+		dst[i] = 0
+		own := e.acc[i]
 		if own == 0 {
 			continue
 		}
 		foreign := 0.0
 		for j := range progs {
 			if j != i {
-				foreign += pressure[j]
+				foreign += e.pressure[j]
 			}
 		}
 		ratio := foreign / own
 		extra := 0.0
-		for d := 1; d <= ways; d++ {
-			hits := p.SDC[d-1]
+		for d := 1; d <= e.ways; d++ {
+			hits := progs[i].SDC[d-1]
 			if hits == 0 {
 				continue
 			}
 			lambda := float64(d) * ratio
 			// P(X > ways-d) for X ~ Poisson(lambda).
-			extra += hits * poissonTailAbove(ways-d, lambda)
+			extra += hits * poissonTailAbove(e.ways-d, lambda)
 		}
-		out[i] = extra
+		dst[i] = extra
 	}
-	return out, nil
+	return nil
 }
 
 // poissonTailAbove returns P(X > k) for X ~ Poisson(lambda).

@@ -19,7 +19,6 @@ import (
 	"math"
 
 	"repro/internal/contention"
-	"repro/internal/metrics"
 	"repro/internal/mppmerr"
 	"repro/internal/profile"
 )
@@ -174,160 +173,12 @@ func (m *Model) scale(p int) float64 {
 }
 
 // Run executes the iterative model (Figure 2) and returns the predicted
-// per-program slowdowns and multi-core CPIs.
+// per-program slowdowns and multi-core CPIs. It runs on a throwaway
+// Kernel; batch callers that evaluate many workloads should hold (or
+// pool) a Kernel and call Kernel.Run to reuse scratch across runs.
 func (m *Model) Run() (*Result, error) {
-	n := len(m.profiles)
-	L := float64(m.opts.ChunkL)
-
-	// Initial conditions: R_p = 1, I_p = 0.
-	R := make([]float64, n)
-	pos := make([]float64, n)   // I_p: current trace position in instructions
-	total := make([]float64, n) // cumulative instructions executed
-	for p := range R {
-		R[p] = 1
-	}
-
-	// Progress-weighted slowdown accumulators for ReportAverage.
-	avgNum := make([]float64, n)
-	avgDen := make([]float64, n)
-
-	windows := make([]profile.Window, n)
-	inputs := make([]contention.Input, n)
-	res := &Result{
-		Benchmarks: make([]string, n),
-		SingleCPI:  make([]float64, n),
-	}
-	for p, prof := range m.profiles {
-		res.Benchmarks[p] = prof.Meta.Benchmark
-		res.SingleCPI[p] = prof.CPI() / m.scale(p)
-	}
-
-	done := func() bool {
-		for p, prof := range m.profiles {
-			if total[p] < m.opts.TargetMultiple*float64(prof.Meta.TraceLength) {
-				return false
-			}
-		}
-		return true
-	}
-
-	iter := 0
-	for ; iter < m.opts.MaxIterations && !done(); iter++ {
-		// Determine the slowest program over the next L instructions:
-		// highest multi-core CPI = local single-core CPI times R_p.
-		C := 0.0
-		cpiLocal := make([]float64, n)
-		for p, prof := range m.profiles {
-			cpiLocal[p] = prof.WindowAt(pos[p], L).CPI() / m.scale(p)
-			if cpiLocal[p] <= 0 {
-				return nil, fmt.Errorf("core: %s has zero CPI window at %v",
-					prof.Meta.Benchmark, pos[p])
-			}
-			if c := cpiLocal[p] * R[p] * L; c > C {
-				C = c
-			}
-		}
-
-		// Instruction progress per program over those C cycles, refined
-		// once so N_p reflects the CPI of the window it actually covers.
-		N := make([]float64, n)
-		for p, prof := range m.profiles {
-			N[p] = C / (cpiLocal[p] * R[p])
-			refined := prof.WindowAt(pos[p], N[p]).CPI() / m.scale(p)
-			if refined > 0 {
-				N[p] = C / (refined * R[p])
-			}
-		}
-
-		// Accumulate SDCs over each program's window and estimate the
-		// extra conflict misses from sharing.
-		for p, prof := range m.profiles {
-			windows[p] = prof.WindowAt(pos[p], N[p])
-			inputs[p] = contention.Input{SDC: windows[p].SDC}
-		}
-		extra, err := m.opts.Contention.ExtraMisses(m.ways, inputs)
-		if err != nil {
-			return nil, fmt.Errorf("core: contention model: %w", err)
-		}
-
-		// Bandwidth extension: mean M/D/1 queueing delay per miss given
-		// the mix's aggregate channel demand over these C cycles.
-		var sharedWait float64
-		if s := m.opts.BandwidthOccupancy; s > 0 {
-			totalMisses := 0.0
-			for p := range m.profiles {
-				totalMisses += windows[p].LLCMisses() + extra[p]
-			}
-			sharedWait = queueWait(totalMisses*s/C, s)
-		}
-
-		// Convert extra misses to lost cycles using each program's
-		// average LLC miss penalty over the window, and update R_p.
-		for p := range m.profiles {
-			w := &windows[p]
-			penalty := m.memLat / m.scale(p)
-			if misses := w.LLCMisses(); misses > 1e-9 && w.MemStall > 0 {
-				penalty = w.MemStall / m.scale(p) / misses
-			}
-			missCycles := extra[p] * penalty
-			if s := m.opts.BandwidthOccupancy; s > 0 {
-				// Incremental queueing over what isolated execution (and
-				// thus the measured memory CPI) already contains.
-				isoCycles := w.Cycles / m.scale(p)
-				isoWait := 0.0
-				if isoCycles > 0 {
-					isoWait = queueWait(w.LLCMisses()*s/isoCycles, s)
-				}
-				if dw := sharedWait - isoWait; dw > 0 {
-					missCycles += dw * (w.LLCMisses() + extra[p])
-				}
-			}
-			denom := C
-			if !m.opts.PaperDenominator {
-				// The program's isolated cycles over its N_p window.
-				denom = w.Cycles / m.scale(p)
-			}
-			rNew := 1 + missCycles/denom
-			R[p] = m.opts.Smoothing*R[p] + (1-m.opts.Smoothing)*rNew
-
-			avgNum[p] += R[p] * N[p]
-			avgDen[p] += N[p]
-
-			pos[p] += N[p]
-			total[p] += N[p]
-		}
-
-		if m.opts.RecordHistory {
-			res.History = append(res.History, append([]float64(nil), R...))
-		}
-	}
-	if !done() {
-		return nil, fmt.Errorf("core: no convergence after %d iterations", iter)
-	}
-
-	res.Iterations = iter
-	res.Slowdown = make([]float64, n)
-	res.MultiCPI = make([]float64, n)
-	for p := range m.profiles {
-		r := R[p]
-		if m.opts.ReportAverage && avgDen[p] > 0 {
-			r = avgNum[p] / avgDen[p]
-		}
-		if r < 1 {
-			r = 1 // sharing cannot speed a program up in this model
-		}
-		res.Slowdown[p] = r
-		res.MultiCPI[p] = res.SingleCPI[p] * r
-	}
-
-	var err error
-	if res.STP, err = metrics.STP(res.SingleCPI, res.MultiCPI); err != nil {
-		return nil, fmt.Errorf("core: STP: %w", err)
-	}
-	if res.ANTT, err = metrics.ANTT(res.SingleCPI, res.MultiCPI); err != nil {
-		return nil, fmt.Errorf("core: ANTT: %w", err)
-	}
-	return res, nil
+	var k Kernel
+	return k.run(m)
 }
 
 // queueWait returns the mean M/D/1 waiting time for utilization rho and
@@ -368,7 +219,12 @@ func Predict(set *profile.Set, mix []string, opts Options) (*Result, error) {
 
 // MaxSlowdown returns the largest per-program slowdown in the result and
 // the corresponding benchmark name — the Section 6 stress diagnostic.
+// An empty result reports ("", 0) rather than -Inf, so CLI and stress
+// output never prints a sentinel.
 func (r *Result) MaxSlowdown() (string, float64) {
+	if len(r.Slowdown) == 0 {
+		return "", 0
+	}
 	best, name := math.Inf(-1), ""
 	for p, s := range r.Slowdown {
 		if s > best {

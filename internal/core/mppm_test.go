@@ -25,7 +25,7 @@ func testConfig() sim.Config {
 // profileSet profiles the named benchmarks once per test binary run.
 var cachedSet *profile.Set
 
-func getSet(t *testing.T) *profile.Set {
+func getSet(t testing.TB) *profile.Set {
 	t.Helper()
 	if cachedSet != nil {
 		return cachedSet

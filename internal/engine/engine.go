@@ -141,6 +141,14 @@ type call[T any] struct {
 	err  error
 }
 
+// kernels pools model evaluation kernels process-wide: every Predict
+// job borrows one for the duration of its run, so concurrent
+// eval/sweep/stress traffic (and the mppmd service on top of it) reuses
+// per-run scratch across jobs instead of reallocating it. The pool is
+// shared by all engines — kernel scratch is workload-shaped, not
+// engine-shaped.
+var kernels = sync.Pool{New: func() any { return core.NewKernel() }}
+
 // New returns an Engine with the given configuration.
 func New(cfg Config) *Engine {
 	if cfg.TraceLength == 0 {
@@ -384,12 +392,9 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 
 	switch job.Kind {
 	case Predict:
-		model, err := core.New(profiles, job.Opts)
-		if err != nil {
-			res.Err = err
-			return res
-		}
-		pred, err := model.Run()
+		k := kernels.Get().(*core.Kernel)
+		pred, err := k.Run(profiles, job.Opts)
+		kernels.Put(k)
 		if err != nil {
 			res.Err = err
 			return res

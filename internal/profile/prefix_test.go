@@ -1,0 +1,174 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sdc"
+)
+
+// randomProfile builds a valid profile with the given interval count
+// and associativity. uniform selects equal-length intervals (the
+// locate-by-division fast path) versus irregular ones (binary search).
+func randomProfile(rng *rand.Rand, intervals, ways int, uniform bool) *Profile {
+	p := &Profile{Meta: testMeta(ways)}
+	fixed := int64(1 + rng.Intn(500))
+	var total int64
+	for i := 0; i < intervals; i++ {
+		instr := fixed
+		if !uniform {
+			instr = int64(1 + rng.Intn(500))
+		}
+		counters := make(sdc.Counters, ways+1)
+		for k := range counters {
+			counters[k] = float64(rng.Intn(100))
+		}
+		p.Intervals = append(p.Intervals, Interval{
+			Instructions: instr,
+			Cycles:       rng.Float64() * 1000,
+			MemStall:     rng.Float64() * 200,
+			LLCAccesses:  rng.Float64() * 300,
+			SDC:          counters,
+		})
+		total += instr
+	}
+	p.Meta.TraceLength = total
+	p.Meta.IntervalLength = p.Intervals[0].Instructions
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// windowClose compares two windows with a relative tolerance: the prefix
+// path reorders floating-point additions, so low-bit drift is expected.
+func windowClose(t *testing.T, got, want Window, ctx string) {
+	t.Helper()
+	close := func(a, b float64, what string) {
+		t.Helper()
+		tol := 1e-9 * (1 + math.Abs(b))
+		if math.Abs(a-b) > tol {
+			t.Fatalf("%s: %s = %v, want %v (diff %v)", ctx, what, a, b, a-b)
+		}
+	}
+	close(got.Instructions, want.Instructions, "Instructions")
+	close(got.Cycles, want.Cycles, "Cycles")
+	close(got.MemStall, want.MemStall, "MemStall")
+	close(got.LLCAccesses, want.LLCAccesses, "LLCAccesses")
+	if got.SDC.Ways() != want.SDC.Ways() {
+		t.Fatalf("%s: ways %d vs %d", ctx, got.SDC.Ways(), want.SDC.Ways())
+	}
+	for k := range got.SDC {
+		close(got.SDC[k], want.SDC[k], "SDC")
+	}
+}
+
+// TestWindowPrefixMatchesLinear is the property test of the tentpole:
+// the O(1) prefix-sum window must agree with the historical linear
+// accumulation for every profile shape — circular wrap, fractional pos
+// and n, multi-trace windows and single-interval profiles.
+func TestWindowPrefixMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, intervals := range []int{1, 2, 3, 7, 50} {
+		for _, ways := range []int{1, 2, 8, 16} {
+			p := randomProfile(rng, intervals, ways, intervals%2 == 0)
+			total := float64(p.TotalInstructions())
+			positions := []float64{
+				0, 0.25, 1, total / 3, total/2 + 0.125, total - 1,
+				total - 1e-6, total, total + 7.5, 3 * total, -12.75,
+			}
+			sizes := []float64{
+				1e-7, 0.5, 1, 7.25, total / 5, total - 0.5, total,
+				total + 0.25, 2.5 * total, 4 * total,
+			}
+			for _, pos := range positions {
+				for _, n := range sizes {
+					got := p.WindowAt(pos, n)
+					want := p.WindowLinear(pos, n)
+					windowClose(t, got, want, fmt.Sprintf(
+						"intervals=%d ways=%d pos=%v n=%v", intervals, ways, pos, n))
+
+					// CPIAt is the cycles-only fast probe of the same window.
+					if n > 1e-6 {
+						wantCPI := want.CPI()
+						gotCPI := p.CPIAt(pos, n)
+						if math.Abs(gotCPI-wantCPI) > 1e-9*(1+math.Abs(wantCPI)) {
+							t.Fatalf("CPIAt(%v, %v) = %v, want %v", pos, n, gotCPI, wantCPI)
+						}
+					}
+				}
+			}
+			// Randomized sweep on top of the grid.
+			for trial := 0; trial < 200; trial++ {
+				pos := (rng.Float64()*4 - 1) * total
+				n := rng.Float64() * 3 * total
+				got := p.WindowAt(pos, n)
+				want := p.WindowLinear(pos, n)
+				windowClose(t, got, want, "random trial")
+			}
+		}
+	}
+}
+
+// TestWindowIntoZeroAlloc locks in the zero-allocation property of the
+// steady-state window path: once dst owns an SDC of the right
+// associativity, WindowInto must not touch the heap.
+func TestWindowIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomProfile(rng, 50, 16, false)
+	total := float64(p.TotalInstructions())
+	var w Window
+	p.WindowInto(&w, 0, 1) // builds index + scratch
+	pos := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.WindowInto(&w, pos, total/5+0.5)
+		pos += total/7 + 0.25
+	})
+	if allocs != 0 {
+		t.Fatalf("WindowInto allocates %v times per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		if p.CPIAt(pos, total/5) <= 0 {
+			t.Fatal("zero CPI")
+		}
+		pos += total / 11
+	})
+	if allocs != 0 {
+		t.Fatalf("CPIAt allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestValidateMemoizesSuccessOnly: a valid profile is checked once,
+// but an invalid one may be repaired in place and re-validated.
+func TestValidateMemoizesSuccessOnly(t *testing.T) {
+	p := testProfile()
+	p.Intervals[0].Cycles = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative cycles should fail validation")
+	}
+	p.Intervals[0].Cycles = 100 // repair in place
+	if err := p.Validate(); err != nil {
+		t.Fatalf("repaired profile still fails: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("memoized success lost: %v", err)
+	}
+}
+
+// TestWindowIntoReusesBacking verifies dst's SDC backing survives reuse
+// and is replaced only on an associativity change.
+func TestWindowIntoReusesBacking(t *testing.T) {
+	p := testProfile() // 2-way
+	var w Window
+	p.WindowInto(&w, 0, 100)
+	first := &w.SDC[0]
+	p.WindowInto(&w, 50, 200)
+	if &w.SDC[0] != first {
+		t.Fatal("WindowInto reallocated a matching SDC")
+	}
+	if w.SDC.Ways() != 2 {
+		t.Fatalf("ways = %d", w.SDC.Ways())
+	}
+}

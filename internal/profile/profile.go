@@ -23,8 +23,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -75,19 +77,61 @@ func (iv Interval) MemCPI() float64 {
 }
 
 // Profile is a complete single-core profile for one benchmark.
+//
+// Profiles are treated as immutable once handed to the model layer: the
+// first window lookup builds a prefix-sum index over Intervals (guarded
+// by cumOnce), and every subsequent O(1) window query assumes the
+// interval data has not changed since. Mutating Intervals after first
+// use yields stale windows; derive a new Profile instead.
 type Profile struct {
 	Meta      Meta       `json:"meta"`
 	Intervals []Interval `json:"intervals"`
 
-	// cumInstr[i] is the number of instructions before interval i;
-	// populated lazily by index(), guarded by cumOnce: profiles are
-	// shared read-only across concurrent model evaluations.
-	cumOnce  sync.Once
-	cumInstr []int64
+	// Prefix-sum index, populated lazily by index() and guarded by
+	// cumOnce: profiles are shared read-only across concurrent model
+	// evaluations. cumInstr[i] is the number of instructions before
+	// interval i; cumCycles/cumMemStall/cumLLCAcc are the analogous
+	// cumulative float counters; cumSDC is a flattened
+	// (len(Intervals)+1) x (ways+1) matrix whose row i holds the
+	// element-wise sum of the SDCs of intervals [0, i).
+	cumOnce     sync.Once
+	cumInstr    []int64
+	cumCycles   []float64
+	cumMemStall []float64
+	cumLLCAcc   []float64
+	cumSDC      []float64
+	// invAvg is intervals/instructions — the reciprocal of the mean
+	// interval length. Real profiles have near-uniform intervals (the
+	// profiler closes them on fixed instruction boundaries, give or
+	// take one instruction gap), so position/avg is an O(1) interval
+	// guess that a step or two of local walking corrects.
+	invAvg float64
+
+	// validOK memoizes a *successful* Validate: profiles are immutable
+	// once in use, and the model layer re-validates them on every
+	// evaluation. Failures are not memoized — a profile that never
+	// validated was never "in use", so repairing it in place and
+	// re-validating must work.
+	validOK atomic.Bool
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency. Success is memoized: the model
+// layer re-validates profiles on every evaluation, and profiles are
+// immutable once in use (see the type comment), so a valid profile is
+// checked once. Failed validation is re-run each call, so an invalid
+// profile may be repaired in place and re-validated.
 func (p *Profile) Validate() error {
+	if p.validOK.Load() {
+		return nil
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	p.validOK.Store(true)
+	return nil
+}
+
+func (p *Profile) validate() error {
 	if len(p.Intervals) == 0 {
 		return fmt.Errorf("profile %s: no intervals", p.Meta.Benchmark)
 	}
@@ -206,13 +250,121 @@ func (p *Profile) MemIntensity() float64 {
 
 func (p *Profile) index() []int64 {
 	p.cumOnce.Do(func() {
-		cum := make([]int64, len(p.Intervals)+1)
+		n := len(p.Intervals)
+		stride := p.Meta.LLC.Ways + 1
+		cum := make([]int64, n+1)
+		cyc := make([]float64, n+1)
+		mem := make([]float64, n+1)
+		acc := make([]float64, n+1)
+		sdcs := make([]float64, (n+1)*stride)
 		for i, iv := range p.Intervals {
 			cum[i+1] = cum[i] + iv.Instructions
+			cyc[i+1] = cyc[i] + iv.Cycles
+			mem[i+1] = mem[i] + iv.MemStall
+			acc[i+1] = acc[i] + iv.LLCAccesses
+			row, next := sdcs[i*stride:(i+1)*stride], sdcs[(i+1)*stride:(i+2)*stride]
+			for k, v := range iv.SDC {
+				next[k] = row[k] + v
+			}
 		}
 		p.cumInstr = cum
+		p.cumCycles = cyc
+		p.cumMemStall = mem
+		p.cumLLCAcc = acc
+		p.cumSDC = sdcs
+		p.invAvg = float64(n) / float64(cum[n])
 	})
 	return p.cumInstr
+}
+
+// locate returns the interval containing absolute position x in
+// [0, total] plus the fraction of that interval covered by [start, x).
+// x == total maps to the last interval with fraction 1.
+//
+// The index is guessed in O(1) by dividing by the mean interval length
+// and corrected by walking at most a few steps — exact for uniform
+// profiles and a step or two for the near-uniform ones the profiler
+// emits. Profiles irregular enough to defeat the guess fall back to
+// binary search.
+func (p *Profile) locate(x float64) (int, float64) {
+	cum := p.cumInstr
+	n := len(p.Intervals)
+	i := int(x * p.invAvg)
+	if i > n-1 {
+		i = n - 1
+	}
+	for steps := 0; steps < 4; steps++ {
+		if float64(cum[i]) > x {
+			i--
+			continue
+		}
+		if i+1 < n && float64(cum[i+1]) <= x {
+			i++
+			continue
+		}
+		return i, clampFrac((x - float64(cum[i])) / float64(p.Intervals[i].Instructions))
+	}
+	return p.locateSearch(x)
+}
+
+// locateSearch is locate's binary-search slow path for profiles with
+// irregular interval lengths.
+func (p *Profile) locateSearch(x float64) (int, float64) {
+	n := len(p.Intervals)
+	cum := p.cumInstr
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if float64(cum[mid+1]) > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
+	if i >= n {
+		i = n - 1
+	}
+	return i, clampFrac((x - float64(cum[i])) / float64(p.Intervals[i].Instructions))
+}
+
+func clampFrac(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// addSegment accumulates the non-wrapping range [a, b) of the trace
+// (0 <= a <= b <= total instructions) into dst: two prefix-sum lookups
+// plus linear proration of the two boundary intervals.
+func (p *Profile) addSegment(dst *Window, a, b float64) {
+	if b <= a {
+		return
+	}
+	ia, fa := p.locate(a)
+	ib, fb := p.locate(b)
+	iva, ivb := &p.Intervals[ia], &p.Intervals[ib]
+	dst.Instructions += b - a
+	dst.Cycles += nonneg((p.cumCycles[ib] + fb*ivb.Cycles) - (p.cumCycles[ia] + fa*iva.Cycles))
+	dst.MemStall += nonneg((p.cumMemStall[ib] + fb*ivb.MemStall) - (p.cumMemStall[ia] + fa*iva.MemStall))
+	dst.LLCAccesses += nonneg((p.cumLLCAcc[ib] + fb*ivb.LLCAccesses) - (p.cumLLCAcc[ia] + fa*iva.LLCAccesses))
+	stride := len(dst.SDC)
+	rowA := p.cumSDC[ia*stride : (ia+1)*stride]
+	rowB := p.cumSDC[ib*stride : (ib+1)*stride]
+	for k := range dst.SDC {
+		dst.SDC[k] += nonneg((rowB[k] + fb*ivb.SDC[k]) - (rowA[k] + fa*iva.SDC[k]))
+	}
+}
+
+func nonneg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
 }
 
 // Window is the aggregate of profile characteristics over an instruction
@@ -249,7 +401,104 @@ func (w Window) LLCMisses() float64 { return w.SDC.Misses() }
 // trace, matching the model's behaviour of programs restarting their
 // trace (Section 2.2: "faster running programs may iterate over their
 // trace more than five times"). Both pos and n may be fractional.
+//
+// WindowAt allocates its result; hot paths should hold a Window and use
+// WindowInto instead.
 func (p *Profile) WindowAt(pos, n float64) Window {
+	var w Window
+	p.WindowInto(&w, pos, n)
+	return w
+}
+
+// WindowInto computes WindowAt(pos, n) into dst, reusing dst's SDC
+// backing storage when it matches the profile's associativity — the
+// zero-steady-state-allocation path of the model kernel. Unlike the
+// historical linear walk (WindowLinear) it runs in O(1) per call via
+// the prefix-sum index: whole-trace wraps are one multiply of the trace
+// totals, and each residual segment is two prefix lookups plus linear
+// proration of its boundary intervals.
+func (p *Profile) WindowInto(dst *Window, pos, n float64) {
+	ways := p.Meta.LLC.Ways
+	if dst.SDC == nil || dst.SDC.Ways() != ways {
+		dst.SDC = sdc.New(ways)
+	} else {
+		dst.SDC.SetZero()
+	}
+	dst.Instructions, dst.Cycles, dst.MemStall, dst.LLCAccesses = 0, 0, 0, 0
+	if n <= 0 {
+		return
+	}
+	cum := p.index()
+	nIv := len(p.Intervals)
+	total := float64(cum[nIv])
+	pos = modFloat(pos, total)
+
+	// Whole-trace wraps contribute the full-trace totals at once.
+	if wraps := math.Floor(n / total); wraps > 0 {
+		dst.Instructions += wraps * total
+		dst.Cycles += wraps * p.cumCycles[nIv]
+		dst.MemStall += wraps * p.cumMemStall[nIv]
+		dst.LLCAccesses += wraps * p.cumLLCAcc[nIv]
+		stride := ways + 1
+		dst.SDC.AddScaledSlice(p.cumSDC[nIv*stride:(nIv+1)*stride], wraps)
+		n -= wraps * total
+		if n <= 0 {
+			return
+		}
+	}
+	if end := pos + n; end <= total {
+		p.addSegment(dst, pos, end)
+	} else {
+		p.addSegment(dst, pos, total)
+		p.addSegment(dst, 0, end-total)
+	}
+}
+
+// CPIAt returns the local CPI of the n-instruction window at pos — the
+// cycles-only fast path of WindowInto for the model's CPI probes, which
+// touches neither the SDC matrix nor any scratch.
+func (p *Profile) CPIAt(pos, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	cum := p.index()
+	nIv := len(p.Intervals)
+	total := float64(cum[nIv])
+	pos = modFloat(pos, total)
+
+	cycles, rem := 0.0, n
+	if wraps := math.Floor(rem / total); wraps > 0 {
+		cycles += wraps * p.cumCycles[nIv]
+		rem -= wraps * total
+	}
+	if rem > 0 {
+		if end := pos + rem; end <= total {
+			cycles += p.segmentCycles(pos, end)
+		} else {
+			cycles += p.segmentCycles(pos, total) + p.segmentCycles(0, end-total)
+		}
+	}
+	return cycles / n
+}
+
+// segmentCycles returns the cycle count of the non-wrapping range
+// [a, b) of the trace.
+func (p *Profile) segmentCycles(a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	ia, fa := p.locate(a)
+	ib, fb := p.locate(b)
+	return nonneg((p.cumCycles[ib] + fb*p.Intervals[ib].Cycles) -
+		(p.cumCycles[ia] + fa*p.Intervals[ia].Cycles))
+}
+
+// WindowLinear is the historical O(intervals) implementation of
+// WindowAt, retained verbatim as the reference oracle for the
+// prefix-sum fast path (see TestWindowPrefixMatchesLinear). It walks
+// the interval list and allocates a fresh SDC per call; production code
+// should use WindowAt / WindowInto.
+func (p *Profile) WindowLinear(pos, n float64) Window {
 	w := Window{SDC: sdc.New(p.Meta.LLC.Ways)}
 	if n <= 0 {
 		return w

@@ -29,6 +29,19 @@ func New(ways int) Counters {
 	return make(Counters, ways+1)
 }
 
+// From reinterprets a borrowed backing slice of ways+1 elements as
+// Counters without copying, so callers that own a large scratch array
+// (e.g. the model kernel's per-program window SDCs) can carve views out
+// of it and keep every per-window SDC off the heap. The caller retains
+// ownership: mutations through the returned Counters are visible in
+// backing and vice versa.
+func From(backing []float64) Counters {
+	if len(backing) < 2 {
+		panic(fmt.Sprintf("sdc: backing too short (%d)", len(backing)))
+	}
+	return Counters(backing)
+}
+
 // Ways returns the associativity this SDC was collected at.
 func (c Counters) Ways() int { return len(c) - 1 }
 
@@ -80,17 +93,32 @@ func (c Counters) AddScaled(other Counters, frac float64) {
 	if len(c) != len(other) {
 		panic(fmt.Sprintf("sdc: associativity mismatch %d vs %d", len(c)-1, len(other)-1))
 	}
-	for i, v := range other {
+	c.AddScaledSlice(other, frac)
+}
+
+// AddScaledSlice accumulates frac * vals into c in place, where vals is
+// a raw counter row of the same length — typically a row of a flattened
+// cumulative SDC matrix. It is the allocation-free accumulation
+// primitive behind AddScaled.
+func (c Counters) AddScaledSlice(vals []float64, frac float64) {
+	if len(c) != len(vals) {
+		panic(fmt.Sprintf("sdc: length mismatch %d vs %d", len(c), len(vals)))
+	}
+	for i, v := range vals {
 		c[i] += v * frac
 	}
 }
 
-// Reset zeroes all counters.
-func (c Counters) Reset() {
+// SetZero zeroes all counters in place, preserving the backing storage —
+// the scratch-reuse reset of the zero-allocation window path.
+func (c Counters) SetZero() {
 	for i := range c {
 		c[i] = 0
 	}
 }
+
+// Reset zeroes all counters. It is equivalent to SetZero.
+func (c Counters) Reset() { c.SetZero() }
 
 // Fold derives the SDC the same access stream would produce on a cache
 // with the same set count but smaller associativity ways' < Ways().
@@ -114,6 +142,15 @@ func (c Counters) Fold(ways int) (Counters, error) {
 // linearly interpolating between integer depths for fractional e. At
 // e = Ways() this equals Misses(); at e = 0 every access misses.
 func (c Counters) MissesAtWays(e float64) float64 {
+	return c.MissesBeyond(e, c.Accesses())
+}
+
+// MissesBeyond is MissesAtWays with the total access count supplied by
+// the caller, for hot paths that evaluate several effective depths (or
+// several programs) against SDCs whose totals they already hold:
+// recomputing Accesses is the only O(ways) term this saves, the hit
+// summation below depth e is inherent.
+func (c Counters) MissesBeyond(e, accesses float64) float64 {
 	a := c.Ways()
 	if e >= float64(a) {
 		return c.Misses()
@@ -132,7 +169,7 @@ func (c Counters) MissesAtWays(e float64) float64 {
 	if whole < a {
 		hits += frac * c[whole]
 	}
-	return c.Accesses() - hits
+	return accesses - hits
 }
 
 // ExtraMissesAtWays returns how many additional misses the program

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mppmerr"
 )
@@ -38,6 +39,29 @@ const DefaultTraceLength = 10_000_000
 // Sizes are in real bytes against the paper's unscaled cache hierarchy
 // (32KB L1, 256KB L2, 512KB-2MB shared LLC).
 
+// suiteOnce memoizes the benchmark definitions: ByName sits on the
+// evaluation engine's per-job hot path (every mix slot resolves its
+// spec), so the suite is built and sorted once per process and indexed
+// by name. Specs are treated as immutable by all callers; Suite hands
+// out a fresh top-level slice but shares the per-spec Region/Phase
+// backing arrays.
+var (
+	suiteOnce  sync.Once
+	suiteSpecs []Spec
+	suiteIndex map[string]int
+)
+
+func suite() []Spec {
+	suiteOnce.Do(func() {
+		suiteSpecs = buildSuite()
+		suiteIndex = make(map[string]int, len(suiteSpecs))
+		for i, s := range suiteSpecs {
+			suiteIndex[s.Name] = i
+		}
+	})
+	return suiteSpecs
+}
+
 // Suite returns the 29 synthetic benchmarks standing in for SPEC CPU2006,
 // sorted by name. The population is tuned (see cmd/calibrate) so that it
 // spans the paper's behavioural space: compute-bound programs, streaming
@@ -45,7 +69,30 @@ const DefaultTraceLength = 10_000_000
 // gamess is deliberately the most sensitive to LLC sharing, matching the
 // paper's Section 6 finding (worst-case slowdown ~2.2x), with gobmk,
 // soplex, omnetpp, h264ref and xalancbmk in the ~1.2-1.3x tier.
+// The returned specs are deep copies: callers may tweak Regions/Phases
+// of an entry (e.g. to build a custom workload variant) without
+// corrupting the process-wide cache behind ByName.
 func Suite() []Spec {
+	s := suite()
+	out := make([]Spec, len(s))
+	for i, sp := range s {
+		out[i] = sp.clone()
+	}
+	return out
+}
+
+// clone deep-copies a spec's Regions and Phases (including Weights).
+func (s Spec) clone() Spec {
+	out := s
+	out.Regions = append([]Region(nil), s.Regions...)
+	out.Phases = append([]Phase(nil), s.Phases...)
+	for i := range out.Phases {
+		out.Phases[i].Weights = append([]float64(nil), s.Phases[i].Weights...)
+	}
+	return out
+}
+
+func buildSuite() []Spec {
 	specs := []Spec{
 		// --- Cache-sensitive tier -------------------------------------
 		{
@@ -403,7 +450,7 @@ func Suite() []Spec {
 
 // SuiteNames returns the benchmark names in sorted order.
 func SuiteNames() []string {
-	specs := Suite()
+	specs := suite()
 	names := make([]string, len(specs))
 	for i, s := range specs {
 		names[i] = s.Name
@@ -411,12 +458,15 @@ func SuiteNames() []string {
 	return names
 }
 
-// ByName returns the spec with the given name from the suite.
+// ByName returns the spec with the given name from the suite: one map
+// lookup, no allocation. It sits on the engine's per-job hot path, so
+// unlike Suite the returned Spec shares its Region/Phase backing
+// arrays with the process-wide cache — treat it as read-only, or go
+// through Suite for a mutable copy.
 func ByName(name string) (Spec, error) {
-	for _, s := range Suite() {
-		if s.Name == name {
-			return s, nil
-		}
+	specs := suite()
+	if i, ok := suiteIndex[name]; ok {
+		return specs[i], nil
 	}
 	return Spec{}, fmt.Errorf("trace: %q: %w", name, mppmerr.ErrUnknownBenchmark)
 }

@@ -309,6 +309,29 @@ func TestByName(t *testing.T) {
 	}
 }
 
+// TestSuiteCopiesAreIndependent: Suite() hands out deep copies, so a
+// caller tweaking a returned spec cannot corrupt the memoized suite
+// behind ByName.
+func TestSuiteCopiesAreIndependent(t *testing.T) {
+	a := Suite()[0]
+	origFrac := a.Phases[0].Frac
+	origSize := a.Regions[0].Size
+	a.Phases[0].Frac = 0.123
+	a.Phases[0].Weights[0] = -99
+	a.Regions[0].Size = 1
+
+	b, err := ByName(a.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Phases[0].Frac != origFrac || b.Phases[0].Weights[0] == -99 {
+		t.Fatalf("mutating a Suite() copy leaked into the cached suite: %+v", b.Phases[0])
+	}
+	if b.Regions[0].Size != origSize {
+		t.Fatalf("region mutation leaked: %d", b.Regions[0].Size)
+	}
+}
+
 func TestSuiteSeedsDistinct(t *testing.T) {
 	seen := map[uint64]string{}
 	for _, s := range Suite() {

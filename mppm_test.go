@@ -88,34 +88,44 @@ func TestSystemAccessors(t *testing.T) {
 
 func TestPredictAndSimulateAgree(t *testing.T) {
 	sys, set := quickSystem(t)
-	mix := []string{"gamess", "lbm", "soplex", "povray"}
-	cmp, err := sys.CompareMix(set, mix)
+	mix := Mix{"gamess", "lbm", "soplex", "povray"}
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindCompare, []Mix{mix}, WithProfiles(set)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(cmp.STPError()) > 0.15 {
-		t.Errorf("STP error %.1f%%, want within 15%% at quick scale", cmp.STPError()*100)
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		t.Fatal(sc.Err)
 	}
-	if math.Abs(cmp.ANTTError()) > 0.15 {
-		t.Errorf("ANTT error %.1f%%", cmp.ANTTError()*100)
+	if math.Abs(sc.STPError()) > 0.15 {
+		t.Errorf("STP error %.1f%%, want within 15%% at quick scale", sc.STPError()*100)
 	}
-	if cmp.Measurement.STP <= 0 || cmp.Measurement.STP > 4 {
-		t.Fatalf("measured STP = %v", cmp.Measurement.STP)
+	if math.Abs(sc.ANTTError()) > 0.15 {
+		t.Errorf("ANTT error %.1f%%", sc.ANTTError()*100)
+	}
+	if sc.Measurement.STP <= 0 || sc.Measurement.STP > 4 {
+		t.Fatalf("measured STP = %v", sc.Measurement.STP)
 	}
 	for i := range mix {
-		if cmp.Measurement.Slowdown[i] < 0.999 {
-			t.Errorf("%s measured slowdown %v < 1", mix[i], cmp.Measurement.Slowdown[i])
+		if sc.Measurement.Slowdown[i] < 0.999 {
+			t.Errorf("%s measured slowdown %v < 1", mix[i], sc.Measurement.Slowdown[i])
 		}
 	}
 }
 
 func TestSimulateWithoutProfiles(t *testing.T) {
 	sys, _ := quickSystem(t)
-	m, err := sys.Simulate([]string{"povray", "namd"})
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindSimulate, []Mix{{"povray", "namd"}}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.STP < 1.8 || m.STP > 2.0+1e-9 {
+	sc := &res.Scenarios[0]
+	if sc.Err != nil {
+		t.Fatal(sc.Err)
+	}
+	if m := sc.Measurement; m.STP < 1.8 || m.STP > 2.0+1e-9 {
 		t.Fatalf("compute pair STP = %v, want ~2", m.STP)
 	}
 }
@@ -126,7 +136,16 @@ func TestPredictManyConfidence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	preds, rep, err := sys.PredictMany(set, mixes, ModelOptions{})
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := res.Predictions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.Confidence()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +158,8 @@ func TestPredictManyConfidence(t *testing.T) {
 	if rep.STP.Lo() > rep.STP.Hi() {
 		t.Fatal("inverted interval")
 	}
-	if _, _, err := sys.PredictMany(set, nil, ModelOptions{}); err == nil {
+	if _, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, nil, WithProfiles(set))); err == nil {
 		t.Fatal("empty mixes should error")
 	}
 }
@@ -170,42 +190,50 @@ func TestStressSearchFindsCacheSensitiveMixes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	worst, err := sys.StressSearch(set, mixes, 5)
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithProfiles(set), WithTopK(5)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(worst) != 5 {
-		t.Fatalf("got %d stress mixes", len(worst))
+	if len(res.Scenarios) != 5 {
+		t.Fatalf("got %d stress scenarios", len(res.Scenarios))
 	}
-	for i := 1; i < len(worst); i++ {
-		if worst[i].STP < worst[i-1].STP {
-			t.Fatal("stress mixes not sorted worst-first")
+	for i := range res.Scenarios {
+		if res.Scenarios[i].Err != nil {
+			t.Fatal(res.Scenarios[i].Err)
+		}
+		if i > 0 && res.Scenarios[i].STP() < res.Scenarios[i-1].STP() {
+			t.Fatal("stress scenarios not sorted worst-first")
 		}
 	}
-	if worst[0].WorstSlowdown < 1 || worst[0].WorstProgram == "" {
-		t.Fatalf("missing worst-program diagnostics: %+v", worst[0])
+	name, slow := res.Scenarios[0].Prediction.MaxSlowdown()
+	if slow < 1 || name == "" {
+		t.Fatalf("missing worst-program diagnostics: %s/%v", name, slow)
 	}
-	if _, err := sys.StressSearch(set, mixes, 0); err == nil {
-		t.Fatal("k=0 should error")
+	if _, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithTopK(-1))); err == nil {
+		t.Fatal("negative TopK should error")
 	}
 }
 
 func TestPredictWithOptionsSwapsContention(t *testing.T) {
 	sys, set := quickSystem(t)
-	mix := []string{"gamess", "lbm", "milc", "libquantum"}
+	mixes := []Mix{{"gamess", "lbm", "milc", "libquantum"}}
 	m, err := ContentionModelByName("equal-partition")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := sys.PredictWithOptions(set, mix, ModelOptions{Contention: m})
+	a, err := sys.Eval(context.Background(), NewRequest(KindPredict, mixes,
+		WithProfiles(set), WithOptions(ModelOptions{Contention: m})))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := sys.Predict(set, mix)
+	b, err := sys.Eval(context.Background(), NewRequest(KindPredict, mixes,
+		WithProfiles(set)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.STP == b.STP {
+	if a.Scenarios[0].STP() == b.Scenarios[0].STP() {
 		t.Fatal("different contention models should give different STP on a contended mix")
 	}
 }
@@ -291,7 +319,11 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := sys.PredictBatch(context.Background(), mixes)
+	res, err := sys.Eval(context.Background(), NewRequest(KindPredict, mixes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := res.Predictions()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,10 +331,12 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 		t.Fatalf("%d results for %d mixes", len(batch), len(mixes))
 	}
 	for i, mix := range mixes {
-		want, err := sys.Predict(set, mix)
+		one, err := sys.Eval(context.Background(),
+			NewRequest(KindPredict, []Mix{mix}, WithProfiles(set)))
 		if err != nil {
 			t.Fatal(err)
 		}
+		want := one.Scenarios[0].Prediction
 		if batch[i].STP != want.STP || batch[i].ANTT != want.ANTT {
 			t.Fatalf("mix %d: batch STP/ANTT %v/%v != sequential %v/%v",
 				i, batch[i].STP, batch[i].ANTT, want.STP, want.ANTT)
@@ -317,17 +351,18 @@ func TestSweepFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	configs := LLCConfigs()[:2]
-	res, err := sys.Sweep(context.Background(), mixes, configs)
+	res, err := sys.Eval(context.Background(),
+		NewRequest(KindPredict, mixes, WithConfigs(configs...)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Predictions) != len(configs) {
-		t.Fatalf("%d config rows, want %d", len(res.Predictions), len(configs))
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != len(configs)*len(mixes) {
+		t.Fatalf("%d scenarios, want %d", len(res.Scenarios), len(configs)*len(mixes))
 	}
 	for c := range configs {
-		if len(res.Predictions[c]) != len(mixes) {
-			t.Fatalf("config %d has %d results", c, len(res.Predictions[c]))
-		}
 		if m := res.MeanSTP(c); m <= 0 || m > float64(len(mixes[0])) {
 			t.Fatalf("config %d mean STP %v implausible", c, m)
 		}
@@ -346,7 +381,8 @@ func TestSweepCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := sys.Sweep(ctx, mixes, nil); !errors.Is(err, context.Canceled) {
+	if _, err := sys.Eval(ctx, NewRequest(KindPredict, mixes,
+		WithConfigs(LLCConfigs()...))); !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

@@ -179,24 +179,6 @@ func TestEvalTypedErrors(t *testing.T) {
 	}
 }
 
-func TestEvalMatchesWrappers(t *testing.T) {
-	sys, set := quickSystem(t)
-	mix := Mix{"gamess", "lbm", "milc", "mcf"}
-	res, err := sys.Eval(context.Background(),
-		NewRequest(KindPredict, []Mix{mix}, WithProfiles(set)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := sys.Predict(set, mix)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := res.Scenarios[0].Prediction
-	if got.STP != want.STP || got.ANTT != want.ANTT {
-		t.Fatalf("Eval STP/ANTT %v/%v != wrapper %v/%v", got.STP, got.ANTT, want.STP, want.ANTT)
-	}
-}
-
 func TestEvalStreamYieldsInOrder(t *testing.T) {
 	sys, set := quickSystem(t)
 	mixes, err := RandomMixes(6, 2, 23)
