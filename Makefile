@@ -1,0 +1,33 @@
+SHELL := /bin/bash
+
+# Benchmarks captured in the committed baseline: engine sweep
+# throughput, the model kernel, and the profiling pipeline (cold start,
+# direct pass, frontend recording, per-config replay).
+BENCH_PATTERN := Sweep|Kernel|ProfileColdStart|ProfileDirect|ProfileFrontendRecord|ProfileReplay
+BENCH_COUNT   := 1
+
+.PHONY: test race bench-baseline
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# bench-baseline regenerates BENCH_PR4.json at the repo root — the
+# in-tree perf snapshot the CI bench job mirrors as per-run artifacts.
+# Run it on an idle machine; the numbers land in the README table.
+bench-baseline:
+	set -o pipefail; \
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | tee bench.txt
+	{ \
+	  echo "{"; \
+	  echo "  \"commit\": \"$$(git rev-parse HEAD 2>/dev/null || echo unknown)$$(git diff --quiet HEAD 2>/dev/null || echo -dirty)\","; \
+	  echo "  \"generated_by\": \"make bench-baseline\","; \
+	  echo "  \"bench\": ["; \
+	  sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' bench.txt | sed '$$ s/,$$//'; \
+	  echo "  ]"; \
+	  echo "}"; \
+	} > BENCH_PR4.json
+	@rm -f bench.txt
+	@echo "wrote BENCH_PR4.json"

@@ -21,6 +21,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchLab is shared across benchmarks: profiling and the detailed-
@@ -402,6 +404,47 @@ func BenchmarkAblationDerivedProfiles(b *testing.B) {
 		stp = pred.STP
 	}
 	b.ReportMetric(stp, "STP-derived")
+}
+
+// BenchmarkProfileColdStart measures the design-space cold start: the
+// whole synthetic suite profiled under four Table 2 LLC configurations
+// — what a sweep, the Lab or a freshly started mppmd pays before the
+// first prediction. "direct" is the pre-pipeline path (a full trace
+// pass per (benchmark, config) pair); "replay" is the record-once /
+// replay-per-config pipeline behind Engine.ProfileConfigs, which pays
+// one frontend pass per benchmark plus a cheap LLC replay per config.
+func BenchmarkProfileColdStart(b *testing.B) {
+	specs := trace.Suite()
+	llcs := cache.LLCConfigs()[:4]
+	const (
+		traceLen = 1_000_000
+		interval = 20_000
+	)
+	pairs := float64(len(specs) * len(llcs))
+
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, llc := range llcs {
+				cfg := sim.DefaultConfig(llc)
+				cfg.TraceLength = traceLen
+				cfg.IntervalLength = interval
+				if _, err := sim.ProfileSuite(context.Background(), specs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds(), "profiles/s")
+	})
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A fresh engine per iteration: the cold start is the point.
+			eng := engine.New(engine.Config{TraceLength: traceLen, IntervalLength: interval})
+			if _, err := eng.ProfileConfigs(context.Background(), specs, llcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds(), "profiles/s")
+	})
 }
 
 // BenchmarkSweep measures evaluation-engine throughput (model

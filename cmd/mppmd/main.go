@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,15 +44,35 @@ func main() {
 		interval    = flag.Int64("interval", 0, "profiling interval length in instructions (0 = paper scale, 200K)")
 		workers     = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 		drainWindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
+		warm        = flag.String("warm", "", `pre-profile the suite at startup: "all" for every Table 2 config, or a comma-separated config list (e.g. "config#1,config#4")`)
 	)
 	flag.Parse()
-	if err := run(*addr, *llcName, *traceLen, *interval, *workers, *drainWindow); err != nil {
+	if err := run(*addr, *llcName, *traceLen, *interval, *workers, *drainWindow, *warm); err != nil {
 		fmt.Fprintln(os.Stderr, "mppmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, llcName string, traceLen, interval int64, workers int, drainWindow time.Duration) error {
+// warmConfigs resolves the -warm flag into LLC configurations.
+func warmConfigs(warm string) ([]mppm.LLCConfig, error) {
+	if warm == "" {
+		return nil, nil
+	}
+	if warm == "all" {
+		return mppm.LLCConfigs(), nil
+	}
+	var configs []mppm.LLCConfig
+	for _, name := range strings.Split(warm, ",") {
+		llc, err := mppm.LLCConfigByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		configs = append(configs, llc)
+	}
+	return configs, nil
+}
+
+func run(addr, llcName string, traceLen, interval int64, workers int, drainWindow time.Duration, warm string) error {
 	llc, err := mppm.LLCConfigByName(llcName)
 	if err != nil {
 		return err
@@ -68,6 +89,25 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Warm in the background so the listener is live immediately; the
+	// record/replay pipeline makes an N-config warmup cost about one
+	// profiling pass per benchmark, and requests arriving mid-warmup
+	// simply share the in-flight profiles via the singleflight cache.
+	if configs, err := warmConfigs(warm); err != nil {
+		return err
+	} else if len(configs) > 0 {
+		go func() {
+			start := time.Now()
+			n, err := sys.Warm(ctx, configs...)
+			if err != nil {
+				log.Printf("mppmd: warmup aborted: %v", err)
+				return
+			}
+			log.Printf("mppmd: warmed %d profiles (%d configs) in %s",
+				n, len(configs), time.Since(start).Round(time.Millisecond))
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

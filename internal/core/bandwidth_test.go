@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func bandwidthSet(t *testing.T, names []string) *profile.Set {
 		}
 		specs[i] = s
 	}
-	set, err := sim.ProfileSuite(specs, bandwidthConfig())
+	set, err := sim.ProfileSuite(context.Background(), specs, bandwidthConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestBandwidthExtensionAgreesWithSimulator(t *testing.T) {
 	for i, n := range names {
 		specs[i], _ = trace.ByName(n)
 	}
-	det, err := sim.RunMulticore(specs, cfg, nil)
+	det, err := sim.RunMulticore(context.Background(), specs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +132,11 @@ func TestSimulatorBandwidthQueueing(t *testing.T) {
 	for i, n := range names {
 		specs[i], _ = trace.ByName(n)
 	}
-	off, err := sim.RunMulticore(specs, testConfig(), nil)
+	off, err := sim.RunMulticore(context.Background(), specs, testConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	on, err := sim.RunMulticore(specs, bandwidthConfig(), nil)
+	on, err := sim.RunMulticore(context.Background(), specs, bandwidthConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

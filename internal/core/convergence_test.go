@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestHeterogeneousAgreesWithSimulator(t *testing.T) {
 	for i, n := range mix {
 		specs[i], _ = trace.ByName(n)
 	}
-	det, err := sim.RunMulticore(specs, cfg, scale)
+	det, err := sim.RunMulticore(context.Background(), specs, cfg, scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSixteenProgramsOnSixteenWays(t *testing.T) {
 	for i, n := range names {
 		specs[i], _ = trace.ByName(n)
 	}
-	set, err := sim.ProfileSuite(specs[:11], cfg)
+	set, err := sim.ProfileSuite(context.Background(), specs[:11], cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

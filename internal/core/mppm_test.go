@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,7 +41,7 @@ func getSet(t testing.TB) *profile.Set {
 		}
 		specs[i] = s
 	}
-	set, err := sim.ProfileSuite(specs, testConfig())
+	set, err := sim.ProfileSuite(context.Background(), specs, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestPredictionAccuracyAgainstDetailedSim(t *testing.T) {
 			p, _ := set.Get(n)
 			sc[i] = p.CPI()
 		}
-		det, err := sim.RunMulticore(specs, cfg, nil)
+		det, err := sim.RunMulticore(context.Background(), specs, cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,7 +322,7 @@ func TestValidationErrors(t *testing.T) {
 	other := testConfig()
 	other.Hierarchy.LLC = cache.LLCConfigs()[3]
 	spec, _ := trace.ByName("gamess")
-	p2, err := sim.Profile(spec, other)
+	p2, err := sim.Profile(context.Background(), spec, other)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,10 +90,21 @@ func (p Params) MissStall(overlapped bool) float64 {
 }
 
 // Timing accumulates cycles for one core executing one trace.
+//
+// Cycles are kept in two accumulators: baseCycles holds everything the
+// LLC configuration cannot influence (instruction gap cycles plus L1/L2
+// stalls), llcCycles holds LLC hit/miss stalls and memory-bandwidth
+// queueing. Total cycles are their sum. The split is what makes the
+// record/replay profiling pipeline bit-exact: a frontend recording pass
+// can snapshot baseCycles at every LLC access, and a per-config replay
+// restores those exact values with AdvanceTo while re-accumulating only
+// the LLC-dependent part — the same additions in the same order as a
+// direct run.
 type Timing struct {
 	params Params
 
-	cycles        float64
+	baseCycles    float64 // gap cycles + private-level stalls (LLC-independent)
+	llcCycles     float64 // LLC hit/miss stalls + bandwidth queueing
 	instructions  int64
 	memStall      float64 // cycles charged to LLC misses (memory CPI numerator)
 	lastMissInstr int64   // instruction index of the previous LLC miss
@@ -130,7 +141,7 @@ func (t *Timing) Params() Params { return t.params }
 // gapCycles base cycles.
 func (t *Timing) OnGap(gap int64, gapCycles float64) {
 	t.instructions += gap
-	t.cycles += gapCycles / t.frequencyScale
+	t.baseCycles += gapCycles / t.frequencyScale
 }
 
 // OnAccess accounts for one memory reference satisfied at the given
@@ -144,8 +155,11 @@ func (t *Timing) OnAccess(level cache.Level, llcLatency int, dependent bool) flo
 	switch level {
 	case cache.L1Hit:
 		// fully hidden
+		return 0
 	case cache.L2Hit:
 		stall = t.params.L2HitStall
+		t.baseCycles += stall / t.frequencyScale
+		return stall / t.frequencyScale
 	case cache.LLCHit:
 		stall = t.params.LLCHitStall(llcLatency)
 	case cache.LLCMiss:
@@ -158,7 +172,7 @@ func (t *Timing) OnAccess(level cache.Level, llcLatency int, dependent bool) flo
 	default:
 		panic(fmt.Sprintf("cpu: unknown level %v", level))
 	}
-	t.cycles += stall / t.frequencyScale
+	t.llcCycles += stall / t.frequencyScale
 	return stall / t.frequencyScale
 }
 
@@ -169,12 +183,29 @@ func (t *Timing) AddMemStall(cycles float64) {
 	if cycles <= 0 {
 		return
 	}
-	t.cycles += cycles / t.frequencyScale
+	t.llcCycles += cycles / t.frequencyScale
 	t.memStall += cycles / t.frequencyScale
 }
 
 // Cycles returns the total accumulated cycles.
-func (t *Timing) Cycles() float64 { return t.cycles }
+func (t *Timing) Cycles() float64 { return t.baseCycles + t.llcCycles }
+
+// BaseCycles returns the LLC-independent cycle accumulator: instruction
+// gap cycles plus private-level (L1/L2) stalls. A profiling frontend
+// records these totals so a per-config replay can restore them exactly
+// with AdvanceTo.
+func (t *Timing) BaseCycles() float64 { return t.baseCycles }
+
+// AdvanceTo jumps the instruction counter and the base-cycle accumulator
+// to absolute values previously observed (via Instructions/BaseCycles) on
+// an identically parameterized Timing. The LLC-dependent accumulators are
+// untouched, so a replay that interleaves AdvanceTo with the same
+// OnAccess/AddMemStall calls as a direct run reproduces its counters
+// bit-exactly. It is meaningful only at the baseline frequency scale.
+func (t *Timing) AdvanceTo(instructions int64, baseCycles float64) {
+	t.instructions = instructions
+	t.baseCycles = baseCycles
+}
 
 // Instructions returns the total instructions accounted.
 func (t *Timing) Instructions() int64 { return t.instructions }
@@ -188,7 +219,7 @@ func (t *Timing) CPI() float64 {
 	if t.instructions == 0 {
 		return 0
 	}
-	return t.cycles / float64(t.instructions)
+	return t.Cycles() / float64(t.instructions)
 }
 
 // MemCPI returns the memory CPI component so far.
@@ -209,12 +240,13 @@ type Snapshot struct {
 
 // Snapshot returns the current counters.
 func (t *Timing) Snapshot() Snapshot {
-	return Snapshot{Cycles: t.cycles, Instructions: t.instructions, MemStall: t.memStall}
+	return Snapshot{Cycles: t.Cycles(), Instructions: t.instructions, MemStall: t.memStall}
 }
 
 // Reset clears all counters (parameters and frequency scale are kept).
 func (t *Timing) Reset() {
-	t.cycles = 0
+	t.baseCycles = 0
+	t.llcCycles = 0
 	t.instructions = 0
 	t.memStall = 0
 	t.lastMissInstr = -1 << 62

@@ -13,7 +13,12 @@
 // are cached per (benchmark, LLC) behind a singleflight gate, so any
 // number of concurrent jobs that need the same profile compute it
 // exactly once — the paper's "one-time cost" becomes one time across
-// the whole process, not one time per request. Detailed multi-core
+// the whole process, not one time per request. Profiles themselves are
+// produced through the record/replay pipeline: the LLC-independent
+// profiling frontend (trace + private L1/L2 + gap timing) is recorded
+// once per benchmark and cached, and each (benchmark, LLC) profile is a
+// cheap replay of that recording — so warming N LLC configurations
+// costs about one frontend pass, not N. Detailed multi-core
 // simulations, which are deterministic, are likewise cached per
 // (mix, LLC).
 package engine
@@ -125,12 +130,14 @@ type Config struct {
 type Engine struct {
 	cfg Config
 
-	mu       sync.Mutex
-	profiles map[string]*call[*profile.Profile]
-	sims     map[string]*call[*sim.MulticoreResult]
+	mu         sync.Mutex
+	recordings map[string]*call[*sim.Recording]
+	profiles   map[profileKey]*call[*profile.Profile]
+	sims       map[simKey]*call[*sim.MulticoreResult]
 
-	profileComputes atomic.Int64
-	simComputes     atomic.Int64
+	recordingComputes atomic.Int64
+	profileComputes   atomic.Int64
+	simComputes       atomic.Int64
 }
 
 // call is a singleflight slot: the first goroutine to claim a key
@@ -158,9 +165,10 @@ func New(cfg Config) *Engine {
 		cfg.IntervalLength = profile.DefaultIntervalLength
 	}
 	return &Engine{
-		cfg:      cfg,
-		profiles: make(map[string]*call[*profile.Profile]),
-		sims:     make(map[string]*call[*sim.MulticoreResult]),
+		cfg:        cfg,
+		recordings: make(map[string]*call[*sim.Recording]),
+		profiles:   make(map[profileKey]*call[*profile.Profile]),
+		sims:       make(map[simKey]*call[*sim.MulticoreResult]),
 	}
 }
 
@@ -181,17 +189,56 @@ func (e *Engine) SimConfig(llc cache.Config) sim.Config {
 // not retained.
 const maxCachedSims = 4096
 
-// llcKey identifies an LLC configuration (plus the engine scale) for
-// cache keying. Geometry is included so two custom configs sharing a
-// name cannot alias.
-func (e *Engine) llcKey(llc cache.Config) string {
-	return fmt.Sprintf("%s/%d/%d/%d/%d", llc.Name, llc.SizeBytes, llc.Ways, llc.LineSize, llc.LatencyCycles)
+// maxCachedRecordings bounds the frontend-recording cache. A recording
+// costs ~25 bytes per LLC access (tens of MB per benchmark at paper
+// scale), which is the deliberate price of cheap per-config replays for
+// the finite synthetic suite — but the key space admits arbitrary
+// caller-supplied specs, so beyond the cap recordings are still
+// singleflight-deduplicated while in flight and then dropped instead of
+// retained. The suite (29 benchmarks) fits well under the cap.
+const maxCachedRecordings = 64
+
+// llcKey identifies an LLC configuration for cache keying. Geometry is
+// included so two custom configs sharing a name cannot alias. It is a
+// comparable struct rather than a formatted string: building one is
+// allocation-free, which matters because every job of a sweep keys the
+// profile cache once per mix slot.
+type llcKey struct {
+	name    string
+	size    int64
+	ways    int
+	line    int64
+	latency int
+}
+
+func keyOf(llc cache.Config) llcKey {
+	return llcKey{name: llc.Name, size: llc.SizeBytes, ways: llc.Ways,
+		line: llc.LineSize, latency: llc.LatencyCycles}
+}
+
+// profileKey identifies one (benchmark, LLC) profile.
+type profileKey struct {
+	bench string
+	llc   llcKey
+}
+
+// simKey identifies one (mix, LLC) detailed simulation.
+type simKey struct {
+	mix string
+	llc llcKey
 }
 
 // ProfileComputations reports how many single-core profiles the engine
-// has actually simulated (cache misses). Used by tests to assert the
+// has actually produced (profile-cache misses; each is a replay of the
+// benchmark's cached frontend recording). Used by tests to assert the
 // singleflight property; handy for ops counters too.
 func (e *Engine) ProfileComputations() int64 { return e.profileComputes.Load() }
+
+// RecordingComputations reports how many profiling-frontend recordings
+// the engine has actually run (recording-cache misses) — the number of
+// full trace passes spent on profiling, regardless of how many LLC
+// configurations were warmed from them.
+func (e *Engine) RecordingComputations() int64 { return e.recordingComputes.Load() }
 
 // SimulationComputations reports how many detailed multi-core
 // simulations the engine has actually run (cache misses).
@@ -200,7 +247,7 @@ func (e *Engine) SimulationComputations() int64 { return e.simComputes.Load() }
 // claim looks up key in calls, returning either an existing slot
 // (owned=false) or a freshly inserted one the caller must complete
 // (owned=true).
-func claim[T any](mu *sync.Mutex, calls map[string]*call[T], key string) (c *call[T], owned bool) {
+func claim[K comparable, T any](mu *sync.Mutex, calls map[K]*call[T], key K) (c *call[T], owned bool) {
 	mu.Lock()
 	defer mu.Unlock()
 	if c, ok := calls[key]; ok {
@@ -213,7 +260,7 @@ func claim[T any](mu *sync.Mutex, calls map[string]*call[T], key string) (c *cal
 
 // finish completes a claimed slot. Errors are evicted so a later call
 // can retry; successful values stay cached forever.
-func finish[T any](mu *sync.Mutex, calls map[string]*call[T], key string, c *call[T], val T, err error) {
+func finish[K comparable, T any](mu *sync.Mutex, calls map[K]*call[T], key K, c *call[T], val T, err error) {
 	c.val, c.err = val, err
 	if err != nil {
 		mu.Lock()
@@ -234,22 +281,61 @@ func await[T any](ctx context.Context, c *call[T]) (T, error) {
 	}
 }
 
+// recording returns the profiling-frontend recording of one benchmark,
+// computing it at most once per benchmark across all concurrent
+// callers. The recording is LLC-independent, so it is keyed by name
+// alone; llc only parameterizes the sim.Config the frontend validates
+// against. Recordings for the finite synthetic suite are retained for
+// the engine's lifetime.
+func (e *Engine) recording(ctx context.Context, spec trace.Spec, llc cache.Config) (*sim.Recording, error) {
+	c, owned := claim(&e.mu, e.recordings, spec.Name)
+	if !owned {
+		return await(ctx, c)
+	}
+	e.recordingComputes.Add(1)
+	rec, err := sim.RecordSpec(ctx, spec, e.SimConfig(llc))
+	if err == nil {
+		e.mu.Lock()
+		if len(e.recordings) > maxCachedRecordings {
+			delete(e.recordings, spec.Name)
+		}
+		e.mu.Unlock()
+	}
+	finish(&e.mu, e.recordings, spec.Name, c, rec, err)
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
 // Profile returns the single-core profile of one benchmark under an LLC
 // configuration, computing it at most once per (benchmark, LLC) across
-// all concurrent callers.
+// all concurrent callers. A profile-cache miss replays the benchmark's
+// cached frontend recording through the requested LLC geometry, so only
+// the first config of a benchmark pays a full trace pass; every further
+// config costs a replay of the (much shorter) LLC access stream. Replay
+// output is bit-identical to a direct sim.Profile run.
 func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config) (*profile.Profile, error) {
-	key := spec.Name + "\x00" + e.llcKey(llc)
+	key := profileKey{bench: spec.Name, llc: keyOf(llc)}
 	c, owned := claim(&e.mu, e.profiles, key)
 	if !owned {
 		return await(ctx, c)
 	}
 	e.profileComputes.Add(1)
-	p, err := sim.Profile(spec, e.SimConfig(llc))
+	p, err := e.replayProfile(ctx, spec, llc)
 	finish(&e.mu, e.profiles, key, c, p, err)
 	if err != nil {
 		return nil, err
 	}
 	return p, nil
+}
+
+func (e *Engine) replayProfile(ctx context.Context, spec trace.Spec, llc cache.Config) (*profile.Profile, error) {
+	rec, err := e.recording(ctx, spec, llc)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Replay(ctx, e.SimConfig(llc), sim.ProfileOptions{})
 }
 
 // ProfileSet profiles the whole synthetic suite under an LLC
@@ -276,6 +362,41 @@ func (e *Engine) ProfileSpecs(ctx context.Context, specs []trace.Spec, llc cache
 		return nil, err
 	}
 	return profile.NewSet(profiles...), nil
+}
+
+// ProfileConfigs warms the engine's profile cache for every
+// (benchmark, LLC) pair of specs x llcs and returns one profile set per
+// LLC configuration, aligned with llcs. Each benchmark's profiling
+// frontend is recorded at most once (singleflight across all concurrent
+// callers) and the per-config profiles are fanned out as replays of
+// that recording on the worker pool, so warming N configurations costs
+// about one full trace pass per benchmark instead of N — the cold-start
+// path behind Eval sweeps, /v1/eval and the Lab.
+func (e *Engine) ProfileConfigs(ctx context.Context, specs []trace.Spec, llcs []cache.Config) ([]*profile.Set, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("engine: no benchmarks to profile")
+	}
+	if len(llcs) == 0 {
+		return nil, fmt.Errorf("engine: no LLC configurations to profile")
+	}
+	profiles := make([]*profile.Profile, len(specs)*len(llcs))
+	err := pool.Map(ctx, len(profiles), e.cfg.Workers, func(ctx context.Context, i int) error {
+		spec, llc := specs[i%len(specs)], llcs[i/len(specs)]
+		p, err := e.Profile(ctx, spec, llc)
+		if err != nil {
+			return err
+		}
+		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]*profile.Set, len(llcs))
+	for c := range llcs {
+		sets[c] = profile.NewSet(profiles[c*len(specs) : (c+1)*len(specs)]...)
+	}
+	return sets, nil
 }
 
 // mixSpecs resolves mix names to suite trace specs.
@@ -326,13 +447,13 @@ func (e *Engine) mixProfiles(ctx context.Context, job Job, llc cache.Config) ([]
 // simulate returns the detailed multi-core simulation of a mix,
 // computing it at most once per (mix, LLC) across concurrent callers.
 func (e *Engine) simulate(ctx context.Context, mix workload.Mix, specs []trace.Spec, llc cache.Config) (*sim.MulticoreResult, error) {
-	key := mix.Key() + "\x00" + e.llcKey(llc)
+	key := simKey{mix: mix.Key(), llc: keyOf(llc)}
 	c, owned := claim(&e.mu, e.sims, key)
 	if !owned {
 		return await(ctx, c)
 	}
 	e.simComputes.Add(1)
-	res, err := sim.RunMulticore(specs, e.SimConfig(llc), nil)
+	res, err := sim.RunMulticore(ctx, specs, e.SimConfig(llc), nil)
 	if err == nil {
 		e.mu.Lock()
 		if len(e.sims) > maxCachedSims {
@@ -536,19 +657,13 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job) iter.Seq2[int, Result] 
 // trace sources, one per core. Sources are opaque streams, so unlike
 // suite mixes the result is not cached; the call still honors ctx.
 func (e *Engine) SimulateSources(ctx context.Context, srcs []trace.Source, llc cache.Config) (*sim.MulticoreResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return sim.RunMulticoreSources(srcs, e.SimConfig(llc), nil)
+	return sim.RunMulticoreSources(ctx, srcs, e.SimConfig(llc), nil)
 }
 
 // ProfileSource profiles one arbitrary trace source under an LLC
 // configuration. Like SimulateSources it is uncached.
 func (e *Engine) ProfileSource(ctx context.Context, src trace.Source, llc cache.Config) (*profile.Profile, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return sim.ProfileSource(src, e.SimConfig(llc), sim.ProfileOptions{})
+	return sim.ProfileSource(ctx, src, e.SimConfig(llc), sim.ProfileOptions{})
 }
 
 // SweepJobs builds the len(llcs) x len(mixes) job grid of a sweep in

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mppmerr"
 	"repro/internal/profile"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -400,5 +401,93 @@ func TestKindRoundTrip(t *testing.T) {
 	}
 	if k, err := KindByName(""); err != nil || k != Predict {
 		t.Fatalf("empty kind: got %v, %v, want Predict", k, err)
+	}
+}
+
+// TestProfileConfigsRecordsOnce is the cold-start property of the
+// record/replay pipeline: warming the suite across N LLC configurations
+// runs each benchmark's profiling frontend exactly once, with every
+// per-config profile a replay of that recording.
+func TestProfileConfigsRecordsOnce(t *testing.T) {
+	eng := newTestEngine(0)
+	specs := trace.Suite()[:6]
+	llcs := cache.LLCConfigs()[:4]
+
+	sets, err := eng.ProfileConfigs(context.Background(), specs, llcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != len(llcs) {
+		t.Fatalf("got %d sets for %d configs", len(sets), len(llcs))
+	}
+	if got := eng.RecordingComputations(); got != int64(len(specs)) {
+		t.Fatalf("ran %d frontend recordings for %d benchmarks", got, len(specs))
+	}
+	if got := eng.ProfileComputations(); got != int64(len(specs)*len(llcs)) {
+		t.Fatalf("computed %d profiles for %d pairs", got, len(specs)*len(llcs))
+	}
+	for c, llc := range llcs {
+		for _, s := range specs {
+			p, err := sets[c].Get(s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Meta.LLC != llc {
+				t.Fatalf("set %d holds profile for LLC %q, want %q", c, p.Meta.LLC.Name, llc.Name)
+			}
+		}
+	}
+
+	// A second warmup is fully cached: no new recordings, no replays.
+	if _, err := eng.ProfileConfigs(context.Background(), specs, llcs); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.RecordingComputations(); got != int64(len(specs)) {
+		t.Fatalf("re-warm re-recorded: %d recordings", got)
+	}
+	if got := eng.ProfileComputations(); got != int64(len(specs)*len(llcs)) {
+		t.Fatalf("re-warm re-replayed: %d profiles", got)
+	}
+}
+
+// TestProfileReplayMatchesDirect pins the engine's replay-backed
+// profiles to the direct simulation path bit-identically.
+func TestProfileReplayMatchesDirect(t *testing.T) {
+	eng := newTestEngine(0)
+	spec, err := trace.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, llc := range cache.LLCConfigs()[:2] {
+		got, err := eng.Profile(context.Background(), spec, llc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sim.Profile(context.Background(), spec, eng.SimConfig(llc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Meta != want.Meta || len(got.Intervals) != len(want.Intervals) {
+			t.Fatalf("%s: replayed profile shape differs", llc.Name)
+		}
+		for i := range got.Intervals {
+			g, w := got.Intervals[i], want.Intervals[i]
+			if g.Instructions != w.Instructions || g.Cycles != w.Cycles ||
+				g.MemStall != w.MemStall || g.LLCAccesses != w.LLCAccesses {
+				t.Fatalf("%s: interval %d = %+v, want %+v", llc.Name, i, g, w)
+			}
+		}
+	}
+}
+
+// TestProfileConfigsCancellation verifies ctx cancellation propagates
+// into in-flight frontend recordings, not just queued work.
+func TestProfileConfigsCancellation(t *testing.T) {
+	eng := newTestEngine(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.ProfileConfigs(ctx, trace.Suite()[:4], cache.LLCConfigs()[:2])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

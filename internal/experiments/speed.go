@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/sim"
@@ -47,7 +48,7 @@ func (l *Lab) Speed(cores, reps int) (*SpeedResult, error) {
 	// Profiling cost (one-time): measured on a fresh run so a previously
 	// cached profile set does not make profiling look free.
 	profStart := time.Now()
-	if _, err := sim.ProfileSuite(l.specs, l.simConfig(llc)); err != nil {
+	if _, err := sim.ProfileSuite(context.Background(), l.specs, l.simConfig(llc)); err != nil {
 		return nil, err
 	}
 	profCost := time.Since(profStart)
@@ -71,7 +72,7 @@ func (l *Lab) Speed(cores, reps int) (*SpeedResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sim.RunMulticore(specs, l.simConfig(llc), nil); err != nil {
+		if _, err := sim.RunMulticore(context.Background(), specs, l.simConfig(llc), nil); err != nil {
 			return nil, err
 		}
 	}

@@ -8,6 +8,7 @@
 //	GET  /healthz        liveness probe
 //	GET  /v1/benchmarks  the synthetic suite, LLC configs, contention models
 //	POST /v1/eval        the canonical endpoint: any kind, mixes x configs, top-k
+//	POST /v1/warmup      pre-compute suite profiles for a set of LLC configs
 //	POST /v1/predict     compat: one mix, one LLC config, MPPM model
 //	POST /v1/simulate    compat: one mix, one LLC config, detailed simulator
 //	POST /v1/sweep       compat: many mixes x many LLC configs
@@ -24,11 +25,15 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
+	"time"
 
 	mppm "repro"
 	"repro/internal/contention"
@@ -61,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("POST /v1/warmup", s.handleWarmup)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -72,12 +78,46 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// jsonScratch is a pooled encode buffer: every response reuses a
+// bytes.Buffer with a json.Encoder already bound to it, so the steady-
+// state encode path allocates only what encoding/json itself needs for
+// the payload. Encoding into the buffer (instead of straight to the
+// ResponseWriter) also means an encode failure can still produce a
+// well-formed 500 instead of a half-written body.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonScratchPool = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
+
+// maxPooledJSONBuf caps the buffers retained by the pool; a rare huge
+// sweep response should not pin its buffer for the process lifetime.
+const maxPooledJSONBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	s := jsonScratchPool.Get().(*jsonScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		if s.buf.Cap() <= maxPooledJSONBuf {
+			jsonScratchPool.Put(s)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, `{"error":"response encoding failed"}`)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // client gone; nothing useful to do
+	_, _ = w.Write(s.buf.Bytes()) // client gone; nothing useful to do
+	if s.buf.Cap() <= maxPooledJSONBuf {
+		jsonScratchPool.Put(s)
+	}
 }
 
 // statusFor maps the mppm error taxonomy onto HTTP status codes.
@@ -369,6 +409,72 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		resp.Scenarios = append(resp.Scenarios, toScenarioResult(&res.Scenarios[i]))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// WarmupRequest is the /v1/warmup body: the LLC configurations to
+// pre-profile the suite under. Empty means all Table 2 configurations.
+type WarmupRequest struct {
+	Configs []string `json:"configs,omitempty"`
+}
+
+// WarmupResponse reports what a warmup computed. Recordings counts the
+// full profiling-frontend trace passes the engine completed while this
+// request was in flight; with the record/replay pipeline it is at most
+// about one per benchmark no matter how many configs were warmed, and
+// zero when everything was already cached. The count is a delta of a
+// process-wide counter, so concurrent warmups that share recordings via
+// the singleflight cache may each report the shared passes.
+type WarmupResponse struct {
+	Profiles   int      `json:"profiles"`
+	Configs    []string `json:"configs"`
+	Recordings int64    `json:"recordings"`
+	ElapsedMS  int64    `json:"elapsed_ms"`
+}
+
+// handleWarmup pre-computes the suite's single-core profiles for the
+// requested LLC configurations — the cold-start path a deployment hits
+// once at startup (see mppmd's -warm flag) instead of on first traffic.
+// Each benchmark's frontend is recorded once and every config is a
+// cheap replay, so warming all six Table 2 configs costs about one
+// profiling pass.
+func (s *Server) handleWarmup(w http.ResponseWriter, r *http.Request) {
+	var req WarmupRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	names := req.Configs
+	if len(names) == 0 {
+		for _, c := range mppm.LLCConfigs() {
+			names = append(names, c.Name)
+		}
+	}
+	if len(names) > maxSweepConfigs {
+		badRequest(w, fmt.Errorf("request has %d configs, limit is %d: %w",
+			len(names), maxSweepConfigs, mppm.ErrBadConfig))
+		return
+	}
+	configs := make([]mppm.LLCConfig, len(names))
+	for i, name := range names {
+		llc, err := mppm.LLCConfigByName(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		configs[i] = llc
+	}
+	start := time.Now()
+	recsBefore := s.sys.EngineStats().RecordingComputations
+	n, err := s.sys.Warm(r.Context(), configs...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, WarmupResponse{
+		Profiles:   n,
+		Configs:    names,
+		Recordings: s.sys.EngineStats().RecordingComputations - recsBefore,
+		ElapsedMS:  time.Since(start).Milliseconds(),
+	})
 }
 
 // MixResult is the JSON shape of one evaluated mix on the compat

@@ -428,3 +428,63 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 }
+
+func TestWarmupEndpoint(t *testing.T) {
+	ts, sys := newTestServer(t)
+
+	resp, data := postJSON(t, ts.URL+"/v1/warmup", map[string]any{
+		"configs": []string{"config#1", "config#3"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, data)
+	}
+	var out WarmupResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	suite := len(trace.SuiteNames())
+	if out.Profiles != suite*2 {
+		t.Fatalf("warmed %d profiles, want %d", out.Profiles, suite*2)
+	}
+	// Record-once: warming two configs must not have cost two full
+	// profiling passes per benchmark.
+	if out.Recordings != int64(suite) {
+		t.Fatalf("warmup ran %d recordings for %d benchmarks", out.Recordings, suite)
+	}
+	if got := sys.EngineStats().ProfileComputations; got != int64(suite*2) {
+		t.Fatalf("engine computed %d profiles, want %d", got, suite*2)
+	}
+
+	// A second warmup of an already-warm config reports zero new
+	// recordings (the field is per-request, not process-cumulative).
+	resp, data = postJSON(t, ts.URL+"/v1/warmup", map[string]any{
+		"configs": []string{"config#1"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-warm: status = %d: %s", resp.StatusCode, data)
+	}
+	var again WarmupResponse
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Recordings != 0 {
+		t.Fatalf("re-warm reported %d new recordings, want 0", again.Recordings)
+	}
+
+	// A prediction after warmup is served entirely from cache.
+	resp, data = postJSON(t, ts.URL+"/v1/predict", map[string]any{
+		"mix": []string{"gamess", "lbm"}, "config": "config#3",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after warmup: status = %d: %s", resp.StatusCode, data)
+	}
+	if got := sys.EngineStats().ProfileComputations; got != int64(suite*2) {
+		t.Fatalf("predict after warmup recomputed profiles: %d", got)
+	}
+
+	// Unknown config name is a 400 via ErrBadConfig.
+	resp, _ = postJSON(t, ts.URL+"/v1/warmup", map[string]any{"configs": []string{"config#9"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad config: status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestDerivedAssociativityProfile(t *testing.T) {
 
 	for _, name := range []string{"gamess", "lbm", "hmmer", "soplex"} {
 		spec := mustSpec(t, name)
-		p16, err := Profile(spec, src)
+		p16, err := Profile(context.Background(), spec, src)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func TestDerivedAssociativityProfile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, err := Profile(spec, tgt)
+		direct, err := Profile(context.Background(), spec, tgt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func TestLargerLLCNeverMoreMisses(t *testing.T) {
 	for _, llc := range cache.LLCConfigs() {
 		cfg := testConfig()
 		cfg.Hierarchy.LLC = llc
-		p, err := Profile(spec, cfg)
+		p, err := Profile(context.Background(), spec, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,11 +113,11 @@ func TestHigherLatencyLLCHigherCPI(t *testing.T) {
 		}
 		return cfg
 	}
-	fast, err := Profile(spec, mk(12))
+	fast, err := Profile(context.Background(), spec, mk(12))
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := Profile(spec, mk(24))
+	slow, err := Profile(context.Background(), spec, mk(24))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +153,11 @@ func TestRecordedTraceProfileMatchesSynthetic(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	direct, err := Profile(spec, cfg)
+	direct, err := Profile(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replayed, err := ProfileSource(rec, cfg, ProfileOptions{})
+	replayed, err := ProfileSource(context.Background(), rec, cfg, ProfileOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestRunMulticoreSourcesMixedOrigins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunMulticoreSources([]trace.Source{rdA, rec}, cfg, nil)
+	res, err := RunMulticoreSources(context.Background(), []trace.Source{rdA, rec}, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestRunMulticoreSourcesMixedOrigins(t *testing.T) {
 		t.Fatalf("names = %v", res.Benchmarks)
 	}
 	// Must equal the all-synthetic run exactly.
-	ref, err := RunMulticore([]trace.Spec{specA, mustSpec(t, "lbm")}, cfg, nil)
+	ref, err := RunMulticore(context.Background(), []trace.Spec{specA, mustSpec(t, "lbm")}, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

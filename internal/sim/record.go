@@ -1,0 +1,292 @@
+// Record-once / replay-per-config profiling pipeline.
+//
+// Everything below the LLC — trace generation, the private L1/L2
+// hierarchy and the additive gap timing — is identical across all LLC
+// configurations, yet the direct ProfileSource path re-runs all of it
+// for every (benchmark, LLC) pair. Record runs that LLC-independent
+// frontend exactly once and captures the compact stream of accesses
+// that reach the LLC (typically a few percent of the references);
+// Recording.Replay then drives any LLC geometry from that stream and
+// reproduces ProfileSource's output bit-identically, because:
+//
+//   - the cpu.Timing accumulator is split into an LLC-independent base
+//     part (recorded as absolute totals and restored with AdvanceTo)
+//     and an LLC-dependent part that the replay re-accumulates with the
+//     same OnAccess/AddMemStall calls, in the same order, as a direct
+//     run would issue them;
+//   - interval boundaries depend only on instruction counts, so the
+//     frontend can pre-compute every interval close (position in the
+//     access stream plus the exact counter values at the closing
+//     reference) once, for all configurations.
+//
+// A design-space cold start therefore costs `benchmarks` frontend
+// passes plus cheap replays instead of `benchmarks x configs` full
+// passes.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mppmerr"
+	"repro/internal/profile"
+	"repro/internal/sdc"
+	"repro/internal/trace"
+)
+
+const (
+	recFlagWrite     = byte(1 << 0)
+	recFlagDependent = byte(1 << 1)
+)
+
+// closeMark is one pre-computed interval close. before is the index of
+// the LLC access the close precedes (len(addrs) for closes after the
+// final access); instr and base are the absolute instruction count and
+// base-cycle total at the reference that triggered the close. A close
+// coinciding with an LLC access carries that access's own counters and
+// before = index+1, which replays it after the access — matching the
+// direct path, where the boundary check runs after the access's stall
+// has been charged.
+type closeMark struct {
+	before int
+	instr  int64
+	base   float64
+}
+
+// Recording is the frontend's compact capture of one benchmark trace:
+// the LLC access stream (address, write/dependent flags, absolute
+// instruction and base-cycle counters at each access) plus the interval
+// close schedule. It is immutable once built and safe for concurrent
+// replays.
+type Recording struct {
+	benchmark   string
+	traceLength int64
+	interval    int64
+	cpu         cpu.Params
+	l1d, l2     cache.Config
+
+	addrs []uint64
+	flags []byte
+	instr []int64
+	base  []float64
+
+	closes   []closeMark
+	endInstr int64
+	endBase  float64
+}
+
+// Benchmark returns the recorded workload's name.
+func (rec *Recording) Benchmark() string { return rec.benchmark }
+
+// TraceLength returns the recorded trace's instruction count.
+func (rec *Recording) TraceLength() int64 { return rec.traceLength }
+
+// Accesses returns the number of LLC accesses in the recording — the
+// stream length every replay pays for, versus TraceLength references
+// for a direct profiling pass.
+func (rec *Recording) Accesses() int { return len(rec.addrs) }
+
+// Record runs the LLC-independent profiling frontend over rd: one pass
+// through the private L1/L2 hierarchy and the gap timing model,
+// capturing the LLC access stream. cfg's LLC geometry and
+// MemBandwidthOccupancy are irrelevant to the result (they are
+// replay-side); its CPU, private-level and interval parameters are
+// baked into the recording and checked again at replay time.
+func Record(ctx context.Context, rd trace.Source, cfg Config) (*Recording, error) {
+	cfg.TraceLength = rd.Instructions()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rd.Reset()
+	cur := trace.NewCursor(rd)
+	priv := cache.NewPrivate(cfg.Hierarchy)
+	tm := cpu.NewTiming(cfg.CPU)
+
+	rec := &Recording{
+		benchmark:   rd.Name(),
+		traceLength: cfg.TraceLength,
+		interval:    cfg.IntervalLength,
+		cpu:         cfg.CPU,
+		l1d:         cfg.Hierarchy.L1D,
+		l2:          cfg.Hierarchy.L2,
+	}
+	nextBoundary := cfg.IntervalLength
+	nextCtxCheck := int64(ctxCheckInterval)
+
+	for {
+		ref, ok := cur.Next()
+		if !ok {
+			break
+		}
+		tm.OnGap(ref.Gap, ref.GapCycles)
+		if tm.Instructions() >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			nextCtxCheck = tm.Instructions() + ctxCheckInterval
+		}
+		level := priv.Access(ref.Addr, ref.Write)
+		if level == 0 {
+			var f byte
+			if ref.Write {
+				f |= recFlagWrite
+			}
+			if ref.Dependent {
+				f |= recFlagDependent
+			}
+			rec.addrs = append(rec.addrs, ref.Addr)
+			rec.flags = append(rec.flags, f)
+			rec.instr = append(rec.instr, tm.Instructions())
+			rec.base = append(rec.base, tm.BaseCycles())
+		} else {
+			tm.OnAccess(level, 0, ref.Dependent)
+		}
+		// Mirror the direct path's boundary rule exactly: one close per
+		// reference at most, checked after the reference is charged.
+		if tm.Instructions() >= nextBoundary {
+			rec.closes = append(rec.closes, closeMark{
+				before: len(rec.addrs),
+				instr:  tm.Instructions(),
+				base:   tm.BaseCycles(),
+			})
+			nextBoundary += cfg.IntervalLength
+		}
+	}
+	rec.endInstr = tm.Instructions()
+	rec.endBase = tm.BaseCycles()
+	return rec, nil
+}
+
+// compatibleWith reports whether cfg's frontend-side parameters match
+// the ones the recording was captured under. A mismatch in CPU timing,
+// private-level geometry or interval length invalidates the recording;
+// the LLC geometry and the bandwidth model are free replay-side knobs.
+func (rec *Recording) compatibleWith(cfg Config) error {
+	switch {
+	case cfg.IntervalLength != rec.interval:
+		return fmt.Errorf("sim: recording %s captured at interval length %d, config wants %d: %w",
+			rec.benchmark, rec.interval, cfg.IntervalLength, mppmerr.ErrBadConfig)
+	case cfg.CPU != rec.cpu:
+		return fmt.Errorf("sim: recording %s captured under different CPU parameters: %w",
+			rec.benchmark, mppmerr.ErrBadConfig)
+	case cfg.Hierarchy.L1D != rec.l1d || cfg.Hierarchy.L2 != rec.l2:
+		return fmt.Errorf("sim: recording %s captured under different private caches: %w",
+			rec.benchmark, mppmerr.ErrBadConfig)
+	}
+	return nil
+}
+
+// Replay drives the recorded LLC access stream through cfg's LLC
+// geometry and produces the profile a direct ProfileSource run of the
+// same trace under cfg would produce, bit-identically. The recording's
+// frontend parameters must match cfg (see Record); ErrBadConfig is
+// returned otherwise. Replays of one Recording are independent and may
+// run concurrently.
+func (rec *Recording) Replay(ctx context.Context, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
+	cfg.TraceLength = rec.traceLength
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rec.compatibleWith(cfg); err != nil {
+		return nil, err
+	}
+	llc := cache.New(cfg.Hierarchy.LLC)
+	tm := cpu.NewTiming(cfg.CPU)
+	ways := cfg.Hierarchy.LLC.Ways
+	llcLat := cfg.Hierarchy.LLC.LatencyCycles
+
+	p := &profile.Profile{
+		Meta: profile.Meta{
+			Benchmark:      rec.benchmark,
+			TraceLength:    cfg.TraceLength,
+			IntervalLength: cfg.IntervalLength,
+			LLC:            cfg.Hierarchy.LLC,
+			CPU:            cfg.CPU,
+		},
+		Intervals: make([]profile.Interval, 0, len(rec.closes)+1),
+	}
+
+	ivSDC := sdc.New(ways)
+	ivAccesses := 0.0
+	last := tm.Snapshot()
+	busFreeAt := 0.0
+
+	closeAt := func(instr int64, base float64) {
+		tm.AdvanceTo(instr, base)
+		now := tm.Snapshot()
+		p.Intervals = append(p.Intervals, profile.Interval{
+			Instructions: now.Instructions - last.Instructions,
+			Cycles:       now.Cycles - last.Cycles,
+			MemStall:     now.MemStall - last.MemStall,
+			LLCAccesses:  ivAccesses,
+			SDC:          ivSDC.Clone(),
+		})
+		ivSDC.Reset()
+		ivAccesses = 0
+		last = now
+	}
+
+	ci := 0
+	for i := range rec.addrs {
+		for ci < len(rec.closes) && rec.closes[ci].before == i {
+			closeAt(rec.closes[ci].instr, rec.closes[ci].base)
+			ci++
+		}
+		if i&0xFFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		tm.AdvanceTo(rec.instr[i], rec.base[i])
+		f := rec.flags[i]
+		dependent := f&recFlagDependent != 0
+		hit, depth, _ := llc.Access(rec.addrs[i], f&recFlagWrite != 0)
+		ivAccesses++
+		if hit {
+			ivSDC.Record(depth)
+			tm.OnAccess(cache.LLCHit, llcLat, dependent)
+		} else {
+			ivSDC.Record(0)
+			if opts.PerfectLLC {
+				tm.OnAccess(cache.LLCHit, llcLat, dependent)
+			} else {
+				tm.OnAccess(cache.LLCMiss, llcLat, dependent)
+				if occ := cfg.MemBandwidthOccupancy; occ > 0 {
+					now := tm.Cycles()
+					if busFreeAt > now {
+						tm.AddMemStall(busFreeAt - now)
+					}
+					busFreeAt = math.Max(busFreeAt, now) + occ
+				}
+			}
+		}
+	}
+	for ; ci < len(rec.closes); ci++ {
+		closeAt(rec.closes[ci].instr, rec.closes[ci].base)
+	}
+	tm.AdvanceTo(rec.endInstr, rec.endBase)
+	if tm.Instructions() > last.Instructions {
+		closeAt(rec.endInstr, rec.endBase)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: replay produced invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+// RecordSpec records the profiling frontend of one synthetic suite
+// benchmark — the spec-based convenience over Record, mirroring
+// Profile over ProfileSource.
+func RecordSpec(ctx context.Context, spec trace.Spec, cfg Config) (*Recording, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rd, err := trace.NewReader(spec, cfg.TraceLength)
+	if err != nil {
+		return nil, err
+	}
+	return Record(ctx, rd, cfg)
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// benchConfig mirrors the repo-wide benchmark scale (1/10 of paper).
+func benchConfig() Config {
+	cfg := DefaultConfig(cache.LLCConfigs()[0])
+	cfg.TraceLength = 1_000_000
+	cfg.IntervalLength = 20_000
+	return cfg
+}
+
+func benchSpec(b *testing.B, name string) trace.Spec {
+	b.Helper()
+	s, err := trace.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchWorkloads spans the replay cost spectrum: mcf is irregular and
+// memory-bound (dense LLC access stream), gamess is cache-friendly
+// (sparse stream, replay nearly free).
+var benchWorkloads = []string{"mcf", "gamess"}
+
+// BenchmarkProfileDirect is the baseline: one full single-pass profile,
+// what every (benchmark, config) pair used to cost.
+func BenchmarkProfileDirect(b *testing.B) {
+	cfg := benchConfig()
+	for _, name := range benchWorkloads {
+		spec := benchSpec(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Profile(context.Background(), spec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfileFrontendRecord is the recording frontend: the one
+// pass a benchmark pays regardless of how many configs are replayed.
+func BenchmarkProfileFrontendRecord(b *testing.B) {
+	cfg := benchConfig()
+	for _, name := range benchWorkloads {
+		spec := benchSpec(b, name)
+		b.Run(name, func(b *testing.B) {
+			var accesses int
+			for i := 0; i < b.N; i++ {
+				rec, err := RecordSpec(context.Background(), spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = rec.Accesses()
+			}
+			b.ReportMetric(float64(accesses)/float64(cfg.TraceLength)*100, "stream%")
+		})
+	}
+}
+
+// BenchmarkProfileReplay is the marginal cost of each additional LLC
+// configuration once a benchmark's frontend is recorded.
+func BenchmarkProfileReplay(b *testing.B) {
+	cfg := benchConfig()
+	for _, name := range benchWorkloads {
+		spec := benchSpec(b, name)
+		rec, err := RecordSpec(context.Background(), spec, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rec.Replay(context.Background(), cfg, ProfileOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

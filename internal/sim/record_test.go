@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mppmerr"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+// equalProfiles asserts bit-identity: every interval counter, including
+// the float64 cycle/stall totals, must match exactly — the replay is a
+// drop-in for the direct path only if no ULP drifts anywhere.
+func equalProfiles(t *testing.T, label string, got, want *profile.Profile) {
+	t.Helper()
+	if got.Meta != want.Meta {
+		t.Fatalf("%s: meta = %+v, want %+v", label, got.Meta, want.Meta)
+	}
+	if len(got.Intervals) != len(want.Intervals) {
+		t.Fatalf("%s: %d intervals, want %d", label, len(got.Intervals), len(want.Intervals))
+	}
+	for i := range got.Intervals {
+		g, w := got.Intervals[i], want.Intervals[i]
+		if g.Instructions != w.Instructions || g.Cycles != w.Cycles ||
+			g.MemStall != w.MemStall || g.LLCAccesses != w.LLCAccesses {
+			t.Fatalf("%s: interval %d = %+v, want %+v", label, i, g, w)
+		}
+		gs, ws := g.SDC, w.SDC
+		if len(gs) != len(ws) {
+			t.Fatalf("%s: interval %d SDC has %d counters, want %d", label, i, len(gs), len(ws))
+		}
+		for j := range gs {
+			if gs[j] != ws[j] {
+				t.Fatalf("%s: interval %d SDC[%d] = %v, want %v", label, i, j, gs[j], ws[j])
+			}
+		}
+	}
+}
+
+// TestReplayMatchesProfileSource is the pipeline's differential oracle:
+// one frontend recording per suite benchmark, replayed through every
+// Table 2 LLC configuration in default, perfect-LLC and
+// memory-bandwidth modes, must be bit-identical to the direct
+// ProfileSource pass under the same configuration.
+func TestReplayMatchesProfileSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite x Table 2 differential is not short")
+	}
+	ctx := context.Background()
+	llcs := cache.LLCConfigs()
+	for _, spec := range trace.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			baseCfg := DefaultConfig(llcs[0])
+			baseCfg.TraceLength = 200_000
+			baseCfg.IntervalLength = 20_000
+			rec, err := RecordSpec(ctx, spec, baseCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Accesses() == 0 {
+				t.Skipf("%s has no LLC accesses at this scale", spec.Name)
+			}
+			for _, llc := range llcs {
+				cfg := baseCfg
+				cfg.Hierarchy = cache.BaselineHierarchy(llc)
+				for _, tc := range []struct {
+					label string
+					occ   float64
+					opts  ProfileOptions
+				}{
+					{label: "default"},
+					{label: "perfect-llc", opts: ProfileOptions{PerfectLLC: true}},
+					{label: "bandwidth", occ: 4},
+				} {
+					c := cfg
+					c.MemBandwidthOccupancy = tc.occ
+					direct, err := ProfileWithOptions(ctx, spec, c, tc.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					replayed, err := rec.Replay(ctx, c, tc.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					equalProfiles(t, llc.Name+"/"+tc.label, replayed, direct)
+				}
+			}
+		})
+	}
+}
+
+// TestRecordCompact sanity-checks the headline compression claim: the
+// LLC access stream is a small fraction of the reference stream.
+func TestRecordCompact(t *testing.T) {
+	cfg := testConfig()
+	rec, err := RecordSpec(context.Background(), mustSpec(t, "gamess"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Benchmark() != "gamess" || rec.TraceLength() != cfg.TraceLength {
+		t.Fatalf("recording meta = %q/%d", rec.Benchmark(), rec.TraceLength())
+	}
+	if rec.Accesses() == 0 {
+		t.Fatal("no LLC accesses recorded")
+	}
+	if frac := float64(rec.Accesses()) / float64(cfg.TraceLength); frac > 0.10 {
+		t.Fatalf("recording holds %.1f%% of the instruction stream, want a compact stream", frac*100)
+	}
+}
+
+// TestReplayIncompatibleConfig verifies every frontend-side parameter
+// mismatch is rejected with ErrBadConfig instead of replaying garbage.
+func TestReplayIncompatibleConfig(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig()
+	rec, err := RecordSpec(ctx, mustSpec(t, "mcf"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Config){
+		"interval": func(c *Config) { c.IntervalLength /= 2 },
+		"cpu":      func(c *Config) { c.CPU.MemLatency += 50 },
+		"l1d":      func(c *Config) { c.Hierarchy.L1D.SizeBytes *= 2 },
+		"l2":       func(c *Config) { c.Hierarchy.L2.Ways = 4 },
+	}
+	for name, mutate := range mutations {
+		c := cfg
+		mutate(&c)
+		if _, err := rec.Replay(ctx, c, ProfileOptions{}); !errors.Is(err, mppmerr.ErrBadConfig) {
+			t.Fatalf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+	// TraceLength mirrors ProfileSource semantics: the recording is the
+	// trace, so its length overrides whatever the config asks for.
+	c := cfg
+	c.TraceLength *= 2
+	p, err := rec.Replay(ctx, c, ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meta.TraceLength != cfg.TraceLength {
+		t.Fatalf("replay trace length = %d, want recording's %d", p.Meta.TraceLength, cfg.TraceLength)
+	}
+	// The LLC geometry and bandwidth model are replay-side knobs, not
+	// invalidators.
+	c = cfg
+	c.Hierarchy = cache.BaselineHierarchy(cache.LLCConfigs()[3])
+	c.MemBandwidthOccupancy = 2
+	if _, err := rec.Replay(ctx, c, ProfileOptions{}); err != nil {
+		t.Fatalf("LLC/bandwidth change should not invalidate recording: %v", err)
+	}
+}
+
+// TestReplayCancellation verifies both frontend and replay honor ctx.
+func TestReplayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := testConfig()
+	if _, err := RecordSpec(ctx, mustSpec(t, "lbm"), cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Record err = %v, want context.Canceled", err)
+	}
+	rec, err := RecordSpec(context.Background(), mustSpec(t, "lbm"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Replay(ctx, cfg, ProfileOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Replay err = %v, want context.Canceled", err)
+	}
+}
+
+// TestReplayAllocs pins the replay path's allocation profile: the only
+// allocations are the profile being built (intervals + their SDC
+// clones) and fixed per-replay state (LLC tag arrays, timing, scratch),
+// independent of the access stream length.
+func TestReplayAllocs(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig()
+	rec, err := RecordSpec(ctx, mustSpec(t, "libquantum"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervals := int(cfg.TraceLength / cfg.IntervalLength)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := rec.Replay(ctx, cfg, ProfileOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per interval: one SDC clone (header + counter slice). Fixed: the
+	// profile struct, the interval slice, the LLC (3 arrays + struct),
+	// private timing/SDC scratch. Anything past ~3/interval + ~16 fixed
+	// means a per-access allocation crept into the loop.
+	budget := float64(3*intervals + 16)
+	if allocs > budget {
+		t.Fatalf("replay allocates %.0f times, budget %.0f (%d intervals)", allocs, budget, intervals)
+	}
+}
+
+// TestTimingAdvanceTo covers the contract Replay relies on: AdvanceTo
+// restores base counters exactly while LLC-side accumulators continue.
+func TestTimingAdvanceTo(t *testing.T) {
+	p := cpu.DefaultParams()
+	direct := cpu.NewTiming(p)
+	replay := cpu.NewTiming(p)
+
+	direct.OnGap(1000, 1234.5)
+	direct.OnAccess(cache.L2Hit, 16, false)
+	direct.OnGap(500, 600.25)
+	direct.OnAccess(cache.LLCMiss, 16, false)
+	direct.OnGap(10, 12.5)
+
+	replay.AdvanceTo(1500, direct.BaseCycles()-12.5)
+	replay.OnAccess(cache.LLCMiss, 16, false)
+	replay.AdvanceTo(direct.Instructions(), direct.BaseCycles())
+
+	if replay.Cycles() != direct.Cycles() {
+		t.Fatalf("cycles = %v, want %v", replay.Cycles(), direct.Cycles())
+	}
+	if replay.MemStallCycles() != direct.MemStallCycles() {
+		t.Fatalf("memstall = %v, want %v", replay.MemStallCycles(), direct.MemStallCycles())
+	}
+	if replay.Instructions() != direct.Instructions() {
+		t.Fatalf("instructions = %v, want %v", replay.Instructions(), direct.Instructions())
+	}
+}

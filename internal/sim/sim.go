@@ -90,15 +90,22 @@ type ProfileOptions struct {
 	PerfectLLC bool
 }
 
+// ctxCheckInterval is how often (in instructions) the simulator inner
+// loops poll for context cancellation. Checking every reference would
+// put an atomic load in the hot path; every ~64K instructions keeps the
+// abort latency of a 10M-instruction run in the microseconds while
+// costing one check per a few thousand references.
+const ctxCheckInterval = 64 * 1024
+
 // Profile runs spec alone on the configured hierarchy and returns its
 // single-core profile (CPI, memory CPI and LLC stack distance counters
-// per interval).
-func Profile(spec trace.Spec, cfg Config) (*profile.Profile, error) {
-	return ProfileWithOptions(spec, cfg, ProfileOptions{})
+// per interval). It honors ctx cancellation mid-trace.
+func Profile(ctx context.Context, spec trace.Spec, cfg Config) (*profile.Profile, error) {
+	return ProfileWithOptions(ctx, spec, cfg, ProfileOptions{})
 }
 
 // ProfileWithOptions is Profile with explicit options.
-func ProfileWithOptions(spec trace.Spec, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
+func ProfileWithOptions(ctx context.Context, spec trace.Spec, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,18 +113,23 @@ func ProfileWithOptions(spec trace.Spec, cfg Config, opts ProfileOptions) (*prof
 	if err != nil {
 		return nil, err
 	}
-	return ProfileSource(rd, cfg, opts)
+	return ProfileSource(ctx, rd, cfg, opts)
 }
 
 // ProfileSource profiles an arbitrary trace source (synthetic reader,
 // recorded trace, or user-provided). The source's instruction count
 // overrides cfg.TraceLength. Addresses must stay below 1<<44.
-func ProfileSource(rd trace.Source, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
+//
+// ProfileSource is the direct single-pass path and the differential
+// oracle for the record/replay pipeline: Record + Recording.Replay must
+// produce bit-identical profiles (TestReplayMatchesProfileSource).
+func ProfileSource(ctx context.Context, rd trace.Source, cfg Config, opts ProfileOptions) (*profile.Profile, error) {
 	cfg.TraceLength = rd.Instructions()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rd.Reset()
+	cur := trace.NewCursor(rd)
 	priv := cache.NewPrivate(cfg.Hierarchy)
 	llc := cache.New(cfg.Hierarchy.LLC)
 	tm := cpu.NewTiming(cfg.CPU)
@@ -138,6 +150,7 @@ func ProfileSource(rd trace.Source, cfg Config, opts ProfileOptions) (*profile.P
 	ivAccesses := 0.0
 	last := tm.Snapshot()
 	nextBoundary := cfg.IntervalLength
+	nextCtxCheck := int64(ctxCheckInterval)
 	busFreeAt := 0.0
 
 	closeInterval := func() {
@@ -156,11 +169,17 @@ func ProfileSource(rd trace.Source, cfg Config, opts ProfileOptions) (*profile.P
 	}
 
 	for {
-		ref, ok := rd.Next()
+		ref, ok := cur.Next()
 		if !ok {
 			break
 		}
 		tm.OnGap(ref.Gap, ref.GapCycles)
+		if tm.Instructions() >= nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			nextCtxCheck = tm.Instructions() + ctxCheckInterval
+		}
 		level := priv.Access(ref.Addr, ref.Write)
 		if level == 0 {
 			hit, depth, _ := llc.Access(ref.Addr, ref.Write)
@@ -200,14 +219,15 @@ func ProfileSource(rd trace.Source, cfg Config, opts ProfileOptions) (*profile.P
 }
 
 // ProfileSuite profiles every spec in parallel (bounded by GOMAXPROCS)
-// and returns the profiles keyed by benchmark name.
-func ProfileSuite(specs []trace.Spec, cfg Config) (*profile.Set, error) {
+// and returns the profiles keyed by benchmark name. Cancelling ctx
+// aborts in-flight profiling runs, not just queued ones.
+func ProfileSuite(ctx context.Context, specs []trace.Spec, cfg Config) (*profile.Set, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	profiles := make([]*profile.Profile, len(specs))
-	err := pool.Map(context.Background(), len(specs), 0, func(_ context.Context, i int) error {
-		p, err := Profile(specs[i], cfg)
+	err := pool.Map(ctx, len(specs), 0, func(ctx context.Context, i int) error {
+		p, err := Profile(ctx, specs[i], cfg)
 		if err != nil {
 			return err
 		}
@@ -273,7 +293,7 @@ func (h *eventHeap) Pop() any {
 // coreState drives one program on one core.
 type coreState struct {
 	id     int
-	rd     trace.Source
+	cur    *trace.Cursor
 	priv   *cache.Private
 	tm     *cpu.Timing
 	offset uint64
@@ -284,16 +304,20 @@ type coreState struct {
 
 	llcAccesses int64
 	llcMisses   int64
+
+	nextCtxCheck int64 // instruction count of the next cancellation poll
 }
 
 // advance runs the core until its next LLC access. It restarts the trace
 // on completion, recording first-pass statistics once. If a full pass
 // completes without any LLC access the core is dormant (it cannot
-// interact with other programs) and advance reports ok=false.
-func (c *coreState) advance(llcLat int) (ev llcEvent, ok bool) {
+// interact with other programs) and advance reports ok=false. It polls
+// ctx every ~64K instructions so cancellation aborts even a core that is
+// streaming through a long LLC-quiet stretch.
+func (c *coreState) advance(ctx context.Context, llcLat int) (ev llcEvent, ok bool, err error) {
 	resets := 0
 	for {
-		ref, more := c.rd.Next()
+		ref, more := c.cur.Next()
 		if !more {
 			if !c.finished {
 				c.finished = true
@@ -302,12 +326,18 @@ func (c *coreState) advance(llcLat int) (ev llcEvent, ok bool) {
 			}
 			resets++
 			if resets >= 2 {
-				return llcEvent{}, false
+				return llcEvent{}, false, nil
 			}
-			c.rd.Reset()
+			c.cur.Reset()
 			continue
 		}
 		c.tm.OnGap(ref.Gap, ref.GapCycles)
+		if c.tm.Instructions() >= c.nextCtxCheck {
+			if err := ctx.Err(); err != nil {
+				return llcEvent{}, false, err
+			}
+			c.nextCtxCheck = c.tm.Instructions() + ctxCheckInterval
+		}
 		level := c.priv.Access(ref.Addr, ref.Write)
 		if level == 0 {
 			return llcEvent{
@@ -316,7 +346,7 @@ func (c *coreState) advance(llcLat int) (ev llcEvent, ok bool) {
 				addr:      ref.Addr | (uint64(c.id+1) << coreAddrShift),
 				write:     ref.Write,
 				dependent: ref.Dependent,
-			}, true
+			}, true, nil
 		}
 		c.tm.OnAccess(level, llcLat, ref.Dependent)
 	}
@@ -327,7 +357,7 @@ func (c *coreState) advance(llcLat int) (ev llcEvent, ok bool) {
 // address spaces). freqScale optionally gives per-core frequency
 // multipliers for the heterogeneous-multi-core extension; nil means all
 // cores run at baseline frequency.
-func RunMulticore(specs []trace.Spec, cfg Config, freqScale []float64) (*MulticoreResult, error) {
+func RunMulticore(ctx context.Context, specs []trace.Spec, cfg Config, freqScale []float64) (*MulticoreResult, error) {
 	for _, s := range specs {
 		if s.Footprint() >= 1<<coreAddrShift {
 			return nil, fmt.Errorf("sim: %s footprint too large for address tagging", s.Name)
@@ -341,14 +371,14 @@ func RunMulticore(specs []trace.Spec, cfg Config, freqScale []float64) (*Multico
 		}
 		srcs[i] = rd
 	}
-	return RunMulticoreSources(srcs, cfg, freqScale)
+	return RunMulticoreSources(ctx, srcs, cfg, freqScale)
 }
 
 // RunMulticoreSources is RunMulticore over arbitrary trace sources (one
 // per core). Sources may have differing instruction counts; each
 // program's CPI is measured over its own first full pass. Addresses must
-// stay below 1<<44.
-func RunMulticoreSources(srcs []trace.Source, cfg Config, freqScale []float64) (*MulticoreResult, error) {
+// stay below 1<<44. Cancelling ctx aborts the simulation mid-run.
+func RunMulticoreSources(ctx context.Context, srcs []trace.Source, cfg Config, freqScale []float64) (*MulticoreResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -370,10 +400,11 @@ func RunMulticoreSources(srcs []trace.Source, cfg Config, freqScale []float64) (
 			tm.SetFrequencyScale(freqScale[i])
 		}
 		cores[i] = &coreState{
-			id:   i,
-			rd:   src,
-			priv: cache.NewPrivate(cfg.Hierarchy),
-			tm:   tm,
+			id:           i,
+			cur:          trace.NewCursor(src),
+			priv:         cache.NewPrivate(cfg.Hierarchy),
+			tm:           tm,
+			nextCtxCheck: ctxCheckInterval,
 		}
 	}
 
@@ -383,7 +414,11 @@ func RunMulticoreSources(srcs []trace.Source, cfg Config, freqScale []float64) (
 	heap.Init(h)
 	for _, c := range cores {
 		wasFinished := c.finished
-		if ev, ok := c.advance(llcLat); ok {
+		ev, ok, err := c.advance(ctx, llcLat)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			heap.Push(h, ev)
 		}
 		if c.finished && !wasFinished {
@@ -411,7 +446,11 @@ func RunMulticoreSources(srcs []trace.Source, cfg Config, freqScale []float64) (
 			}
 		}
 		wasFinished := c.finished
-		if next, ok := c.advance(llcLat); ok {
+		next, ok, err := c.advance(ctx, llcLat)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			heap.Push(h, next)
 		}
 		if c.finished && !wasFinished {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,7 +46,7 @@ func TestConfigValidate(t *testing.T) {
 
 func TestProfileShape(t *testing.T) {
 	cfg := testConfig()
-	p, err := Profile(mustSpec(t, "gamess"), cfg)
+	p, err := Profile(context.Background(), mustSpec(t, "gamess"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestProfileCPIAtLeastBaseCPI(t *testing.T) {
 	for _, name := range []string{"gamess", "lbm", "povray"} {
 		spec := mustSpec(t, name)
 		rd, _ := trace.NewReader(spec, cfg.TraceLength)
-		p, err := Profile(spec, cfg)
+		p, err := Profile(context.Background(), spec, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,11 +85,11 @@ func TestProfileCPIAtLeastBaseCPI(t *testing.T) {
 func TestProfileDeterminism(t *testing.T) {
 	cfg := testConfig()
 	spec := mustSpec(t, "soplex")
-	p1, err := Profile(spec, cfg)
+	p1, err := Profile(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, _ := Profile(spec, cfg)
+	p2, _ := Profile(context.Background(), spec, cfg)
 	if p1.CPI() != p2.CPI() || p1.MemCPI() != p2.MemCPI() || p1.LLCMisses() != p2.LLCMisses() {
 		t.Fatal("profiling is not deterministic")
 	}
@@ -107,11 +108,11 @@ func TestMemCPIMethodsAgree(t *testing.T) {
 	cfg := testConfig()
 	for _, name := range []string{"gamess", "lbm", "hmmer", "mcf"} {
 		spec := mustSpec(t, name)
-		real, err := Profile(spec, cfg)
+		real, err := Profile(context.Background(), spec, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		perfect, err := ProfileWithOptions(spec, cfg, ProfileOptions{PerfectLLC: true})
+		perfect, err := ProfileWithOptions(context.Background(), spec, cfg, ProfileOptions{PerfectLLC: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,11 +126,11 @@ func TestMemCPIMethodsAgree(t *testing.T) {
 
 func TestProfileBehaviouralSpread(t *testing.T) {
 	cfg := testConfig()
-	compute, err := Profile(mustSpec(t, "povray"), cfg)
+	compute, err := Profile(context.Background(), mustSpec(t, "povray"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	streaming, err := Profile(mustSpec(t, "lbm"), cfg)
+	streaming, err := Profile(context.Background(), mustSpec(t, "lbm"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestProfileBehaviouralSpread(t *testing.T) {
 func TestProfileSuiteParallel(t *testing.T) {
 	cfg := testConfig()
 	specs := []trace.Spec{mustSpec(t, "gamess"), mustSpec(t, "lbm"), mustSpec(t, "povray")}
-	set, err := ProfileSuite(specs, cfg)
+	set, err := ProfileSuite(context.Background(), specs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestProfileSuiteParallel(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Must match a fresh serial profile exactly.
-		q, _ := Profile(s, cfg)
+		q, _ := Profile(context.Background(), s, cfg)
 		if p.CPI() != q.CPI() {
 			t.Fatalf("%s: parallel profile differs from serial", s.Name)
 		}
@@ -170,11 +171,11 @@ func TestProfileSuiteParallel(t *testing.T) {
 func TestRunMulticoreSingleCoreMatchesProfile(t *testing.T) {
 	cfg := testConfig()
 	spec := mustSpec(t, "gamess")
-	p, err := Profile(spec, cfg)
+	p, err := Profile(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunMulticore([]trace.Spec{spec}, cfg, nil)
+	res, err := RunMulticore(context.Background(), []trace.Spec{spec}, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,13 +196,13 @@ func TestRunMulticoreSlowdownAtLeastOne(t *testing.T) {
 	}
 	singles := make([]float64, len(specs))
 	for i, s := range specs {
-		p, err := Profile(s, cfg)
+		p, err := Profile(context.Background(), s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		singles[i] = p.CPI()
 	}
-	res, err := RunMulticore(specs, cfg, nil)
+	res, err := RunMulticore(context.Background(), specs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,11 +217,11 @@ func TestRunMulticoreSlowdownAtLeastOne(t *testing.T) {
 func TestRunMulticoreCacheSensitiveSuffers(t *testing.T) {
 	cfg := testConfig()
 	gamess := mustSpec(t, "gamess")
-	p, err := Profile(gamess, cfg)
+	p, err := Profile(context.Background(), gamess, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunMulticore([]trace.Spec{
+	res, err := RunMulticore(context.Background(), []trace.Spec{
 		gamess, mustSpec(t, "lbm"), mustSpec(t, "milc"), mustSpec(t, "libquantum"),
 	}, cfg, nil)
 	if err != nil {
@@ -235,11 +236,11 @@ func TestRunMulticoreCacheSensitiveSuffers(t *testing.T) {
 func TestRunMulticoreDeterminism(t *testing.T) {
 	cfg := testConfig()
 	specs := []trace.Spec{mustSpec(t, "gamess"), mustSpec(t, "omnetpp")}
-	r1, err := RunMulticore(specs, cfg, nil)
+	r1, err := RunMulticore(context.Background(), specs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _ := RunMulticore(specs, cfg, nil)
+	r2, _ := RunMulticore(context.Background(), specs, cfg, nil)
 	for i := range specs {
 		if r1.CPI[i] != r2.CPI[i] || r1.LLCMisses[i] != r2.LLCMisses[i] {
 			t.Fatal("multi-core simulation not deterministic")
@@ -250,14 +251,14 @@ func TestRunMulticoreDeterminism(t *testing.T) {
 func TestRunMulticoreDuplicateProgramsAreIndependent(t *testing.T) {
 	cfg := testConfig()
 	spec := mustSpec(t, "gamess")
-	res, err := RunMulticore([]trace.Spec{spec, spec}, cfg, nil)
+	res, err := RunMulticore(context.Background(), []trace.Spec{spec, spec}, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The two copies have disjoint address spaces, so both pay their own
 	// misses; with identical traces their CPIs should be close but the
 	// shared LLC makes both slower than isolated execution.
-	p, _ := Profile(spec, cfg)
+	p, _ := Profile(context.Background(), spec, cfg)
 	for i := 0; i < 2; i++ {
 		if res.CPI[i] <= p.CPI() {
 			t.Errorf("copy %d not slowed down: %v vs %v", i, res.CPI[i], p.CPI())
@@ -270,16 +271,16 @@ func TestRunMulticoreDuplicateProgramsAreIndependent(t *testing.T) {
 
 func TestRunMulticoreErrors(t *testing.T) {
 	cfg := testConfig()
-	if _, err := RunMulticore(nil, cfg, nil); err == nil {
+	if _, err := RunMulticore(context.Background(), nil, cfg, nil); err == nil {
 		t.Fatal("empty workload should error")
 	}
 	spec := mustSpec(t, "gamess")
-	if _, err := RunMulticore([]trace.Spec{spec}, cfg, []float64{1, 2}); err == nil {
+	if _, err := RunMulticore(context.Background(), []trace.Spec{spec}, cfg, []float64{1, 2}); err == nil {
 		t.Fatal("freqScale length mismatch should error")
 	}
 	bad := cfg
 	bad.TraceLength = -1
-	if _, err := RunMulticore([]trace.Spec{spec}, bad, nil); err == nil {
+	if _, err := RunMulticore(context.Background(), []trace.Spec{spec}, bad, nil); err == nil {
 		t.Fatal("invalid config should error")
 	}
 }
@@ -287,7 +288,7 @@ func TestRunMulticoreErrors(t *testing.T) {
 func TestRunMulticoreHeterogeneousFrequency(t *testing.T) {
 	cfg := testConfig()
 	spec := mustSpec(t, "povray") // compute-bound: frequency dominates
-	res, err := RunMulticore([]trace.Spec{spec, spec}, cfg, []float64{2.0, 1.0})
+	res, err := RunMulticore(context.Background(), []trace.Spec{spec, spec}, cfg, []float64{2.0, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestRunMulticoreHeterogeneousFrequency(t *testing.T) {
 func TestRunMulticoreLLCAccounting(t *testing.T) {
 	cfg := testConfig()
 	specs := []trace.Spec{mustSpec(t, "gamess"), mustSpec(t, "lbm")}
-	res, err := RunMulticore(specs, cfg, nil)
+	res, err := RunMulticore(context.Background(), specs, cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestRunMulticoreMoreCoresMorePressure(t *testing.T) {
 		for i := 0; i < n-1; i++ {
 			specs = append(specs, mustSpec(t, co[i]))
 		}
-		res, err := RunMulticore(specs, cfg, nil)
+		res, err := RunMulticore(context.Background(), specs, cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -345,7 +346,7 @@ func BenchmarkProfileGamess(b *testing.B) {
 	spec, _ := trace.ByName("gamess")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Profile(spec, cfg); err != nil {
+		if _, err := Profile(context.Background(), spec, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -360,7 +361,7 @@ func BenchmarkRunMulticore4(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunMulticore(specs, cfg, nil); err != nil {
+		if _, err := RunMulticore(context.Background(), specs, cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

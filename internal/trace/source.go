@@ -28,6 +28,78 @@ func (r *Reader) Name() string { return r.spec.Name }
 
 var _ Source = (*Reader)(nil)
 
+// BlockSource is an optional Source extension for batched reads.
+// ReadBlock fills dst with up to len(dst) consecutive references and
+// returns how many it wrote; 0 means end of trace. It advances the same
+// stream position as Next, so the two can be mixed. Implementations pay
+// one call per block instead of one interface dispatch per reference,
+// which is where the simulator's 10M-iteration loops spend their call
+// overhead.
+type BlockSource interface {
+	Source
+	ReadBlock(dst []Ref) int
+}
+
+// DefaultBlockLen is the batch size the simulator reads through a Cursor.
+const DefaultBlockLen = 1024
+
+// Cursor adapts any Source for block-at-a-time consumption: it drains
+// the source through ReadBlock when available (one interface call per
+// DefaultBlockLen references) and falls back to buffering Next calls
+// otherwise. Cursor.Next is a concrete method on a small struct, so the
+// per-reference cost in the simulator inner loops is a bounds check and
+// a copy rather than an interface dispatch.
+type Cursor struct {
+	src    Source
+	blk    BlockSource // nil when src does not implement BlockSource
+	buf    []Ref
+	pos, n int
+}
+
+// NewCursor returns a Cursor over src.
+func NewCursor(src Source) *Cursor {
+	c := &Cursor{src: src, buf: make([]Ref, DefaultBlockLen)}
+	if b, ok := src.(BlockSource); ok {
+		c.blk = b
+	}
+	return c
+}
+
+// Next returns the next reference; ok is false at end of trace.
+func (c *Cursor) Next() (Ref, bool) {
+	if c.pos >= c.n && !c.refill() {
+		return Ref{}, false
+	}
+	ref := c.buf[c.pos]
+	c.pos++
+	return ref, true
+}
+
+func (c *Cursor) refill() bool {
+	if c.blk != nil {
+		c.n = c.blk.ReadBlock(c.buf)
+	} else {
+		n := 0
+		for n < len(c.buf) {
+			ref, ok := c.src.Next()
+			if !ok {
+				break
+			}
+			c.buf[n] = ref
+			n++
+		}
+		c.n = n
+	}
+	c.pos = 0
+	return c.n > 0
+}
+
+// Reset rewinds the underlying source and discards buffered references.
+func (c *Cursor) Reset() {
+	c.src.Reset()
+	c.pos, c.n = 0, 0
+}
+
 // Recorded is an in-memory trace that replays a fixed reference
 // sequence. It is what ReadTrace returns and is also useful for tests
 // that need hand-crafted access patterns.
@@ -79,7 +151,18 @@ func (t *Recorded) Next() (Ref, bool) {
 // Reset implements Source.
 func (t *Recorded) Reset() { t.pos = 0 }
 
-var _ Source = (*Recorded)(nil)
+// ReadBlock implements BlockSource by copying directly out of the
+// recorded reference slice.
+func (t *Recorded) ReadBlock(dst []Ref) int {
+	n := copy(dst, t.refs[t.pos:])
+	t.pos += n
+	return n
+}
+
+var (
+	_ Source      = (*Recorded)(nil)
+	_ BlockSource = (*Recorded)(nil)
+)
 
 // Trace file format: a small header followed by one fixed-width record
 // per reference, little-endian. The format exists so synthetic traces

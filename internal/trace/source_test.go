@@ -150,3 +150,106 @@ func TestWriteTraceRejectsLongName(t *testing.T) {
 		t.Fatal("256-byte name should error")
 	}
 }
+
+// drainNext reads src to exhaustion one reference at a time.
+func drainNext(src Source) []Ref {
+	var out []Ref
+	for {
+		ref, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ref)
+	}
+}
+
+func TestReadBlockMatchesNext(t *testing.T) {
+	r, err := NewReader(simpleSpec(), 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainNext(r)
+	r.Reset()
+	var got []Ref
+	buf := make([]Ref, 37) // odd size: exercises short final blocks
+	for {
+		n := r.ReadBlock(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReadBlock yielded %d refs, Next %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Recorded sources batch too.
+	rec, err := NewRecorded("rec", want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.ReadBlock(buf); n != len(buf) {
+		t.Fatalf("recorded ReadBlock = %d, want %d", n, len(buf))
+	}
+	rec.Reset()
+	if refs := drainNext(rec); len(refs) != len(want) {
+		t.Fatalf("recorded drain after reset = %d refs", len(refs))
+	}
+}
+
+// nextOnlySource hides the Reader's BlockSource implementation so the
+// Cursor's fallback path is exercised.
+type nextOnlySource struct{ r *Reader }
+
+func (s nextOnlySource) Name() string        { return s.r.Name() }
+func (s nextOnlySource) Instructions() int64 { return s.r.Instructions() }
+func (s nextOnlySource) Next() (Ref, bool)   { return s.r.Next() }
+func (s nextOnlySource) Reset()              { s.r.Reset() }
+
+func TestCursorMatchesSource(t *testing.T) {
+	mk := func() *Reader {
+		r, err := NewReader(simpleSpec(), 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	want := drainNext(mk())
+
+	for _, tc := range []struct {
+		name string
+		src  Source
+	}{
+		{"block", mk()},
+		{"fallback", nextOnlySource{mk()}},
+	} {
+		cur := NewCursor(tc.src)
+		var got []Ref
+		for {
+			ref, ok := cur.Next()
+			if !ok {
+				break
+			}
+			got = append(got, ref)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: cursor yielded %d refs, want %d", tc.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: ref %d = %+v, want %+v", tc.name, i, got[i], want[i])
+			}
+		}
+
+		// Reset mid-stream discards buffered refs and replays identically.
+		cur.Reset()
+		if ref, ok := cur.Next(); !ok || ref != want[0] {
+			t.Fatalf("%s: after reset got %+v, want %+v", tc.name, ref, want[0])
+		}
+	}
+}

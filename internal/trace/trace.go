@@ -349,6 +349,24 @@ func (r *Reader) Next() (ref Ref, ok bool) {
 	}, true
 }
 
+// ReadBlock implements BlockSource. Generation happens through direct
+// method calls, so consumers reading through a Cursor pay one interface
+// dispatch per block instead of one per reference.
+func (r *Reader) ReadBlock(dst []Ref) int {
+	n := 0
+	for n < len(dst) {
+		ref, ok := r.Next()
+		if !ok {
+			break
+		}
+		dst[n] = ref
+		n++
+	}
+	return n
+}
+
+var _ BlockSource = (*Reader)(nil)
+
 // ExpectedBaseCPI returns the trace-length-weighted average BaseCPI over
 // all phases — the CPI the benchmark would have with a perfect memory
 // hierarchy. Useful for calibration tests.

@@ -196,8 +196,11 @@ func (s *System) engine() *engine.Engine {
 
 // EngineStats reports the evaluation engine's cache-miss counters: how
 // many single-core profiles and detailed simulations were actually
-// computed (as opposed to served from the singleflight caches).
+// computed (as opposed to served from the singleflight caches), and how
+// many profiling-frontend recordings (full trace passes) backed those
+// profiles.
 type EngineStats struct {
+	RecordingComputations  int64
 	ProfileComputations    int64
 	SimulationComputations int64
 }
@@ -205,9 +208,39 @@ type EngineStats struct {
 // EngineStats returns the system's evaluation-engine counters.
 func (s *System) EngineStats() EngineStats {
 	return EngineStats{
+		RecordingComputations:  s.engine().RecordingComputations(),
 		ProfileComputations:    s.engine().ProfileComputations(),
 		SimulationComputations: s.engine().SimulationComputations(),
 	}
+}
+
+// Warm pre-computes the single-core profiles of the whole synthetic
+// suite under the given LLC configurations (the system's default LLC
+// when none are given), so subsequent Eval traffic finds every profile
+// already cached. Each benchmark's profiling frontend runs once and the
+// per-config profiles are cheap replays of it, making an N-config warmup
+// cost about one full profiling pass — the record-once / replay-per-
+// config cold-start path. It returns the number of (benchmark, config)
+// profiles now warm.
+func (s *System) Warm(ctx context.Context, configs ...LLCConfig) (int, error) {
+	if len(configs) == 0 {
+		configs = []LLCConfig{s.LLC()}
+	}
+	// Deduplicate so the returned count matches the distinct
+	// (benchmark, config) pairs actually warmed.
+	seen := make(map[LLCConfig]bool, len(configs))
+	distinct := configs[:0:0]
+	for _, c := range configs {
+		if !seen[c] {
+			seen[c] = true
+			distinct = append(distinct, c)
+		}
+	}
+	suite := trace.Suite()
+	if _, err := s.engine().ProfileConfigs(ctx, suite, distinct); err != nil {
+		return 0, err
+	}
+	return len(suite) * len(distinct), nil
 }
 
 // Profile runs one benchmark in isolation and returns its single-core

@@ -386,3 +386,29 @@ func TestSweepCancelled(t *testing.T) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
+
+func TestWarmDeduplicatesConfigs(t *testing.T) {
+	sys, err := NewSystemScaled(DefaultLLC(), 200_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := LLCConfigByName("config#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.Warm(context.Background(), DefaultLLC(), cfg2, DefaultLLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := len(Benchmarks())
+	if n != suite*2 {
+		t.Fatalf("Warm reported %d profiles for 2 distinct configs, want %d", n, suite*2)
+	}
+	stats := sys.EngineStats()
+	if stats.RecordingComputations != int64(suite) {
+		t.Fatalf("warm ran %d recordings for %d benchmarks", stats.RecordingComputations, suite)
+	}
+	if stats.ProfileComputations != int64(suite*2) {
+		t.Fatalf("warm computed %d profiles, want %d", stats.ProfileComputations, suite*2)
+	}
+}
