@@ -2,19 +2,26 @@ SHELL := /bin/bash
 
 # Benchmarks captured in the committed baseline: engine sweep
 # throughput, the model kernel, and the profiling pipeline (cold start,
-# direct pass, frontend recording, per-config replay).
-BENCH_PATTERN := Sweep|Kernel|ProfileColdStart|ProfileDirect|ProfileFrontendRecord|ProfileReplay
+# direct pass, frontend recording, per-config replay, warm-store
+# replica cold start).
+BENCH_PATTERN := Sweep|Kernel|ProfileColdStart|StoreColdStart|ProfileDirect|ProfileFrontendRecord|ProfileReplay
 BENCH_COUNT   := 1
+
+# The experiments package alone takes ~15 minutes under -race on slow
+# machines (see CHANGES.md PR 4), which trips go test's default 10m
+# per-package timeout; every tier-1 invocation carries an explicit
+# budget instead.
+TEST_TIMEOUT := 30m
 
 .PHONY: test race bench-baseline
 
 test:
-	go build ./... && go test ./...
+	go build ./... && go test -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	go test -race ./...
+	go test -race -timeout $(TEST_TIMEOUT) ./...
 
-# bench-baseline regenerates BENCH_PR4.json at the repo root — the
+# bench-baseline regenerates BENCH_PR5.json at the repo root — the
 # in-tree perf snapshot the CI bench job mirrors as per-run artifacts.
 # Run it on an idle machine; the numbers land in the README table.
 bench-baseline:
@@ -28,6 +35,6 @@ bench-baseline:
 	  sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' bench.txt | sed '$$ s/,$$//'; \
 	  echo "  ]"; \
 	  echo "}"; \
-	} > BENCH_PR4.json
+	} > BENCH_PR5.json
 	@rm -f bench.txt
-	@echo "wrote BENCH_PR4.json"
+	@echo "wrote BENCH_PR5.json"

@@ -15,6 +15,7 @@
 //	mppm rank     [flags]            rank the six Table 2 LLC configs with MPPM
 //	mppm stress   [flags]            find stress workloads with MPPM
 //	mppm count    [flags]            count possible workload mixes
+//	mppm cache    warm|ls|verify|gc  manage the persistent artifact store
 //
 // Run "mppm <subcommand> -h" for per-command flags.
 package main
@@ -29,8 +30,10 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	mppm "repro"
+	"repro/internal/store"
 )
 
 func main() {
@@ -65,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdStress(ctx, stdout, rest, stderr)
 	case "count":
 		err = cmdCount(stdout, rest, stderr)
+	case "cache":
+		err = cmdCache(ctx, stdout, rest, stderr)
 	case "classify":
 		err = cmdClassify(stdout, rest, stderr)
 	case "export":
@@ -95,6 +100,7 @@ subcommands:
   rank      rank the six Table 2 LLC configurations with MPPM
   stress    search for stress workloads with MPPM
   count     count the possible workload mixes (the Section 1 explosion)
+  cache     manage the persistent artifact store (warm, ls, verify, gc)
   classify  label benchmarks memory- or compute-intensive from profiles
   export    serialize a benchmark's trace to the binary trace format`)
 }
@@ -500,6 +506,182 @@ func cmdExport(stderr io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %s (%d instructions) to %s\n", *bench, *length, *out)
+	return nil
+}
+
+// cmdCache dispatches the artifact-store subcommand family. Every
+// subcommand takes -store naming the store directory; warm fills it,
+// ls/verify inspect it, gc bounds its size.
+func cmdCache(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, `usage: mppm cache <warm|ls|verify|gc> -store DIR [flags]
+
+subcommands:
+  warm    profile the suite into the store (see -configs)
+  ls      list the store's artifacts
+  verify  fully decode every artifact, report corruption
+  gc      delete oldest artifacts until the store fits -max-bytes`)
+		return fmt.Errorf("cache: missing subcommand")
+	}
+	switch args[0] {
+	case "warm":
+		return cmdCacheWarm(ctx, stdout, args[1:], stderr)
+	case "ls":
+		return cmdCacheLs(stdout, args[1:], stderr)
+	case "verify":
+		return cmdCacheVerify(stdout, args[1:], stderr)
+	case "gc":
+		return cmdCacheGC(stdout, args[1:], stderr)
+	default:
+		return fmt.Errorf("cache: unknown subcommand %q (want warm, ls, verify or gc)", args[0])
+	}
+}
+
+// storeDirFlag adds the required -store flag.
+func storeDirFlag(fs *flag.FlagSet) *string {
+	return fs.String("store", "", "artifact store directory (required)")
+}
+
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: missing -store (artifact store directory)")
+	}
+	return store.Open(dir), nil
+}
+
+// cmdCacheWarm profiles the synthetic suite under the requested LLC
+// configurations through a store-backed system, persisting every
+// recording and profile it computes — the offline half of a replica
+// fleet's instant cold start: run `mppm cache warm` once (or in CI) and
+// every mppmd replica started with -store on the same directory serves
+// its warmup from disk.
+func cmdCacheWarm(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("cache warm", stderr)
+	dir := storeDirFlag(fs)
+	configs := fs.String("configs", "all", `LLC configurations to warm: "all" or a comma-separated Table 2 list`)
+	length := fs.Int64("n", mppm.DefaultTraceLength, "trace length in instructions")
+	interval := fs.Int64("interval", mppm.DefaultIntervalLength, "profiling interval in instructions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("cache warm: missing -store (artifact store directory)")
+	}
+	var llcs []mppm.LLCConfig
+	if *configs == "all" || *configs == "" {
+		llcs = mppm.LLCConfigs()
+	} else {
+		for _, name := range strings.Split(*configs, ",") {
+			llc, err := mppm.LLCConfigByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			llcs = append(llcs, llc)
+		}
+	}
+	sys := mppm.NewSystem(mppm.DefaultLLC(),
+		mppm.WithScale(*length, *interval),
+		mppm.WithStore(*dir))
+	start := time.Now()
+	n, err := sys.Warm(ctx, llcs...)
+	if err != nil {
+		return err
+	}
+	st, _, _ := sys.StoreStats()
+	fmt.Fprintf(stdout, "warmed %d profiles (%d configs) in %s: %d persisted, %d already present, %d store hits\n",
+		n, len(llcs), time.Since(start).Round(time.Millisecond),
+		st.Saves, st.SaveSkips, st.RecordingHits+st.ProfileHits)
+	if st.SaveErrors > 0 {
+		return fmt.Errorf("cache warm: %d store writes failed", st.SaveErrors)
+	}
+	return nil
+}
+
+func cmdCacheLs(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("cache ls", stderr)
+	dir := storeDirFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := st.List()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-10s %-12s %-10s %10s %10s %10s\n",
+		"kind", "benchmark", "llc", "trace", "interval", "bytes")
+	var total int64
+	for _, e := range entries {
+		total += e.SizeBytes
+		if e.Err != nil {
+			fmt.Fprintf(stdout, "%-10s %s: %v\n", "BAD", e.Path, e.Err)
+			continue
+		}
+		llc := e.LLC
+		if llc == "" {
+			llc = "-"
+		}
+		fmt.Fprintf(stdout, "%-10s %-12s %-10s %10d %10d %10d\n",
+			e.Kind, e.Benchmark, llc, e.TraceLength, e.IntervalLength, e.SizeBytes)
+	}
+	fmt.Fprintf(stdout, "%d artifacts, %d bytes\n", len(entries), total)
+	return nil
+}
+
+func cmdCacheVerify(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("cache verify", stderr)
+	dir := storeDirFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	entries, bad, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Err != nil {
+			fmt.Fprintf(stdout, "BAD  %s: %v\n", e.Path, e.Err)
+		} else {
+			fmt.Fprintf(stdout, "ok   %s (%s %s)\n", e.Path, e.Kind, e.Benchmark)
+		}
+	}
+	fmt.Fprintf(stdout, "verified %d artifacts, %d bad\n", len(entries), bad)
+	if bad > 0 {
+		return fmt.Errorf("cache verify: %d corrupt artifacts (run 'mppm cache gc' or delete them; the engine recomputes on the next miss)", bad)
+	}
+	return nil
+}
+
+func cmdCacheGC(stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("cache gc", stderr)
+	dir := storeDirFlag(fs)
+	maxBytes := fs.Int64("max-bytes", -1, "target store size in bytes (required; 0 empties the store)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	if *maxBytes < 0 {
+		return fmt.Errorf("cache gc: missing -max-bytes (target store size)")
+	}
+	removed, freed, err := st.GC(*maxBytes)
+	if err != nil {
+		return err
+	}
+	size, err := st.SizeBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "removed %d artifacts (%d bytes), store now %d bytes\n", removed, freed, size)
 	return nil
 }
 

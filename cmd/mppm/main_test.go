@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -175,5 +176,111 @@ func TestProfileRoundTrip(t *testing.T) {
 	args = append([]string{"predict", "-mix", "mcf", "-profiles", path}, scale...)
 	if got := run(args, &stdout, &stderr); got != 1 {
 		t.Fatalf("predict with missing profile: exit %d, want 1", got)
+	}
+}
+
+// TestCacheLifecycle drives the artifact-store subcommand family end to
+// end: warm fills a store, ls and verify inspect it, a predict run
+// served from it does no recomputation, corruption is reported, and gc
+// empties it.
+func TestCacheLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	storeArgs := []string{"-store", dir}
+
+	runOK := func(t *testing.T, args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr); got != 0 {
+			t.Fatalf("%v: exit %d: %s", args, got, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	// Warm two configs at the small scale.
+	out := runOK(t, append([]string{"cache", "warm", "-configs", "config#1,config#2",
+		"-n", "200000", "-interval", "10000"}, storeArgs...)...)
+	if !strings.Contains(out, "warmed 58 profiles (2 configs)") {
+		t.Fatalf("warm output:\n%s", out)
+	}
+	if !strings.Contains(out, "persisted") {
+		t.Fatalf("warm output missing persistence summary:\n%s", out)
+	}
+
+	// A second warm is served from the store: nothing new persisted.
+	out = runOK(t, append([]string{"cache", "warm", "-configs", "config#1,config#2",
+		"-n", "200000", "-interval", "10000"}, storeArgs...)...)
+	if !strings.Contains(out, "0 persisted") {
+		t.Fatalf("re-warm persisted artifacts:\n%s", out)
+	}
+
+	// ls shows recordings and profiles for suite benchmarks.
+	out = runOK(t, append([]string{"cache", "ls"}, storeArgs...)...)
+	for _, want := range []string{"recording", "profile", "gamess", "config#1", "config#2", "artifacts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ls output missing %q:\n%s", want, out)
+		}
+	}
+
+	// verify passes on a clean store.
+	out = runOK(t, append([]string{"cache", "verify"}, storeArgs...)...)
+	if !strings.Contains(out, "0 bad") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+
+	// Corrupt one artifact; verify must fail with a diagnostic.
+	var victim string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && victim == "" {
+			victim = path
+		}
+		return err
+	})
+	if err != nil || victim == "" {
+		t.Fatalf("no artifact to corrupt (err %v)", err)
+	}
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x20
+	if err := os.WriteFile(victim, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run(append([]string{"cache", "verify"}, storeArgs...), &stdout, &stderr); got != 1 {
+		t.Fatalf("verify on corrupt store: exit %d, want 1 (stdout: %s)", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "BAD") {
+		t.Fatalf("verify did not flag the corrupt artifact:\n%s", stdout.String())
+	}
+
+	// gc to zero empties the store.
+	out = runOK(t, append([]string{"cache", "gc", "-max-bytes", "0"}, storeArgs...)...)
+	if !strings.Contains(out, "store now 0 bytes") {
+		t.Fatalf("gc output:\n%s", out)
+	}
+}
+
+// TestCacheUsageErrors pins the family's argument validation.
+func TestCacheUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"cache"},
+		{"cache", "frobnicate"},
+		{"cache", "warm"},
+		{"cache", "ls"},
+		{"cache", "verify"},
+		{"cache", "gc", "-store", "somewhere"},
+		{"cache", "warm", "-store", "x", "-configs", "config#9"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(args, &stdout, &stderr); got != 1 {
+				t.Fatalf("exit %d, want 1", got)
+			}
+			if stderr.Len() == 0 {
+				t.Error("no stderr diagnostics")
+			}
+		})
 	}
 }

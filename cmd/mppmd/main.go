@@ -16,7 +16,14 @@
 //
 // The pre-/v1/eval endpoints (/v1/predict, /v1/simulate, /v1/sweep)
 // remain as thin adapters over the same request path.
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// SIGINT/SIGTERM drain in-flight requests (and the background -warm
+// goroutine) before exiting.
+//
+// With -store, the engine caches gain a persistent on-disk tier shared
+// between replicas: profiles warmed or computed by one process are
+// loaded — not recomputed — by the next, making a warm-store cold
+// start nearly free. GET /v1/stats reports the engine and store
+// counters.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,9 +53,10 @@ func main() {
 		workers     = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 		drainWindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
 		warm        = flag.String("warm", "", `pre-profile the suite at startup: "all" for every Table 2 config, or a comma-separated config list (e.g. "config#1,config#4")`)
+		storeDir    = flag.String("store", "", "persistent artifact store directory shared between replicas (empty = in-memory caches only)")
 	)
 	flag.Parse()
-	if err := run(*addr, *llcName, *traceLen, *interval, *workers, *drainWindow, *warm); err != nil {
+	if err := run(*addr, *llcName, *traceLen, *interval, *workers, *drainWindow, *warm, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "mppmd:", err)
 		os.Exit(1)
 	}
@@ -72,15 +81,20 @@ func warmConfigs(warm string) ([]mppm.LLCConfig, error) {
 	return configs, nil
 }
 
-func run(addr, llcName string, traceLen, interval int64, workers int, drainWindow time.Duration, warm string) error {
+func run(addr, llcName string, traceLen, interval int64, workers int, drainWindow time.Duration, warm, storeDir string) error {
 	llc, err := mppm.LLCConfigByName(llcName)
 	if err != nil {
 		return err
 	}
-	sys := mppm.NewSystem(llc,
+	opts := []mppm.SystemOption{
 		mppm.WithScale(traceLen, interval),
 		mppm.WithWorkers(workers),
-	)
+	}
+	if storeDir != "" {
+		opts = append(opts, mppm.WithStore(storeDir))
+		log.Printf("mppmd: artifact store at %s", storeDir)
+	}
+	sys := mppm.NewSystem(llc, opts...)
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           service.New(sys).Handler(),
@@ -94,10 +108,18 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 	// record/replay pipeline makes an N-config warmup cost about one
 	// profiling pass per benchmark, and requests arriving mid-warmup
 	// simply share the in-flight profiles via the singleflight cache.
+	// With a store configured, warmed artifacts are persisted as they
+	// are produced, so the next replica's warmup is nearly free. The
+	// goroutine is tied to the server's base context and drained on
+	// shutdown: cancellation aborts the warmup promptly, and waiting for
+	// it guarantees no store write is abandoned mid-flight.
+	var warmWG sync.WaitGroup
 	if configs, err := warmConfigs(warm); err != nil {
 		return err
 	} else if len(configs) > 0 {
+		warmWG.Add(1)
 		go func() {
+			defer warmWG.Done()
 			start := time.Now()
 			n, err := sys.Warm(ctx, configs...)
 			if err != nil {
@@ -121,6 +143,8 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 
 	select {
 	case err := <-errc:
+		stop() // unblock the warm goroutine before reporting the listen error
+		warmWG.Wait()
 		return err
 	case <-ctx.Done():
 	}
@@ -128,7 +152,9 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 	log.Printf("mppmd: shutting down (drain %s)", drainWindow)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWindow)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	err = srv.Shutdown(shutdownCtx)
+	warmWG.Wait() // the signal context is cancelled; the warmup exits promptly
+	if err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	return <-errc

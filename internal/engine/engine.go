@@ -21,6 +21,13 @@
 // costs about one frontend pass, not N. Detailed multi-core
 // simulations, which are deterministic, are likewise cached per
 // (mix, LLC).
+//
+// When a persistent artifact store is configured (Config.Store), it
+// forms a load-through tier under the in-memory caches: a recording or
+// profile cache miss consults the store before recomputing, and
+// recomputed artifacts are persisted back — so a freshly started
+// replica sharing a store directory cold-starts from previously
+// persisted work instead of re-running the profiling frontend.
 package engine
 
 import (
@@ -37,6 +44,7 @@ import (
 	"repro/internal/mppmerr"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -122,6 +130,20 @@ type Config struct {
 	// completes with the number of finished jobs and the batch size. It
 	// must be safe for concurrent use.
 	OnProgress func(done, total int)
+	// Store, when non-nil, is the persistent artifact tier under the
+	// in-memory singleflight caches: recording and profile cache misses
+	// consult it before recomputing, and recomputed artifacts are
+	// persisted back, so replicas sharing a store directory cold-start
+	// from each other's work. Store failures never fail an evaluation —
+	// every load problem degrades to a recompute.
+	Store *store.Store
+	// MaxCachedRecordings/MaxCachedProfiles/MaxCachedSims bound the
+	// in-memory caches; zero or negative means the package defaults.
+	// Entries past the bound are still singleflight-deduplicated while
+	// in flight but are not retained.
+	MaxCachedRecordings int
+	MaxCachedProfiles   int
+	MaxCachedSims       int
 }
 
 // Engine schedules evaluation jobs over a bounded worker pool and owns
@@ -164,12 +186,35 @@ func New(cfg Config) *Engine {
 	if cfg.IntervalLength == 0 {
 		cfg.IntervalLength = profile.DefaultIntervalLength
 	}
+	if cfg.MaxCachedRecordings <= 0 {
+		cfg.MaxCachedRecordings = maxCachedRecordings
+	}
+	if cfg.MaxCachedProfiles <= 0 {
+		cfg.MaxCachedProfiles = maxCachedProfiles
+	}
+	if cfg.MaxCachedSims <= 0 {
+		cfg.MaxCachedSims = maxCachedSims
+	}
 	return &Engine{
 		cfg:        cfg,
 		recordings: make(map[string]*call[*sim.Recording]),
 		profiles:   make(map[profileKey]*call[*profile.Profile]),
 		sims:       make(map[simKey]*call[*sim.MulticoreResult]),
 	}
+}
+
+// Store returns the engine's persistent artifact store, or nil when the
+// engine is memory-only.
+func (e *Engine) Store() *store.Store { return e.cfg.Store }
+
+// CacheSizes reports how many recordings, profiles and detailed
+// simulations the in-memory caches currently retain — the live
+// complement to the cumulative computation counters, surfaced by the
+// mppmd /v1/stats endpoint and asserted by the cache-bound tests.
+func (e *Engine) CacheSizes() (recordings, profiles, sims int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.recordings), len(e.profiles), len(e.sims)
 }
 
 // SimConfig returns the simulator configuration the engine uses for an
@@ -197,6 +242,12 @@ const maxCachedSims = 4096
 // singleflight-deduplicated while in flight and then dropped instead of
 // retained. The suite (29 benchmarks) fits well under the cap.
 const maxCachedRecordings = 64
+
+// maxCachedProfiles bounds the profile cache. The synthetic suite times
+// the Table 2 configurations (29 x 6 = 174 profiles) fits with two
+// orders of magnitude of headroom; the cap exists because the key space
+// also admits arbitrary caller-supplied specs and custom LLC geometries.
+const maxCachedProfiles = 8192
 
 // llcKey identifies an LLC configuration for cache keying. Geometry is
 // included so two custom configs sharing a name cannot alias. It is a
@@ -281,6 +332,18 @@ func await[T any](ctx context.Context, c *call[T]) (T, error) {
 	}
 }
 
+// capEvict enforces a cache bound after a successful insert by dropping
+// the just-completed entry when the cache is over its cap: the entry's
+// waiters still receive the value through the call slot, it just is not
+// retained for future lookups.
+func capEvict[K comparable, T any](mu *sync.Mutex, calls map[K]*call[T], max int, key K) {
+	mu.Lock()
+	if len(calls) > max {
+		delete(calls, key)
+	}
+	mu.Unlock()
+}
+
 // recording returns the profiling-frontend recording of one benchmark,
 // computing it at most once per benchmark across all concurrent
 // callers. The recording is LLC-independent, so it is keyed by name
@@ -292,14 +355,22 @@ func (e *Engine) recording(ctx context.Context, spec trace.Spec, llc cache.Confi
 	if !owned {
 		return await(ctx, c)
 	}
-	e.recordingComputes.Add(1)
-	rec, err := sim.RecordSpec(ctx, spec, e.SimConfig(llc))
-	if err == nil {
-		e.mu.Lock()
-		if len(e.recordings) > maxCachedRecordings {
-			delete(e.recordings, spec.Name)
+	cfg := e.SimConfig(llc)
+	var rec *sim.Recording
+	var err error
+	if st := e.cfg.Store; st != nil {
+		rec, _ = st.LoadRecording(spec, cfg)
+	}
+	if rec == nil {
+		e.recordingComputes.Add(1)
+		rec, err = sim.RecordSpec(ctx, spec, cfg)
+		if err == nil && e.cfg.Store != nil {
+			// Best-effort persist; the counters record failures.
+			_ = e.cfg.Store.SaveRecording(spec, cfg, rec)
 		}
-		e.mu.Unlock()
+	}
+	if err == nil {
+		capEvict(&e.mu, e.recordings, e.cfg.MaxCachedRecordings, spec.Name)
 	}
 	finish(&e.mu, e.recordings, spec.Name, c, rec, err)
 	if err != nil {
@@ -321,8 +392,21 @@ func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config)
 	if !owned {
 		return await(ctx, c)
 	}
-	e.profileComputes.Add(1)
-	p, err := e.replayProfile(ctx, spec, llc)
+	var p *profile.Profile
+	var err error
+	if st := e.cfg.Store; st != nil {
+		p, _ = st.LoadProfile(spec, e.SimConfig(llc), sim.ProfileOptions{})
+	}
+	if p == nil {
+		e.profileComputes.Add(1)
+		p, err = e.replayProfile(ctx, spec, llc)
+		if err == nil && e.cfg.Store != nil {
+			_ = e.cfg.Store.SaveProfile(spec, e.SimConfig(llc), sim.ProfileOptions{}, p)
+		}
+	}
+	if err == nil {
+		capEvict(&e.mu, e.profiles, e.cfg.MaxCachedProfiles, key)
+	}
 	finish(&e.mu, e.profiles, key, c, p, err)
 	if err != nil {
 		return nil, err
@@ -455,11 +539,7 @@ func (e *Engine) simulate(ctx context.Context, mix workload.Mix, specs []trace.S
 	e.simComputes.Add(1)
 	res, err := sim.RunMulticore(ctx, specs, e.SimConfig(llc), nil)
 	if err == nil {
-		e.mu.Lock()
-		if len(e.sims) > maxCachedSims {
-			delete(e.sims, key)
-		}
-		e.mu.Unlock()
+		capEvict(&e.mu, e.sims, e.cfg.MaxCachedSims, key)
 	}
 	finish(&e.mu, e.sims, key, c, res, err)
 	if err != nil {

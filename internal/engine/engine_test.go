@@ -3,6 +3,9 @@ package engine
 import (
 	"context"
 	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +15,7 @@ import (
 	"repro/internal/mppmerr"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -489,5 +493,218 @@ func TestProfileConfigsCancellation(t *testing.T) {
 	_, err := eng.ProfileConfigs(ctx, trace.Suite()[:4], cache.LLCConfigs()[:2])
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// storeEngine builds an engine backed by a persistent artifact store.
+func storeEngine(dir string) *Engine {
+	return New(Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+		Store:          store.Open(dir),
+	})
+}
+
+// TestStoreColdStart is the replica cold-start contract: a fresh engine
+// sharing a store directory with an earlier one serves its entire
+// warmup from disk — zero frontend recordings, zero replays — and the
+// loaded profiles are identical to the computed ones.
+func TestStoreColdStart(t *testing.T) {
+	dir := t.TempDir()
+	specs := trace.Suite()[:5]
+	llcs := cache.LLCConfigs()[:3]
+	ctx := context.Background()
+
+	first := storeEngine(dir)
+	warm, err := first.ProfileConfigs(ctx, specs, llcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first.RecordingComputations(); got != int64(len(specs)) {
+		t.Fatalf("first engine ran %d recordings for %d benchmarks", got, len(specs))
+	}
+	ss := first.Store().Stats()
+	if want := int64(len(specs) + len(specs)*len(llcs)); ss.Saves != want {
+		t.Fatalf("first engine persisted %d artifacts, want %d", ss.Saves, want)
+	}
+
+	// The replica: same store, fresh process-equivalent.
+	second := storeEngine(dir)
+	cold, err := second.ProfileConfigs(ctx, specs, llcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.RecordingComputations(); got != 0 {
+		t.Fatalf("replica ran %d frontend recordings, want 0", got)
+	}
+	if got := second.ProfileComputations(); got != 0 {
+		t.Fatalf("replica computed %d profiles, want 0", got)
+	}
+	ss = second.Store().Stats()
+	if ss.ProfileHits != int64(len(specs)*len(llcs)) {
+		t.Fatalf("replica store stats = %+v", ss)
+	}
+	for c := range llcs {
+		for _, s := range specs {
+			w, err := warm[c].Get(s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := cold[c].Get(s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Meta != w.Meta || len(g.Intervals) != len(w.Intervals) {
+				t.Fatalf("%s/%s: loaded profile shape differs", llcs[c].Name, s.Name)
+			}
+			for i := range w.Intervals {
+				gi, wi := g.Intervals[i], w.Intervals[i]
+				if gi.Instructions != wi.Instructions || gi.Cycles != wi.Cycles ||
+					gi.MemStall != wi.MemStall || gi.LLCAccesses != wi.LLCAccesses {
+					t.Fatalf("%s/%s: interval %d differs", llcs[c].Name, s.Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreCorruptionRecovery: a replica facing a damaged store file
+// recomputes and re-persists instead of failing or serving garbage.
+func TestStoreCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	spec := trace.Suite()[0]
+	llc := cache.LLCConfigs()[0]
+	ctx := context.Background()
+
+	first := storeEngine(dir)
+	want, err := first.Profile(ctx, spec, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in every artifact on disk.
+	damaged := 0
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b[len(b)/2] ^= 0x01
+		damaged++
+		return os.WriteFile(path, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged == 0 {
+		t.Fatal("nothing persisted to damage")
+	}
+
+	second := storeEngine(dir)
+	got, err := second.Profile(ctx, spec, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != want.Meta || got.CPI() != want.CPI() {
+		t.Fatal("recovered profile differs from original")
+	}
+	ss := second.Store().Stats()
+	if ss.Rejected == 0 {
+		t.Fatalf("no rejections counted: %+v", ss)
+	}
+	if second.ProfileComputations() != 1 {
+		t.Fatalf("replica computed %d profiles, want 1 recompute", second.ProfileComputations())
+	}
+	// The recompute re-persisted; a third engine loads cleanly.
+	third := storeEngine(dir)
+	if _, err := third.Profile(ctx, spec, llc); err != nil {
+		t.Fatal(err)
+	}
+	if third.ProfileComputations() != 0 {
+		t.Fatal("re-persisted artifact not served from store")
+	}
+}
+
+// TestCacheBoundsEvict churns each in-memory cache past a tiny
+// configured bound and asserts the caches actually evict — the
+// configured limits are enforced, not just documented.
+func TestCacheBoundsEvict(t *testing.T) {
+	eng := New(Config{
+		TraceLength:         testTraceLen,
+		IntervalLength:      testInterval,
+		MaxCachedRecordings: 2,
+		MaxCachedProfiles:   3,
+		MaxCachedSims:       2,
+	})
+	ctx := context.Background()
+	specs := trace.Suite()[:6]
+	llcs := cache.LLCConfigs()[:2]
+
+	// Churn profiles (and with them recordings) across 6 benchmarks x 2
+	// configs = 12 profile keys and 6 recording keys.
+	for _, llc := range llcs {
+		for _, s := range specs {
+			if _, err := eng.Profile(ctx, s, llc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	recs, profs, _ := eng.CacheSizes()
+	if recs > 2 {
+		t.Fatalf("recording cache holds %d entries, bound is 2", recs)
+	}
+	if profs > 3 {
+		t.Fatalf("profile cache holds %d entries, bound is 3", profs)
+	}
+
+	// Churn detailed simulations across 4 distinct mixes.
+	for _, mix := range []workload.Mix{
+		{"gamess", "lbm"}, {"mcf", "milc"}, {"gamess", "mcf"}, {"lbm", "milc"},
+	} {
+		res, err := eng.Run(ctx, []Job{{Mix: mix, LLC: llcs[0], Kind: Simulate}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+	}
+	_, _, sims := eng.CacheSizes()
+	if sims > 2 {
+		t.Fatalf("simulation cache holds %d entries, bound is 2", sims)
+	}
+
+	// Eviction trades retention, not correctness: a re-request of an
+	// evicted profile recomputes and still matches the direct path.
+	p, err := eng.Profile(ctx, specs[0], llcs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.Profile(ctx, specs[0], eng.SimConfig(llcs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Meta != direct.Meta || p.CPI() != direct.CPI() {
+		t.Fatal("recomputed evicted profile differs from direct path")
+	}
+}
+
+// TestCacheDefaultsRetainSuite: at the default bounds nothing from a
+// suite-wide warmup is evicted (the bounds exist for adversarial key
+// spaces, not normal operation).
+func TestCacheDefaultsRetainSuite(t *testing.T) {
+	eng := newTestEngine(0)
+	llcs := cache.LLCConfigs()[:2]
+	if _, err := eng.ProfileConfigs(context.Background(), trace.Suite(), llcs); err != nil {
+		t.Fatal(err)
+	}
+	recs, profs, _ := eng.CacheSizes()
+	if want := len(trace.Suite()); recs != want {
+		t.Fatalf("recording cache holds %d, want %d", recs, want)
+	}
+	if want := len(trace.Suite()) * len(llcs); profs != want {
+		t.Fatalf("profile cache holds %d, want %d", profs, want)
 	}
 }

@@ -7,6 +7,7 @@
 //
 //	GET  /healthz        liveness probe
 //	GET  /v1/benchmarks  the synthetic suite, LLC configs, contention models
+//	GET  /v1/stats       engine + artifact-store hit/miss/load counters
 //	POST /v1/eval        the canonical endpoint: any kind, mixes x configs, top-k
 //	POST /v1/warmup      pre-compute suite profiles for a set of LLC configs
 //	POST /v1/predict     compat: one mix, one LLC config, MPPM model
@@ -65,6 +66,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("POST /v1/warmup", s.handleWarmup)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
@@ -407,6 +409,52 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	for i := range res.Scenarios {
 		resp.Scenarios = append(resp.Scenarios, toScenarioResult(&res.Scenarios[i]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EngineStatsJSON is the engine half of the /v1/stats payload: the
+// cumulative computation counters (work actually done, as opposed to
+// served from a cache tier) and the live in-memory cache sizes.
+type EngineStatsJSON struct {
+	RecordingsComputed  int64 `json:"recordings_computed"`
+	ProfilesComputed    int64 `json:"profiles_computed"`
+	SimulationsComputed int64 `json:"simulations_computed"`
+	CachedRecordings    int   `json:"cached_recordings"`
+	CachedProfiles      int   `json:"cached_profiles"`
+	CachedSimulations   int   `json:"cached_simulations"`
+}
+
+// StoreStatsJSON is the artifact-store half of the /v1/stats payload.
+type StoreStatsJSON struct {
+	Dir string `json:"dir"`
+	mppm.StoreStats
+}
+
+// StatsResponse is the /v1/stats payload. Store is omitted when the
+// server runs without a persistent artifact store.
+type StatsResponse struct {
+	Engine EngineStatsJSON `json:"engine"`
+	Store  *StoreStatsJSON `json:"store,omitempty"`
+}
+
+// handleStats reports the engine and store counters — the observability
+// face of the caching stack: how much work this replica actually did,
+// versus how much it served from memory or loaded from the store.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	es := s.sys.EngineStats()
+	resp := StatsResponse{
+		Engine: EngineStatsJSON{
+			RecordingsComputed:  es.RecordingComputations,
+			ProfilesComputed:    es.ProfileComputations,
+			SimulationsComputed: es.SimulationComputations,
+			CachedRecordings:    es.CachedRecordings,
+			CachedProfiles:      es.CachedProfiles,
+			CachedSimulations:   es.CachedSimulations,
+		},
+	}
+	if ss, dir, ok := s.sys.StoreStats(); ok {
+		resp.Store = &StoreStatsJSON{Dir: dir, StoreStats: ss}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

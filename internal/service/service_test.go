@@ -488,3 +488,95 @@ func TestWarmupEndpoint(t *testing.T) {
 		t.Fatalf("bad config: status = %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestStatsEndpoint exercises GET /v1/stats with and without a store:
+// counters must reflect the work a warmup actually did, and the store
+// block must appear exactly when a store is configured.
+func TestStatsEndpoint(t *testing.T) {
+	t.Run("memory-only", func(t *testing.T) {
+		ts, _ := newTestServer(t)
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var stats StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Store != nil {
+			t.Fatalf("store block present without a store: %+v", stats.Store)
+		}
+	})
+
+	t.Run("with store", func(t *testing.T) {
+		dir := t.TempDir()
+		sys := mppm.NewSystem(mppm.DefaultLLC(),
+			mppm.WithScale(testTraceLen, testInterval),
+			mppm.WithStore(dir))
+		ts := httptest.NewServer(New(sys).Handler())
+		t.Cleanup(ts.Close)
+
+		// Warm one config; /v1/warmup persists what it warms.
+		resp, _ := postJSON(t, ts.URL+"/v1/warmup", WarmupRequest{Configs: []string{"config#1"}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmup status %d", resp.StatusCode)
+		}
+
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		suite := len(trace.SuiteNames())
+		if stats.Engine.ProfilesComputed != int64(suite) {
+			t.Fatalf("profiles_computed = %d, want %d", stats.Engine.ProfilesComputed, suite)
+		}
+		if stats.Engine.CachedProfiles != suite {
+			t.Fatalf("cached_profiles = %d, want %d", stats.Engine.CachedProfiles, suite)
+		}
+		if stats.Store == nil {
+			t.Fatal("store block missing")
+		}
+		if stats.Store.Dir != dir {
+			t.Fatalf("store dir = %q, want %q", stats.Store.Dir, dir)
+		}
+		// Warmup persisted one recording and one profile per benchmark.
+		if stats.Store.Saves != int64(2*suite) {
+			t.Fatalf("store saves = %d, want %d", stats.Store.Saves, 2*suite)
+		}
+
+		// A second replica sharing the store warms from disk: its stats
+		// show store hits and zero computations.
+		sys2 := mppm.NewSystem(mppm.DefaultLLC(),
+			mppm.WithScale(testTraceLen, testInterval),
+			mppm.WithStore(dir))
+		ts2 := httptest.NewServer(New(sys2).Handler())
+		t.Cleanup(ts2.Close)
+		resp, _ = postJSON(t, ts2.URL+"/v1/warmup", WarmupRequest{Configs: []string{"config#1"}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replica warmup status %d", resp.StatusCode)
+		}
+		resp, err = http.Get(ts2.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		if stats.Engine.ProfilesComputed != 0 || stats.Engine.RecordingsComputed != 0 {
+			t.Fatalf("replica recomputed: %+v", stats.Engine)
+		}
+		if stats.Store.ProfileHits != int64(suite) {
+			t.Fatalf("replica profile hits = %d, want %d", stats.Store.ProfileHits, suite)
+		}
+	})
+}

@@ -42,6 +42,16 @@ const (
 	recFlagDependent = byte(1 << 1)
 )
 
+// OutputGeneration is the semantic version of the profiling pipeline's
+// output: bump it whenever a code change alters the *values* a
+// recording or profile contains — trace generation, cpu.Timing rules,
+// private-hierarchy behaviour, interval accounting — even though the
+// serialized *shape* (codec.FormatVersion) is unchanged. The persistent
+// artifact store folds it into every artifact's content address, so
+// artifacts produced by older pipeline semantics miss instead of being
+// served stale.
+const OutputGeneration = 1
+
 // closeMark is one pre-computed interval close. before is the index of
 // the LLC access the close precedes (len(addrs) for closes after the
 // final access); instr and base are the absolute instruction count and
@@ -275,6 +285,145 @@ func (rec *Recording) Replay(ctx context.Context, cfg Config, opts ProfileOption
 		return nil, fmt.Errorf("sim: replay produced invalid profile: %w", err)
 	}
 	return p, nil
+}
+
+// RecordingData is the exported snapshot of a Recording's contents —
+// the serialization surface of the record/replay pipeline. The slices
+// are shared with the Recording that produced them (recordings are
+// immutable), so callers must treat them as read-only. CloseBefore,
+// CloseInstr and CloseBase are the parallel columns of the interval
+// close schedule (see closeMark).
+type RecordingData struct {
+	Benchmark   string
+	TraceLength int64
+	Interval    int64
+	CPU         cpu.Params
+	L1D, L2     cache.Config
+
+	Addrs []uint64
+	Flags []byte
+	Instr []int64
+	Base  []float64
+
+	CloseBefore []int
+	CloseInstr  []int64
+	CloseBase   []float64
+
+	EndInstr int64
+	EndBase  float64
+}
+
+// Data exports the recording for serialization. The returned slices
+// alias the recording's internal state and must not be mutated.
+func (rec *Recording) Data() RecordingData {
+	d := RecordingData{
+		Benchmark:   rec.benchmark,
+		TraceLength: rec.traceLength,
+		Interval:    rec.interval,
+		CPU:         rec.cpu,
+		L1D:         rec.l1d,
+		L2:          rec.l2,
+		Addrs:       rec.addrs,
+		Flags:       rec.flags,
+		Instr:       rec.instr,
+		Base:        rec.base,
+		CloseBefore: make([]int, len(rec.closes)),
+		CloseInstr:  make([]int64, len(rec.closes)),
+		CloseBase:   make([]float64, len(rec.closes)),
+		EndInstr:    rec.endInstr,
+		EndBase:     rec.endBase,
+	}
+	for i, c := range rec.closes {
+		d.CloseBefore[i] = c.before
+		d.CloseInstr[i] = c.instr
+		d.CloseBase[i] = c.base
+	}
+	return d
+}
+
+// RecordingFromData rebuilds a Recording from a deserialized snapshot,
+// validating every structural invariant Replay relies on — stream
+// columns of equal length, monotonically non-decreasing counters,
+// in-range interval closes — so a corrupt or adversarial artifact is
+// rejected with ErrBadConfig instead of producing garbage profiles (or
+// panics) at replay time. The slices are adopted, not copied.
+func RecordingFromData(d RecordingData) (*Recording, error) {
+	bad := func(format string, args ...any) (*Recording, error) {
+		args = append([]any{d.Benchmark}, args...)
+		args = append(args, mppmerr.ErrBadConfig)
+		return nil, fmt.Errorf("sim: recording %q: "+format+": %w", args...)
+	}
+	if d.Benchmark == "" {
+		return bad("empty benchmark name")
+	}
+	if d.TraceLength < 1 {
+		return bad("non-positive trace length %d", d.TraceLength)
+	}
+	if d.Interval < 1 || d.Interval > d.TraceLength {
+		return bad("interval length %d outside [1, trace length]", d.Interval)
+	}
+	if err := d.CPU.Validate(); err != nil {
+		return bad("invalid CPU parameters: %v", err)
+	}
+	if err := d.L1D.Validate(); err != nil {
+		return bad("invalid L1D: %v", err)
+	}
+	if err := d.L2.Validate(); err != nil {
+		return bad("invalid L2: %v", err)
+	}
+	n := len(d.Addrs)
+	if len(d.Flags) != n || len(d.Instr) != n || len(d.Base) != n {
+		return bad("stream columns disagree (%d addrs, %d flags, %d instr, %d base)",
+			n, len(d.Flags), len(d.Instr), len(d.Base))
+	}
+	prevInstr, prevBase := int64(0), 0.0
+	for i := 0; i < n; i++ {
+		if d.Instr[i] < prevInstr || d.Base[i] < prevBase ||
+			math.IsNaN(d.Base[i]) || math.IsInf(d.Base[i], 0) {
+			return bad("access %d has non-monotonic counters", i)
+		}
+		prevInstr, prevBase = d.Instr[i], d.Base[i]
+	}
+	nc := len(d.CloseBefore)
+	if len(d.CloseInstr) != nc || len(d.CloseBase) != nc {
+		return bad("close columns disagree (%d before, %d instr, %d base)",
+			nc, len(d.CloseInstr), len(d.CloseBase))
+	}
+	prevBefore, prevInstr, prevBase := 0, int64(0), 0.0
+	for i := 0; i < nc; i++ {
+		if d.CloseBefore[i] < prevBefore || d.CloseBefore[i] > n {
+			return bad("close %d out of order or out of range", i)
+		}
+		if d.CloseInstr[i] < prevInstr || d.CloseBase[i] < prevBase ||
+			math.IsNaN(d.CloseBase[i]) || math.IsInf(d.CloseBase[i], 0) {
+			return bad("close %d has non-monotonic counters", i)
+		}
+		prevBefore, prevInstr, prevBase = d.CloseBefore[i], d.CloseInstr[i], d.CloseBase[i]
+	}
+	if d.EndInstr < prevInstr || d.EndInstr != d.TraceLength ||
+		d.EndBase < prevBase || math.IsNaN(d.EndBase) || math.IsInf(d.EndBase, 0) {
+		return bad("end counters inconsistent (end instr %d, trace length %d)",
+			d.EndInstr, d.TraceLength)
+	}
+	rec := &Recording{
+		benchmark:   d.Benchmark,
+		traceLength: d.TraceLength,
+		interval:    d.Interval,
+		cpu:         d.CPU,
+		l1d:         d.L1D,
+		l2:          d.L2,
+		addrs:       d.Addrs,
+		flags:       d.Flags,
+		instr:       d.Instr,
+		base:        d.Base,
+		closes:      make([]closeMark, nc),
+		endInstr:    d.EndInstr,
+		endBase:     d.EndBase,
+	}
+	for i := 0; i < nc; i++ {
+		rec.closes[i] = closeMark{before: d.CloseBefore[i], instr: d.CloseInstr[i], base: d.CloseBase[i]}
+	}
+	return rec, nil
 }
 
 // RecordSpec records the profiling frontend of one synthetic suite

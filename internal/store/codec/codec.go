@@ -1,0 +1,609 @@
+// Package codec implements the versioned binary on-disk format of the
+// artifact store: compact encodings of profiling-frontend recordings
+// (sim.Recording) and single-core profiles (profile.Profile).
+//
+// Every artifact is one self-contained file:
+//
+//	magic "MPPM" | format version (uint16 LE) | kind (byte)
+//	header: benchmark name, spec hash, trace identity, capture params
+//	payload
+//	crc64-ECMA of everything above (uint64 LE)
+//
+// The header carries enough identity to detect stale artifacts without
+// decoding the payload (PeekHeader): the benchmark's spec hash, the
+// trace length and profiling interval, and the capture parameters (CPU
+// timing model plus cache geometries) the artifact was produced under.
+//
+// The recording payload is dominated by the LLC access stream, so the
+// monotonic columns are delta-encoded as varints (addresses as zigzag
+// deltas, instruction counters as unsigned deltas) and only the float64
+// base-cycle column is stored as raw bits — bit-exactness is the whole
+// point of the record/replay pipeline, so floats are never re-quantized.
+// The interval close schedule is delta-encoded the same way.
+//
+// Decoding is strict: a wrong magic or a failed checksum yields
+// ErrCorrupt, a version skew yields ErrVersion, and structural nonsense
+// that survives the checksum (hand-crafted files) is rejected by the
+// validation layers above (sim.RecordingFromData, profile.Validate).
+// Decode never panics on arbitrary input (FuzzCodecRoundTrip).
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FormatVersion is the on-disk format version. Bump it on any change to
+// the encoding below; the store keeps each version in its own directory,
+// so a version bump simply starts a fresh tree and leaves old artifacts
+// to garbage collection.
+const FormatVersion = 1
+
+// Kind tags the artifact type carried by a file.
+type Kind uint8
+
+const (
+	// KindRecording is a profiling-frontend recording (sim.Recording).
+	KindRecording Kind = 1
+	// KindProfile is a single-core profile (profile.Profile).
+	KindProfile Kind = 2
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case KindRecording:
+		return "recording"
+	case KindProfile:
+		return "profile"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+var (
+	// ErrCorrupt marks an artifact that failed structural or checksum
+	// validation.
+	ErrCorrupt = errors.New("codec: corrupt artifact")
+	// ErrVersion marks an artifact written under a different format
+	// version.
+	ErrVersion = errors.New("codec: unsupported format version")
+)
+
+var magic = [4]byte{'M', 'P', 'P', 'M'}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Header is the self-describing identity of an artifact, readable
+// without decoding the payload.
+type Header struct {
+	Version uint16
+	Kind    Kind
+	// Benchmark and SpecHash identify the trace: the workload's name and
+	// a hash over its full synthetic spec (regions, phases, seed), so an
+	// edited benchmark definition invalidates its artifacts.
+	Benchmark string
+	SpecHash  uint64
+	// TraceLength and IntervalLength are the capture scale.
+	TraceLength    int64
+	IntervalLength int64
+	// CPU is the core timing model the artifact was captured under.
+	CPU cpu.Params
+	// LLC names the shared-cache geometry (profiles only; recordings are
+	// LLC-independent by construction and leave it zero).
+	LLC cache.Config
+}
+
+// SpecHash hashes a synthetic benchmark spec — every field that shapes
+// the generated reference stream — so artifacts are invalidated when a
+// benchmark's definition changes, not just when it is renamed.
+func SpecHash(spec trace.Spec) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	h.Write([]byte(spec.Name))
+	w64(spec.Seed)
+	w64(uint64(len(spec.Regions)))
+	for _, r := range spec.Regions {
+		w64(uint64(r.Kind))
+		w64(r.Size)
+		w64(r.Stride)
+		if r.Dependent {
+			w64(1)
+		} else {
+			w64(0)
+		}
+	}
+	w64(uint64(len(spec.Phases)))
+	for _, p := range spec.Phases {
+		wf(p.Frac)
+		wf(p.BaseCPI)
+		wf(p.RefsPerKI)
+		wf(p.WriteFrac)
+		w64(uint64(len(p.Weights)))
+		for _, w := range p.Weights {
+			wf(w)
+		}
+	}
+	return h.Sum64()
+}
+
+// enc is an append-only encoder.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) u16(v uint16)     { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u64(v uint64)     { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f64(v float64)    { e.u64(math.Float64bits(v)) }
+func (e *enc) byte(c byte)      { e.b = append(e.b, c) }
+
+func (e *enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) cacheConfig(c cache.Config) {
+	e.str(c.Name)
+	e.varint(c.SizeBytes)
+	e.varint(int64(c.Ways))
+	e.varint(c.LineSize)
+	e.varint(int64(c.LatencyCycles))
+}
+
+func (e *enc) cpuParams(p cpu.Params) {
+	e.varint(p.ROBWindow)
+	e.f64(p.HiddenLatency)
+	e.f64(p.L2HitStall)
+	e.f64(p.MemLatency)
+	e.f64(p.OverlapFactor)
+}
+
+// dec is a bounds-checked decoder with a sticky error; every getter
+// returns a zero value once the error is set, so decode paths read
+// straight through and check d.err once per section.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) bytes(n int) []byte {
+	if d.err != nil || n < 0 || n > d.remaining() {
+		d.fail("truncated")
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) byteVal() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// maxStringLen bounds decoded strings (benchmark and cache names);
+// anything longer is structural nonsense.
+const maxStringLen = 1 << 12
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if n > maxStringLen {
+		d.fail("oversized string")
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+// count reads an element count and rejects counts that could not fit in
+// the remaining bytes at minBytes per element — the allocation guard
+// that keeps a tiny corrupt file from demanding a giant slice.
+func (d *dec) count(minBytes int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(d.remaining()/minBytes) {
+		d.fail("implausible element count")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) cacheConfig() cache.Config {
+	return cache.Config{
+		Name:          d.str(),
+		SizeBytes:     d.varint(),
+		Ways:          int(d.varint()),
+		LineSize:      d.varint(),
+		LatencyCycles: int(d.varint()),
+	}
+}
+
+func (d *dec) cpuParams() cpu.Params {
+	return cpu.Params{
+		ROBWindow:     d.varint(),
+		HiddenLatency: d.f64(),
+		L2HitStall:    d.f64(),
+		MemLatency:    d.f64(),
+		OverlapFactor: d.f64(),
+	}
+}
+
+// appendChecksum seals an encoded artifact with its trailing crc64.
+func appendChecksum(b []byte) []byte {
+	return binary.LittleEndian.AppendUint64(b, crc64.Checksum(b, crcTable))
+}
+
+// open validates the envelope (length, magic, version, checksum) and
+// returns a decoder positioned after the kind byte, plus the kind.
+func open(b []byte) (*dec, Kind, error) {
+	const minFile = 4 + 2 + 1 + 8
+	if len(b) < minFile {
+		return nil, 0, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != FormatVersion {
+		return nil, 0, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, FormatVersion)
+	}
+	body, sum := b[:len(b)-8], binary.LittleEndian.Uint64(b[len(b)-8:])
+	if crc64.Checksum(body, crcTable) != sum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := &dec{b: body, off: 6}
+	k := Kind(d.byteVal())
+	if k != KindRecording && k != KindProfile {
+		return nil, 0, fmt.Errorf("%w: unknown artifact kind %d", ErrCorrupt, uint8(k))
+	}
+	return d, k, nil
+}
+
+// header encodes/decodes the identity section shared by both kinds.
+func (e *enc) header(h Header) {
+	e.str(h.Benchmark)
+	e.u64(h.SpecHash)
+	e.varint(h.TraceLength)
+	e.varint(h.IntervalLength)
+	e.cpuParams(h.CPU)
+}
+
+func (d *dec) header(kind Kind) Header {
+	h := Header{Version: FormatVersion, Kind: kind}
+	h.Benchmark = d.str()
+	h.SpecHash = d.u64()
+	h.TraceLength = d.varint()
+	h.IntervalLength = d.varint()
+	h.CPU = d.cpuParams()
+	return h
+}
+
+// EncodeRecording serializes a profiling-frontend recording. specHash
+// should be SpecHash of the benchmark spec the recording was captured
+// from (zero for recordings of arbitrary trace sources).
+func EncodeRecording(rec *sim.Recording, specHash uint64) []byte {
+	d := rec.Data()
+	e := &enc{b: make([]byte, 0, 128+12*len(d.Addrs))}
+	e.b = append(e.b, magic[:]...)
+	e.u16(FormatVersion)
+	e.byte(byte(KindRecording))
+	e.header(Header{
+		Benchmark:      d.Benchmark,
+		SpecHash:       specHash,
+		TraceLength:    d.TraceLength,
+		IntervalLength: d.Interval,
+		CPU:            d.CPU,
+	})
+	e.cacheConfig(d.L1D)
+	e.cacheConfig(d.L2)
+
+	// The access stream: monotonic columns as deltas, floats as raw bits.
+	e.uvarint(uint64(len(d.Addrs)))
+	var prevAddr uint64
+	for _, a := range d.Addrs {
+		e.varint(int64(a - prevAddr)) // zigzag delta; wraparound-safe
+		prevAddr = a
+	}
+	e.b = append(e.b, d.Flags...)
+	var prevInstr int64
+	for _, v := range d.Instr {
+		e.uvarint(uint64(v - prevInstr))
+		prevInstr = v
+	}
+	for _, v := range d.Base {
+		e.f64(v)
+	}
+
+	// The interval close schedule.
+	e.uvarint(uint64(len(d.CloseBefore)))
+	var prevBefore int
+	for _, v := range d.CloseBefore {
+		e.uvarint(uint64(v - prevBefore))
+		prevBefore = v
+	}
+	prevInstr = 0
+	for _, v := range d.CloseInstr {
+		e.uvarint(uint64(v - prevInstr))
+		prevInstr = v
+	}
+	for _, v := range d.CloseBase {
+		e.f64(v)
+	}
+	e.varint(d.EndInstr)
+	e.f64(d.EndBase)
+	return appendChecksum(e.b)
+}
+
+// DecodeRecording deserializes and validates a recording artifact,
+// returning the rebuilt recording and its identity header. Corrupt
+// files (checksum, structure, replay invariants) yield ErrCorrupt;
+// version skew yields ErrVersion.
+func DecodeRecording(b []byte) (*sim.Recording, Header, error) {
+	d, kind, err := open(b)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if kind != KindRecording {
+		return nil, Header{}, fmt.Errorf("%w: artifact is a %v, not a recording", ErrCorrupt, kind)
+	}
+	h := d.header(kind)
+	data := sim.RecordingData{
+		Benchmark:   h.Benchmark,
+		TraceLength: h.TraceLength,
+		Interval:    h.IntervalLength,
+		CPU:         h.CPU,
+		L1D:         d.cacheConfig(),
+		L2:          d.cacheConfig(),
+	}
+
+	// Each access needs at least 1 (addr) + 1 (flag) + 1 (instr) + 8
+	// (base) bytes.
+	n := d.count(11)
+	if d.err == nil && n > 0 {
+		data.Addrs = make([]uint64, n)
+		data.Flags = make([]byte, n)
+		data.Instr = make([]int64, n)
+		data.Base = make([]float64, n)
+		var addr uint64
+		for i := 0; i < n; i++ {
+			addr += uint64(d.varint())
+			data.Addrs[i] = addr
+		}
+		copy(data.Flags, d.bytes(n))
+		var instr int64
+		for i := 0; i < n; i++ {
+			instr += int64(d.uvarint())
+			data.Instr[i] = instr
+		}
+		for i := 0; i < n; i++ {
+			data.Base[i] = d.f64()
+		}
+	}
+	// Each close needs at least 1 + 1 + 8 bytes.
+	nc := d.count(10)
+	if d.err == nil && nc > 0 {
+		data.CloseBefore = make([]int, nc)
+		data.CloseInstr = make([]int64, nc)
+		data.CloseBase = make([]float64, nc)
+		var before uint64
+		for i := 0; i < nc; i++ {
+			before += d.uvarint()
+			if before > uint64(n) {
+				d.fail("close index out of range")
+				break
+			}
+			data.CloseBefore[i] = int(before)
+		}
+		var instr int64
+		for i := 0; i < nc; i++ {
+			instr += int64(d.uvarint())
+			data.CloseInstr[i] = instr
+		}
+		for i := 0; i < nc; i++ {
+			data.CloseBase[i] = d.f64()
+		}
+	}
+	data.EndInstr = d.varint()
+	data.EndBase = d.f64()
+	if d.err != nil {
+		return nil, Header{}, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, Header{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	rec, err := sim.RecordingFromData(data)
+	if err != nil {
+		return nil, Header{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, h, nil
+}
+
+// EncodeProfile serializes a single-core profile. specHash identifies
+// the benchmark spec the profile was measured from (zero when unknown).
+func EncodeProfile(p *profile.Profile, specHash uint64) []byte {
+	ways := p.Meta.LLC.Ways
+	e := &enc{b: make([]byte, 0, 256+len(p.Intervals)*(32+8*(ways+1)))}
+	e.b = append(e.b, magic[:]...)
+	e.u16(FormatVersion)
+	e.byte(byte(KindProfile))
+	e.header(Header{
+		Benchmark:      p.Meta.Benchmark,
+		SpecHash:       specHash,
+		TraceLength:    p.Meta.TraceLength,
+		IntervalLength: p.Meta.IntervalLength,
+		CPU:            p.Meta.CPU,
+	})
+	e.cacheConfig(p.Meta.LLC)
+	if p.Meta.Derived {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+	e.uvarint(uint64(ways))
+	e.uvarint(uint64(len(p.Intervals)))
+	for i := range p.Intervals {
+		iv := &p.Intervals[i]
+		e.uvarint(uint64(iv.Instructions))
+		e.f64(iv.Cycles)
+		e.f64(iv.MemStall)
+		e.f64(iv.LLCAccesses)
+		for _, v := range iv.SDC {
+			e.f64(v)
+		}
+	}
+	return appendChecksum(e.b)
+}
+
+// maxProfileWays bounds decoded SDC associativity; real configurations
+// are <= 16 ways, so anything huge is structural nonsense.
+const maxProfileWays = 1 << 10
+
+// DecodeProfile deserializes and validates a profile artifact. The
+// returned profile passed profile.Validate, so it is safe to hand
+// straight to the model layer.
+func DecodeProfile(b []byte) (*profile.Profile, Header, error) {
+	d, kind, err := open(b)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if kind != KindProfile {
+		return nil, Header{}, fmt.Errorf("%w: artifact is a %v, not a profile", ErrCorrupt, kind)
+	}
+	h := d.header(kind)
+	llc := d.cacheConfig()
+	derived := d.byteVal() != 0
+	ways := d.uvarint()
+	if ways < 1 || ways > maxProfileWays {
+		return nil, Header{}, fmt.Errorf("%w: implausible SDC associativity %d", ErrCorrupt, ways)
+	}
+	// Each interval needs at least 1 + 3*8 + (ways+1)*8 bytes.
+	n := d.count(1 + 24 + 8*(int(ways)+1))
+	p := &profile.Profile{
+		Meta: profile.Meta{
+			Benchmark:      h.Benchmark,
+			TraceLength:    h.TraceLength,
+			IntervalLength: h.IntervalLength,
+			LLC:            llc,
+			CPU:            h.CPU,
+			Derived:        derived,
+		},
+		Intervals: make([]profile.Interval, n),
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		iv := &p.Intervals[i]
+		iv.Instructions = int64(d.uvarint())
+		iv.Cycles = d.f64()
+		iv.MemStall = d.f64()
+		iv.LLCAccesses = d.f64()
+		sdcs := make([]float64, ways+1)
+		for k := range sdcs {
+			sdcs[k] = d.f64()
+		}
+		iv.SDC = sdcs
+	}
+	if d.err != nil {
+		return nil, Header{}, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, Header{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	h.LLC = llc
+	if err := p.Validate(); err != nil {
+		return nil, Header{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return p, h, nil
+}
+
+// PeekHeader reads an artifact's identity without materializing its
+// payload. The whole-file checksum is still verified — a successful
+// peek implies the file is intact end to end.
+func PeekHeader(b []byte) (Header, error) {
+	d, kind, err := open(b)
+	if err != nil {
+		return Header{}, err
+	}
+	h := d.header(kind)
+	if kind == KindProfile {
+		h.LLC = d.cacheConfig()
+	}
+	if d.err != nil {
+		return Header{}, d.err
+	}
+	return h, nil
+}

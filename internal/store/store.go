@@ -1,0 +1,497 @@
+// Package store is the persistent artifact store of the reproduction: a
+// content-addressed, versioned on-disk home for the two expensive
+// intermediates of the evaluation pipeline — profiling-frontend
+// recordings and single-core profiles — so that mppmd replicas, CI runs
+// and repeated CLI invocations share and survive restarts with their
+// most expensive artifacts instead of recomputing them per process.
+//
+// Layout (everything under one root directory):
+//
+//	<dir>/v<FormatVersion>/recordings/<key>.rec
+//	<dir>/v<FormatVersion>/profiles/<key>.prof
+//
+// Keys are content addresses: a SHA-256 over the artifact's full
+// identity (benchmark spec hash, trace scale, capture parameters, and —
+// for profiles — the LLC geometry and replay options), so distinct
+// configurations can never alias and a changed benchmark definition
+// simply misses. Files are written via a sidecar lock plus atomic
+// rename, so concurrent replicas never observe a torn artifact and at
+// most one of them pays the serialization work for any key. The format
+// version is part of the path: a codec bump starts a fresh tree and
+// leaves the old one to GC.
+//
+// The store is a cache, not a database: every Load failure — missing,
+// corrupt, stale, version-skewed — is reported as a miss (with the
+// Rejected counter distinguishing damage from absence) and the caller
+// recomputes and re-persists. Loads and saves are safe for concurrent
+// use by any number of goroutines and processes sharing the directory.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/store/codec"
+	"repro/internal/trace"
+)
+
+const (
+	recordingExt = ".rec"
+	profileExt   = ".prof"
+	lockExt      = ".lock"
+	tmpExt       = ".tmp"
+
+	// staleLockAge is how old a sidecar lock may grow before another
+	// writer declares its owner dead and steals it. Serializing even the
+	// largest recording takes well under a second; minutes of age means
+	// a crashed process.
+	staleLockAge = 10 * time.Minute
+)
+
+// Stats are the store's operation counters. All fields are cumulative
+// for the lifetime of the Store handle.
+type Stats struct {
+	// RecordingHits/Misses and ProfileHits/Misses count Load outcomes.
+	// Every miss — absent, corrupt, stale or version-skewed — is a miss;
+	// Rejected additionally counts the loads that failed because an
+	// existing file had to be discarded.
+	RecordingHits   int64 `json:"recording_hits"`
+	RecordingMisses int64 `json:"recording_misses"`
+	ProfileHits     int64 `json:"profile_hits"`
+	ProfileMisses   int64 `json:"profile_misses"`
+	Rejected        int64 `json:"rejected"`
+	// Saves counts artifacts persisted by this handle; SaveSkips counts
+	// saves elided because the artifact already existed or another
+	// writer held the key's lock; SaveErrors counts I/O failures.
+	Saves      int64 `json:"saves"`
+	SaveSkips  int64 `json:"save_skips"`
+	SaveErrors int64 `json:"save_errors"`
+	// BytesLoaded totals the file bytes served from the store.
+	BytesLoaded int64 `json:"bytes_loaded"`
+}
+
+// Store is a handle on one artifact directory. The zero value is not
+// usable; call Open.
+type Store struct {
+	dir string
+
+	recordingHits   atomic.Int64
+	recordingMisses atomic.Int64
+	profileHits     atomic.Int64
+	profileMisses   atomic.Int64
+	rejected        atomic.Int64
+	saves           atomic.Int64
+	saveSkips       atomic.Int64
+	saveErrors      atomic.Int64
+	bytesLoaded     atomic.Int64
+}
+
+// Open returns a handle on the artifact store rooted at dir. The
+// directory is created lazily on first save, so opening a store never
+// fails; a missing or unwritable directory degrades to a pass-through
+// cache (all loads miss, saves count as errors).
+func Open(dir string) *Store {
+	return &Store{dir: dir}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		RecordingHits:   s.recordingHits.Load(),
+		RecordingMisses: s.recordingMisses.Load(),
+		ProfileHits:     s.profileHits.Load(),
+		ProfileMisses:   s.profileMisses.Load(),
+		Rejected:        s.rejected.Load(),
+		Saves:           s.saves.Load(),
+		SaveSkips:       s.saveSkips.Load(),
+		SaveErrors:      s.saveErrors.Load(),
+		BytesLoaded:     s.bytesLoaded.Load(),
+	}
+}
+
+// versionDir is the current format version's subtree.
+func (s *Store) versionDir() string {
+	return filepath.Join(s.dir, fmt.Sprintf("v%d", codec.FormatVersion))
+}
+
+// recordingIdentity is the canonical identity string a recording key
+// hashes: everything the profiling frontend depends on — including
+// sim.OutputGeneration, so a semantic change to the pipeline (same
+// encoding, different values) invalidates every artifact instead of
+// serving stale ones. The LLC geometry and bandwidth model are
+// replay-side and deliberately absent.
+func recordingIdentity(specHash uint64, cfg sim.Config) string {
+	return fmt.Sprintf("recording|gen=%d|spec=%016x|n=%d|iv=%d|cpu=%+v|l1d=%+v|l2=%+v",
+		sim.OutputGeneration, specHash, cfg.TraceLength, cfg.IntervalLength,
+		cfg.CPU, cfg.Hierarchy.L1D, cfg.Hierarchy.L2)
+}
+
+// profileIdentity extends the recording identity with the replay-side
+// knobs a profile depends on.
+func profileIdentity(specHash uint64, cfg sim.Config, opts sim.ProfileOptions) string {
+	return fmt.Sprintf("profile|gen=%d|spec=%016x|n=%d|iv=%d|cpu=%+v|l1d=%+v|l2=%+v|llc=%+v|occ=%v|perfect=%v",
+		sim.OutputGeneration, specHash, cfg.TraceLength, cfg.IntervalLength,
+		cfg.CPU, cfg.Hierarchy.L1D, cfg.Hierarchy.L2, cfg.Hierarchy.LLC,
+		cfg.MemBandwidthOccupancy, opts.PerfectLLC)
+}
+
+// key content-addresses an identity string.
+func key(identity string) string {
+	sum := sha256.Sum256([]byte(identity))
+	return hex.EncodeToString(sum[:16])
+}
+
+func (s *Store) recordingPath(spec trace.Spec, cfg sim.Config) string {
+	return filepath.Join(s.versionDir(), "recordings",
+		key(recordingIdentity(codec.SpecHash(spec), cfg))+recordingExt)
+}
+
+func (s *Store) profilePath(spec trace.Spec, cfg sim.Config, opts sim.ProfileOptions) string {
+	return filepath.Join(s.versionDir(), "profiles",
+		key(profileIdentity(codec.SpecHash(spec), cfg, opts))+profileExt)
+}
+
+// reject discards a damaged or stale artifact so the recomputed
+// replacement can take its place.
+func (s *Store) reject(path string) {
+	s.rejected.Add(1)
+	_ = os.Remove(path)
+}
+
+// LoadRecording returns the persisted frontend recording for
+// (spec, cfg), or ok=false on any miss: absent, corrupt, stale, or
+// captured under different frontend parameters. Damaged files are
+// removed so the caller's recompute-and-persist overwrites them.
+func (s *Store) LoadRecording(spec trace.Spec, cfg sim.Config) (*sim.Recording, bool) {
+	path := s.recordingPath(spec, cfg)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.recordingMisses.Add(1)
+		return nil, false
+	}
+	rec, hdr, err := codec.DecodeRecording(b)
+	if err != nil ||
+		hdr.Benchmark != spec.Name ||
+		hdr.SpecHash != codec.SpecHash(spec) ||
+		hdr.TraceLength != cfg.TraceLength ||
+		hdr.IntervalLength != cfg.IntervalLength {
+		s.reject(path)
+		s.recordingMisses.Add(1)
+		return nil, false
+	}
+	s.recordingHits.Add(1)
+	s.bytesLoaded.Add(int64(len(b)))
+	return rec, true
+}
+
+// SaveRecording persists a frontend recording. Errors are returned for
+// observability but are safe to ignore: the store is a cache, and the
+// counters record what happened either way.
+func (s *Store) SaveRecording(spec trace.Spec, cfg sim.Config, rec *sim.Recording) error {
+	return s.save(s.recordingPath(spec, cfg), func() []byte {
+		return codec.EncodeRecording(rec, codec.SpecHash(spec))
+	})
+}
+
+// LoadProfile returns the persisted single-core profile for
+// (spec, cfg, opts), or ok=false on any miss.
+func (s *Store) LoadProfile(spec trace.Spec, cfg sim.Config, opts sim.ProfileOptions) (*profile.Profile, bool) {
+	path := s.profilePath(spec, cfg, opts)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.profileMisses.Add(1)
+		return nil, false
+	}
+	p, hdr, err := codec.DecodeProfile(b)
+	if err != nil ||
+		hdr.Benchmark != spec.Name ||
+		hdr.SpecHash != codec.SpecHash(spec) ||
+		hdr.TraceLength != cfg.TraceLength ||
+		hdr.IntervalLength != cfg.IntervalLength ||
+		hdr.LLC != cfg.Hierarchy.LLC {
+		s.reject(path)
+		s.profileMisses.Add(1)
+		return nil, false
+	}
+	s.profileHits.Add(1)
+	s.bytesLoaded.Add(int64(len(b)))
+	return p, true
+}
+
+// SaveProfile persists a single-core profile.
+func (s *Store) SaveProfile(spec trace.Spec, cfg sim.Config, opts sim.ProfileOptions, p *profile.Profile) error {
+	return s.save(s.profilePath(spec, cfg, opts), func() []byte {
+		return codec.EncodeProfile(p, codec.SpecHash(spec))
+	})
+}
+
+// save writes an artifact with single-writer semantics: content-
+// addressed files that already exist are skipped outright, and a
+// sidecar lock (O_CREATE|O_EXCL) elects one writer per key across
+// replicas sharing the directory — the losers skip, because the winner
+// is persisting identical content.
+//
+// The lock deduplicates work; it is not what integrity rests on. Every
+// writer stages its payload in a uniquely named temp file and renames
+// it into place, and rename is atomic — so even if the stale-lock
+// steal below ever admits a second writer for one key (the steal is an
+// atomic rename of the old lock, but a claimant that observed the
+// stale lock can still displace a lock re-created in the same window),
+// the two writers touch disjoint temp files and each publishes only a
+// complete artifact. Readers can never observe a torn file.
+func (s *Store) save(path string, encode func() []byte) error {
+	if _, err := os.Stat(path); err == nil {
+		s.saveSkips.Add(1)
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	lock := path + lockExt
+	lf, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		// A very old lock belongs to a crashed writer: steal it once,
+		// by atomic rename rather than Stat+Remove, so of any number of
+		// claimants exactly one proceeds per observed stale lock. The
+		// renamed-away lock ends in tmpExt, so a crash between rename
+		// and remove leaves only debris GC sweeps.
+		if fi, serr := os.Stat(lock); serr == nil && time.Since(fi.ModTime()) > staleLockAge {
+			stolen := lock + tmpExt
+			if os.Rename(lock, stolen) == nil {
+				_ = os.Remove(stolen)
+				lf, err = os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+			}
+		}
+		if err != nil {
+			// A held lock (another writer) is the benign skip; any other
+			// failure — permissions, read-only filesystem, disk full —
+			// is a real save error, per Open's degraded-mode contract.
+			if errors.Is(err, fs.ErrExist) {
+				s.saveSkips.Add(1)
+				return nil
+			}
+			s.saveErrors.Add(1)
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	defer func() {
+		lf.Close()
+		_ = os.Remove(lock)
+	}()
+	// The payload is encoded only once a write is actually going to
+	// happen; CreateTemp keeps concurrent writers' staging disjoint.
+	tf, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*"+tmpExt)
+	if err != nil {
+		s.saveErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := tf.Name()
+	_ = tf.Chmod(0o644) // CreateTemp defaults to 0600; artifacts are shareable
+	_, werr := tf.Write(encode())
+	if cerr := tf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		s.saveErrors.Add(1)
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: %w", werr)
+	}
+	s.saves.Add(1)
+	return nil
+}
+
+// Entry describes one artifact on disk.
+type Entry struct {
+	Path      string
+	SizeBytes int64
+	ModTime   time.Time
+	// Header fields, populated when the file decoded cleanly.
+	Kind           codec.Kind
+	Benchmark      string
+	LLC            string
+	TraceLength    int64
+	IntervalLength int64
+	// Err is the decode failure, when any: corrupt data, version skew.
+	Err error
+}
+
+// walk visits every artifact file (any format version) under the store.
+func (s *Store) walk(fn func(path string, info fs.FileInfo) error) error {
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		ext := filepath.Ext(path)
+		if ext != recordingExt && ext != profileExt {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent GC; skip
+		}
+		return fn(path, info)
+	})
+	if os.IsNotExist(err) {
+		return nil // an empty store lists as empty
+	}
+	return err
+}
+
+// List enumerates the store's artifacts with their decoded identity
+// headers, sorted by path. Undecodable files are included with Err set
+// rather than hidden, so `mppm cache ls` shows damage instead of
+// silently skipping it.
+func (s *Store) List() ([]Entry, error) {
+	var entries []Entry
+	err := s.walk(func(path string, info fs.FileInfo) error {
+		e := Entry{Path: path, SizeBytes: info.Size(), ModTime: info.ModTime()}
+		if b, err := os.ReadFile(path); err != nil {
+			e.Err = err
+		} else if hdr, err := codec.PeekHeader(b); err != nil {
+			e.Err = err
+		} else {
+			e.Kind = hdr.Kind
+			e.Benchmark = hdr.Benchmark
+			e.LLC = hdr.LLC.Name
+			e.TraceLength = hdr.TraceLength
+			e.IntervalLength = hdr.IntervalLength
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Path < entries[j].Path })
+	return entries, nil
+}
+
+// Verify fully decodes every artifact — payload, checksum and semantic
+// validation, the same gauntlet a load-through hit passes — and returns
+// all entries plus the number that failed. It never deletes anything;
+// pair it with GC or manual removal.
+func (s *Store) Verify() (entries []Entry, bad int, err error) {
+	err = s.walk(func(path string, info fs.FileInfo) error {
+		e := Entry{Path: path, SizeBytes: info.Size(), ModTime: info.ModTime()}
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			e.Err = rerr
+		} else {
+			switch filepath.Ext(path) {
+			case recordingExt:
+				var hdr codec.Header
+				if _, hdr, e.Err = codec.DecodeRecording(b); e.Err == nil {
+					e.Kind, e.Benchmark = hdr.Kind, hdr.Benchmark
+					e.TraceLength, e.IntervalLength = hdr.TraceLength, hdr.IntervalLength
+				}
+			case profileExt:
+				var hdr codec.Header
+				if _, hdr, e.Err = codec.DecodeProfile(b); e.Err == nil {
+					e.Kind, e.Benchmark, e.LLC = hdr.Kind, hdr.Benchmark, hdr.LLC.Name
+					e.TraceLength, e.IntervalLength = hdr.TraceLength, hdr.IntervalLength
+				}
+			}
+		}
+		if e.Err != nil {
+			bad++
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Path < entries[j].Path })
+	return entries, bad, nil
+}
+
+// SizeBytes totals the artifact bytes on disk (all format versions).
+func (s *Store) SizeBytes() (int64, error) {
+	var total int64
+	err := s.walk(func(_ string, info fs.FileInfo) error {
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	return total, nil
+}
+
+// GC deletes artifacts, oldest modification time first, until the store
+// holds at most maxBytes. Artifacts from older format versions age out
+// naturally: they stop being touched the moment the codec is bumped, so
+// they are the first candidates. Stale temp and lock files are always
+// swept. GC is safe to run while replicas are serving: a concurrently
+// loaded-then-deleted artifact is simply recomputed on the next miss.
+func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
+	if maxBytes < 0 {
+		return 0, 0, fmt.Errorf("store: negative GC budget %d", maxBytes)
+	}
+	// Sweep debris regardless of the budget. Both temp files and locks
+	// are age-gated: a young .tmp belongs to an in-flight save on
+	// another replica (GC must be safe to run while replicas serve),
+	// and only a crashed writer leaves either past the stale age.
+	_ = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if (strings.HasSuffix(path, tmpExt) || strings.HasSuffix(path, lockExt)) &&
+			olderThan(d, staleLockAge) {
+			_ = os.Remove(path)
+		}
+		return nil
+	})
+
+	type victim struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var victims []victim
+	var total int64
+	werr := s.walk(func(path string, info fs.FileInfo) error {
+		victims = append(victims, victim{path, info.Size(), info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if werr != nil {
+		return 0, 0, fmt.Errorf("store: %w", werr)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].mod.Before(victims[j].mod) })
+	for _, v := range victims {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(v.path); err != nil {
+			continue
+		}
+		total -= v.size
+		freed += v.size
+		removed++
+	}
+	return removed, freed, nil
+}
+
+func olderThan(d fs.DirEntry, age time.Duration) bool {
+	info, err := d.Info()
+	return err == nil && time.Since(info.ModTime()) > age
+}

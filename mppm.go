@@ -42,6 +42,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -120,11 +121,13 @@ func ContentionModelByName(name string) (ContentionModel, error) {
 // every Eval on a System shares cached single-core profiles and one
 // bounded worker pool.
 type System struct {
-	cfg     sim.Config
-	workers int
+	cfg      sim.Config
+	workers  int
+	storeDir string
 
 	engOnce sync.Once
 	eng     *engine.Engine
+	store   *store.Store
 }
 
 // SystemOption configures a System at construction.
@@ -148,6 +151,17 @@ func WithScale(traceLength, intervalLength int64) SystemOption {
 // GOMAXPROCS.
 func WithWorkers(n int) SystemOption {
 	return func(s *System) { s.workers = n }
+}
+
+// WithStore attaches a persistent artifact store rooted at dir: the
+// engine's recording and profile caches gain an on-disk load-through
+// tier, so profiles computed by earlier processes (other replicas, a
+// previous run, `mppm cache warm`) are loaded instead of recomputed,
+// and everything this system computes is persisted for the next one.
+// The directory is created on first write; store failures never fail an
+// evaluation (see StoreStats). An empty dir disables the store.
+func WithStore(dir string) SystemOption {
+	return func(s *System) { s.storeDir = dir }
 }
 
 // NewSystem builds a System with the paper's baseline core/private-cache
@@ -185,10 +199,14 @@ func (s *System) TraceLength() int64 { return s.cfg.TraceLength }
 // use at the system's trace scale.
 func (s *System) engine() *engine.Engine {
 	s.engOnce.Do(func() {
+		if s.storeDir != "" {
+			s.store = store.Open(s.storeDir)
+		}
 		s.eng = engine.New(engine.Config{
 			TraceLength:    s.cfg.TraceLength,
 			IntervalLength: s.cfg.IntervalLength,
 			Workers:        s.workers,
+			Store:          s.store,
 		})
 	})
 	return s.eng
@@ -196,22 +214,44 @@ func (s *System) engine() *engine.Engine {
 
 // EngineStats reports the evaluation engine's cache-miss counters: how
 // many single-core profiles and detailed simulations were actually
-// computed (as opposed to served from the singleflight caches), and how
-// many profiling-frontend recordings (full trace passes) backed those
-// profiles.
+// computed (as opposed to served from the singleflight caches or the
+// persistent store), how many profiling-frontend recordings (full trace
+// passes) backed those profiles, and how many entries the in-memory
+// caches currently retain.
 type EngineStats struct {
 	RecordingComputations  int64
 	ProfileComputations    int64
 	SimulationComputations int64
+
+	CachedRecordings  int
+	CachedProfiles    int
+	CachedSimulations int
 }
 
 // EngineStats returns the system's evaluation-engine counters.
 func (s *System) EngineStats() EngineStats {
-	return EngineStats{
-		RecordingComputations:  s.engine().RecordingComputations(),
-		ProfileComputations:    s.engine().ProfileComputations(),
-		SimulationComputations: s.engine().SimulationComputations(),
+	eng := s.engine()
+	st := EngineStats{
+		RecordingComputations:  eng.RecordingComputations(),
+		ProfileComputations:    eng.ProfileComputations(),
+		SimulationComputations: eng.SimulationComputations(),
 	}
+	st.CachedRecordings, st.CachedProfiles, st.CachedSimulations = eng.CacheSizes()
+	return st
+}
+
+// StoreStats are the persistent artifact store's operation counters
+// (hits, misses, rejected artifacts, saves).
+type StoreStats = store.Stats
+
+// StoreStats returns the artifact store's counters and its root
+// directory; ok is false when the system runs without a store.
+func (s *System) StoreStats() (stats StoreStats, dir string, ok bool) {
+	s.engine() // ensure the store handle exists
+	if s.store == nil {
+		return StoreStats{}, "", false
+	}
+	return s.store.Stats(), s.store.Dir(), true
 }
 
 // Warm pre-computes the single-core profiles of the whole synthetic
