@@ -13,7 +13,13 @@ BENCH_COUNT   := 1
 # budget instead.
 TEST_TIMEOUT := 30m
 
-.PHONY: test race bench-baseline
+# Benchmarks the perf gate tracks: the gate subset of BENCH_PATTERN
+# (sweep throughput, model kernel, both cold-start pipelines).
+GATE_PATTERN   := Sweep|KernelRun|ProfileColdStart|StoreColdStart
+GATE_BASELINE  := BENCH_PR5.json
+GATE_THRESHOLD := 0.25
+
+.PHONY: test race bench-baseline bench-gate
 
 test:
 	go build ./... && go test -timeout $(TEST_TIMEOUT) ./...
@@ -38,3 +44,13 @@ bench-baseline:
 	} > BENCH_PR5.json
 	@rm -f bench.txt
 	@echo "wrote BENCH_PR5.json"
+
+# bench-gate is the CI perf regression gate: run the tracked benchmarks
+# and fail if any regresses more than GATE_THRESHOLD (ns/op or
+# allocs/op) against the committed baseline. On failure the raw run is
+# left in bench-gate.txt for inspection.
+bench-gate:
+	set -o pipefail; \
+	go test -run '^$$' -bench '$(GATE_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | tee bench-gate.txt
+	go run ./cmd/benchdiff -baseline $(GATE_BASELINE) -current bench-gate.txt -threshold $(GATE_THRESHOLD)
+	@rm -f bench-gate.txt

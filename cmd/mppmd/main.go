@@ -24,6 +24,25 @@
 // loaded — not recomputed — by the next, making a warm-store cold
 // start nearly free. GET /v1/stats reports the engine and store
 // counters.
+//
+// # Observability
+//
+// GET /metrics serves a Prometheus text exposition (engine, store,
+// per-route HTTP and Go runtime families); GET /v1/healthz and
+// GET /v1/readyz are the liveness and readiness probes; -pprof mounts
+// the stdlib profiling handlers under /debug/pprof/.
+//
+// Logging is leveled and structured (one line per record on stderr).
+// Three knobs set the per-subsystem trace levels, lowest precedence
+// first:
+//
+//	-log-level info                  base level for every component
+//	MPPM_TRACE="engine=debug"        environment override
+//	-trace "engine=debug,store=off"  flag override (wins)
+//
+// Each knob accepts either a bare level (off, error, info, debug),
+// applied to all components, or a comma-separated component=level list
+// over engine, store, sim and service.
 package main
 
 import (
@@ -31,7 +50,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,25 +59,66 @@ import (
 	"time"
 
 	mppm "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
+// options carries everything main parses out of the command line.
+type options struct {
+	addr        string
+	llcName     string
+	traceLen    int64
+	interval    int64
+	workers     int
+	drainWindow time.Duration
+	warm        string
+	storeDir    string
+	logLevel    string
+	trace       string
+	pprof       bool
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		llcName     = flag.String("llc", "config#1", "default LLC configuration (requests override per call)")
-		traceLen    = flag.Int64("trace-length", 0, "per-benchmark trace length in instructions (0 = paper scale, 10M)")
-		interval    = flag.Int64("interval", 0, "profiling interval length in instructions (0 = paper scale, 200K)")
-		workers     = flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
-		drainWindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window")
-		warm        = flag.String("warm", "", `pre-profile the suite at startup: "all" for every Table 2 config, or a comma-separated config list (e.g. "config#1,config#4")`)
-		storeDir    = flag.String("store", "", "persistent artifact store directory shared between replicas (empty = in-memory caches only)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.llcName, "llc", "config#1", "default LLC configuration (requests override per call)")
+	flag.Int64Var(&o.traceLen, "trace-length", 0, "per-benchmark trace length in instructions (0 = paper scale, 10M)")
+	flag.Int64Var(&o.interval, "interval", 0, "profiling interval length in instructions (0 = paper scale, 200K)")
+	flag.IntVar(&o.workers, "workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.drainWindow, "drain", 30*time.Second, "graceful-shutdown drain window")
+	flag.StringVar(&o.warm, "warm", "", `pre-profile the suite at startup: "all" for every Table 2 config, or a comma-separated config list (e.g. "config#1,config#4")`)
+	flag.StringVar(&o.storeDir, "store", "", "persistent artifact store directory shared between replicas (empty = in-memory caches only)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "base trace level for all components (off, error, info, debug)")
+	flag.StringVar(&o.trace, "trace", "", `per-component trace levels, e.g. "engine=debug,store=info"; overrides MPPM_TRACE and -log-level`)
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
-	if err := run(*addr, *llcName, *traceLen, *interval, *workers, *drainWindow, *warm, *storeDir); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mppmd:", err)
 		os.Exit(1)
 	}
+}
+
+// configureTracing applies the three trace knobs lowest precedence
+// first, so later ones override earlier ones component by component:
+// -log-level (base), then the MPPM_TRACE environment variable, then
+// the -trace flag.
+func configureTracing(o options) error {
+	if o.logLevel != "" {
+		if err := obs.Configure(o.logLevel); err != nil {
+			return fmt.Errorf("-log-level: %w", err)
+		}
+	}
+	if env := os.Getenv("MPPM_TRACE"); env != "" {
+		if err := obs.Configure(env); err != nil {
+			return fmt.Errorf("MPPM_TRACE: %w", err)
+		}
+	}
+	if o.trace != "" {
+		if err := obs.Configure(o.trace); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // warmConfigs resolves the -warm flag into LLC configurations.
@@ -81,28 +140,39 @@ func warmConfigs(warm string) ([]mppm.LLCConfig, error) {
 	return configs, nil
 }
 
-func run(addr, llcName string, traceLen, interval int64, workers int, drainWindow time.Duration, warm, storeDir string) error {
-	llc, err := mppm.LLCConfigByName(llcName)
+func run(o options) error {
+	if err := configureTracing(o); err != nil {
+		return err
+	}
+	llc, err := mppm.LLCConfigByName(o.llcName)
 	if err != nil {
 		return err
 	}
 	opts := []mppm.SystemOption{
-		mppm.WithScale(traceLen, interval),
-		mppm.WithWorkers(workers),
+		mppm.WithScale(o.traceLen, o.interval),
+		mppm.WithWorkers(o.workers),
 	}
-	if storeDir != "" {
-		opts = append(opts, mppm.WithStore(storeDir))
-		log.Printf("mppmd: artifact store at %s", storeDir)
+	if o.storeDir != "" {
+		opts = append(opts, mppm.WithStore(o.storeDir))
 	}
 	sys := mppm.NewSystem(llc, opts...)
+	var srvOpts []service.Option
+	if o.pprof {
+		srvOpts = append(srvOpts, service.WithPprof())
+	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           service.New(sys).Handler(),
+		Addr:              o.addr,
+		Handler:           service.New(sys, srvOpts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	log := obs.Service
+	if o.storeDir != "" {
+		log.Log(ctx, obs.LevelInfo, "artifact store attached", "dir", o.storeDir)
+	}
 
 	// Warm in the background so the listener is live immediately; the
 	// record/replay pipeline makes an N-config warmup cost about one
@@ -114,7 +184,7 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 	// shutdown: cancellation aborts the warmup promptly, and waiting for
 	// it guarantees no store write is abandoned mid-flight.
 	var warmWG sync.WaitGroup
-	if configs, err := warmConfigs(warm); err != nil {
+	if configs, err := warmConfigs(o.warm); err != nil {
 		return err
 	} else if len(configs) > 0 {
 		warmWG.Add(1)
@@ -123,17 +193,19 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 			start := time.Now()
 			n, err := sys.Warm(ctx, configs...)
 			if err != nil {
-				log.Printf("mppmd: warmup aborted: %v", err)
+				log.Log(ctx, obs.LevelError, "warmup aborted", "err", err)
 				return
 			}
-			log.Printf("mppmd: warmed %d profiles (%d configs) in %s",
-				n, len(configs), time.Since(start).Round(time.Millisecond))
+			log.Log(ctx, obs.LevelInfo, "warmup done",
+				"profiles", n, "configs", len(configs),
+				"elapsed", time.Since(start).Round(time.Millisecond))
 		}()
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("mppmd: listening on %s", addr)
+		log.Log(ctx, obs.LevelInfo, "listening",
+			"addr", o.addr, "pprof", o.pprof, "metrics", "/metrics")
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
@@ -149,8 +221,8 @@ func run(addr, llcName string, traceLen, interval int64, workers int, drainWindo
 	case <-ctx.Done():
 	}
 
-	log.Printf("mppmd: shutting down (drain %s)", drainWindow)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWindow)
+	log.Log(ctx, obs.LevelInfo, "shutting down", "drain", o.drainWindow)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainWindow)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
 	warmWG.Wait() // the signal context is cancelled; the warmup exits promptly

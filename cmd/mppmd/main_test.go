@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func resetLevels(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { obs.SetAllLevels(obs.LevelOff) })
+}
+
+func TestConfigureTracingPrecedence(t *testing.T) {
+	resetLevels(t)
+
+	// Base -log-level applies to every component.
+	t.Setenv("MPPM_TRACE", "")
+	if err := configureTracing(options{logLevel: "error"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range obs.Components() {
+		if c.Level() != obs.LevelError {
+			t.Fatalf("%s level %v after -log-level error", c.Name(), c.Level())
+		}
+	}
+
+	// MPPM_TRACE overrides the base per component.
+	t.Setenv("MPPM_TRACE", "engine=debug")
+	if err := configureTracing(options{logLevel: "info"}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Engine.Level() != obs.LevelDebug {
+		t.Fatalf("engine level %v, want debug from MPPM_TRACE", obs.Engine.Level())
+	}
+	if obs.Store.Level() != obs.LevelInfo {
+		t.Fatalf("store level %v, want info from -log-level", obs.Store.Level())
+	}
+
+	// -trace wins over both.
+	if err := configureTracing(options{logLevel: "info", trace: "engine=off"}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Engine.Level() != obs.LevelOff {
+		t.Fatalf("engine level %v, want off from -trace", obs.Engine.Level())
+	}
+}
+
+func TestConfigureTracingErrors(t *testing.T) {
+	resetLevels(t)
+	t.Setenv("MPPM_TRACE", "")
+	if err := configureTracing(options{logLevel: "loud"}); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+	if err := configureTracing(options{logLevel: "info", trace: "nosuch=debug"}); err == nil {
+		t.Error("bad -trace component accepted")
+	}
+	t.Setenv("MPPM_TRACE", "engine=extreme")
+	if err := configureTracing(options{logLevel: "info"}); err == nil {
+		t.Error("bad MPPM_TRACE accepted")
+	}
+}
+
+func TestWarmConfigs(t *testing.T) {
+	if cs, err := warmConfigs(""); err != nil || cs != nil {
+		t.Fatalf("empty warm: %v, %v", cs, err)
+	}
+	cs, err := warmConfigs("all")
+	if err != nil || len(cs) != 6 {
+		t.Fatalf("all: %d configs, err %v", len(cs), err)
+	}
+	cs, err = warmConfigs("config#1, config#4")
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("list: %d configs, err %v", len(cs), err)
+	}
+	if _, err := warmConfigs("config#9"); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}

@@ -36,12 +36,14 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/engine/pool"
 	"repro/internal/metrics"
 	"repro/internal/mppmerr"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -130,6 +132,11 @@ type Config struct {
 	// completes with the number of finished jobs and the batch size. It
 	// must be safe for concurrent use.
 	OnProgress func(done, total int)
+	// OnJob, when non-nil, is called after each job of a Run or Stream
+	// batch with its timing breakdown (queue wait and run duration) and
+	// outcome — the signal behind the service's job-latency metrics.
+	// It must be safe for concurrent use.
+	OnJob func(JobTiming)
 	// Store, when non-nil, is the persistent artifact tier under the
 	// in-memory singleflight caches: recording and profile cache misses
 	// consult it before recomputing, and recomputed artifacts are
@@ -356,10 +363,17 @@ func (e *Engine) recording(ctx context.Context, spec trace.Spec, llc cache.Confi
 		return await(ctx, c)
 	}
 	cfg := e.SimConfig(llc)
+	traced := obs.Engine.Enabled(obs.LevelInfo)
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 	var rec *sim.Recording
 	var err error
+	fromStore := false
 	if st := e.cfg.Store; st != nil {
 		rec, _ = st.LoadRecording(spec, cfg)
+		fromStore = rec != nil
 	}
 	if rec == nil {
 		e.recordingComputes.Add(1)
@@ -368,6 +382,11 @@ func (e *Engine) recording(ctx context.Context, spec trace.Spec, llc cache.Confi
 			// Best-effort persist; the counters record failures.
 			_ = e.cfg.Store.SaveRecording(spec, cfg, rec)
 		}
+	}
+	if traced {
+		obs.Engine.Log(ctx, obs.LevelInfo, "recording ready",
+			"benchmark", spec.Name, "from_store", fromStore,
+			"elapsed", time.Since(start), "err", err)
 	}
 	if err == nil {
 		capEvict(&e.mu, e.recordings, e.cfg.MaxCachedRecordings, spec.Name)
@@ -392,10 +411,17 @@ func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config)
 	if !owned {
 		return await(ctx, c)
 	}
+	traced := obs.Engine.Enabled(obs.LevelDebug)
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
 	var p *profile.Profile
 	var err error
+	fromStore := false
 	if st := e.cfg.Store; st != nil {
 		p, _ = st.LoadProfile(spec, e.SimConfig(llc), sim.ProfileOptions{})
+		fromStore = p != nil
 	}
 	if p == nil {
 		e.profileComputes.Add(1)
@@ -403,6 +429,11 @@ func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config)
 		if err == nil && e.cfg.Store != nil {
 			_ = e.cfg.Store.SaveProfile(spec, e.SimConfig(llc), sim.ProfileOptions{}, p)
 		}
+	}
+	if traced {
+		obs.Engine.Log(ctx, obs.LevelDebug, "profile ready",
+			"benchmark", spec.Name, "llc", llc.Name, "from_store", fromStore,
+			"elapsed", time.Since(start), "err", err)
 	}
 	if err == nil {
 		capEvict(&e.mu, e.profiles, e.cfg.MaxCachedProfiles, key)
@@ -646,6 +677,58 @@ func (e *Engine) runJob(ctx context.Context, job Job) Result {
 	return res
 }
 
+// JobTiming is the per-job latency breakdown reported to Config.OnJob:
+// how long the job sat queued behind the bounded worker pool before a
+// worker picked it up, and how long the evaluation itself ran. The
+// split makes saturation visible — a loaded replica shows queue wait
+// growing while run time stays flat.
+type JobTiming struct {
+	// Index is the job's position in its Run/Stream batch.
+	Index int
+	// Kind is the job's evaluation kind.
+	Kind Kind
+	// QueueWait is the time between batch submission and the start of
+	// the job's run.
+	QueueWait time.Duration
+	// Run is the job's execution time on its worker.
+	Run time.Duration
+	// Err is the job's outcome (nil on success).
+	Err error
+}
+
+// timedJob evaluates one batch job with its latency breakdown: the
+// always-on obs instruments record queue wait and run time (a few
+// atomic operations), Config.OnJob gets the full JobTiming, and — only
+// when engine tracing is enabled — the job is stamped with a trace ID
+// and start/done records are emitted. With tracing off this adds two
+// time.Now calls and no allocations to the hot path.
+func (e *Engine) timedJob(ctx context.Context, i int, job Job, batchStart time.Time) Result {
+	start := time.Now()
+	queueWait := start.Sub(batchStart)
+	if obs.Engine.Enabled(obs.LevelDebug) {
+		ctx = obs.WithJobID(ctx, obs.NextID("job"))
+		obs.Engine.Log(ctx, obs.LevelDebug, "job start",
+			"kind", job.Kind.String(), "mix", job.Mix.Key(), "llc", job.LLC.Name,
+			"queue_wait", queueWait)
+	}
+	r := e.runJob(ctx, job)
+	run := time.Since(start)
+	obs.EngineJobsTotal.Inc()
+	if r.Err != nil {
+		obs.EngineJobErrorsTotal.Inc()
+	}
+	obs.EngineJobQueueSeconds.Observe(queueWait.Seconds())
+	obs.EngineJobRunSeconds.Observe(run.Seconds())
+	if e.cfg.OnJob != nil {
+		e.cfg.OnJob(JobTiming{Index: i, Kind: job.Kind, QueueWait: queueWait, Run: run, Err: r.Err})
+	}
+	if obs.Engine.Enabled(obs.LevelDebug) {
+		obs.Engine.Log(ctx, obs.LevelDebug, "job done",
+			"kind", job.Kind.String(), "run", run, "err", r.Err)
+	}
+	return r
+}
+
 // Run evaluates a batch of jobs on the worker pool and returns results
 // aligned with the input order: results[i] is the outcome of jobs[i].
 // Per-job failures are captured in Result.Err and do not abort the
@@ -657,8 +740,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 	results := make([]Result, len(jobs))
 	var done atomic.Int64
+	batchStart := time.Now()
 	err := pool.Map(ctx, len(jobs), e.cfg.Workers, func(ctx context.Context, i int) error {
-		r := e.runJob(ctx, jobs[i])
+		r := e.timedJob(ctx, i, jobs[i], batchStart)
 		// A job that failed only because the batch was cancelled should
 		// surface as batch cancellation, not a per-job error.
 		if r.Err != nil && ctx.Err() != nil {
@@ -698,10 +782,11 @@ func (e *Engine) Stream(ctx context.Context, jobs []Job) iter.Seq2[int, Result] 
 		// Buffered to len(jobs): workers never block on the consumer, so
 		// an early break cannot strand a worker on a dead channel.
 		ch := make(chan slot, len(jobs))
+		batchStart := time.Now()
 		go func() {
 			defer close(ch)
 			_ = pool.Map(ctx, len(jobs), e.cfg.Workers, func(ctx context.Context, i int) error {
-				r := e.runJob(ctx, jobs[i])
+				r := e.timedJob(ctx, i, jobs[i], batchStart)
 				// A job that failed only because the stream was cancelled
 				// is dropped: cancellation truncates the stream rather than
 				// surfacing as per-job errors.

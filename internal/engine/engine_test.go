@@ -9,10 +9,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mppmerr"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -706,5 +708,123 @@ func TestCacheDefaultsRetainSuite(t *testing.T) {
 	}
 	if want := len(trace.Suite()) * len(llcs); profs != want {
 		t.Fatalf("profile cache holds %d, want %d", profs, want)
+	}
+}
+
+// TestOnJobTimings: every job of a Run batch reports its queue-wait/run
+// breakdown exactly once, with indexes covering the batch and failures
+// carried through — the contract behind the service's job-latency
+// metrics.
+func TestOnJobTimings(t *testing.T) {
+	mixes := testMixes(t, 8, 2)
+	llc := cache.LLCConfigs()[0]
+	jobs := SweepJobs(mixes, []cache.Config{llc}, Predict, core.Options{})
+	jobs = append(jobs, Job{Mix: workload.Mix{"no-such-benchmark"}, LLC: llc, Kind: Predict})
+
+	var mu sync.Mutex
+	var timings []JobTiming
+	eng := New(Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+		Workers:        4,
+		OnJob: func(jt JobTiming) {
+			mu.Lock()
+			timings = append(timings, jt)
+			mu.Unlock()
+		},
+	})
+	results, err := eng.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != len(jobs) {
+		t.Fatalf("OnJob called %d times for %d jobs", len(timings), len(jobs))
+	}
+	seen := make(map[int]bool)
+	for _, jt := range timings {
+		if seen[jt.Index] {
+			t.Fatalf("job %d reported twice", jt.Index)
+		}
+		seen[jt.Index] = true
+		if jt.Kind != Predict {
+			t.Fatalf("job %d reported kind %v", jt.Index, jt.Kind)
+		}
+		if jt.QueueWait < 0 {
+			t.Fatalf("job %d: negative queue wait %v", jt.Index, jt.QueueWait)
+		}
+		if jt.Run <= 0 {
+			t.Fatalf("job %d: non-positive run duration %v", jt.Index, jt.Run)
+		}
+		wantErr := results[jt.Index].Err != nil
+		if (jt.Err != nil) != wantErr {
+			t.Fatalf("job %d: timing err %v, result err %v", jt.Index, jt.Err, results[jt.Index].Err)
+		}
+	}
+	bad := len(jobs) - 1
+	if results[bad].Err == nil || !seen[bad] {
+		t.Fatal("failing job not evaluated or not reported to OnJob")
+	}
+}
+
+// TestOnJobTimingsStream: the streaming path reports the same per-job
+// breakdown as Run.
+func TestOnJobTimingsStream(t *testing.T) {
+	mixes := testMixes(t, 6, 2)
+	llc := cache.LLCConfigs()[0]
+	jobs := SweepJobs(mixes, []cache.Config{llc}, Predict, core.Options{})
+
+	var mu sync.Mutex
+	count := 0
+	eng := New(Config{
+		TraceLength:    testTraceLen,
+		IntervalLength: testInterval,
+		Workers:        2,
+		OnJob: func(jt JobTiming) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			if jt.Run <= 0 {
+				t.Errorf("job %d: non-positive run duration %v", jt.Index, jt.Run)
+			}
+		},
+	})
+	for i, r := range eng.Stream(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+	}
+	if count != len(jobs) {
+		t.Fatalf("OnJob called %d times for %d streamed jobs", count, len(jobs))
+	}
+}
+
+// TestTimedJobDisabledTraceAllocs pins the zero-cost-off property on
+// the engine's hot path: with every trace component off, the
+// instrumented job wrapper (timing + obs counters + histograms)
+// allocates exactly as much as the bare evaluation it wraps.
+func TestTimedJobDisabledTraceAllocs(t *testing.T) {
+	obs.SetAllLevels(obs.LevelOff)
+	eng := newTestEngine(1)
+	ctx := context.Background()
+	llc := cache.LLCConfigs()[0]
+	job := Job{Mix: workload.Mix{"gamess", "lbm"}, LLC: llc, Kind: Predict}
+	// Warm the profile cache so both measurements see the steady state.
+	if r := eng.runJob(ctx, job); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	base := testing.AllocsPerRun(200, func() {
+		if r := eng.runJob(ctx, job); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	})
+	start := time.Now()
+	instrumented := testing.AllocsPerRun(200, func() {
+		if r := eng.timedJob(ctx, 0, job, start); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	})
+	if instrumented > base {
+		t.Fatalf("timedJob allocates %.1f/run vs %.1f bare: tracing off is not alloc-free",
+			instrumented, base)
 	}
 }

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments a fixed route set: per-route request counts
+// broken down by status class, one shared in-flight gauge and per-route
+// latency histograms over the fixed DurationBuckets. The route set is
+// fixed at construction so the request path is lock-free — no map
+// writes, no label interning, just atomic bumps.
+type HTTPMetrics struct {
+	inFlight Gauge
+	routes   []*RouteMetrics
+	byRoute  map[string]*RouteMetrics
+}
+
+// RouteMetrics is one route's instrument set.
+type RouteMetrics struct {
+	route    string
+	requests [6]Counter // by status class: [0] unknown, [1] 1xx .. [5] 5xx
+	latency  *Histogram
+}
+
+// NewHTTPMetrics returns instruments for the given routes.
+func NewHTTPMetrics(routes ...string) *HTTPMetrics {
+	m := &HTTPMetrics{byRoute: make(map[string]*RouteMetrics, len(routes))}
+	for _, r := range routes {
+		rm := &RouteMetrics{route: r, latency: NewHistogram(DurationBuckets...)}
+		m.routes = append(m.routes, rm)
+		m.byRoute[r] = rm
+	}
+	return m
+}
+
+// InFlight returns the shared in-flight request gauge.
+func (m *HTTPMetrics) InFlight() *Gauge { return &m.inFlight }
+
+// Route returns one route's instruments, or nil for an unknown route.
+func (m *HTTPMetrics) Route(route string) *RouteMetrics { return m.byRoute[route] }
+
+// Requests returns the route's request count for a status class (1-5;
+// e.g. 2 for 2xx).
+func (rm *RouteMetrics) Requests(class int) uint64 {
+	if class < 0 || class >= len(rm.requests) {
+		return 0
+	}
+	return rm.requests[class].Value()
+}
+
+// Latency returns the route's request duration histogram.
+func (rm *RouteMetrics) Latency() *Histogram { return rm.latency }
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Wrap instruments one route's handler: request ID stamped into the
+// context, in-flight gauge held for the duration, status-classed
+// request counter and latency histogram on the way out, plus an
+// info-level service access record when the service component asks for
+// one.
+func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	rm := m.byRoute[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := WithRequestID(r.Context(), NextID("req"))
+		sw := &statusWriter{ResponseWriter: w}
+		m.inFlight.Inc()
+		h(sw, r.WithContext(ctx))
+		m.inFlight.Dec()
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		class := status / 100
+		if class < 1 || class > 5 {
+			class = 0
+		}
+		rm.requests[class].Inc()
+		rm.latency.Observe(elapsed.Seconds())
+		if Service.Enabled(LevelInfo) {
+			Service.Log(ctx, LevelInfo, "request",
+				"method", r.Method, "route", route,
+				"status", status, "duration", elapsed)
+		}
+	}
+}
+
+// WriteTo emits the HTTP metric families onto an exposition.
+func (m *HTTPMetrics) WriteTo(e *Exposition) {
+	e.Family("mppm_http_in_flight_requests", "gauge",
+		"HTTP requests currently being served.")
+	e.Value(float64(m.inFlight.Value()))
+
+	// The 2xx series is emitted even at zero so every family always has
+	// samples (scrapes before first traffic stay lintable); rarer status
+	// classes appear once seen.
+	e.Family("mppm_http_requests_total", "counter",
+		"HTTP requests served, by route and status class.")
+	for _, rm := range m.routes {
+		for class := 1; class <= 5; class++ {
+			if n := rm.requests[class].Value(); n > 0 || class == 2 {
+				e.Value(float64(n), "route", rm.route,
+					"code", strconv.Itoa(class)+"xx")
+			}
+		}
+	}
+
+	e.Family("mppm_http_request_duration_seconds", "histogram",
+		"HTTP request latency, by route.")
+	for _, rm := range m.routes {
+		e.Hist(rm.latency, "route", rm.route)
+	}
+}

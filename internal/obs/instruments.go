@@ -1,0 +1,24 @@
+package obs
+
+// Process-wide engine instruments. The engine records into these
+// unconditionally — each update is a few atomic operations, which is
+// the always-on price MGSim-style monitoring budgets for — and the
+// service's /metrics handler exports them next to the engine's
+// computed/cached counters. They are process-global rather than
+// per-engine because a serving process runs one engine; tests that
+// construct many engines share them, so tests assert deltas, not
+// absolute values.
+var (
+	// EngineJobsTotal counts engine jobs completed, successful or not.
+	EngineJobsTotal Counter
+	// EngineJobErrorsTotal counts engine jobs that completed with a
+	// per-job error.
+	EngineJobErrorsTotal Counter
+	// EngineJobQueueSeconds observes how long each job waited between
+	// batch submission and the start of its run — the queue-wait half of
+	// the per-job latency breakdown.
+	EngineJobQueueSeconds = NewHistogram(DurationBuckets...)
+	// EngineJobRunSeconds observes each job's execution time once a
+	// worker picked it up.
+	EngineJobRunSeconds = NewHistogram(DurationBuckets...)
+)

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition against the rules promtool's
+// `check metrics` enforces plus the repository's own conventions, and
+// returns every violation found:
+//
+//   - every sample belongs to a family declared by # HELP and # TYPE
+//     lines before its first sample
+//   - metric and family names match the Prometheus charset
+//   - counter families end in _total
+//   - no family is declared twice
+//   - histogram families expose _bucket (with an le="+Inf" bucket),
+//     _sum and _count samples and nothing else
+//
+// The golden test runs it over the committed exposition fixture and the
+// service tests run it over a live /metrics scrape, so format drift
+// breaks the build rather than the monitoring stack.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	type family struct {
+		typ     string
+		help    bool
+		samples int
+		hasInf  bool
+		hasSum  bool
+		hasCnt  bool
+	}
+	families := make(map[string]*family)
+	order := []string{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				fail("line %d: malformed comment %q", lineNo, line)
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				fail("line %d: invalid metric name %q", lineNo, name)
+				continue
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+				order = append(order, name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					fail("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					fail("line %d: empty HELP for %q", lineNo, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ != "" {
+					fail("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if f.samples > 0 {
+					fail("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = typ
+				default:
+					fail("line %d: invalid TYPE %q for %q", lineNo, typ, name)
+				}
+			}
+			continue
+		}
+
+		// Sample line: name{labels} value [timestamp]
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !validMetricName(name) {
+			fail("line %d: invalid sample name %q", lineNo, name)
+			continue
+		}
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, s)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					base, suffix = trimmed, s
+				}
+				break
+			}
+		}
+		f, ok := families[base]
+		if !ok {
+			fail("line %d: sample %q has no HELP/TYPE declaration", lineNo, name)
+			continue
+		}
+		if !f.help || f.typ == "" {
+			fail("line %d: sample %q missing %s", lineNo, name, map[bool]string{true: "TYPE", false: "HELP"}[f.help])
+		}
+		f.samples++
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(base, "_total") {
+				fail("line %d: counter %q does not end in _total", lineNo, base)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				if strings.Contains(line, `le="+Inf"`) {
+					f.hasInf = true
+				}
+			case "_sum":
+				f.hasSum = true
+			case "_count":
+				f.hasCnt = true
+			default:
+				fail("line %d: histogram %q has non-histogram sample %q", lineNo, base, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("scan: %v", err)
+	}
+
+	for _, name := range order {
+		f := families[name]
+		if !f.help {
+			fail("family %q has no HELP", name)
+		}
+		if f.typ == "" {
+			fail("family %q has no TYPE", name)
+		}
+		if f.samples == 0 {
+			fail("family %q declared but has no samples", name)
+		}
+		if f.typ == "histogram" && f.samples > 0 {
+			if !f.hasInf {
+				fail("histogram %q has no le=\"+Inf\" bucket", name)
+			}
+			if !f.hasSum {
+				fail("histogram %q has no _sum sample", name)
+			}
+			if !f.hasCnt {
+				fail("histogram %q has no _count sample", name)
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Metric instruments. All are dependency-free, allocation-free on the
+// update path and safe for concurrent use — an Observe or Inc is a
+// handful of atomic operations, cheap enough to leave on permanently in
+// the engine's per-job path.
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative-on-export buckets
+// (Prometheus histogram semantics: bucket i counts observations <=
+// bounds[i], plus an implicit +Inf bucket), and tracks the observation
+// sum for rate-averaged latencies.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds. Bounds are fixed for the histogram's lifetime; panics on
+// unsorted input (a programmer error, like a bad regexp).
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns the cumulative bucket counts aligned with bounds,
+// with the +Inf bucket last.
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// DurationBuckets are the shared latency bounds (seconds) of the
+// repository's duration histograms, spanning the microsecond model
+// kernel through multi-second detailed simulations and cold starts.
+// Fixed bounds keep scrapes from different replicas aggregable.
+var DurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 25e-3, 0.1, 0.5, 1, 5, 30,
+}
+
+// Exposition writes the Prometheus text format (version 0.0.4): for
+// each metric family one # HELP and one # TYPE line followed by its
+// samples. The writer validates metric and label names as it goes and
+// escapes HELP text and label values, so output that reaches the wire
+// is lintable by promtool; the first error (validation or I/O) sticks
+// and is reported by Err.
+type Exposition struct {
+	w      io.Writer
+	err    error
+	family string
+	typ    string
+}
+
+// NewExposition returns an exposition writer over w.
+func NewExposition(w io.Writer) *Exposition {
+	return &Exposition{w: w}
+}
+
+// Err returns the first validation or write error, or nil.
+func (e *Exposition) Err() error { return e.err }
+
+func (e *Exposition) fail(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (e *Exposition) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(e.w, format, args...); err != nil {
+		e.err = err
+	}
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" || strings.ContainsRune(name, ':') {
+		return false
+	}
+	return validMetricName(name)
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value ("+Inf"/"-Inf"/"NaN" for the
+// specials, shortest round-trip decimal otherwise).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Family opens a new metric family: one # HELP and one # TYPE line.
+// Subsequent Value/Hist calls emit samples of this family. typ must be
+// "counter", "gauge" or "histogram"; counter family names must end in
+// "_total" (the promtool naming lint the golden test enforces).
+func (e *Exposition) Family(name, typ, help string) {
+	if !validMetricName(name) {
+		e.fail("obs: invalid metric name %q", name)
+		return
+	}
+	switch typ {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			e.fail("obs: counter %q must end in _total", name)
+			return
+		}
+	case "gauge", "histogram":
+	default:
+		e.fail("obs: metric %q has invalid type %q", name, typ)
+		return
+	}
+	if help == "" {
+		e.fail("obs: metric %q has no help text", name)
+		return
+	}
+	e.family, e.typ = name, typ
+	e.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// labelString renders alternating key/value labels, validating names.
+func (e *Exposition) labelString(extra []string, labels []string) string {
+	if len(labels)%2 != 0 {
+		e.fail("obs: metric %q: odd label list", e.family)
+		return ""
+	}
+	if len(extra)+len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	emit := func(k, v string) {
+		if !validLabelName(k) {
+			e.fail("obs: metric %q: invalid label name %q", e.family, k)
+			return
+		}
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteString(`"`)
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	for i := 0; i+1 < len(labels); i += 2 {
+		emit(labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Value emits one sample of the current family, with optional
+// alternating key/value labels.
+func (e *Exposition) Value(v float64, labels ...string) {
+	if e.family == "" {
+		e.fail("obs: sample before any Family call")
+		return
+	}
+	if e.typ == "histogram" {
+		e.fail("obs: metric %q: use Hist for histogram families", e.family)
+		return
+	}
+	e.printf("%s%s %s\n", e.family, e.labelString(nil, labels), formatValue(v))
+}
+
+// Hist emits a histogram family's samples (_bucket with cumulative le
+// labels including +Inf, _sum and _count) for one label set.
+func (e *Exposition) Hist(h *Histogram, labels ...string) {
+	if e.family == "" {
+		e.fail("obs: sample before any Family call")
+		return
+	}
+	if e.typ != "histogram" {
+		e.fail("obs: metric %q: Hist on a %s family", e.family, e.typ)
+		return
+	}
+	cum := h.snapshot()
+	for i, bound := range h.bounds {
+		e.printf("%s_bucket%s %d\n", e.family,
+			e.labelString([]string{"le", formatValue(bound)}, labels), cum[i])
+	}
+	e.printf("%s_bucket%s %d\n", e.family,
+		e.labelString([]string{"le", "+Inf"}, labels), cum[len(cum)-1])
+	e.printf("%s_sum%s %s\n", e.family, e.labelString(nil, labels), formatValue(h.Sum()))
+	e.printf("%s_count%s %d\n", e.family, e.labelString(nil, labels), h.Count())
+}

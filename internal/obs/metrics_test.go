@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Fatalf("gauge = %d, want -7", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-12 {
+		t.Fatalf("sum = %v, want 5.605", h.Sum())
+	}
+	want := []uint64{1, 3, 4, 5} // cumulative: <=0.01, <=0.1, <=1, +Inf
+	for i, got := range h.snapshot() {
+		if got != want[i] {
+			t.Fatalf("cumulative bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	// Boundary values land in their bucket (le is inclusive).
+	h2 := NewHistogram(1, 2)
+	h2.Observe(1)
+	if cum := h2.snapshot(); cum[0] != 1 {
+		t.Fatalf("observation at bound fell through: %v", cum)
+	}
+}
+
+func TestHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DurationBuckets...)
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 1000 {
+				h.Observe(float64(i) * 1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	wantSum := 8 * 1e-5 * (999 * 1000 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestInstrumentAllocs pins the always-on instrument price: no
+// allocations per update, so metrics can stay enabled on the engine's
+// per-job path without moving the allocs/op baselines.
+func TestInstrumentAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(DurationBuckets...)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.002)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrument updates allocate %.1f per run; want 0", allocs)
+	}
+}
+
+// goldenExposition builds the deterministic fixture exposition: one
+// family of each type, labeled and unlabeled samples, escaping, and a
+// histogram with observations on both sides of its bounds.
+func goldenExposition(t *testing.T) []byte {
+	t.Helper()
+	var jobs Counter
+	jobs.Add(42)
+	var inFlight Gauge
+	inFlight.Set(3)
+	h := NewHistogram(0.001, 0.01, 0.1, 1)
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	e := NewExposition(&buf)
+	e.Family("mppm_test_jobs_total", "counter", "Jobs completed.")
+	e.Value(float64(jobs.Value()))
+	e.Family("mppm_test_requests_total", "counter", "Requests by route and code.")
+	e.Value(17, "route", "/v1/eval", "code", "2xx")
+	e.Value(2, "route", "/v1/eval", "code", "4xx")
+	e.Family("mppm_test_in_flight", "gauge", `In-flight requests (escaped: \ and "quotes").`)
+	e.Value(float64(inFlight.Value()), "kind", `with"quote`)
+	e.Family("mppm_test_duration_seconds", "histogram", "Latency fixture.")
+	e.Hist(h, "route", "/v1/eval")
+	if err := e.Err(); err != nil {
+		t.Fatalf("exposition error: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestExpositionGolden locks the exact exposition bytes against the
+// committed golden file and runs the promtool-style lint over it, so
+// any format drift — missing HELP/TYPE, naming, histogram shape —
+// breaks the build. Regenerate with: go test ./internal/obs -run Golden -update
+func TestExpositionGolden(t *testing.T) {
+	got := goldenExposition(t)
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+	if errs := Lint(bytes.NewReader(got)); len(errs) != 0 {
+		t.Fatalf("golden exposition fails lint: %v", errs)
+	}
+}
+
+func TestExpositionValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(e *Exposition)
+	}{
+		{"bad metric name", func(e *Exposition) { e.Family("1bad", "gauge", "h") }},
+		{"bad type", func(e *Exposition) { e.Family("m", "meter", "h") }},
+		{"counter without _total", func(e *Exposition) { e.Family("m_count", "counter", "h") }},
+		{"missing help", func(e *Exposition) { e.Family("m", "gauge", "") }},
+		{"sample before family", func(e *Exposition) { e.Value(1) }},
+		{"odd labels", func(e *Exposition) { e.Family("m", "gauge", "h"); e.Value(1, "k") }},
+		{"bad label name", func(e *Exposition) { e.Family("m", "gauge", "h"); e.Value(1, "k:v", "x") }},
+		{"value on histogram", func(e *Exposition) { e.Family("m", "histogram", "h"); e.Value(1) }},
+		{"hist on gauge", func(e *Exposition) { e.Family("m", "gauge", "h"); e.Hist(NewHistogram(1)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewExposition(&bytes.Buffer{})
+			tc.build(e)
+			if e.Err() == nil {
+				t.Fatal("invalid exposition accepted")
+			}
+		})
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no declaration", "mppm_x 1\n", "no HELP/TYPE"},
+		{"missing TYPE", "# HELP mppm_x help\nmppm_x 1\n", `has no TYPE`},
+		{"missing HELP", "# TYPE mppm_x gauge\nmppm_x 1\n", `has no HELP`},
+		{"counter naming", "# HELP mppm_x help\n# TYPE mppm_x counter\nmppm_x 1\n", "_total"},
+		{"no samples", "# HELP mppm_x help\n# TYPE mppm_x gauge\n", "no samples"},
+		{"histogram missing inf", "# HELP mppm_h help\n# TYPE mppm_h histogram\n" +
+			"mppm_h_bucket{le=\"1\"} 1\nmppm_h_sum 1\nmppm_h_count 1\n", "+Inf"},
+		{"duplicate TYPE", "# TYPE mppm_x gauge\n# TYPE mppm_x gauge\n# HELP mppm_x h\nmppm_x 1\n", "duplicate TYPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Lint(strings.NewReader(tc.text))
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					return
+				}
+			}
+			t.Fatalf("lint missed %q violation; got %v", tc.want, errs)
+		})
+	}
+}

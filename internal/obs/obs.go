@@ -1,0 +1,320 @@
+// Package obs is the observability layer of the reproduction: leveled
+// per-subsystem structured tracing, dependency-free Prometheus-style
+// metric instruments and a text-exposition writer. It exists so a fleet
+// of mppmd replicas serving heavy traffic can be watched — and gated in
+// CI — without perturbing the system being measured.
+//
+// # Tracing
+//
+// Each subsystem owns a Component (Engine, Store, Sim, Service) with an
+// independently settable Level. The off state is the default and is
+// zero-cost: guarding a trace site with Enabled is a single atomic load,
+// and no arguments are materialized, formatted or allocated until the
+// guard passes — the same discipline MGSim applies to simulator
+// monitoring (measure without distorting the modeled system). Hot paths
+// therefore write
+//
+//	if obs.Engine.Enabled(obs.LevelDebug) {
+//	    obs.Engine.Log(ctx, obs.LevelDebug, "job start", "mix", mix)
+//	}
+//
+// rather than calling Log unconditionally: the variadic argument slice
+// of an unconditional call would allocate before Log could check the
+// level. TestDisabledTraceAllocs pins the guarded form at zero
+// allocations.
+//
+// Records are emitted through log/slog with the component name and any
+// request/job IDs carried by the context (WithRequestID, WithJobID), so
+// one request's trace lines correlate across service, engine, sim and
+// store no matter which goroutine emitted them.
+//
+// Levels are configured per component with Configure ("debug" for
+// everything, "engine=debug,store=info" per subsystem) — the surface
+// behind mppmd's -log-level/-trace flags and the MPPM_TRACE environment
+// variable.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Level is a tracing verbosity. The zero value is LevelOff: components
+// trace nothing until explicitly enabled.
+type Level int32
+
+const (
+	// LevelOff disables a component entirely.
+	LevelOff Level = iota
+	// LevelError emits only failures.
+	LevelError
+	// LevelInfo adds lifecycle events (recordings computed, warmups,
+	// requests served).
+	LevelInfo
+	// LevelDebug adds per-job and per-artifact detail.
+	LevelDebug
+)
+
+// String returns the level's configuration name.
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelError:
+		return "error"
+	case LevelInfo:
+		return "info"
+	case LevelDebug:
+		return "debug"
+	default:
+		return fmt.Sprintf("Level(%d)", int32(l))
+	}
+}
+
+// LevelByName parses a configuration name produced by Level.String.
+func LevelByName(name string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "off", "none":
+		return LevelOff, nil
+	case "error":
+		return LevelError, nil
+	case "info":
+		return LevelInfo, nil
+	case "debug":
+		return LevelDebug, nil
+	default:
+		return LevelOff, fmt.Errorf("obs: unknown trace level %q (want off|error|info|debug)", name)
+	}
+}
+
+// slogLevel maps a trace level onto the slog level of its records.
+func (l Level) slogLevel() slog.Level {
+	switch l {
+	case LevelError:
+		return slog.LevelError
+	case LevelDebug:
+		return slog.LevelDebug
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// Component is one subsystem's trace gate: a name plus an atomically
+// read level. Components are created at package init (Engine, Store,
+// Sim, Service); the zero value is unusable.
+type Component struct {
+	name  string
+	level atomic.Int32
+}
+
+// Name returns the component's configuration name.
+func (c *Component) Name() string { return c.name }
+
+// Level returns the component's current level.
+func (c *Component) Level() Level { return Level(c.level.Load()) }
+
+// SetLevel sets the component's level. Safe for concurrent use with
+// Enabled and Log.
+func (c *Component) SetLevel(l Level) { c.level.Store(int32(l)) }
+
+// Enabled reports whether records at level l are currently emitted —
+// the single atomic load that makes disabled tracing free. Guard every
+// hot-path Log call with it so the call's variadic arguments are never
+// built on the off path.
+func (c *Component) Enabled(l Level) bool {
+	return c.level.Load() >= int32(l) && l > LevelOff
+}
+
+// Log emits one structured record at level l with alternating key/value
+// args, silently dropping the record when the level is disabled. The
+// component name and any request/job IDs in ctx are attached
+// automatically. On hot paths, guard the call with Enabled.
+func (c *Component) Log(ctx context.Context, l Level, msg string, args ...any) {
+	if !c.Enabled(l) {
+		return
+	}
+	c.emit(ctx, l, msg, args)
+}
+
+// emit builds the record. Split from Log so the guarded fast path stays
+// small enough to inline.
+func (c *Component) emit(ctx context.Context, l Level, msg string, args []any) {
+	kv := make([]any, 0, len(args)+6)
+	kv = append(kv, "component", c.name)
+	if id := RequestID(ctx); id != "" {
+		kv = append(kv, "request_id", id)
+	}
+	if id := JobID(ctx); id != "" {
+		kv = append(kv, "job_id", id)
+	}
+	kv = append(kv, args...)
+	logger.Load().Log(ctx, l.slogLevel(), msg, kv...)
+}
+
+// The subsystem components. Every trace site in the repository routes
+// through one of these four gates.
+var (
+	Engine  = &Component{name: "engine"}
+	Store   = &Component{name: "store"}
+	Sim     = &Component{name: "sim"}
+	Service = &Component{name: "service"}
+)
+
+// components indexes the gates by configuration name.
+var components = map[string]*Component{
+	Engine.name:  Engine,
+	Store.name:   Store,
+	Sim.name:     Sim,
+	Service.name: Service,
+}
+
+// ComponentByName returns one trace component by configuration name.
+func ComponentByName(name string) (*Component, error) {
+	c, ok := components[strings.TrimSpace(name)]
+	if !ok {
+		names := make([]string, 0, len(components))
+		for n := range components {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("obs: unknown trace component %q (want %s)",
+			name, strings.Join(names, "|"))
+	}
+	return c, nil
+}
+
+// Components returns every trace component, sorted by name.
+func Components() []*Component {
+	out := make([]*Component, 0, len(components))
+	for _, c := range components {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// SetAllLevels sets every component to level l.
+func SetAllLevels(l Level) {
+	for _, c := range components {
+		c.SetLevel(l)
+	}
+}
+
+// Configure applies a trace specification: either one bare level name
+// applied to every component ("debug") or a comma-separated list of
+// component=level pairs ("engine=debug,store=info"). Empty specs and
+// empty list entries are no-ops. On error, levels already applied from
+// earlier entries remain in effect.
+func Configure(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	if !strings.ContainsAny(spec, "=,") {
+		l, err := LevelByName(spec)
+		if err != nil {
+			return err
+		}
+		SetAllLevels(l)
+		return nil
+	}
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		name, levelName, ok := strings.Cut(ent, "=")
+		if !ok {
+			return fmt.Errorf("obs: trace entry %q is not component=level", ent)
+		}
+		c, err := ComponentByName(name)
+		if err != nil {
+			return err
+		}
+		l, err := LevelByName(levelName)
+		if err != nil {
+			return err
+		}
+		c.SetLevel(l)
+	}
+	return nil
+}
+
+// logger is the shared slog sink. Level filtering happens at the
+// component gates, so the default handler accepts every level.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: slog.LevelDebug})))
+}
+
+// SetLogger replaces the slog sink every component emits through
+// (stderr text by default). Pass a logger over a capturing handler in
+// tests. A nil logger restores the default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+	logger.Store(l)
+}
+
+// Logger returns the current slog sink.
+func Logger() *slog.Logger { return logger.Load() }
+
+// Context ID propagation: the service stamps each request's context
+// with a request ID, the engine stamps each traced job with a job ID,
+// and every record emitted below them — down to sim recording/replay —
+// carries both, tying one user request to the profiling work it caused.
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	jobIDKey
+)
+
+// WithRequestID returns ctx carrying a request ID for trace records.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithJobID returns ctx carrying an engine job ID for trace records.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey, id)
+}
+
+// JobID returns the job ID carried by ctx, or "".
+func JobID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(jobIDKey).(string)
+	return id
+}
+
+// idCounter backs NextID.
+var idCounter atomic.Uint64
+
+// NextID returns a process-unique ID like "req-42". Only call it on a
+// path that is already past an Enabled guard (or is per-request anyway):
+// the formatting allocates.
+func NextID(prefix string) string {
+	return prefix + "-" + strconv.FormatUint(idCounter.Add(1), 10)
+}

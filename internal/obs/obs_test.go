@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withCapturedLogs redirects the obs sink to a buffer for one test and
+// restores the default sink and all-off levels afterwards.
+func withCapturedLogs(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	SetLogger(slog.New(slog.NewTextHandler(&buf,
+		&slog.HandlerOptions{Level: slog.LevelDebug})))
+	t.Cleanup(func() {
+		SetLogger(nil)
+		SetAllLevels(LevelOff)
+	})
+	return &buf
+}
+
+func TestLevelRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelOff, LevelError, LevelInfo, LevelDebug} {
+		got, err := LevelByName(l.String())
+		if err != nil || got != l {
+			t.Fatalf("LevelByName(%q) = %v, %v; want %v", l.String(), got, err, l)
+		}
+	}
+	if _, err := LevelByName("verbose"); err == nil {
+		t.Fatal("LevelByName(verbose) succeeded")
+	}
+}
+
+func TestEnabledOrdering(t *testing.T) {
+	c := &Component{name: "test"}
+	t.Cleanup(func() { c.SetLevel(LevelOff) })
+	if c.Enabled(LevelError) || c.Enabled(LevelDebug) {
+		t.Fatal("zero-value component is enabled")
+	}
+	c.SetLevel(LevelInfo)
+	if !c.Enabled(LevelError) || !c.Enabled(LevelInfo) {
+		t.Fatal("info level should enable error and info")
+	}
+	if c.Enabled(LevelDebug) {
+		t.Fatal("info level should not enable debug")
+	}
+	if c.Enabled(LevelOff) {
+		t.Fatal("LevelOff is never enabled")
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	t.Cleanup(func() { SetAllLevels(LevelOff) })
+
+	if err := Configure("debug"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Components() {
+		if c.Level() != LevelDebug {
+			t.Fatalf("component %s at %v after Configure(debug)", c.Name(), c.Level())
+		}
+	}
+
+	if err := Configure("engine=info, store=error"); err != nil {
+		t.Fatal(err)
+	}
+	if Engine.Level() != LevelInfo || Store.Level() != LevelError {
+		t.Fatalf("engine=%v store=%v after per-component configure", Engine.Level(), Store.Level())
+	}
+	if Sim.Level() != LevelDebug {
+		t.Fatalf("sim level changed to %v by unrelated configure", Sim.Level())
+	}
+
+	if err := Configure(""); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []string{"engine=loud", "nosuch=debug", "engine:debug,"} {
+		if err := Configure(bad); err == nil {
+			t.Fatalf("Configure(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestLogCarriesComponentAndIDs(t *testing.T) {
+	buf := withCapturedLogs(t)
+	Engine.SetLevel(LevelDebug)
+
+	ctx := WithJobID(WithRequestID(context.Background(), "req-7"), "job-9")
+	Engine.Log(ctx, LevelDebug, "job start", "mix", "a+b")
+
+	out := buf.String()
+	for _, want := range []string{"component=engine", "request_id=req-7", "job_id=job-9", "mix=a+b", "job start"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisabledLogEmitsNothing(t *testing.T) {
+	buf := withCapturedLogs(t)
+	Engine.SetLevel(LevelInfo)
+	Engine.Log(context.Background(), LevelDebug, "too detailed")
+	if buf.Len() != 0 {
+		t.Fatalf("disabled level emitted output: %s", buf.String())
+	}
+}
+
+// TestDisabledTraceAllocs pins the zero-cost-off property: a hot-path
+// trace site guarded by Enabled performs no allocations (and no fmt
+// work) while the component is off. This is the discipline every
+// guarded site in engine/sim/store relies on.
+func TestDisabledTraceAllocs(t *testing.T) {
+	SetAllLevels(LevelOff)
+	ctx := context.Background()
+	mix := "gamess+lbm+soplex+mcf"
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Engine.Enabled(LevelDebug) {
+			Engine.Log(ctx, LevelDebug, "job start", "mix", mix, "llc", "config#1")
+		}
+		if Sim.Enabled(LevelDebug) {
+			Sim.Log(ctx, LevelDebug, "replay", "benchmark", mix)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace site allocates %.1f per run; want 0", allocs)
+	}
+}
+
+func TestConcurrentLevelChanges(t *testing.T) {
+	withCapturedLogs(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for range 4 {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for range 500 {
+				Store.SetLevel(LevelDebug)
+				Store.SetLevel(LevelOff)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for range 500 {
+				if Store.Enabled(LevelDebug) {
+					Store.Log(ctx, LevelDebug, "probe")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestContextIDs(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || JobID(ctx) != "" {
+		t.Fatal("IDs on a bare context")
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	ctx = WithJobID(ctx, "job-2")
+	if RequestID(ctx) != "req-1" || JobID(ctx) != "job-2" {
+		t.Fatalf("IDs = %q, %q", RequestID(ctx), JobID(ctx))
+	}
+}
+
+func TestNextIDUnique(t *testing.T) {
+	a, b := NextID("req"), NextID("req")
+	if a == b || !strings.HasPrefix(a, "req-") {
+		t.Fatalf("NextID gave %q then %q", a, b)
+	}
+}

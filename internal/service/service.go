@@ -5,7 +5,10 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz        liveness probe
+//	GET  /healthz        liveness probe (compat alias of /v1/healthz)
+//	GET  /v1/healthz     liveness probe
+//	GET  /v1/readyz      readiness probe: engine built, store usable (503 when not)
+//	GET  /metrics        Prometheus text exposition (engine, store, HTTP, runtime)
 //	GET  /v1/benchmarks  the synthetic suite, LLC configs, contention models
 //	GET  /v1/stats       engine + artifact-store hit/miss/load counters
 //	POST /v1/eval        the canonical endpoint: any kind, mixes x configs, top-k
@@ -13,6 +16,14 @@
 //	POST /v1/predict     compat: one mix, one LLC config, MPPM model
 //	POST /v1/simulate    compat: one mix, one LLC config, detailed simulator
 //	POST /v1/sweep       compat: many mixes x many LLC configs
+//
+// Every route is wrapped in obs.HTTPMetrics middleware: a request ID is
+// stamped into the context (propagating through System.Eval into engine
+// job traces), an in-flight gauge is held for the duration, and the
+// per-route request counters and latency histograms behind /metrics are
+// updated on the way out. WithPprof additionally mounts the stdlib
+// net/http/pprof handlers under /debug/pprof/ (off by default: the
+// profile endpoints can pause the process and belong behind a flag).
 //
 // Every handler decodes into the same wire shape (EvalRequest), builds
 // one mppm.Request and executes it through System.Eval, so the service
@@ -33,11 +44,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	mppm "repro"
 	"repro/internal/contention"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -51,27 +64,75 @@ const (
 	maxSweepConfigs = 16   // LLC configs per request
 )
 
+// routes is the service's fixed route set — the label space of the
+// per-route HTTP metrics. Adding an endpoint means adding it here and
+// in Handler.
+var routes = []string{
+	"/healthz", "/v1/healthz", "/v1/readyz", "/metrics",
+	"/v1/benchmarks", "/v1/stats",
+	"/v1/eval", "/v1/warmup", "/v1/predict", "/v1/simulate", "/v1/sweep",
+}
+
 // Server serves the prediction API from one shared evaluation system.
 type Server struct {
-	sys *mppm.System
+	sys   *mppm.System
+	httpm *obs.HTTPMetrics
+	start time.Time
+	pprof bool
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithPprof mounts the stdlib net/http/pprof handlers under
+// /debug/pprof/ on the service mux. Off by default: CPU profiles and
+// execution traces perturb the process they measure.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
 }
 
 // New returns a Server over the given system.
-func New(sys *mppm.System) *Server {
-	return &Server{sys: sys}
+func New(sys *mppm.System, opts ...Option) *Server {
+	s := &Server{
+		sys:   sys,
+		httpm: obs.NewHTTPMetrics(routes...),
+		start: time.Now(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
+
+// Metrics returns the server's HTTP instruments (exported for tests).
+func (s *Server) Metrics() *obs.HTTPMetrics { return s.httpm }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/eval", s.handleEval)
-	mux.HandleFunc("POST /v1/warmup", s.handleWarmup)
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.httpm.Wrap(route, h))
+	}
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	handle("GET /v1/readyz", "/v1/readyz", s.handleReadyz)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
+	handle("GET /v1/benchmarks", "/v1/benchmarks", s.handleBenchmarks)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("POST /v1/eval", "/v1/eval", s.handleEval)
+	handle("POST /v1/warmup", "/v1/warmup", s.handleWarmup)
+	handle("POST /v1/predict", "/v1/predict", s.handlePredict)
+	handle("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
+	handle("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	if s.pprof {
+		// Uninstrumented on purpose: pprof traffic is an operator
+		// debugging the process, not service load.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

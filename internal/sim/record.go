@@ -28,10 +28,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mppmerr"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sdc"
 	"repro/internal/trace"
@@ -110,6 +112,13 @@ func Record(ctx context.Context, rd trace.Source, cfg Config) (*Recording, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	traced := obs.Sim.Enabled(obs.LevelInfo)
+	var recordStart time.Time
+	if traced {
+		recordStart = time.Now()
+		obs.Sim.Log(ctx, obs.LevelDebug, "record start",
+			"benchmark", rd.Name(), "trace_length", cfg.TraceLength)
+	}
 	rd.Reset()
 	cur := trace.NewCursor(rd)
 	priv := cache.NewPrivate(cfg.Hierarchy)
@@ -167,6 +176,11 @@ func Record(ctx context.Context, rd trace.Source, cfg Config) (*Recording, error
 	}
 	rec.endInstr = tm.Instructions()
 	rec.endBase = tm.BaseCycles()
+	if traced {
+		obs.Sim.Log(ctx, obs.LevelInfo, "record done",
+			"benchmark", rec.benchmark, "llc_accesses", len(rec.addrs),
+			"closes", len(rec.closes), "elapsed", time.Since(recordStart))
+	}
 	return rec, nil
 }
 
@@ -283,6 +297,11 @@ func (rec *Recording) Replay(ctx context.Context, cfg Config, opts ProfileOption
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: replay produced invalid profile: %w", err)
+	}
+	if obs.Sim.Enabled(obs.LevelDebug) {
+		obs.Sim.Log(ctx, obs.LevelDebug, "replay done",
+			"benchmark", rec.benchmark, "llc", cfg.Hierarchy.LLC.Name,
+			"intervals", len(p.Intervals))
 	}
 	return p, nil
 }

@@ -28,6 +28,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -40,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/store/codec"
@@ -108,6 +110,26 @@ func Open(dir string) *Store {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Ready verifies the store is usable as a persistence tier: the current
+// format version's subtree exists (creating it if needed) and is a
+// directory. It is the cheap readiness probe behind mppmd's /v1/readyz
+// — a store that fails it would degrade every save to an error, which a
+// load balancer should know before routing cold-start traffic here.
+func (s *Store) Ready() error {
+	dir := s.versionDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: not ready: %w", err)
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("store: not ready: %w", err)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("store: not ready: %s is not a directory", dir)
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() Stats {
 	return Stats{
@@ -166,10 +188,16 @@ func (s *Store) profilePath(spec trace.Spec, cfg sim.Config, opts sim.ProfileOpt
 }
 
 // reject discards a damaged or stale artifact so the recomputed
-// replacement can take its place.
+// replacement can take its place. Rejections are traced at error level:
+// a store that keeps rejecting files is corrupting or version-skewed,
+// which an operator wants to see even at conservative trace settings.
 func (s *Store) reject(path string) {
 	s.rejected.Add(1)
 	_ = os.Remove(path)
+	if obs.Store.Enabled(obs.LevelError) {
+		obs.Store.Log(context.Background(), obs.LevelError,
+			"artifact rejected", "path", path)
+	}
 }
 
 // LoadRecording returns the persisted frontend recording for
@@ -195,6 +223,10 @@ func (s *Store) LoadRecording(spec trace.Spec, cfg sim.Config) (*sim.Recording, 
 	}
 	s.recordingHits.Add(1)
 	s.bytesLoaded.Add(int64(len(b)))
+	if obs.Store.Enabled(obs.LevelDebug) {
+		obs.Store.Log(context.Background(), obs.LevelDebug, "recording hit",
+			"benchmark", spec.Name, "bytes", len(b))
+	}
 	return rec, true
 }
 
@@ -229,6 +261,10 @@ func (s *Store) LoadProfile(spec trace.Spec, cfg sim.Config, opts sim.ProfileOpt
 	}
 	s.profileHits.Add(1)
 	s.bytesLoaded.Add(int64(len(b)))
+	if obs.Store.Enabled(obs.LevelDebug) {
+		obs.Store.Log(context.Background(), obs.LevelDebug, "profile hit",
+			"benchmark", spec.Name, "llc", cfg.Hierarchy.LLC.Name, "bytes", len(b))
+	}
 	return p, true
 }
 
@@ -312,9 +348,17 @@ func (s *Store) save(path string, encode func() []byte) error {
 	if werr != nil {
 		s.saveErrors.Add(1)
 		_ = os.Remove(tmp)
+		if obs.Store.Enabled(obs.LevelError) {
+			obs.Store.Log(context.Background(), obs.LevelError, "save failed",
+				"path", path, "err", werr)
+		}
 		return fmt.Errorf("store: %w", werr)
 	}
 	s.saves.Add(1)
+	if obs.Store.Enabled(obs.LevelDebug) {
+		obs.Store.Log(context.Background(), obs.LevelDebug, "artifact saved",
+			"path", path)
+	}
 	return nil
 }
 

@@ -240,6 +240,19 @@ func (s *System) EngineStats() EngineStats {
 	return st
 }
 
+// Ready reports whether the system can serve evaluation traffic: the
+// engine is constructed (building it on first call) and, when a
+// persistent store is configured, its directory is usable. It is the
+// readiness probe behind mppmd's GET /v1/readyz — cheap enough for a
+// load balancer to poll.
+func (s *System) Ready() error {
+	eng := s.engine()
+	if st := eng.Store(); st != nil {
+		return st.Ready()
+	}
+	return nil
+}
+
 // StoreStats are the persistent artifact store's operation counters
 // (hits, misses, rejected artifacts, saves).
 type StoreStats = store.Stats
