@@ -14,18 +14,26 @@ BENCH_COUNT   := 1
 TEST_TIMEOUT := 30m
 
 # Benchmarks the perf gate tracks: the gate subset of BENCH_PATTERN
-# (sweep throughput, model kernel, both cold-start pipelines).
+# (sweep throughput, model kernel, both cold-start pipelines, and —
+# via the unanchored Sweep — the distributed FleetSweep).
 GATE_PATTERN   := Sweep|KernelRun|ProfileColdStart|StoreColdStart
 GATE_BASELINE  := BENCH_PR5.json
 GATE_THRESHOLD := 0.25
 
-.PHONY: test race bench-baseline bench-gate
+.PHONY: test race fleet-smoke bench-baseline bench-gate
 
 test:
 	go build ./... && go test -timeout $(TEST_TIMEOUT) ./...
 
 race:
 	go test -race -timeout $(TEST_TIMEOUT) ./...
+
+# fleet-smoke is the distributed-fabric correctness gate: three
+# in-process replicas behind a coordinator serve the suite-wide Table 2
+# sweep and the result must be byte-for-byte identical to a single
+# node, including when one replica is killed mid-sweep.
+fleet-smoke:
+	go test -run 'TestFleetByteIdentity|TestFleetFailover|TestFleetErrorParity|TestFleetSelfCoordination' -count 1 -timeout $(TEST_TIMEOUT) -v ./internal/fleet/
 
 # bench-baseline regenerates BENCH_PR5.json at the repo root — the
 # in-tree perf snapshot the CI bench job mirrors as per-run artifacts.

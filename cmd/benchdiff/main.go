@@ -39,9 +39,9 @@ import (
 )
 
 // defaultTracked gates the benchmarks the repository commits to: sweep
-// throughput (the paper's headline), the model kernel, and the two
-// cold-start pipelines.
-const defaultTracked = `^Benchmark(Sweep|KernelRun|ProfileColdStart|StoreColdStart)\b`
+// throughput (the paper's headline), the model kernel, the two
+// cold-start pipelines, and the distributed fleet sweep.
+const defaultTracked = `^Benchmark(Sweep|KernelRun|ProfileColdStart|StoreColdStart|FleetSweep)\b`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -198,5 +199,22 @@ func TestUsageErrors(t *testing.T) {
 	empty := writeBaseline(t, "BenchmarkUntrackedThing \t 1000\t 5000 ns/op\t 10 allocs/op\n")
 	if code, _, _ := runDiff(t, []string{"-baseline", empty}, ""); code != 2 {
 		t.Errorf("no tracked in baseline: exit %d, want 2", code)
+	}
+}
+
+func TestDefaultTrackedSet(t *testing.T) {
+	re := regexp.MustCompile(defaultTracked)
+	for _, name := range []string{
+		"BenchmarkSweep", "BenchmarkKernelRun",
+		"BenchmarkProfileColdStart", "BenchmarkStoreColdStart", "BenchmarkFleetSweep",
+	} {
+		if !re.MatchString(name) {
+			t.Errorf("%s not tracked by default", name)
+		}
+	}
+	for _, name := range []string{"BenchmarkFleet", "BenchmarkUntrackedThing", "BenchmarkRing"} {
+		if re.MatchString(name) {
+			t.Errorf("%s unexpectedly tracked", name)
+		}
 	}
 }

@@ -25,6 +25,21 @@
 // start nearly free. GET /v1/stats reports the engine and store
 // counters.
 //
+// # Fleet
+//
+// With -peers, the process joins an mppmd fleet: local artifact misses
+// are filled from healthy, codec-compatible peers (raw stored bytes,
+// checksum intact) before anything is recomputed, and the /metrics
+// exposition gains the fleet families. With -coordinate, POST /v1/eval
+// is consistent-hash-sharded across the peers as streaming NDJSON
+// sub-requests and the shard rows are merged back into one ordered
+// response, byte-identical to a single replica's answer. Sub-requests
+// carry a marker header and are always served locally, so every
+// replica may run -coordinate and any of them can take fleet traffic:
+//
+//	mppmd -addr :8080 -store /var/mppm -peers http://n1:8080,http://n2:8080,http://n3:8080 \
+//	    -advertise http://n1:8080 -coordinate
+//
 // # Observability
 //
 // GET /metrics serves a Prometheus text exposition (engine, store,
@@ -59,6 +74,7 @@ import (
 	"time"
 
 	mppm "repro"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -76,6 +92,9 @@ type options struct {
 	logLevel    string
 	trace       string
 	pprof       bool
+	peers       string
+	advertise   string
+	coordinate  bool
 }
 
 func main() {
@@ -91,6 +110,9 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "base trace level for all components (off, error, info, debug)")
 	flag.StringVar(&o.trace, "trace", "", `per-component trace levels, e.g. "engine=debug,store=info"; overrides MPPM_TRACE and -log-level`)
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	flag.StringVar(&o.peers, "peers", "", `comma-separated fleet replica base URLs (e.g. "http://a:8080,http://b:8080"); enables peer artifact fetch and fleet metrics`)
+	flag.StringVar(&o.advertise, "advertise", "", "this replica's own base URL within -peers (excluded from peer fetches; required with -coordinate when serving shards locally)")
+	flag.BoolVar(&o.coordinate, "coordinate", false, "coordinator mode: shard POST /v1/eval across -peers and merge the ordered shard streams")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mppmd:", err)
@@ -140,6 +162,17 @@ func warmConfigs(warm string) ([]mppm.LLCConfig, error) {
 	return configs, nil
 }
 
+// fleetPeers parses the -peers flag into replica base URLs.
+func fleetPeers(peers string) []string {
+	var out []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func run(o options) error {
 	if err := configureTracing(o); err != nil {
 		return err
@@ -148,6 +181,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	peers := fleetPeers(o.peers)
 	opts := []mppm.SystemOption{
 		mppm.WithScale(o.traceLen, o.interval),
 		mppm.WithWorkers(o.workers),
@@ -155,15 +189,43 @@ func run(o options) error {
 	if o.storeDir != "" {
 		opts = append(opts, mppm.WithStore(o.storeDir))
 	}
+	if len(peers) > 0 && o.storeDir != "" {
+		// Fleet-aware store tier: a local artifact miss asks healthy,
+		// codec-compatible peers for the raw stored bytes before the
+		// engine recomputes — a replica joining a warm fleet cold-starts
+		// without redoing a single profiling pass.
+		fetcher := fleet.NewFetcher(peers, o.advertise, nil)
+		if fetcher.Peers() > 0 {
+			opts = append(opts, mppm.WithPeerFetch(fetcher.Fetch))
+		}
+	}
 	sys := mppm.NewSystem(llc, opts...)
 	var srvOpts []service.Option
 	if o.pprof {
 		srvOpts = append(srvOpts, service.WithPprof())
 	}
+	if len(peers) > 0 {
+		srvOpts = append(srvOpts, service.WithFleetMetrics())
+	}
+	handler := service.New(sys, srvOpts...).Handler()
+	if o.coordinate {
+		if len(peers) == 0 {
+			return fmt.Errorf("-coordinate needs -peers")
+		}
+		coord, err := fleet.New(fleet.Config{Peers: peers, DefaultConfig: llc.Name})
+		if err != nil {
+			return err
+		}
+		handler = coord.Mount(handler)
+	}
 	srv := &http.Server{
-		Addr:              o.addr,
-		Handler:           service.New(sys, srvOpts...).Handler(),
+		Addr:    o.addr,
+		Handler: handler,
+		// Slow-client hygiene: a stalled header read or an idle keep-alive
+		// connection must not pin a serving slot forever. No overall write
+		// timeout — streamed /v1/eval responses legitimately run long.
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

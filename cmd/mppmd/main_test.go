@@ -61,6 +61,16 @@ func TestConfigureTracingErrors(t *testing.T) {
 	}
 }
 
+func TestFleetPeers(t *testing.T) {
+	if ps := fleetPeers(""); ps != nil {
+		t.Fatalf("empty -peers parsed to %v", ps)
+	}
+	ps := fleetPeers(" http://a:8080, http://b:8080 ,,http://c:8080")
+	if len(ps) != 3 || ps[0] != "http://a:8080" || ps[2] != "http://c:8080" {
+		t.Fatalf("parsed %v", ps)
+	}
+}
+
 func TestWarmConfigs(t *testing.T) {
 	if cs, err := warmConfigs(""); err != nil || cs != nil {
 		t.Fatalf("empty warm: %v, %v", cs, err)

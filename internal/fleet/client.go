@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/service"
+	"repro/internal/store/codec"
+)
+
+// maxLineBytes bounds one NDJSON row on a shard stream. A row is a
+// single scenario result — tens of floats — so 1 MiB is three orders of
+// magnitude of headroom while still refusing a runaway line.
+const maxLineBytes = 1 << 20
+
+// Client talks to one fleet replica. It gates every exchange on the
+// peer's /v1/version: a replica whose artifact codec format version
+// differs from this process's is refused permanently — shipping it
+// shards or trusting its artifacts would trade undecodable bytes. The
+// zero value is not usable; call NewClient. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	mu       sync.Mutex
+	verified bool  // version checked and compatible
+	refused  error // non-nil: permanently incompatible
+}
+
+// NewClient returns a client for the replica at base (scheme://host,
+// no trailing slash needed). hc nil means http.DefaultClient; fleet
+// streams are long-lived, so the client must not impose an overall
+// request timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// Base returns the replica's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Refused reports whether the peer has been permanently refused for
+// version incompatibility.
+func (c *Client) Refused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.refused != nil
+}
+
+// Check verifies the peer is compatible, fetching /v1/version on first
+// use. A compatible answer is cached for the client's lifetime (the
+// codec version is fixed per build); an incompatible answer is cached
+// as a permanent refusal; a transport failure is returned but not
+// cached, so a peer that was briefly unreachable gets re-checked.
+func (c *Client) Check(ctx context.Context) error {
+	c.mu.Lock()
+	if c.refused != nil {
+		err := c.refused
+		c.mu.Unlock()
+		return err
+	}
+	if c.verified {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	v, err := c.Version(ctx)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v.CodecFormatVersion != codec.FormatVersion {
+		c.refused = fmt.Errorf("fleet: peer %s runs codec format v%d, this build is v%d: refusing",
+			c.base, v.CodecFormatVersion, codec.FormatVersion)
+		return c.refused
+	}
+	c.verified = true
+	return nil
+}
+
+// Version fetches the peer's /v1/version.
+func (c *Client) Version(ctx context.Context) (service.VersionResponse, error) {
+	var v service.VersionResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/version", nil)
+	if err != nil {
+		return v, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return v, fmt.Errorf("fleet: version check of %s: %w", c.base, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("fleet: version check of %s: status %d", c.base, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxLineBytes)).Decode(&v); err != nil {
+		return v, fmt.Errorf("fleet: version check of %s: %w", c.base, err)
+	}
+	return v, nil
+}
+
+// StreamEval posts req (which must have Stream set) to the replica's
+// /v1/eval and invokes row for every NDJSON line, newline stripped. The
+// line buffer is reused between calls — row must copy what it keeps. A
+// non-200 status or a transport error mid-stream is returned as an
+// error; row's own error aborts the stream and is returned verbatim.
+func (c *Client) StreamEval(ctx context.Context, req service.EvalRequest, row func(line []byte) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(shardHeader, "1")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("fleet: eval on %s: %w", c.base, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fleet: eval on %s: status %d: %s",
+			c.base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if err := row(sc.Bytes()); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("fleet: eval stream from %s: %w", c.base, err)
+	}
+	return nil
+}
+
+// Artifact fetches one stored artifact's raw bytes from the peer.
+// ok=false with a nil error means the peer doesn't have it — the signal
+// to try the next peer, as opposed to a transport or protocol failure.
+func (c *Client) Artifact(ctx context.Context, kind, key string) (data []byte, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/artifacts/"+kind+"/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: artifact fetch from %s: %w", c.base, err)
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, false, fmt.Errorf("fleet: artifact fetch from %s: %w", c.base, err)
+		}
+		return b, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("fleet: artifact fetch from %s: status %d",
+			c.base, resp.StatusCode)
+	}
+}
+
+// drainClose consumes a bounded remainder of the body before closing so
+// the keep-alive connection can be reused.
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 64*1024))
+	_ = rc.Close()
+}

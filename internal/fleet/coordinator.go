@@ -1,0 +1,493 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	mppm "repro"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Coordinator defaults; all overridable via Config.
+const (
+	defaultMaxInFlight  = 4
+	defaultRetries      = 2
+	defaultRetryBackoff = 50 * time.Millisecond
+	defaultDownFor      = 15 * time.Second
+	maxBodyBytes        = 8 << 20 // mirrors the service request cap
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Peers are the fleet's replica base URLs, this process's own
+	// included if it also serves shards. Every coordinator must be given
+	// the same set (order does not matter) or they will disagree on
+	// ownership.
+	Peers []string
+	// DefaultConfig is the LLC config name assumed when a request names
+	// none. It must match the replicas' default (the system's configured
+	// LLC); empty means mppm.DefaultLLC().
+	DefaultConfig string
+	// VNodes is the ring's virtual-node count per replica; <=0 means the
+	// package default.
+	VNodes int
+	// MaxInFlight bounds concurrent shard streams per replica; <=0 means 4.
+	MaxInFlight int
+	// Retries is how many extra attempts a shard gets on its owner before
+	// the owner is declared down; 0 means 2, negative means none.
+	Retries int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between attempts; <=0 means 50ms.
+	RetryBackoff time.Duration
+	// DownFor is how long a replica stays out of the ring after its
+	// retries are exhausted; <=0 means 15s.
+	DownFor time.Duration
+	// HTTPClient carries the shard and artifact traffic; nil means
+	// http.DefaultClient. It must not impose an overall request timeout —
+	// shard streams live as long as their slowest scenario.
+	HTTPClient *http.Client
+}
+
+// Coordinator fans one /v1/eval request out across the fleet and merges
+// the shard streams back into a single response byte-identical to what
+// one replica evaluating the whole request would produce. Requests the
+// fleet cannot improve (TopK ranking, malformed bodies, single-replica
+// fleets) pass through to the local handler untouched, so a coordinator
+// in front of a replica is never worse than the replica.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	clients []*Client
+	sems    []chan struct{}
+
+	mu        sync.Mutex
+	downUntil []time.Time
+}
+
+// New builds a Coordinator over the peer set.
+func New(cfg Config) (*Coordinator, error) {
+	ring, err := NewRing(cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DefaultConfig == "" {
+		cfg.DefaultConfig = mppm.DefaultLLC().Name
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = defaultRetries
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.DownFor <= 0 {
+		cfg.DownFor = defaultDownFor
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		ring:      ring,
+		downUntil: make([]time.Time, ring.Replicas()),
+	}
+	for i := 0; i < ring.Replicas(); i++ {
+		c.clients = append(c.clients, NewClient(ring.Replica(i), cfg.HTTPClient))
+		c.sems = append(c.sems, make(chan struct{}, cfg.MaxInFlight))
+	}
+	return c, nil
+}
+
+// Mount routes POST /v1/eval through the coordinator and everything
+// else to the local handler — the shape cmd/mppmd serves in coordinator
+// mode.
+func (c *Coordinator) Mount(local http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/eval" {
+			c.HandleEval(w, r, local)
+			return
+		}
+		local.ServeHTTP(w, r)
+	})
+}
+
+// alive reports whether replica i may be offered work right now.
+func (c *Coordinator) alive(i int, now time.Time) bool {
+	if c.clients[i].Refused() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !now.Before(c.downUntil[i])
+}
+
+// markDown takes replica i out of the ring for the cooldown window.
+func (c *Coordinator) markDown(i int) {
+	c.mu.Lock()
+	c.downUntil[i] = time.Now().Add(c.cfg.DownFor)
+	c.mu.Unlock()
+	if obs.Fleet.Enabled(obs.LevelInfo) {
+		obs.Fleet.Log(context.Background(), obs.LevelInfo, "replica marked down",
+			"replica", c.clients[i].Base(), "for", c.cfg.DownFor)
+	}
+}
+
+// evalPlan is one distributed request lowered to shardable units.
+type evalPlan struct {
+	kind       string
+	contention string
+	stream     bool
+	cfgNames   []string
+	mixes      []mppm.Mix
+	mixKeys    []string
+}
+
+func (p *evalPlan) total() int { return len(p.cfgNames) * len(p.mixes) }
+
+// unit is one (config, mix) work item, addressed by grid coordinates.
+type unit struct{ cfg, mix int }
+
+// shard is a contiguous batch of one replica's units on one config —
+// the granularity of a sub-request.
+type shard struct {
+	replica int
+	cfg     int
+	mixIdx  []int // ascending original mix indices
+}
+
+// unitKey is the consistent-hash key of one work unit.
+func (p *evalPlan) unitKey(u unit) string {
+	return p.cfgNames[u.cfg] + "|" + p.mixKeys[u.mix]
+}
+
+// planShards assigns units to alive replicas and groups them into
+// per-(replica, config) shards, preserving grid order inside each
+// shard. It fails only when no replica is alive.
+func (c *Coordinator) planShards(p *evalPlan, units []unit) ([]shard, error) {
+	now := time.Now()
+	alive := func(i int) bool { return c.alive(i, now) }
+	idx := make(map[[2]int]int) // (replica, cfg) -> shard slot
+	var shards []shard
+	for _, u := range units {
+		owner := c.ring.Owner(p.unitKey(u), alive)
+		if owner < 0 {
+			return nil, fmt.Errorf("fleet: no alive replicas for %s", p.unitKey(u))
+		}
+		k := [2]int{owner, u.cfg}
+		s, ok := idx[k]
+		if !ok {
+			s = len(shards)
+			idx[k] = s
+			shards = append(shards, shard{replica: owner, cfg: u.cfg})
+		}
+		shards[s].mixIdx = append(shards[s].mixIdx, u.mix)
+	}
+	return shards, nil
+}
+
+// rowMsg is one shard row headed for the merge loop.
+type rowMsg struct {
+	idx  int
+	line []byte
+}
+
+// shardHeader marks a sub-request already sharded by a coordinator. In
+// production every replica runs a coordinator and sits in its own ring,
+// so a self-addressed shard arrives back at the coordinator that sent
+// it; without the marker it would be re-sharded — and a single-unit
+// shard owned by this replica would recurse forever. Marked requests go
+// straight to the local handler.
+const shardHeader = "Mppm-Fleet-Shard"
+
+// HandleEval serves one POST /v1/eval, distributing it across the fleet
+// when possible and passing it through to local otherwise.
+func (c *Coordinator) HandleEval(w http.ResponseWriter, r *http.Request, local http.Handler) {
+	if r.Header.Get(shardHeader) != "" {
+		local.ServeHTTP(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	_ = r.Body.Close()
+	passthrough := func() {
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		local.ServeHTTP(w, r2)
+	}
+	if err != nil || len(body) > maxBodyBytes {
+		passthrough() // let the local handler produce the canonical error
+		return
+	}
+	var req service.EvalRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		passthrough()
+		return
+	}
+	mreq, err := service.BuildRequest(req, nil)
+	if err != nil || mreq.TopK > 0 || len(c.clients) < 2 {
+		// Invalid requests get the replica's canonical error response;
+		// TopK needs the full ranked grid and is served locally.
+		passthrough()
+		return
+	}
+
+	p := &evalPlan{
+		kind:       mreq.Kind.String(),
+		contention: req.Contention,
+		stream:     req.Stream,
+	}
+	for _, cf := range mreq.Configs {
+		p.cfgNames = append(p.cfgNames, cf.Name)
+	}
+	if len(p.cfgNames) == 0 {
+		p.cfgNames = []string{c.cfg.DefaultConfig}
+	}
+	p.mixes = mreq.Mixes
+	for _, m := range p.mixes {
+		p.mixKeys = append(p.mixKeys, m.Key())
+	}
+	c.run(w, r, p)
+}
+
+// run distributes the planned request and merges the shard streams.
+func (c *Coordinator) run(w http.ResponseWriter, r *http.Request, p *evalPlan) {
+	units := make([]unit, 0, p.total())
+	for cf := range p.cfgNames {
+		for m := range p.mixes {
+			units = append(units, unit{cfg: cf, mix: m})
+		}
+	}
+	shards, err := c.planShards(p, units)
+	if err != nil {
+		writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	rows := make(chan rowMsg, 128)
+	fatal := make(chan error, 1)
+	reportFatal := func(err error) {
+		select {
+		case fatal <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	var dispatch func(sh shard)
+	dispatch = func(sh shard) {
+		defer wg.Done()
+		err := c.runShard(ctx, p, sh, rows)
+		if err == nil || ctx.Err() != nil {
+			return
+		}
+		// The owner exhausted its retries: take it out of the ring and
+		// re-hash its units onto the survivors.
+		c.markDown(sh.replica)
+		obs.FleetShardFailoversTotal.Inc()
+		if obs.Fleet.Enabled(obs.LevelInfo) {
+			obs.Fleet.Log(ctx, obs.LevelInfo, "shard failing over",
+				"replica", c.clients[sh.replica].Base(),
+				"config", p.cfgNames[sh.cfg], "units", len(sh.mixIdx), "err", err)
+		}
+		redo := make([]unit, 0, len(sh.mixIdx))
+		for _, m := range sh.mixIdx {
+			redo = append(redo, unit{cfg: sh.cfg, mix: m})
+		}
+		next, err := c.planShards(p, redo)
+		if err != nil {
+			reportFatal(err)
+			return
+		}
+		for _, ns := range next {
+			wg.Add(1)
+			go dispatch(ns)
+		}
+	}
+	for _, sh := range shards {
+		wg.Add(1)
+		go dispatch(sh)
+	}
+	go func() {
+		wg.Wait()
+		close(rows)
+	}()
+
+	em := newEmitter(w, p)
+	rb := newReorderBuffer(p.total())
+	for !rb.Done() {
+		select {
+		case err := <-fatal:
+			cancel()
+			em.fail(err)
+			return
+		case msg, ok := <-rows:
+			if !ok {
+				// Every shard goroutine finished without covering the grid:
+				// either one reported a fatal error (prefer it — the closed
+				// channel may win the select race) or we were cancelled.
+				select {
+				case err := <-fatal:
+					em.fail(err)
+				default:
+					em.fail(fmt.Errorf("fleet: request cancelled with %d/%d rows merged: %w",
+						rb.Released(), rb.total, context.Canceled))
+				}
+				return
+			}
+			if !rb.Add(msg.idx, msg.line) {
+				continue // duplicate from a retried shard
+			}
+			for {
+				line, ok := rb.Pop()
+				if !ok {
+					break
+				}
+				if err := em.row(line); err != nil {
+					cancel() // client gone; stop the fan-out
+					return
+				}
+			}
+		}
+	}
+	cancel() // release any straggler retries still re-sending merged rows
+	em.finish()
+}
+
+// runShard streams one shard off its replica, retrying with jittered
+// exponential backoff. It returns nil only after the shard's full row
+// count arrived; anything else — transport failure, error status, a
+// stream-level error line, a short stream — fails the attempt.
+func (c *Coordinator) runShard(ctx context.Context, p *evalPlan, sh shard, rows chan<- rowMsg) error {
+	select {
+	case c.sems[sh.replica] <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-c.sems[sh.replica] }()
+
+	cl := c.clients[sh.replica]
+	sub := service.EvalRequest{
+		Kind:       p.kind,
+		Configs:    []string{p.cfgNames[sh.cfg]},
+		Contention: p.contention,
+		Stream:     true,
+	}
+	for _, m := range sh.mixIdx {
+		sub.Mixes = append(sub.Mixes, []string(p.mixes[m]))
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			obs.FleetShardRetriesTotal.Inc()
+			if !sleepJittered(ctx, c.cfg.RetryBackoff<<(attempt-1)) {
+				return ctx.Err()
+			}
+		}
+		if err := cl.Check(ctx); err != nil {
+			lastErr = err
+			if cl.Refused() {
+				return err // version skew is permanent; go straight to failover
+			}
+			continue
+		}
+		obs.FleetShardsDispatchedTotal.Inc()
+		if obs.Fleet.Enabled(obs.LevelDebug) {
+			obs.Fleet.Log(ctx, obs.LevelDebug, "shard dispatched",
+				"replica", cl.Base(), "config", p.cfgNames[sh.cfg],
+				"units", len(sh.mixIdx), "attempt", attempt)
+		}
+		n := 0
+		err := cl.StreamEval(ctx, sub, func(line []byte) error {
+			if !bytes.HasPrefix(line, []byte(`{"mix":`)) {
+				// A stream-level error line (cancellation on the replica);
+				// fail the attempt so the rows get re-fetched.
+				return fmt.Errorf("fleet: shard stream error from %s: %s", cl.Base(), line)
+			}
+			if n >= len(sh.mixIdx) {
+				return fmt.Errorf("fleet: replica %s sent more rows than the shard holds", cl.Base())
+			}
+			idx := sh.cfg*len(p.mixes) + sh.mixIdx[n]
+			n++
+			select {
+			case rows <- rowMsg{idx: idx, line: append([]byte(nil), line...)}:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err == nil && n == len(sh.mixIdx) {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("fleet: replica %s closed the stream after %d of %d rows",
+				cl.Base(), n, len(sh.mixIdx))
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("fleet: shard on %s failed after %d attempts: %w",
+		cl.Base(), c.cfg.Retries+1, lastErr)
+}
+
+// sleepJittered sleeps for d plus up to 50% random jitter, or until ctx
+// is done (returning false). Jitter decorrelates the retry storms of
+// shards that failed together.
+func sleepJittered(ctx context.Context, d time.Duration) bool {
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// statusForMessage maps a wire error message back onto the status the
+// service would have used. The sentinel texts are the documented-stable
+// suffixes of the mppm error taxonomy (see internal/mppmerr).
+func statusForMessage(msg string) int {
+	switch {
+	case strings.Contains(msg, "unknown benchmark"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "empty mix"),
+		strings.Contains(msg, "invalid configuration"),
+		strings.Contains(msg, "missing profiles"):
+		return http.StatusBadRequest
+	case strings.Contains(msg, context.Canceled.Error()),
+		strings.Contains(msg, context.DeadlineExceeded.Error()):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSONError renders an error body the way the service does:
+// indented JSON with a trailing newline.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

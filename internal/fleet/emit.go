@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// emitter renders the merged rows as one of /v1/eval's two response
+// modes. Both reproduce the single-replica wire format byte for byte:
+// the stream emitter forwards replica NDJSON lines verbatim, and the
+// buffered emitter re-encodes decoded rows through the same encoder
+// settings the service uses (Go's shortest-float JSON representation
+// round-trips exactly, so decode+re-encode is the identity).
+type emitter interface {
+	// row emits one in-order row; an error means the client is gone.
+	row(line []byte) error
+	// fail terminates the response with an error: a plain error response
+	// if nothing has been sent, a trailing error line mid-stream.
+	fail(err error)
+	// finish completes a fully-merged response.
+	finish()
+}
+
+func newEmitter(w http.ResponseWriter, p *evalPlan) emitter {
+	if p.stream {
+		fl, _ := w.(http.Flusher)
+		return &streamEmitter{w: w, flusher: fl}
+	}
+	return &bufferedEmitter{w: w, p: p}
+}
+
+// streamEmitter forwards merged rows as NDJSON, flushing per row like
+// the replicas do.
+type streamEmitter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	started bool
+}
+
+func (e *streamEmitter) row(line []byte) error {
+	if !e.started {
+		e.w.Header().Set("Content-Type", "application/x-ndjson")
+		e.w.WriteHeader(http.StatusOK)
+		e.started = true
+	}
+	if _, err := e.w.Write(line); err != nil {
+		return err
+	}
+	if _, err := e.w.Write([]byte{'\n'}); err != nil {
+		return err
+	}
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+	return nil
+}
+
+func (e *streamEmitter) fail(err error) {
+	if !e.started {
+		writeJSONError(e.w, statusForMessage(err.Error()), err.Error())
+		return
+	}
+	// The 200 is on the wire; append the error as a final line, exactly
+	// like a replica whose stream died mid-request.
+	line, merr := json.Marshal(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+	if merr != nil {
+		return
+	}
+	_, _ = e.w.Write(append(line, '\n'))
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+func (e *streamEmitter) finish() {}
+
+// bufferedEmitter accumulates the merged rows and renders the classic
+// EvalResponse document.
+type bufferedEmitter struct {
+	w     http.ResponseWriter
+	p     *evalPlan
+	lines [][]byte
+}
+
+func (e *bufferedEmitter) row(line []byte) error {
+	e.lines = append(e.lines, line)
+	return nil
+}
+
+func (e *bufferedEmitter) fail(err error) {
+	writeJSONError(e.w, statusForMessage(err.Error()), err.Error())
+}
+
+func (e *bufferedEmitter) finish() {
+	resp := service.EvalResponse{
+		Kind:    e.p.kind,
+		Mixes:   len(e.p.mixes),
+		Configs: e.p.cfgNames,
+	}
+	allFailed := true
+	for _, line := range e.lines {
+		var sc service.ScenarioResult
+		if err := json.Unmarshal(line, &sc); err != nil {
+			writeJSONError(e.w, http.StatusInternalServerError,
+				"fleet: undecodable shard row: "+err.Error())
+			return
+		}
+		if sc.Error == "" {
+			allFailed = false
+		}
+		resp.Scenarios = append(resp.Scenarios, sc)
+	}
+	if allFailed && len(resp.Scenarios) > 0 {
+		// Mirror the single-replica behavior: when every scenario failed,
+		// the first error in grid order becomes the response.
+		msg := resp.Scenarios[0].Error
+		writeJSONError(e.w, statusForMessage(msg), msg)
+		return
+	}
+	e.w.Header().Set("Content-Type", "application/json")
+	e.w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(e.w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fetchTimeout bounds one peer artifact fetch across all peers. An
+// artifact is a few hundred KiB at paper scale; a fleet that can't
+// serve one inside 30s should fall back to recomputing.
+const fetchTimeout = 30 * time.Second
+
+// Fetcher pulls missing artifacts from fleet peers. Wired into a
+// System via mppm.WithPeerFetch, it turns the store into a fleet-aware
+// tier: a local miss asks each healthy, version-compatible peer for the
+// raw stored bytes before the engine recomputes. The store re-validates
+// everything it is handed (decode + identity + checksum), so the
+// fetcher ships bytes, not trust.
+type Fetcher struct {
+	clients []*Client
+}
+
+// NewFetcher returns a fetcher over the peer base URLs, excluding self
+// (this replica's own advertised URL — asking yourself is a miss with
+// extra steps). hc nil means http.DefaultClient.
+func NewFetcher(peers []string, self string, hc *http.Client) *Fetcher {
+	f := &Fetcher{}
+	for _, p := range peers {
+		if p == self || p == "" {
+			continue
+		}
+		f.clients = append(f.clients, NewClient(p, hc))
+	}
+	return f
+}
+
+// Peers returns the number of peers the fetcher consults.
+func (f *Fetcher) Peers() int { return len(f.clients) }
+
+// Fetch implements the mppm.WithPeerFetch callback: it asks each peer
+// in turn for the artifact and returns the first copy offered. A nil
+// error means some peer had it; the caller (the store) still runs its
+// full decode-and-validate gauntlet before trusting the bytes.
+func (f *Fetcher) Fetch(kind, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), fetchTimeout)
+	defer cancel()
+	for _, cl := range f.clients {
+		if err := cl.Check(ctx); err != nil {
+			if obs.Fleet.Enabled(obs.LevelDebug) {
+				obs.Fleet.Log(ctx, obs.LevelDebug, "peer skipped for artifact fetch",
+					"peer", cl.Base(), "err", err)
+			}
+			continue
+		}
+		b, ok, err := cl.Artifact(ctx, kind, key)
+		if err != nil {
+			if obs.Fleet.Enabled(obs.LevelDebug) {
+				obs.Fleet.Log(ctx, obs.LevelDebug, "peer artifact fetch failed",
+					"peer", cl.Base(), "kind", kind, "key", key, "err", err)
+			}
+			continue
+		}
+		if ok {
+			obs.FleetPeerFetchHitsTotal.Inc()
+			if obs.Fleet.Enabled(obs.LevelDebug) {
+				obs.Fleet.Log(ctx, obs.LevelDebug, "artifact fetched from peer",
+					"peer", cl.Base(), "kind", kind, "key", key, "bytes", len(b))
+			}
+			return b, nil
+		}
+	}
+	obs.FleetPeerFetchMissesTotal.Inc()
+	return nil, fmt.Errorf("fleet: artifact %s/%s not available from any of %d peers",
+		kind, key, len(f.clients))
+}

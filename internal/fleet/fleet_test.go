@@ -1,0 +1,613 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	mppm "repro"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/store/codec"
+	"repro/internal/trace"
+)
+
+// Reduced paper scale, matching the service tests: full pipeline
+// semantics at test runtime.
+const (
+	testTraceLen = 200_000
+	testInterval = 10_000
+)
+
+// newReplica starts one mppmd-shaped replica. storeDir == "" means no
+// persistent store.
+func newReplica(t testing.TB, storeDir string, sysOpts ...mppm.SystemOption) (*httptest.Server, *mppm.System) {
+	t.Helper()
+	opts := append([]mppm.SystemOption{mppm.WithScale(testTraceLen, testInterval)}, sysOpts...)
+	if storeDir != "" {
+		opts = append(opts, mppm.WithStore(storeDir))
+	}
+	sys := mppm.NewSystem(mppm.DefaultLLC(), opts...)
+	ts := httptest.NewServer(service.New(sys, service.WithFleetMetrics()).Handler())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+// suiteMixes builds a deterministic suite-wide workload: every
+// benchmark paired with its neighbor.
+func suiteMixes() [][]string {
+	names := trace.SuiteNames()
+	mixes := make([][]string, len(names))
+	for i, n := range names {
+		mixes[i] = []string{n, names[(i+1)%len(names)]}
+	}
+	return mixes
+}
+
+func allConfigNames() []string {
+	var names []string
+	for _, c := range mppm.LLCConfigs() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+func postRaw(t testing.TB, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestRing(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same peers in a different order must agree on ownership by URL.
+	r2, err := NewRing([]string{peers[2], peers[0], peers[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("config#%d|mix-%d", i%6+1, i)
+		o1 := r1.Owner(key, nil)
+		o2 := r2.Owner(key, nil)
+		if r1.Replica(o1) != r2.Replica(o2) {
+			t.Fatalf("key %q owned by %s in one ring, %s in the other",
+				key, r1.Replica(o1), r2.Replica(o2))
+		}
+		owned[o1]++
+	}
+	for i := 0; i < 3; i++ {
+		if owned[i] == 0 {
+			t.Fatalf("replica %d owns nothing: %v", i, owned)
+		}
+	}
+	// Killing an owner moves only its keys; survivors keep theirs.
+	dead := r1.Owner("config#1|victim", nil)
+	alive := func(i int) bool { return i != dead }
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("config#%d|mix-%d", i%6+1, i)
+		was := r1.Owner(key, nil)
+		now := r1.Owner(key, alive)
+		if was != dead && now != was {
+			t.Fatalf("key %q moved from surviving replica %d to %d", key, was, now)
+		}
+		if was == dead && now == dead {
+			t.Fatalf("key %q still assigned to dead replica", key)
+		}
+	}
+	if r1.Owner("anything", func(int) bool { return false }) != -1 {
+		t.Fatal("owner found with no replica alive")
+	}
+
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 0); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+}
+
+// newTestFleet stands up n replicas plus a coordinator mounted over the
+// first replica's handler, the way cmd/mppmd composes them.
+func newTestFleet(t testing.TB, n int, cfg Config) (coord *httptest.Server, replicas []*httptest.Server) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ts, _ := newReplica(t, "")
+		replicas = append(replicas, ts)
+		cfg.Peers = append(cfg.Peers, ts.URL)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord = httptest.NewServer(c.Mount(replicas[0].Config.Handler))
+	t.Cleanup(coord.Close)
+	return coord, replicas
+}
+
+// TestFleetByteIdentity is the differential oracle of the tentpole: a
+// three-replica fleet evaluating the full suite across every Table 2
+// config must answer byte-identically to a single node, in both
+// response modes.
+func TestFleetByteIdentity(t *testing.T) {
+	single, _ := newReplica(t, "")
+	coord, _ := newTestFleet(t, 3, Config{})
+
+	req := map[string]any{
+		"kind":    "compare",
+		"mixes":   suiteMixes(),
+		"configs": allConfigNames(),
+	}
+
+	wantResp, want := postRaw(t, single.URL+"/v1/eval", req)
+	gotResp, got := postRaw(t, coord.URL+"/v1/eval", req)
+	if wantResp.StatusCode != http.StatusOK || gotResp.StatusCode != http.StatusOK {
+		t.Fatalf("status single=%d fleet=%d: %s", wantResp.StatusCode, gotResp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("buffered fleet response differs from single node\n fleet %d bytes, single %d bytes",
+			len(got), len(want))
+	}
+
+	req["stream"] = true
+	wantResp, want = postRaw(t, single.URL+"/v1/eval", req)
+	gotResp, got = postRaw(t, coord.URL+"/v1/eval", req)
+	if wantResp.StatusCode != http.StatusOK || gotResp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status single=%d fleet=%d", wantResp.StatusCode, gotResp.StatusCode)
+	}
+	if ct := gotResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("fleet stream Content-Type %q", ct)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed fleet response differs from single node\n fleet %d bytes, single %d bytes",
+			len(got), len(want))
+	}
+	rows := bytes.Count(got, []byte{'\n'})
+	if wantRows := len(suiteMixes()) * 6; rows != wantRows {
+		t.Fatalf("%d streamed rows, want %d", rows, wantRows)
+	}
+}
+
+// TestFleetErrorParity: requests the fleet can't or shouldn't
+// distribute produce the same responses a single replica would.
+func TestFleetErrorParity(t *testing.T) {
+	single, _ := newReplica(t, "")
+	coord, _ := newTestFleet(t, 2, Config{})
+
+	for _, body := range []map[string]any{
+		{"mixes": [][]string{{"nosuchbench", "lbm"}}, "configs": []string{"config#1"}},
+		{"mixes": [][]string{}},
+		{"kind": "frobnicate", "mixes": [][]string{{"gamess"}}},
+		{"mixes": [][]string{{"gamess", "lbm"}, {"mcf", "milc"}}, "top_k": 1},
+		{"mixes": [][]string{{"gamess", "lbm"}}, "configs": []string{"config#1"}, "unknown_field": 1},
+	} {
+		wantResp, want := postRaw(t, single.URL+"/v1/eval", body)
+		gotResp, got := postRaw(t, coord.URL+"/v1/eval", body)
+		if gotResp.StatusCode != wantResp.StatusCode {
+			t.Fatalf("body %v: fleet status %d, single %d", body, gotResp.StatusCode, wantResp.StatusCode)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("body %v: fleet response %q, single %q", body, got, want)
+		}
+	}
+}
+
+// killableReplica proxies a replica handler and kills the replica after
+// it has streamed killAfter eval rows: in-flight streams are aborted
+// mid-response and every later request is refused — a crash mid-sweep,
+// as seen from the coordinator.
+type killableReplica struct {
+	h         http.Handler
+	dead      atomic.Bool
+	rows      atomic.Int64
+	killAfter int64
+}
+
+func (k *killableReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		http.Error(w, "replica down", http.StatusServiceUnavailable)
+		return
+	}
+	if r.URL.Path == "/v1/eval" {
+		w = &killWriter{ResponseWriter: w, k: k}
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+type killWriter struct {
+	http.ResponseWriter
+	k *killableReplica
+}
+
+func (w *killWriter) Write(b []byte) (int, error) {
+	if w.k.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	n, err := w.ResponseWriter.Write(b)
+	if rows := w.k.rows.Add(int64(bytes.Count(b[:n], []byte{'\n'}))); rows >= w.k.killAfter {
+		w.k.dead.Store(true)
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (w *killWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestFleetFailover kills one of three replicas after it streamed a few
+// rows mid-sweep and asserts the merged stream still completes: every
+// row, in order, no duplicates, byte-identical to a single node.
+func TestFleetFailover(t *testing.T) {
+	single, _ := newReplica(t, "")
+
+	var peers []string
+	var servers []*httptest.Server
+	victims := make([]*killableReplica, 3)
+	for i := 0; i < 3; i++ {
+		sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(testTraceLen, testInterval))
+		victims[i] = &killableReplica{
+			h:         service.New(sys).Handler(),
+			killAfter: 1 << 62, // immortal unless armed below
+		}
+		ts := httptest.NewServer(victims[i])
+		t.Cleanup(ts.Close)
+		servers = append(servers, ts)
+		peers = append(peers, ts.URL)
+	}
+
+	mixes := suiteMixes()
+	cfgNames := allConfigNames()
+
+	// Arm the replica owning the most work units, so the kill is
+	// guaranteed to strand shards mid-sweep.
+	ring, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, 3)
+	for _, cn := range cfgNames {
+		for _, m := range mixes {
+			owned[ring.Owner(cn+"|"+strings.Join(m, "|"), nil)]++
+		}
+	}
+	victim := 0
+	for i, n := range owned {
+		if n > owned[victim] {
+			victim = i
+		}
+	}
+	if owned[victim] < 4 {
+		t.Fatalf("victim replica owns only %d units: %v", owned[victim], owned)
+	}
+	victims[victim].killAfter = 3
+
+	c, err := New(Config{Peers: peers, Retries: 1, RetryBackoff: 5_000_000 /* 5ms */})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(c.Mount(servers[0].Config.Handler))
+	t.Cleanup(coord.Close)
+
+	failoversBefore := obs.FleetShardFailoversTotal.Value()
+
+	req := map[string]any{"mixes": mixes, "configs": cfgNames, "stream": true}
+	_, want := postRaw(t, single.URL+"/v1/eval", req)
+	resp, got := postRaw(t, coord.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if !victims[victim].dead.Load() {
+		t.Fatal("victim replica was never killed; kill threshold not reached")
+	}
+	if !bytes.Equal(got, want) {
+		// Diagnose: dup/missing/misordered rows all break byte equality.
+		gotLines := bytes.Split(bytes.TrimSuffix(got, []byte{'\n'}), []byte{'\n'})
+		wantLines := bytes.Split(bytes.TrimSuffix(want, []byte{'\n'}), []byte{'\n'})
+		t.Fatalf("fleet stream with mid-sweep kill differs from single node: %d rows vs %d",
+			len(gotLines), len(wantLines))
+	}
+	if d := obs.FleetShardFailoversTotal.Value() - failoversBefore; d == 0 {
+		t.Fatal("no shard failovers recorded despite a dead replica")
+	}
+}
+
+// TestPeerFetchColdStart: an empty-store replica joining a warm fleet
+// must complete a suite-wide sweep without recomputing a single
+// recording — every artifact arrives from peers.
+func TestPeerFetchColdStart(t *testing.T) {
+	warmSrv, warmSys := newReplica(t, t.TempDir())
+	configs := mppm.LLCConfigs()
+	if _, err := warmSys.Warm(context.Background(), configs...); err != nil {
+		t.Fatal(err)
+	}
+
+	fetcher := NewFetcher([]string{warmSrv.URL}, "", nil)
+	coldDir := t.TempDir()
+	cold := mppm.NewSystem(mppm.DefaultLLC(),
+		mppm.WithScale(testTraceLen, testInterval),
+		mppm.WithStore(coldDir),
+		mppm.WithPeerFetch(fetcher.Fetch))
+
+	var mixes []mppm.Mix
+	for _, m := range suiteMixes() {
+		mixes = append(mixes, mppm.Mix(m))
+	}
+	res, err := cold.Eval(context.Background(),
+		mppm.NewRequest(mppm.KindPredict, mixes, mppm.WithConfigs(configs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := cold.EngineStats().RecordingComputations; n != 0 {
+		t.Fatalf("cold replica computed %d recordings; want 0 (all peer-fetched)", n)
+	}
+	stats, _, ok := cold.StoreStats()
+	if !ok {
+		t.Fatal("cold replica has no store stats")
+	}
+	if stats.PeerFetchHits == 0 {
+		t.Fatal("cold replica recorded no peer fetch hits")
+	}
+	if stats.PeerBytesFetched == 0 {
+		t.Fatal("cold replica recorded no peer bytes fetched")
+	}
+}
+
+// TestVersionSkew: a peer running a different artifact codec format
+// version is refused — by the artifact fetcher and by the coordinator,
+// which routes its work to compatible replicas instead.
+func TestVersionSkew(t *testing.T) {
+	skewed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/version" {
+			t.Errorf("skewed peer got %s %s; version gate should have refused first", r.Method, r.URL.Path)
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(service.VersionResponse{
+			Module: "repro", Version: "devel",
+			CodecFormatVersion: codec.FormatVersion + 1,
+		})
+	}))
+	t.Cleanup(skewed.Close)
+
+	cl := NewClient(skewed.URL, nil)
+	if err := cl.Check(context.Background()); err == nil {
+		t.Fatal("codec-mismatched peer accepted")
+	}
+	if !cl.Refused() {
+		t.Fatal("mismatch not cached as a permanent refusal")
+	}
+
+	// The fetcher treats a skewed-only fleet as a total miss.
+	f := NewFetcher([]string{skewed.URL}, "", nil)
+	if _, err := f.Fetch("recordings", strings.Repeat("0", 32)); err == nil {
+		t.Fatal("fetch from codec-mismatched peer succeeded")
+	}
+
+	// A coordinator over one skewed and two good replicas still answers
+	// correctly: the skewed peer's shards fail over before dispatch.
+	single, _ := newReplica(t, "")
+	good1, _ := newReplica(t, "")
+	good2, _ := newReplica(t, "")
+	c, err := New(Config{Peers: []string{skewed.URL, good1.URL, good2.URL}, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := httptest.NewServer(c.Mount(good1.Config.Handler))
+	t.Cleanup(coord.Close)
+
+	req := map[string]any{"mixes": suiteMixes()[:4], "configs": []string{"config#1", "config#2"}}
+	_, want := postRaw(t, single.URL+"/v1/eval", req)
+	resp, got := postRaw(t, coord.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fleet with a skewed peer answered differently from single node")
+	}
+}
+
+// TestReorderBuffer covers the merge invariants directly: in-order
+// release, duplicate suppression, out-of-range rejection.
+func TestReorderBuffer(t *testing.T) {
+	rb := newReorderBuffer(3)
+	if _, ok := rb.Pop(); ok {
+		t.Fatal("pop from empty buffer")
+	}
+	if !rb.Add(2, []byte("c")) || !rb.Add(1, []byte("b")) {
+		t.Fatal("fresh rows rejected")
+	}
+	if rb.Add(1, []byte("b2")) {
+		t.Fatal("duplicate pending row accepted")
+	}
+	if rb.Add(3, []byte("d")) || rb.Add(-1, []byte("z")) {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, ok := rb.Pop(); ok {
+		t.Fatal("released row 1 before row 0 arrived")
+	}
+	if !rb.Add(0, []byte("a")) {
+		t.Fatal("row 0 rejected")
+	}
+	var out []string
+	for {
+		line, ok := rb.Pop()
+		if !ok {
+			break
+		}
+		out = append(out, string(line))
+	}
+	if strings.Join(out, "") != "abc" {
+		t.Fatalf("released %v, want a,b,c", out)
+	}
+	if !rb.Done() {
+		t.Fatal("buffer not done after releasing every row")
+	}
+	if rb.Add(0, []byte("a")) {
+		t.Fatal("released row re-accepted")
+	}
+}
+
+// BenchmarkFleetSweep measures a three-replica fleet serving the
+// suite-wide Table 2 sweep end to end (coordinator fan-out, shard
+// streams, reorder merge), the fleet counterpart of BenchmarkSweep.
+func BenchmarkFleetSweep(b *testing.B) {
+	coord, _ := newTestFleet(b, 3, Config{})
+	body, err := json.Marshal(map[string]any{
+		"mixes": suiteMixes(), "configs": allConfigNames(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One throwaway sweep warms every replica's profile caches so the
+	// steady state measures fan-out and merge, not first-touch profiling.
+	warm := func() {
+		resp, err := http.Post(coord.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+		for sc.Scan() {
+		}
+		resp.Body.Close()
+	}
+	warm()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(coord.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d err %v", resp.StatusCode, err)
+		}
+		if len(data) == 0 {
+			b.Fatal("empty response")
+		}
+	}
+}
+
+// switchHandler lets a server start before its final handler exists —
+// needed to build the production topology, where every replica's
+// coordinator ring contains the replica's own (port-assigned) URL.
+type switchHandler struct{ h atomic.Value }
+
+func (s *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// TestFleetSelfCoordination reproduces the production topology that
+// newTestFleet does not: every replica runs a coordinator over the same
+// peer set, so each is in its own ring and shard sub-requests addressed
+// to the coordinating replica arrive back at its own coordinator. Those
+// must be served locally, not re-sharded — before the shard marker
+// header existed, a self-owned unit recursed through the coordinator
+// forever and the request never completed.
+func TestFleetSelfCoordination(t *testing.T) {
+	const n = 3
+	var (
+		servers  []*httptest.Server
+		switches []*switchHandler
+		peers    []string
+	)
+	for i := 0; i < n; i++ {
+		sw := &switchHandler{}
+		ts := httptest.NewServer(sw)
+		t.Cleanup(ts.Close)
+		servers = append(servers, ts)
+		switches = append(switches, sw)
+		peers = append(peers, ts.URL)
+	}
+	var coord0 *Coordinator
+	for i := 0; i < n; i++ {
+		sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(testTraceLen, testInterval))
+		c, err := New(Config{Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			coord0 = c
+		}
+		switches[i].h.Store(c.Mount(service.New(sys, service.WithFleetMetrics()).Handler()))
+	}
+
+	mixes := suiteMixes()
+	configs := allConfigNames()[:2]
+
+	// The failure mode only triggers when the entry replica owns at
+	// least one unit; with this grid the odds of it owning none are
+	// (2/3)^(len(mixes)*2) — vanishingly small, but assert it anyway so
+	// a silent miss can't weaken the test.
+	self := 0
+	for _, cfg := range configs {
+		for _, m := range mixes {
+			key := cfg + "|" + strings.Join(m, "|")
+			if coord0.ring.Owner(key, func(int) bool { return true }) == 0 {
+				self++
+			}
+		}
+	}
+	if self == 0 {
+		t.Fatalf("entry replica owns no units; grid cannot exercise self-coordination")
+	}
+
+	single, _ := newReplica(t, "")
+	req := map[string]any{"kind": "compare", "mixes": mixes, "configs": configs}
+	wantResp, want := postRaw(t, single.URL+"/v1/eval", req)
+	if wantResp.StatusCode != http.StatusOK {
+		t.Fatalf("single node: status %d: %s", wantResp.StatusCode, want)
+	}
+	gotResp, got := postRaw(t, servers[0].URL+"/v1/eval", req)
+	if gotResp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet: status %d: %s", gotResp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("self-coordinated fleet response differs from single node\nfleet:  %d bytes\nsingle: %d bytes", len(got), len(want))
+	}
+
+	req["stream"] = true
+	wantResp, want = postRaw(t, single.URL+"/v1/eval", req)
+	if wantResp.StatusCode != http.StatusOK {
+		t.Fatalf("single node stream: status %d: %s", wantResp.StatusCode, want)
+	}
+	gotResp, got = postRaw(t, servers[0].URL+"/v1/eval", req)
+	if gotResp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet stream: status %d: %s", gotResp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("self-coordinated fleet stream differs from single node\nfleet:  %d bytes\nsingle: %d bytes", len(got), len(want))
+	}
+}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// reorderBuffer merges out-of-order shard rows back into the global
+// config-major grid order. Rows are indexed g = cfg*len(mixes)+mix;
+// a row is released only once every row before it has been released,
+// which is what makes the fleet response deterministic regardless of
+// shard interleaving. Duplicate indices — a retried shard resending
+// rows its first attempt already delivered — are dropped: evaluation is
+// deterministic, so the copies are identical. Not safe for concurrent
+// use; the coordinator drives it from its single merge loop.
+type reorderBuffer struct {
+	next    int
+	total   int
+	pending map[int]pendingRow
+}
+
+type pendingRow struct {
+	line    []byte
+	arrived time.Time
+}
+
+func newReorderBuffer(total int) *reorderBuffer {
+	return &reorderBuffer{total: total, pending: make(map[int]pendingRow)}
+}
+
+// Add offers row idx. It reports whether the row was new (false for
+// duplicates and out-of-range indices). The line is retained.
+func (b *reorderBuffer) Add(idx int, line []byte) bool {
+	if idx < b.next || idx >= b.total {
+		return false
+	}
+	if _, dup := b.pending[idx]; dup {
+		return false
+	}
+	b.pending[idx] = pendingRow{line: line, arrived: time.Now()}
+	return true
+}
+
+// Pop releases the next in-order row if it has arrived, observing how
+// long it sat blocked behind earlier rows (head-of-line stall; ~0 for a
+// row that arrived in order).
+func (b *reorderBuffer) Pop() ([]byte, bool) {
+	row, ok := b.pending[b.next]
+	if !ok {
+		return nil, false
+	}
+	delete(b.pending, b.next)
+	b.next++
+	obs.FleetMergeStallSeconds.Observe(time.Since(row.arrived).Seconds())
+	return row.line, true
+}
+
+// Done reports whether every row has been released.
+func (b *reorderBuffer) Done() bool { return b.next == b.total }
+
+// Released returns how many rows have been released so far.
+func (b *reorderBuffer) Released() int { return b.next }

@@ -73,6 +73,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the
+// NDJSON /v1/eval mode) can push rows through the middleware
+// incrementally.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Wrap instruments one route's handler: request ID stamped into the
 // context, in-flight gauge held for the duration, status-classed
 // request counter and latency histogram on the way out, plus an

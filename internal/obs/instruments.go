@@ -22,3 +22,29 @@ var (
 	// worker picked it up.
 	EngineJobRunSeconds = NewHistogram(DurationBuckets...)
 )
+
+// Process-wide fleet instruments: the coordinator's shard fan-out and
+// the peer artifact-fetch client record into these. Like the engine
+// instruments they are process-global — a serving process runs one
+// coordinator — and exported behind /metrics when fleet mode is on.
+var (
+	// FleetShardsDispatchedTotal counts shard sub-requests sent to
+	// replicas, including retries and failover re-dispatches.
+	FleetShardsDispatchedTotal Counter
+	// FleetShardRetriesTotal counts shard attempts that failed and were
+	// retried against the same replica.
+	FleetShardRetriesTotal Counter
+	// FleetShardFailoversTotal counts shards whose work was re-hashed
+	// onto surviving replicas after their owner was declared down.
+	FleetShardFailoversTotal Counter
+	// FleetPeerFetchHitsTotal counts artifacts successfully pulled from
+	// a fleet peer by this process's artifact-fetch client.
+	FleetPeerFetchHitsTotal Counter
+	// FleetPeerFetchMissesTotal counts peer artifact fetches that came
+	// back empty from every healthy peer.
+	FleetPeerFetchMissesTotal Counter
+	// FleetMergeStallSeconds observes, per merged row, how long the row
+	// waited in the coordinator's reorder buffer for earlier rows to
+	// arrive — head-of-line blocking across shards.
+	FleetMergeStallSeconds = NewHistogram(DurationBuckets...)
+)

@@ -158,12 +158,13 @@ func (c *Component) emit(ctx context.Context, l Level, msg string, args []any) {
 }
 
 // The subsystem components. Every trace site in the repository routes
-// through one of these four gates.
+// through one of these gates.
 var (
 	Engine  = &Component{name: "engine"}
 	Store   = &Component{name: "store"}
 	Sim     = &Component{name: "sim"}
 	Service = &Component{name: "service"}
+	Fleet   = &Component{name: "fleet"}
 )
 
 // components indexes the gates by configuration name.
@@ -172,6 +173,7 @@ var components = map[string]*Component{
 	Store.name:   Store,
 	Sim.name:     Sim,
 	Service.name: Service,
+	Fleet.name:   Fleet,
 }
 
 // ComponentByName returns one trace component by configuration name.

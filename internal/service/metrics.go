@@ -40,6 +40,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	e := obs.NewExposition(&buf)
 	s.writeEngineMetrics(e)
 	s.writeStoreMetrics(e)
+	s.writeFleetMetrics(e)
 	s.httpm.WriteTo(e)
 	s.writeRuntimeMetrics(e)
 	if err := e.Err(); err != nil {
@@ -123,6 +124,41 @@ func (s *Server) writeStoreMetrics(e *obs.Exposition) {
 	e.Family("mppm_store_bytes_loaded_total", "counter",
 		"File bytes served from the persistent artifact store.")
 	e.Value(float64(ss.BytesLoaded))
+	e.Family("mppm_store_peer_fetch_hits_total", "counter",
+		"Artifact loads served by pulling valid bytes from a fleet peer.")
+	e.Value(float64(ss.PeerFetchHits))
+	e.Family("mppm_store_peer_fetch_misses_total", "counter",
+		"Peer fetch attempts that failed (no peer had the artifact, or offered bytes were invalid).")
+	e.Value(float64(ss.PeerFetchMisses))
+	e.Family("mppm_store_peer_bytes_fetched_total", "counter",
+		"Raw artifact bytes pulled from fleet peers.")
+	e.Value(float64(ss.PeerBytesFetched))
+}
+
+// writeFleetMetrics emits the fleet coordinator and peer-fetch-client
+// families; a server constructed without WithFleetMetrics emits none.
+func (s *Server) writeFleetMetrics(e *obs.Exposition) {
+	if !s.fleet {
+		return
+	}
+	e.Family("mppm_fleet_shards_dispatched_total", "counter",
+		"Shard sub-requests sent to fleet replicas, including retries and failovers.")
+	e.Value(float64(obs.FleetShardsDispatchedTotal.Value()))
+	e.Family("mppm_fleet_shard_retries_total", "counter",
+		"Shard attempts retried against the same replica after a transport failure.")
+	e.Value(float64(obs.FleetShardRetriesTotal.Value()))
+	e.Family("mppm_fleet_shard_failovers_total", "counter",
+		"Shards re-hashed onto surviving replicas after their owner was declared down.")
+	e.Value(float64(obs.FleetShardFailoversTotal.Value()))
+	e.Family("mppm_fleet_peer_fetch_hits_total", "counter",
+		"Artifacts this process's fetch client pulled from a fleet peer.")
+	e.Value(float64(obs.FleetPeerFetchHitsTotal.Value()))
+	e.Family("mppm_fleet_peer_fetch_misses_total", "counter",
+		"Peer artifact fetches that every healthy peer answered empty.")
+	e.Value(float64(obs.FleetPeerFetchMissesTotal.Value()))
+	e.Family("mppm_fleet_merge_stall_seconds", "histogram",
+		"Per-row wait in the coordinator's reorder buffer for earlier rows to arrive.")
+	e.Hist(obs.FleetMergeStallSeconds)
 }
 
 func (s *Server) writeRuntimeMetrics(e *obs.Exposition) {

@@ -3,15 +3,19 @@
 // property that MPPM evaluates a multi-program mix in milliseconds
 // where detailed simulation takes hours.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET  /healthz        liveness probe (compat alias of /v1/healthz)
 //	GET  /v1/healthz     liveness probe
 //	GET  /v1/readyz      readiness probe: engine built, store usable (503 when not)
 //	GET  /metrics        Prometheus text exposition (engine, store, HTTP, runtime)
+//	GET  /v1/version     build, codec format and Go versions (fleet skew gate)
 //	GET  /v1/benchmarks  the synthetic suite, LLC configs, contention models
 //	GET  /v1/stats       engine + artifact-store hit/miss/load counters
-//	POST /v1/eval        the canonical endpoint: any kind, mixes x configs, top-k
+//	POST /v1/eval        the canonical endpoint: any kind, mixes x configs, top-k;
+//	                     "stream": true switches the response to NDJSON — one
+//	                     scenario per line in grid order, flushed incrementally
+//	GET  /v1/artifacts/{kind}/{key}  raw artifact bytes (fleet peer exchange)
 //	POST /v1/warmup      pre-compute suite profiles for a set of LLC configs
 //	POST /v1/predict     compat: one mix, one LLC config, MPPM model
 //	POST /v1/simulate    compat: one mix, one LLC config, detailed simulator
@@ -43,14 +47,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	mppm "repro"
 	"repro/internal/contention"
 	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/store/codec"
 	"repro/internal/trace"
 )
 
@@ -69,7 +79,7 @@ const (
 // in Handler.
 var routes = []string{
 	"/healthz", "/v1/healthz", "/v1/readyz", "/metrics",
-	"/v1/benchmarks", "/v1/stats",
+	"/v1/version", "/v1/benchmarks", "/v1/stats", "/v1/artifacts",
 	"/v1/eval", "/v1/warmup", "/v1/predict", "/v1/simulate", "/v1/sweep",
 }
 
@@ -79,6 +89,7 @@ type Server struct {
 	httpm *obs.HTTPMetrics
 	start time.Time
 	pprof bool
+	fleet bool
 }
 
 // Option configures a Server at construction.
@@ -89,6 +100,14 @@ type Option func(*Server)
 // execution traces perturb the process they measure.
 func WithPprof() Option {
 	return func(s *Server) { s.pprof = true }
+}
+
+// WithFleetMetrics adds the fleet instrument families (shard dispatch,
+// retries, failovers, peer fetches, merge stall) to /metrics. Off by
+// default: a standalone replica without peers has no fleet tier, and
+// absent families read cleaner than permanent zeros.
+func WithFleetMetrics() Option {
+	return func(s *Server) { s.fleet = true }
 }
 
 // New returns a Server over the given system.
@@ -117,8 +136,10 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
 	handle("GET /v1/readyz", "/v1/readyz", s.handleReadyz)
 	handle("GET /metrics", "/metrics", s.handleMetrics)
+	handle("GET /v1/version", "/v1/version", s.handleVersion)
 	handle("GET /v1/benchmarks", "/v1/benchmarks", s.handleBenchmarks)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /v1/artifacts/{kind}/{key}", "/v1/artifacts", s.handleArtifact)
 	handle("POST /v1/eval", "/v1/eval", s.handleEval)
 	handle("POST /v1/warmup", "/v1/warmup", s.handleWarmup)
 	handle("POST /v1/predict", "/v1/predict", s.handlePredict)
@@ -283,12 +304,21 @@ type EvalRequest struct {
 	Contention string `json:"contention,omitempty"`
 	// TopK, when positive, keeps only the k lowest-STP scenarios.
 	TopK int `json:"top_k,omitempty"`
+	// Stream, on /v1/eval only, switches the response to NDJSON: one
+	// ScenarioResult per line in config-major grid order, flushed as
+	// each scenario (and every scenario before it) completes — the wire
+	// form of System.EvalStream, and the transport fleet shard requests
+	// ride on. Incompatible with top_k (ranking needs the full grid).
+	Stream bool `json:"stream,omitempty"`
 }
 
-// buildRequest validates the wire request and lowers it onto the shared
+// BuildRequest validates the wire request and lowers it onto the shared
 // mppm.Request. kindOverride pins the evaluation kind for the compat
-// endpoints; pass nil to honor the body's kind field.
-func buildRequest(req EvalRequest, kindOverride *mppm.Kind) (mppm.Request, error) {
+// endpoints; pass nil to honor the body's kind field. It is exported so
+// the fleet coordinator validates requests with exactly this logic —
+// a request the coordinator fans out and a request a replica serves
+// locally must agree on every limit and default.
+func BuildRequest(req EvalRequest, kindOverride *mppm.Kind) (mppm.Request, error) {
 	var zero mppm.Request
 
 	kind := mppm.KindPredict
@@ -443,9 +473,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	mreq, err := buildRequest(req, nil)
+	mreq, err := BuildRequest(req, nil)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if req.Stream {
+		s.streamEval(w, r, mreq)
 		return
 	}
 	res, err := s.sys.Eval(r.Context(), mreq)
@@ -472,6 +506,122 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		resp.Scenarios = append(resp.Scenarios, toScenarioResult(&res.Scenarios[i]))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ndjsonContentType is the streaming response content type: one JSON
+// document per line.
+const ndjsonContentType = "application/x-ndjson"
+
+// streamEval serves the NDJSON response mode of /v1/eval: scenarios are
+// written one compact JSON row per line in config-major grid order and
+// flushed as they complete, so a consumer (a fleet coordinator merging
+// shards, or a client ranking a million-mix sweep) starts processing
+// row 0 while row N is still computing. Per-scenario failures ride in
+// the row's error field exactly like the buffered response; a
+// stream-level failure after the first row (cancellation, client
+// disconnect) is appended as a final {"error": ...} line, since the 200
+// status is already on the wire.
+func (s *Server) streamEval(w http.ResponseWriter, r *http.Request, mreq mppm.Request) {
+	flusher, _ := w.(http.Flusher)
+	var enc jsonScratch
+	enc.enc = json.NewEncoder(&enc.buf) // compact: one row per line
+	started := false
+	writeLine := func(v any) bool {
+		enc.buf.Reset()
+		if err := enc.enc.Encode(v); err != nil {
+			return false
+		}
+		if _, err := w.Write(enc.buf.Bytes()); err != nil {
+			return false // client gone; EvalStream's ctx will cancel via r.Context
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for sc, err := range s.sys.EvalStream(r.Context(), mreq) {
+		if sc.Mix == nil {
+			// Stream-level failure: an invalid request surfaces before any
+			// row (plain error response); cancellation mid-stream becomes a
+			// trailing error line.
+			if !started {
+				writeError(w, err)
+				return
+			}
+			writeLine(errorBody{Error: err.Error()})
+			return
+		}
+		if !started {
+			w.Header().Set("Content-Type", ndjsonContentType)
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if !writeLine(toScenarioResult(&sc)) {
+			return
+		}
+	}
+}
+
+// VersionResponse is the /v1/version payload: everything a fleet peer
+// needs to decide compatibility before exchanging artifacts or shards.
+type VersionResponse struct {
+	// Module and Version identify the build (module path and VCS-stamped
+	// version; "devel" for an unstamped build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// CodecFormatVersion is the artifact codec's on-disk/wire format
+	// version. Fleet clients refuse peers whose codec version differs:
+	// mixed-version rollouts must not exchange undecodable artifacts.
+	CodecFormatVersion int    `json:"codec_format_version"`
+	GoVersion          string `json:"go_version"`
+}
+
+// handleVersion reports the build and format versions. The codec
+// version is the load-bearing field: fleet peers gate artifact exchange
+// and shard routing on it.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	resp := VersionResponse{
+		Module:             "repro",
+		Version:            "devel",
+		CodecFormatVersion: codec.FormatVersion,
+		GoVersion:          runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Path != "" {
+			resp.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			resp.Version = bi.Main.Version
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleArtifact serves one persisted artifact's raw encoded bytes —
+// codec header, payload and trailing checksum exactly as stored — so a
+// fleet peer can warm itself from this replica instead of recomputing.
+// 404 covers both "no store configured" and "not persisted here": to
+// the fetching peer they mean the same thing, try elsewhere.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if _, _, ok := s.sys.StoreStats(); !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no artifact store configured"})
+		return
+	}
+	b, err := s.sys.ArtifactData(r.PathValue("kind"), r.PathValue("key"))
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrBadArtifactRef):
+			badRequest(w, err)
+		case errors.Is(err, fs.ErrNotExist):
+			writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
 }
 
 // EngineStatsJSON is the engine half of the /v1/stats payload: the
@@ -629,11 +779,11 @@ func (s *Server) runOne(w http.ResponseWriter, r *http.Request, kind mppm.Kind) 
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Mixes) > 0 || len(req.Configs) > 0 || req.Kind != "" || req.TopK != 0 {
-		badRequest(w, fmt.Errorf("batch fields are for /v1/eval; use mix and config here"))
+	if len(req.Mixes) > 0 || len(req.Configs) > 0 || req.Kind != "" || req.TopK != 0 || req.Stream {
+		badRequest(w, fmt.Errorf("batch and stream fields are for /v1/eval; use mix and config here"))
 		return
 	}
-	mreq, err := buildRequest(req, &kind)
+	mreq, err := BuildRequest(req, &kind)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -691,12 +841,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, fmt.Errorf("top_k is for /v1/eval"))
 		return
 	}
+	if req.Stream {
+		badRequest(w, fmt.Errorf("stream is for /v1/eval"))
+		return
+	}
 	if len(req.Configs) == 0 && req.Config == "" {
 		for _, c := range mppm.LLCConfigs() {
 			req.Configs = append(req.Configs, c.Name)
 		}
 	}
-	mreq, err := buildRequest(req, nil)
+	mreq, err := BuildRequest(req, nil)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -81,12 +81,59 @@ type Stats struct {
 	SaveErrors int64 `json:"save_errors"`
 	// BytesLoaded totals the file bytes served from the store.
 	BytesLoaded int64 `json:"bytes_loaded"`
+	// PeerFetchHits/Misses count loads that fell through to the peer
+	// fetch tier (see SetPeerFetch): a hit means a fleet peer supplied a
+	// valid artifact that a local miss would otherwise have recomputed;
+	// a miss means the fetch was attempted and failed (no peer had it,
+	// or every copy offered was damaged). PeerBytesFetched totals the
+	// raw bytes pulled from peers.
+	PeerFetchHits    int64 `json:"peer_fetch_hits"`
+	PeerFetchMisses  int64 `json:"peer_fetch_misses"`
+	PeerBytesFetched int64 `json:"peer_bytes_fetched"`
 }
+
+// ArtifactKind names one of the store's artifact classes the way the
+// fleet artifact-exchange endpoint spells them in URLs.
+type ArtifactKind string
+
+// The two artifact classes the store holds.
+const (
+	KindRecordings ArtifactKind = "recordings"
+	KindProfiles   ArtifactKind = "profiles"
+)
+
+// ext returns the kind's file extension, or ok=false for an unknown kind.
+func (k ArtifactKind) ext() (string, bool) {
+	switch k {
+	case KindRecordings:
+		return recordingExt, true
+	case KindProfiles:
+		return profileExt, true
+	}
+	return "", false
+}
+
+// ErrBadArtifactRef reports an artifact reference (kind or key) that
+// could never name a stored artifact — as opposed to one that is merely
+// absent.
+var ErrBadArtifactRef = errors.New("store: bad artifact reference")
+
+// PeerFetch pulls the raw encoded bytes of one artifact from a fleet
+// peer: exactly the file bytes a peer's ReadRaw serves, codec checksum
+// intact. A nil error with a non-nil payload means "a peer offered
+// this"; the store still runs the full decode-and-validate gauntlet
+// before trusting it. Implementations must be safe for concurrent use.
+type PeerFetch func(kind ArtifactKind, key string) ([]byte, error)
 
 // Store is a handle on one artifact directory. The zero value is not
 // usable; call Open.
 type Store struct {
 	dir string
+
+	// peerFetch, when non-nil, is consulted after a local load misses
+	// and before the caller recomputes. Set once via SetPeerFetch before
+	// the store serves concurrent loads.
+	peerFetch PeerFetch
 
 	recordingHits   atomic.Int64
 	recordingMisses atomic.Int64
@@ -97,6 +144,9 @@ type Store struct {
 	saveSkips       atomic.Int64
 	saveErrors      atomic.Int64
 	bytesLoaded     atomic.Int64
+	peerHits        atomic.Int64
+	peerMisses      atomic.Int64
+	peerBytes       atomic.Int64
 }
 
 // Open returns a handle on the artifact store rooted at dir. The
@@ -109,6 +159,14 @@ func Open(dir string) *Store {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetPeerFetch installs the fleet peer-fetch tier: after a local load
+// misses (absent or rejected), the store asks f for the artifact's raw
+// bytes, validates them exactly like a local file, persists them and
+// serves the result — so a cold replica joining a warm fleet pulls its
+// recordings over the wire in milliseconds instead of re-running
+// frontend passes. Call before the store serves concurrent loads.
+func (s *Store) SetPeerFetch(f PeerFetch) { s.peerFetch = f }
 
 // Ready verifies the store is usable as a persistence tier: the current
 // format version's subtree exists (creating it if needed) and is a
@@ -142,6 +200,10 @@ func (s *Store) Stats() Stats {
 		SaveSkips:       s.saveSkips.Load(),
 		SaveErrors:      s.saveErrors.Load(),
 		BytesLoaded:     s.bytesLoaded.Load(),
+
+		PeerFetchHits:    s.peerHits.Load(),
+		PeerFetchMisses:  s.peerMisses.Load(),
+		PeerBytesFetched: s.peerBytes.Load(),
 	}
 }
 
@@ -177,14 +239,77 @@ func key(identity string) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// keyLen is the length of an encoded content key (hex of the truncated
+// SHA-256).
+const keyLen = 32
+
+// RecordingKey returns the content key of one (benchmark, config)
+// frontend recording — the address a replica quotes when asking a fleet
+// peer for the artifact.
+func RecordingKey(spec trace.Spec, cfg sim.Config) string {
+	return key(recordingIdentity(codec.SpecHash(spec), cfg))
+}
+
+// ProfileKey returns the content key of one (benchmark, config, options)
+// single-core profile.
+func ProfileKey(spec trace.Spec, cfg sim.Config, opts sim.ProfileOptions) string {
+	return key(profileIdentity(codec.SpecHash(spec), cfg, opts))
+}
+
+// validKey reports whether key has the exact shape RecordingKey and
+// ProfileKey produce, so URL-supplied keys can never escape the
+// artifact directories.
+func validKey(key string) bool {
+	if len(key) != keyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// artifactPath is the on-disk location of one artifact by kind and key.
+func (s *Store) artifactPath(kind ArtifactKind, key string) (string, error) {
+	ext, ok := kind.ext()
+	if !ok {
+		return "", fmt.Errorf("%w: unknown kind %q", ErrBadArtifactRef, string(kind))
+	}
+	if !validKey(key) {
+		return "", fmt.Errorf("%w: malformed key %q", ErrBadArtifactRef, key)
+	}
+	return filepath.Join(s.versionDir(), string(kind), key+ext), nil
+}
+
+// ReadRaw returns the exact encoded file bytes of one artifact — codec
+// header, payload and trailing checksum intact — for the fleet
+// artifact-exchange endpoint. The caller (a peer's load path) performs
+// its own decode-and-validate; ReadRaw itself only guards the reference
+// shape. A missing artifact returns an error wrapping fs.ErrNotExist; a
+// malformed reference wraps ErrBadArtifactRef.
+func (s *Store) ReadRaw(kind ArtifactKind, key string) ([]byte, error) {
+	path, err := s.artifactPath(kind, key)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: artifact %s/%s: %w", kind, key, err)
+	}
+	return b, nil
+}
+
 func (s *Store) recordingPath(spec trace.Spec, cfg sim.Config) string {
 	return filepath.Join(s.versionDir(), "recordings",
-		key(recordingIdentity(codec.SpecHash(spec), cfg))+recordingExt)
+		RecordingKey(spec, cfg)+recordingExt)
 }
 
 func (s *Store) profilePath(spec trace.Spec, cfg sim.Config, opts sim.ProfileOptions) string {
 	return filepath.Join(s.versionDir(), "profiles",
-		key(profileIdentity(codec.SpecHash(spec), cfg, opts))+profileExt)
+		ProfileKey(spec, cfg, opts)+profileExt)
 }
 
 // reject discards a damaged or stale artifact so the recomputed
@@ -200,34 +325,94 @@ func (s *Store) reject(path string) {
 	}
 }
 
-// LoadRecording returns the persisted frontend recording for
-// (spec, cfg), or ok=false on any miss: absent, corrupt, stale, or
-// captured under different frontend parameters. Damaged files are
-// removed so the caller's recompute-and-persist overwrites them.
-func (s *Store) LoadRecording(spec trace.Spec, cfg sim.Config) (*sim.Recording, bool) {
-	path := s.recordingPath(spec, cfg)
-	b, err := os.ReadFile(path)
-	if err != nil {
-		s.recordingMisses.Add(1)
-		return nil, false
-	}
+// decodeRecording runs the full trust gauntlet on encoded recording
+// bytes — codec decode (checksum, structural validation) plus identity
+// checks against what the caller asked for — and returns nil on any
+// failure. Local files and peer-fetched bytes pass the exact same bar.
+func decodeRecording(b []byte, spec trace.Spec, cfg sim.Config) *sim.Recording {
 	rec, hdr, err := codec.DecodeRecording(b)
 	if err != nil ||
 		hdr.Benchmark != spec.Name ||
 		hdr.SpecHash != codec.SpecHash(spec) ||
 		hdr.TraceLength != cfg.TraceLength ||
 		hdr.IntervalLength != cfg.IntervalLength {
-		s.reject(path)
-		s.recordingMisses.Add(1)
-		return nil, false
+		return nil
 	}
-	s.recordingHits.Add(1)
-	s.bytesLoaded.Add(int64(len(b)))
+	return rec
+}
+
+// decodeProfile is decodeRecording's profile twin, additionally pinning
+// the LLC geometry the profile was replayed under.
+func decodeProfile(b []byte, spec trace.Spec, cfg sim.Config) *profile.Profile {
+	p, hdr, err := codec.DecodeProfile(b)
+	if err != nil ||
+		hdr.Benchmark != spec.Name ||
+		hdr.SpecHash != codec.SpecHash(spec) ||
+		hdr.TraceLength != cfg.TraceLength ||
+		hdr.IntervalLength != cfg.IntervalLength ||
+		hdr.LLC != cfg.Hierarchy.LLC {
+		return nil
+	}
+	return p
+}
+
+// fetchFromPeer asks the peer tier for an artifact's raw bytes and
+// validates them with decode (which must return a non-nil artifact to
+// accept). Accepted bytes are persisted verbatim — the peer's codec
+// checksum survives the hop — so the next local load is a plain hit.
+func (s *Store) fetchFromPeer(kind ArtifactKind, key, path string, decode func([]byte) bool) bool {
+	if s.peerFetch == nil {
+		return false
+	}
+	b, err := s.peerFetch(kind, key)
+	if err != nil || len(b) == 0 || !decode(b) {
+		s.peerMisses.Add(1)
+		if obs.Store.Enabled(obs.LevelDebug) {
+			obs.Store.Log(context.Background(), obs.LevelDebug, "peer fetch miss",
+				"kind", string(kind), "key", key, "err", err)
+		}
+		return false
+	}
+	s.peerHits.Add(1)
+	s.peerBytes.Add(int64(len(b)))
+	_ = s.save(path, func() []byte { return b })
 	if obs.Store.Enabled(obs.LevelDebug) {
-		obs.Store.Log(context.Background(), obs.LevelDebug, "recording hit",
-			"benchmark", spec.Name, "bytes", len(b))
+		obs.Store.Log(context.Background(), obs.LevelDebug, "peer fetch hit",
+			"kind", string(kind), "key", key, "bytes", len(b))
 	}
-	return rec, true
+	return true
+}
+
+// LoadRecording returns the persisted frontend recording for
+// (spec, cfg), or ok=false on any miss: absent, corrupt, stale, or
+// captured under different frontend parameters. Damaged files are
+// removed so the caller's recompute-and-persist overwrites them. When a
+// peer-fetch tier is installed, a local miss tries the fleet before
+// giving up — a peer hit is served (and persisted) as if it were local.
+func (s *Store) LoadRecording(spec trace.Spec, cfg sim.Config) (*sim.Recording, bool) {
+	key := RecordingKey(spec, cfg)
+	path := s.recordingPath(spec, cfg)
+	if b, err := os.ReadFile(path); err == nil {
+		if rec := decodeRecording(b, spec, cfg); rec != nil {
+			s.recordingHits.Add(1)
+			s.bytesLoaded.Add(int64(len(b)))
+			if obs.Store.Enabled(obs.LevelDebug) {
+				obs.Store.Log(context.Background(), obs.LevelDebug, "recording hit",
+					"benchmark", spec.Name, "bytes", len(b))
+			}
+			return rec, true
+		}
+		s.reject(path)
+	}
+	var rec *sim.Recording
+	if s.fetchFromPeer(KindRecordings, key, path, func(b []byte) bool {
+		rec = decodeRecording(b, spec, cfg)
+		return rec != nil
+	}) {
+		return rec, true
+	}
+	s.recordingMisses.Add(1)
+	return nil, false
 }
 
 // SaveRecording persists a frontend recording. Errors are returned for
@@ -240,32 +425,32 @@ func (s *Store) SaveRecording(spec trace.Spec, cfg sim.Config, rec *sim.Recordin
 }
 
 // LoadProfile returns the persisted single-core profile for
-// (spec, cfg, opts), or ok=false on any miss.
+// (spec, cfg, opts), or ok=false on any miss. Like LoadRecording, a
+// local miss falls through to the peer-fetch tier when one is installed.
 func (s *Store) LoadProfile(spec trace.Spec, cfg sim.Config, opts sim.ProfileOptions) (*profile.Profile, bool) {
+	key := ProfileKey(spec, cfg, opts)
 	path := s.profilePath(spec, cfg, opts)
-	b, err := os.ReadFile(path)
-	if err != nil {
-		s.profileMisses.Add(1)
-		return nil, false
-	}
-	p, hdr, err := codec.DecodeProfile(b)
-	if err != nil ||
-		hdr.Benchmark != spec.Name ||
-		hdr.SpecHash != codec.SpecHash(spec) ||
-		hdr.TraceLength != cfg.TraceLength ||
-		hdr.IntervalLength != cfg.IntervalLength ||
-		hdr.LLC != cfg.Hierarchy.LLC {
+	if b, err := os.ReadFile(path); err == nil {
+		if p := decodeProfile(b, spec, cfg); p != nil {
+			s.profileHits.Add(1)
+			s.bytesLoaded.Add(int64(len(b)))
+			if obs.Store.Enabled(obs.LevelDebug) {
+				obs.Store.Log(context.Background(), obs.LevelDebug, "profile hit",
+					"benchmark", spec.Name, "llc", cfg.Hierarchy.LLC.Name, "bytes", len(b))
+			}
+			return p, true
+		}
 		s.reject(path)
-		s.profileMisses.Add(1)
-		return nil, false
 	}
-	s.profileHits.Add(1)
-	s.bytesLoaded.Add(int64(len(b)))
-	if obs.Store.Enabled(obs.LevelDebug) {
-		obs.Store.Log(context.Background(), obs.LevelDebug, "profile hit",
-			"benchmark", spec.Name, "llc", cfg.Hierarchy.LLC.Name, "bytes", len(b))
+	var p *profile.Profile
+	if s.fetchFromPeer(KindProfiles, key, path, func(b []byte) bool {
+		p = decodeProfile(b, spec, cfg)
+		return p != nil
+	}) {
+		return p, true
 	}
-	return p, true
+	s.profileMisses.Add(1)
+	return nil, false
 }
 
 // SaveProfile persists a single-core profile.

@@ -121,9 +121,10 @@ func ContentionModelByName(name string) (ContentionModel, error) {
 // every Eval on a System shares cached single-core profiles and one
 // bounded worker pool.
 type System struct {
-	cfg      sim.Config
-	workers  int
-	storeDir string
+	cfg       sim.Config
+	workers   int
+	storeDir  string
+	peerFetch func(kind, key string) ([]byte, error)
 
 	engOnce sync.Once
 	eng     *engine.Engine
@@ -164,6 +165,18 @@ func WithStore(dir string) SystemOption {
 	return func(s *System) { s.storeDir = dir }
 }
 
+// WithPeerFetch installs a fleet peer-fetch hook under the persistent
+// store (see WithStore, without which it is a no-op): when a local
+// artifact load misses, the store asks f — typically a fleet.Fetcher
+// bound to the peer replicas — for the raw encoded bytes, validates
+// them exactly like a local file and persists them. A cold replica
+// joining a warm fleet thereby warms over the wire instead of re-running
+// profiling frontends. kind is "recordings" or "profiles"; key is the
+// artifact's content address. f must be safe for concurrent use.
+func WithPeerFetch(f func(kind, key string) ([]byte, error)) SystemOption {
+	return func(s *System) { s.peerFetch = f }
+}
+
 // NewSystem builds a System with the paper's baseline core/private-cache
 // parameters and the given default LLC. An invalid WithScale surfaces
 // as ErrBadConfig from the first evaluation.
@@ -201,6 +214,12 @@ func (s *System) engine() *engine.Engine {
 	s.engOnce.Do(func() {
 		if s.storeDir != "" {
 			s.store = store.Open(s.storeDir)
+			if s.peerFetch != nil {
+				f := s.peerFetch
+				s.store.SetPeerFetch(func(kind store.ArtifactKind, key string) ([]byte, error) {
+					return f(string(kind), key)
+				})
+			}
 		}
 		s.eng = engine.New(engine.Config{
 			TraceLength:    s.cfg.TraceLength,
@@ -265,6 +284,21 @@ func (s *System) StoreStats() (stats StoreStats, dir string, ok bool) {
 		return StoreStats{}, "", false
 	}
 	return s.store.Stats(), s.store.Dir(), true
+}
+
+// ArtifactData returns the raw encoded bytes of one persisted artifact
+// by kind ("recordings" or "profiles") and content key — the payload of
+// the fleet artifact-exchange endpoint, served byte-exact so the codec
+// checksum protects the artifact across the wire. It fails when the
+// system runs without a store, on a malformed reference
+// (store.ErrBadArtifactRef) or when the artifact is absent
+// (fs.ErrNotExist).
+func (s *System) ArtifactData(kind, key string) ([]byte, error) {
+	s.engine()
+	if s.store == nil {
+		return nil, fmt.Errorf("mppm: no artifact store configured: %w", store.ErrBadArtifactRef)
+	}
+	return s.store.ReadRaw(store.ArtifactKind(kind), key)
 }
 
 // Warm pre-computes the single-core profiles of the whole synthetic
