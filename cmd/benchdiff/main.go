@@ -40,8 +40,10 @@ import (
 
 // defaultTracked gates the benchmarks the repository commits to: sweep
 // throughput (the paper's headline), the model kernel, the two
-// cold-start pipelines, and the distributed fleet sweep.
-const defaultTracked = `^Benchmark(Sweep|KernelRun|ProfileColdStart|StoreColdStart|FleetSweep)\b`
+// cold-start pipelines, the distributed fleet sweep, and the wire
+// protocol encode/decode and coalesced-stream paths.
+const defaultTracked = `^Benchmark(Sweep|KernelRun|ProfileColdStart|StoreColdStart|FleetSweep` +
+	`|WireEncode|WireDecode|EvalStreamNDJSON|EvalStreamWire|CoalescedEval)\b`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))

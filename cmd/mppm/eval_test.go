@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	mppm "repro"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// evalServer stands up an in-process mppmd at test scale, recording the
+// Content-Type of every /v1/eval post so the test can see which
+// transport the CLI negotiated.
+func evalServer(t *testing.T) (*httptest.Server, *atomic.Value) {
+	t.Helper()
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(200_000, 10_000))
+	h := service.New(sys).Handler()
+	var evalCT atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/eval" {
+			evalCT.Store(r.Header.Get("Content-Type"))
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &evalCT
+}
+
+// TestEvalSubcommand drives "mppm eval" against a live server: the
+// default binary wire exchange and the -json fallback must print
+// byte-identical NDJSON, and the negotiated request transports must
+// actually differ.
+func TestEvalSubcommand(t *testing.T) {
+	ts, evalCT := evalServer(t)
+	args := []string{"eval", "-server", ts.URL,
+		"-kind", "predict", "-mixes", "gamess,lbm;mcf,milc", "-configs", "config#1,config#2"}
+
+	var wireOut, wireErr bytes.Buffer
+	if got := run(args, &wireOut, &wireErr); got != 0 {
+		t.Fatalf("eval exit %d: %s", got, wireErr.String())
+	}
+	if ct, _ := evalCT.Load().(string); ct != wire.ContentType {
+		t.Fatalf("default eval posted Content-Type %q, want %q", ct, wire.ContentType)
+	}
+
+	var jsonOut, jsonErr bytes.Buffer
+	if got := run(append(args, "-json"), &jsonOut, &jsonErr); got != 0 {
+		t.Fatalf("eval -json exit %d: %s", got, jsonErr.String())
+	}
+	if ct, _ := evalCT.Load().(string); ct != "application/json" {
+		t.Fatalf("-json eval posted Content-Type %q, want application/json", ct)
+	}
+
+	if !bytes.Equal(wireOut.Bytes(), jsonOut.Bytes()) {
+		t.Fatalf("transport leaked into output\nwire: %s\njson: %s", wireOut.String(), jsonOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(wireOut.String()), "\n")
+	if len(lines) != 4 { // 2 mixes x 2 configs
+		t.Fatalf("%d rows, want 4:\n%s", len(lines), wireOut.String())
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `{"mix":`) {
+			t.Errorf("row is not an NDJSON scenario line: %s", line)
+		}
+	}
+	for _, want := range []string{`"config":"config#1"`, `"config":"config#2"`, `"prediction"`} {
+		if !strings.Contains(wireOut.String(), want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+}
+
+func TestEvalSubcommandErrors(t *testing.T) {
+	ts, _ := evalServer(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing server", []string{"eval", "-mixes", "gamess,lbm"}},
+		{"missing mixes", []string{"eval", "-server", ts.URL}},
+		{"unknown benchmark", []string{"eval", "-server", ts.URL, "-mixes", "nope"}},
+		{"bad config", []string{"eval", "-server", ts.URL, "-mixes", "gamess,lbm", "-configs", "config#9"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", got, stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("failure wrote to stdout: %s", stdout.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("failure produced no stderr diagnostics")
+			}
+		})
+	}
+}

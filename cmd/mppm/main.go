@@ -15,6 +15,7 @@
 //	mppm rank     [flags]            rank the six Table 2 LLC configs with MPPM
 //	mppm stress   [flags]            find stress workloads with MPPM
 //	mppm count    [flags]            count possible workload mixes
+//	mppm eval     [flags]            evaluate against a running mppmd (wire transport)
 //	mppm cache    warm|ls|verify|gc  manage the persistent artifact store
 //
 // Run "mppm <subcommand> -h" for per-command flags.
@@ -68,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdStress(ctx, stdout, rest, stderr)
 	case "count":
 		err = cmdCount(stdout, rest, stderr)
+	case "eval":
+		err = cmdEval(ctx, stdout, rest, stderr)
 	case "cache":
 		err = cmdCache(ctx, stdout, rest, stderr)
 	case "classify":
@@ -100,6 +103,7 @@ subcommands:
   rank      rank the six Table 2 LLC configurations with MPPM
   stress    search for stress workloads with MPPM
   count     count the possible workload mixes (the Section 1 explosion)
+  eval      evaluate against a running mppmd (binary wire transport by default)
   cache     manage the persistent artifact store (warm, ls, verify, gc)
   classify  label benchmarks memory- or compute-intensive from profiles
   export    serialize a benchmark's trace to the binary trace format`)

@@ -95,6 +95,7 @@ type options struct {
 	peers       string
 	advertise   string
 	coordinate  bool
+	shardJSON   bool
 }
 
 func main() {
@@ -113,6 +114,7 @@ func main() {
 	flag.StringVar(&o.peers, "peers", "", `comma-separated fleet replica base URLs (e.g. "http://a:8080,http://b:8080"); enables peer artifact fetch and fleet metrics`)
 	flag.StringVar(&o.advertise, "advertise", "", "this replica's own base URL within -peers (excluded from peer fetches; required with -coordinate when serving shards locally)")
 	flag.BoolVar(&o.coordinate, "coordinate", false, "coordinator mode: shard POST /v1/eval across -peers and merge the ordered shard streams")
+	flag.BoolVar(&o.shardJSON, "shard-json", false, "force NDJSON shard transport to replicas instead of the binary wire default (debugging escape hatch)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mppmd:", err)
@@ -212,7 +214,9 @@ func run(o options) error {
 		if len(peers) == 0 {
 			return fmt.Errorf("-coordinate needs -peers")
 		}
-		coord, err := fleet.New(fleet.Config{Peers: peers, DefaultConfig: llc.Name})
+		coord, err := fleet.New(fleet.Config{
+			Peers: peers, DefaultConfig: llc.Name, JSONShards: o.shardJSON,
+		})
 		if err != nil {
 			return err
 		}

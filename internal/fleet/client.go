@@ -5,13 +5,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store/codec"
+	"repro/internal/wire"
 )
 
 // maxLineBytes bounds one NDJSON row on a shard stream. A row is a
@@ -23,7 +27,10 @@ const maxLineBytes = 1 << 20
 // peer's /v1/version: a replica whose artifact codec format version
 // differs from this process's is refused permanently — shipping it
 // shards or trusting its artifacts would trade undecodable bytes. The
-// zero value is not usable; call NewClient. Safe for concurrent use.
+// eval wire protocol version is gated independently and softly: a peer
+// on a different wire version is still used, over NDJSON instead of the
+// binary stream. The zero value is not usable; call NewClient. Safe for
+// concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -31,6 +38,8 @@ type Client struct {
 	mu       sync.Mutex
 	verified bool  // version checked and compatible
 	refused  error // non-nil: permanently incompatible
+	wireOK   bool  // peer speaks this build's binary eval stream
+	jsonOnly bool  // operator forced NDJSON shard transport
 }
 
 // NewClient returns a client for the replica at base (scheme://host,
@@ -58,11 +67,27 @@ func (c *Client) Refused() bool {
 	return c.refused != nil
 }
 
+// DisableWire forces NDJSON eval transport to this peer regardless of
+// its advertised wire version (mppmd's -shard-json escape hatch).
+func (c *Client) DisableWire() {
+	c.mu.Lock()
+	c.jsonOnly = true
+	c.mu.Unlock()
+}
+
+// WireOK reports whether eval streams to this peer use the binary wire
+// format. Meaningful only after a successful Check.
+func (c *Client) WireOK() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wireOK && !c.jsonOnly
+}
+
 // Check verifies the peer is compatible, fetching /v1/version on first
 // use. A compatible answer is cached for the client's lifetime (the
-// codec version is fixed per build); an incompatible answer is cached
-// as a permanent refusal; a transport failure is returned but not
-// cached, so a peer that was briefly unreachable gets re-checked.
+// format versions are fixed per build); an incompatible answer is
+// cached as a permanent refusal; a transport failure is returned but
+// not cached, so a peer that was briefly unreachable gets re-checked.
 func (c *Client) Check(ctx context.Context) error {
 	c.mu.Lock()
 	if c.refused != nil {
@@ -86,6 +111,11 @@ func (c *Client) Check(ctx context.Context) error {
 		c.refused = fmt.Errorf("fleet: peer %s runs codec format v%d, this build is v%d: refusing",
 			c.base, v.CodecFormatVersion, codec.FormatVersion)
 		return c.refused
+	}
+	c.wireOK = v.WireFormatVersion == wire.FormatVersion
+	if !c.wireOK && obs.Fleet.Enabled(obs.LevelInfo) {
+		obs.Fleet.Log(ctx, obs.LevelInfo, "peer wire version skew; using NDJSON transport",
+			"replica", c.base, "peer_wire", v.WireFormatVersion, "local_wire", wire.FormatVersion)
 	}
 	c.verified = true
 	return nil
@@ -113,20 +143,36 @@ func (c *Client) Version(ctx context.Context) (service.VersionResponse, error) {
 }
 
 // StreamEval posts req (which must have Stream set) to the replica's
-// /v1/eval and invokes row for every NDJSON line, newline stripped. The
-// line buffer is reused between calls — row must copy what it keeps. A
-// non-200 status or a transport error mid-stream is returned as an
-// error; row's own error aborts the stream and is returned verbatim.
-func (c *Client) StreamEval(ctx context.Context, req service.EvalRequest, row func(line []byte) error) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
+// /v1/eval and invokes row for every scenario, in stream order. When
+// the peer speaks this build's wire version (and the operator has not
+// forced NDJSON) the exchange is binary end to end — wire request
+// document, wire response frames; otherwise the classic JSON body and
+// NDJSON response. Either way row receives a freshly decoded result it
+// may retain. A non-200 status, a transport failure, or a stream-level
+// error (a replica cancelled mid-stream) is returned as an error; row's
+// own error aborts the stream and is returned verbatim.
+func (c *Client) StreamEval(ctx context.Context, req service.EvalRequest, row func(sc *service.ScenarioResult) error) error {
+	var (
+		body []byte
+		ct   string
+		err  error
+	)
+	if c.WireOK() {
+		req.Format = "wire"
+		body = wire.EncodeRequest(req)
+		ct = wire.ContentType
+		obs.WireBytesOutTotal.Add(uint64(len(body)))
+	} else {
+		if body, err = json.Marshal(req); err != nil {
+			return err
+		}
+		ct = "application/json"
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/eval", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Content-Type", ct)
 	hreq.Header.Set(shardHeader, "1")
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
@@ -138,13 +184,58 @@ func (c *Client) StreamEval(ctx context.Context, req service.EvalRequest, row fu
 		return fmt.Errorf("fleet: eval on %s: status %d: %s",
 			c.base, resp.StatusCode, bytes.TrimSpace(msg))
 	}
-	sc := bufio.NewScanner(resp.Body)
+	if strings.Contains(resp.Header.Get("Content-Type"), wire.ContentType) {
+		return c.streamWire(resp.Body, row)
+	}
+	return c.streamNDJSON(resp.Body, row)
+}
+
+// streamWire decodes a binary wire response stream.
+func (c *Client) streamWire(r io.Reader, row func(sc *service.ScenarioResult) error) error {
+	rd, err := wire.NewReader(r)
+	if err != nil {
+		return fmt.Errorf("fleet: eval stream from %s: %w", c.base, err)
+	}
+	defer func() { obs.WireBytesInTotal.Add(uint64(rd.BytesRead())) }()
+	for {
+		sc, err := rd.Next()
+		switch {
+		case err == nil:
+			if err := row(sc); err != nil {
+				return err
+			}
+		case errors.Is(err, io.EOF):
+			return nil
+		default:
+			var se *wire.StreamError
+			if errors.As(err, &se) {
+				// The replica's stream died (cancellation); fail the attempt
+				// so the rows get re-fetched.
+				return fmt.Errorf("fleet: shard stream error from %s: %s", c.base, se.Msg)
+			}
+			return fmt.Errorf("fleet: eval stream from %s: %w", c.base, err)
+		}
+	}
+}
+
+// streamNDJSON decodes the classic newline-delimited JSON stream.
+func (c *Client) streamNDJSON(r io.Reader, row func(sc *service.ScenarioResult) error) error {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	for sc.Scan() {
-		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		if err := row(sc.Bytes()); err != nil {
+		if !bytes.HasPrefix(line, []byte(`{"mix":`)) {
+			// A stream-level error line (cancellation on the replica).
+			return fmt.Errorf("fleet: shard stream error from %s: %s", c.base, line)
+		}
+		var res service.ScenarioResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return fmt.Errorf("fleet: undecodable row from %s: %w", c.base, err)
+		}
+		if err := row(&res); err != nil {
 			return err
 		}
 	}

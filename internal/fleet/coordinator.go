@@ -15,6 +15,7 @@ import (
 	mppm "repro"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 // Coordinator defaults; all overridable via Config.
@@ -55,6 +56,10 @@ type Config struct {
 	// http.DefaultClient. It must not impose an overall request timeout —
 	// shard streams live as long as their slowest scenario.
 	HTTPClient *http.Client
+	// JSONShards forces NDJSON shard transport to every replica instead
+	// of the binary wire default — the operator escape hatch (mppmd's
+	// -shard-json) for debugging shard traffic with text tooling.
+	JSONShards bool
 }
 
 // Coordinator fans one /v1/eval request out across the fleet and merges
@@ -103,7 +108,11 @@ func New(cfg Config) (*Coordinator, error) {
 		downUntil: make([]time.Time, ring.Replicas()),
 	}
 	for i := 0; i < ring.Replicas(); i++ {
-		c.clients = append(c.clients, NewClient(ring.Replica(i), cfg.HTTPClient))
+		cl := NewClient(ring.Replica(i), cfg.HTTPClient)
+		if cfg.JSONShards {
+			cl.DisableWire()
+		}
+		c.clients = append(c.clients, cl)
 		c.sems = append(c.sems, make(chan struct{}, cfg.MaxInFlight))
 	}
 	return c, nil
@@ -147,7 +156,7 @@ func (c *Coordinator) markDown(i int) {
 type evalPlan struct {
 	kind       string
 	contention string
-	stream     bool
+	mode       responseMode
 	cfgNames   []string
 	mixes      []mppm.Mix
 	mixKeys    []string
@@ -198,8 +207,29 @@ func (c *Coordinator) planShards(p *evalPlan, units []unit) ([]shard, error) {
 
 // rowMsg is one shard row headed for the merge loop.
 type rowMsg struct {
-	idx  int
-	line []byte
+	idx int
+	sc  *service.ScenarioResult
+}
+
+// negotiateMode mirrors the service's response-encoding negotiation:
+// the body's format field wins, then an Accept header naming the wire
+// content type, then the stream flag. ok=false means an unrecognized
+// format the local handler should reject canonically.
+func negotiateMode(req *service.EvalRequest, r *http.Request) (responseMode, bool) {
+	switch req.Format {
+	case "", "json":
+	case "wire":
+		return modeWire, true
+	default:
+		return 0, false
+	}
+	if strings.Contains(r.Header.Get("Accept"), wire.ContentType) {
+		return modeWire, true
+	}
+	if req.Stream {
+		return modeNDJSON, true
+	}
+	return modeBuffered, true
 }
 
 // shardHeader marks a sub-request already sharded by a coordinator. In
@@ -230,11 +260,19 @@ func (c *Coordinator) HandleEval(w http.ResponseWriter, r *http.Request, local h
 		return
 	}
 	var req service.EvalRequest
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		passthrough()
-		return
+	if strings.Contains(r.Header.Get("Content-Type"), wire.ContentType) {
+		var derr error
+		if req, derr = wire.DecodeRequest(body); derr != nil {
+			passthrough()
+			return
+		}
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			passthrough()
+			return
+		}
 	}
 	mreq, err := service.BuildRequest(req, nil)
 	if err != nil || mreq.TopK > 0 || len(c.clients) < 2 {
@@ -243,11 +281,16 @@ func (c *Coordinator) HandleEval(w http.ResponseWriter, r *http.Request, local h
 		passthrough()
 		return
 	}
+	mode, ok := negotiateMode(&req, r)
+	if !ok {
+		passthrough() // unknown format: canonical error from the replica
+		return
+	}
 
 	p := &evalPlan{
 		kind:       mreq.Kind.String(),
 		contention: req.Contention,
-		stream:     req.Stream,
+		mode:       mode,
 	}
 	for _, cf := range mreq.Configs {
 		p.cfgNames = append(p.cfgNames, cf.Name)
@@ -348,15 +391,15 @@ func (c *Coordinator) run(w http.ResponseWriter, r *http.Request, p *evalPlan) {
 				}
 				return
 			}
-			if !rb.Add(msg.idx, msg.line) {
+			if !rb.Add(msg.idx, msg.sc) {
 				continue // duplicate from a retried shard
 			}
 			for {
-				line, ok := rb.Pop()
+				sc, ok := rb.Pop()
 				if !ok {
 					break
 				}
-				if err := em.row(line); err != nil {
+				if err := em.row(sc); err != nil {
 					cancel() // client gone; stop the fan-out
 					return
 				}
@@ -412,19 +455,14 @@ func (c *Coordinator) runShard(ctx context.Context, p *evalPlan, sh shard, rows 
 				"units", len(sh.mixIdx), "attempt", attempt)
 		}
 		n := 0
-		err := cl.StreamEval(ctx, sub, func(line []byte) error {
-			if !bytes.HasPrefix(line, []byte(`{"mix":`)) {
-				// A stream-level error line (cancellation on the replica);
-				// fail the attempt so the rows get re-fetched.
-				return fmt.Errorf("fleet: shard stream error from %s: %s", cl.Base(), line)
-			}
+		err := cl.StreamEval(ctx, sub, func(sc *service.ScenarioResult) error {
 			if n >= len(sh.mixIdx) {
 				return fmt.Errorf("fleet: replica %s sent more rows than the shard holds", cl.Base())
 			}
 			idx := sh.cfg*len(p.mixes) + sh.mixIdx[n]
 			n++
 			select {
-			case rows <- rowMsg{idx: idx, line: append([]byte(nil), line...)}:
+			case rows <- rowMsg{idx: idx, sc: sc}:
 				return nil
 			case <-ctx.Done():
 				return ctx.Err()
@@ -458,25 +496,6 @@ func sleepJittered(ctx context.Context, d time.Duration) bool {
 		return true
 	case <-ctx.Done():
 		return false
-	}
-}
-
-// statusForMessage maps a wire error message back onto the status the
-// service would have used. The sentinel texts are the documented-stable
-// suffixes of the mppm error taxonomy (see internal/mppmerr).
-func statusForMessage(msg string) int {
-	switch {
-	case strings.Contains(msg, "unknown benchmark"):
-		return http.StatusNotFound
-	case strings.Contains(msg, "empty mix"),
-		strings.Contains(msg, "invalid configuration"),
-		strings.Contains(msg, "missing profiles"):
-		return http.StatusBadRequest
-	case strings.Contains(msg, context.Canceled.Error()),
-		strings.Contains(msg, context.DeadlineExceeded.Error()):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
 	}
 }
 

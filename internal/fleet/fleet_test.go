@@ -18,6 +18,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/store/codec"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // Reduced paper scale, matching the service tests: full pipeline
@@ -248,7 +249,10 @@ func (w *killWriter) Write(b []byte) (int, error) {
 		panic(http.ErrAbortHandler)
 	}
 	n, err := w.ResponseWriter.Write(b)
-	if rows := w.k.rows.Add(int64(bytes.Count(b[:n], []byte{'\n'}))); rows >= w.k.killAfter {
+	// Both transports issue one Write per row (the wire preamble and end
+	// frame add one each), so counting writes approximates rows streamed
+	// regardless of shard transport.
+	if rows := w.k.rows.Add(1); rows >= w.k.killAfter {
 		w.k.dead.Store(true)
 		panic(http.ErrAbortHandler)
 	}
@@ -440,32 +444,35 @@ func TestVersionSkew(t *testing.T) {
 // TestReorderBuffer covers the merge invariants directly: in-order
 // release, duplicate suppression, out-of-range rejection.
 func TestReorderBuffer(t *testing.T) {
+	mk := func(cfg string) *service.ScenarioResult {
+		return &service.ScenarioResult{Config: cfg}
+	}
 	rb := newReorderBuffer(3)
 	if _, ok := rb.Pop(); ok {
 		t.Fatal("pop from empty buffer")
 	}
-	if !rb.Add(2, []byte("c")) || !rb.Add(1, []byte("b")) {
+	if !rb.Add(2, mk("c")) || !rb.Add(1, mk("b")) {
 		t.Fatal("fresh rows rejected")
 	}
-	if rb.Add(1, []byte("b2")) {
+	if rb.Add(1, mk("b2")) {
 		t.Fatal("duplicate pending row accepted")
 	}
-	if rb.Add(3, []byte("d")) || rb.Add(-1, []byte("z")) {
+	if rb.Add(3, mk("d")) || rb.Add(-1, mk("z")) {
 		t.Fatal("out-of-range row accepted")
 	}
 	if _, ok := rb.Pop(); ok {
 		t.Fatal("released row 1 before row 0 arrived")
 	}
-	if !rb.Add(0, []byte("a")) {
+	if !rb.Add(0, mk("a")) {
 		t.Fatal("row 0 rejected")
 	}
 	var out []string
 	for {
-		line, ok := rb.Pop()
+		sc, ok := rb.Pop()
 		if !ok {
 			break
 		}
-		out = append(out, string(line))
+		out = append(out, sc.Config)
 	}
 	if strings.Join(out, "") != "abc" {
 		t.Fatalf("released %v, want a,b,c", out)
@@ -473,7 +480,7 @@ func TestReorderBuffer(t *testing.T) {
 	if !rb.Done() {
 		t.Fatal("buffer not done after releasing every row")
 	}
-	if rb.Add(0, []byte("a")) {
+	if rb.Add(0, mk("a")) {
 		t.Fatal("released row re-accepted")
 	}
 }
@@ -609,5 +616,140 @@ func TestFleetSelfCoordination(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("self-coordinated fleet stream differs from single node\nfleet:  %d bytes\nsingle: %d bytes", len(got), len(want))
+	}
+}
+
+// versionRewriteProxy fronts a real replica, forwarding every request
+// verbatim. When rewrite is non-nil the /v1/version answer is decoded,
+// edited and re-encoded on the way through; evalCT records the
+// Content-Type of the last /v1/eval post, exposing which transport the
+// client actually negotiated.
+func versionRewriteProxy(t *testing.T, target string, evalCT *atomic.Value, rewrite func(*service.VersionResponse)) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/version" && rewrite != nil {
+			resp, err := http.Get(target + "/v1/version")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			var v service.VersionResponse
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				http.Error(w, err.Error(), http.StatusBadGateway)
+				return
+			}
+			rewrite(&v)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(v)
+			return
+		}
+		if r.URL.Path == "/v1/eval" && evalCT != nil {
+			evalCT.Store(r.Header.Get("Content-Type"))
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWireVersionSkewFallback: a peer whose codec version matches but
+// whose wire stream version does not is NOT refused — the client keeps
+// talking to it over the NDJSON transport and the rows come back
+// identical to a binary exchange with a matched peer.
+func TestWireVersionSkewFallback(t *testing.T) {
+	replica, _ := newReplica(t, "")
+	var skewCT, plainCT atomic.Value
+	skewed := versionRewriteProxy(t, replica.URL, &skewCT, func(v *service.VersionResponse) {
+		v.WireFormatVersion = wire.FormatVersion + 1
+	})
+	plain := versionRewriteProxy(t, replica.URL, &plainCT, nil)
+
+	ctx := context.Background()
+	req := service.EvalRequest{
+		Kind: "compare", Mixes: suiteMixes()[:3],
+		Configs: []string{"config#1", "config#2"}, Stream: true,
+	}
+	collect := func(cl *Client) []string {
+		t.Helper()
+		if err := cl.Check(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		err := cl.StreamEval(ctx, req, func(sc *service.ScenarioResult) error {
+			b, err := json.Marshal(sc)
+			if err != nil {
+				return err
+			}
+			lines = append(lines, string(b))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+
+	scl := NewClient(skewed.URL, nil)
+	got := collect(scl)
+	if scl.Refused() {
+		t.Fatal("wire skew treated as a permanent refusal; only codec skew refuses")
+	}
+	if scl.WireOK() {
+		t.Fatal("wire-skewed peer negotiated binary transport")
+	}
+	if ct, _ := skewCT.Load().(string); ct != "application/json" {
+		t.Fatalf("skewed peer got Content-Type %q, want application/json fallback", ct)
+	}
+
+	pcl := NewClient(plain.URL, nil)
+	want := collect(pcl)
+	if !pcl.WireOK() {
+		t.Fatal("matched-version peer did not negotiate binary transport")
+	}
+	if ct, _ := plainCT.Load().(string); ct != wire.ContentType {
+		t.Fatalf("matched peer got Content-Type %q, want %q", ct, wire.ContentType)
+	}
+
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("NDJSON fallback yielded %d rows, binary exchange %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs between transports\nndjson: %s\nwire:   %s", i, got[i], want[i])
+		}
+	}
+
+	// The operator escape hatch forces NDJSON even on a matched peer.
+	pcl.DisableWire()
+	if pcl.WireOK() {
+		t.Fatal("DisableWire did not stick")
+	}
+	forced := collect(pcl)
+	if ct, _ := plainCT.Load().(string); ct != "application/json" {
+		t.Fatalf("forced-JSON eval got Content-Type %q, want application/json", ct)
+	}
+	for i := range forced {
+		if forced[i] != want[i] {
+			t.Fatalf("forced-JSON row %d differs from binary exchange", i)
+		}
 	}
 }

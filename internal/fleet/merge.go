@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/service"
 )
 
 // reorderBuffer merges out-of-order shard rows back into the global
@@ -21,7 +22,7 @@ type reorderBuffer struct {
 }
 
 type pendingRow struct {
-	line    []byte
+	sc      *service.ScenarioResult
 	arrived time.Time
 }
 
@@ -30,22 +31,22 @@ func newReorderBuffer(total int) *reorderBuffer {
 }
 
 // Add offers row idx. It reports whether the row was new (false for
-// duplicates and out-of-range indices). The line is retained.
-func (b *reorderBuffer) Add(idx int, line []byte) bool {
+// duplicates and out-of-range indices). The row is retained.
+func (b *reorderBuffer) Add(idx int, sc *service.ScenarioResult) bool {
 	if idx < b.next || idx >= b.total {
 		return false
 	}
 	if _, dup := b.pending[idx]; dup {
 		return false
 	}
-	b.pending[idx] = pendingRow{line: line, arrived: time.Now()}
+	b.pending[idx] = pendingRow{sc: sc, arrived: time.Now()}
 	return true
 }
 
 // Pop releases the next in-order row if it has arrived, observing how
 // long it sat blocked behind earlier rows (head-of-line stall; ~0 for a
 // row that arrived in order).
-func (b *reorderBuffer) Pop() ([]byte, bool) {
+func (b *reorderBuffer) Pop() (*service.ScenarioResult, bool) {
 	row, ok := b.pending[b.next]
 	if !ok {
 		return nil, false
@@ -53,7 +54,7 @@ func (b *reorderBuffer) Pop() ([]byte, bool) {
 	delete(b.pending, b.next)
 	b.next++
 	obs.FleetMergeStallSeconds.Observe(time.Since(row.arrived).Seconds())
-	return row.line, true
+	return row.sc, true
 }
 
 // Done reports whether every row has been released.

@@ -23,6 +23,23 @@ var (
 	EngineJobRunSeconds = NewHistogram(DurationBuckets...)
 )
 
+// Process-wide service instruments: the /v1/eval wire protocol and the
+// request coalescer record into these; always exported behind /metrics.
+var (
+	// CoalescedRequestsTotal counts /v1/eval requests that joined an
+	// identical in-flight evaluation instead of starting their own engine
+	// job (N identical concurrent requests add N-1).
+	CoalescedRequestsTotal Counter
+	// WireRowsTotal counts scenario rows emitted in the binary wire
+	// format, by the service and by the fleet coordinator.
+	WireRowsTotal Counter
+	// WireBytesInTotal counts binary wire bytes read: request documents
+	// accepted by /v1/eval and response streams decoded by fleet clients.
+	WireBytesInTotal Counter
+	// WireBytesOutTotal counts binary wire bytes written in responses.
+	WireBytesOutTotal Counter
+)
+
 // Process-wide fleet instruments: the coordinator's shard fan-out and
 // the peer artifact-fetch client record into these. Like the engine
 // instruments they are process-global — a serving process runs one

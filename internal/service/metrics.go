@@ -39,6 +39,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var buf bytes.Buffer
 	e := obs.NewExposition(&buf)
 	s.writeEngineMetrics(e)
+	s.writeWireMetrics(e)
 	s.writeStoreMetrics(e)
 	s.writeFleetMetrics(e)
 	s.httpm.WriteTo(e)
@@ -87,6 +88,23 @@ func (s *Server) writeEngineMetrics(e *obs.Exposition) {
 	e.Family("mppm_engine_job_run_seconds", "histogram",
 		"Time evaluation jobs spent running (profile replays, model solves, simulations).")
 	e.Hist(obs.EngineJobRunSeconds)
+}
+
+// writeWireMetrics emits the /v1/eval wire-protocol and request-
+// coalescer families. Always on: every replica negotiates these paths.
+func (s *Server) writeWireMetrics(e *obs.Exposition) {
+	e.Family("mppm_coalesced_requests_total", "counter",
+		"Eval requests that joined an identical in-flight evaluation instead of starting their own.")
+	e.Value(float64(obs.CoalescedRequestsTotal.Value()))
+	e.Family("mppm_wire_rows_total", "counter",
+		"Scenario rows emitted in the binary wire format.")
+	e.Value(float64(obs.WireRowsTotal.Value()))
+	e.Family("mppm_wire_bytes_in_total", "counter",
+		"Binary wire bytes read: request documents and response streams decoded.")
+	e.Value(float64(obs.WireBytesInTotal.Value()))
+	e.Family("mppm_wire_bytes_out_total", "counter",
+		"Binary wire bytes written in responses.")
+	e.Value(float64(obs.WireBytesOutTotal.Value()))
 }
 
 // writeStoreMetrics emits the artifact-store families; a system without

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 
 	mppm "repro"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // newObsServer builds a test server with extra system and server
@@ -63,6 +65,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"mppm_engine_cached_profiles",
 		"mppm_engine_jobs_total",
 		"mppm_engine_job_run_seconds_bucket",
+		"mppm_coalesced_requests_total",
+		"mppm_wire_rows_total",
+		"mppm_wire_bytes_in_total",
+		"mppm_wire_bytes_out_total",
 		"mppm_http_requests_total",
 		"mppm_http_in_flight_requests",
 		"mppm_http_request_duration_seconds_bucket",
@@ -112,6 +118,42 @@ func TestMetricsWithStore(t *testing.T) {
 		if !strings.Contains(body, family) {
 			t.Errorf("exposition missing %s", family)
 		}
+	}
+}
+
+// TestWireMetricsCount: binary-protocol traffic moves the wire
+// instrument families — rows emitted, bytes in (request documents) and
+// bytes out (response streams) — by exactly the observed exchange.
+func TestWireMetricsCount(t *testing.T) {
+	ts, _ := newObsServer(t, nil)
+	req := EvalRequest{Kind: "predict", Mixes: [][]string{{"gamess", "lbm"}, {"mcf", "milc"}}, Format: "wire"}
+	doc := wire.EncodeRequest(req)
+
+	rowsBefore := obs.WireRowsTotal.Value()
+	inBefore := obs.WireBytesInTotal.Value()
+	outBefore := obs.WireBytesOutTotal.Value()
+
+	resp, err := http.Post(ts.URL+"/v1/eval", wire.ContentType, bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	stream, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, stream)
+	}
+
+	if got := obs.WireRowsTotal.Value() - rowsBefore; got != 2 {
+		t.Errorf("WireRowsTotal advanced by %d, want 2", got)
+	}
+	if got := obs.WireBytesInTotal.Value() - inBefore; got != uint64(len(doc)) {
+		t.Errorf("WireBytesInTotal advanced by %d, request document is %d bytes", got, len(doc))
+	}
+	if got := obs.WireBytesOutTotal.Value() - outBefore; got != uint64(len(stream)) {
+		t.Errorf("WireBytesOutTotal advanced by %d, response stream is %d bytes", got, len(stream))
 	}
 }
 

@@ -53,6 +53,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,6 +63,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/store/codec"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // Request limits. The body cap alone would admit sweeps of ~80k mixes,
@@ -90,6 +92,7 @@ type Server struct {
 	start time.Time
 	pprof bool
 	fleet bool
+	coal  coalescer
 }
 
 // Option configures a Server at construction.
@@ -116,6 +119,7 @@ func New(sys *mppm.System, opts ...Option) *Server {
 		sys:   sys,
 		httpm: obs.NewHTTPMetrics(routes...),
 		start: time.Now(),
+		coal:  coalescer{inflight: make(map[string]*sharedEval)},
 	}
 	for _, o := range opts {
 		o(s)
@@ -184,6 +188,41 @@ var jsonScratchPool = sync.Pool{New: func() any {
 // sweep response should not pin its buffer for the process lifetime.
 const maxPooledJSONBuf = 1 << 20
 
+// ndjsonScratchPool pools the compact per-row encoder the streaming
+// paths use: one bytes.Buffer with a bound json.Encoder (no indent),
+// shared across requests and rows instead of allocated per request —
+// the steady-state row encode allocates only what encoding/json itself
+// needs plus the retained line copy (see TestRowEncodeAllocs).
+var ndjsonScratchPool = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}}
+
+// appendRowLine appends v encoded as one compact JSON line (trailing
+// newline included) to dst, using the pooled row encoder.
+func appendRowLine(dst []byte, v any) ([]byte, error) {
+	s := ndjsonScratchPool.Get().(*jsonScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		ndjsonScratchPool.Put(s)
+		return dst, err
+	}
+	dst = append(dst, s.buf.Bytes()...)
+	if s.buf.Cap() <= maxPooledJSONBuf {
+		ndjsonScratchPool.Put(s)
+	}
+	return dst, nil
+}
+
+// MarshalScenarioLine encodes one scenario row exactly as the NDJSON
+// stream emits it: compact JSON with a trailing newline. Exported for
+// the fleet coordinator's stream emitter, which must reproduce replica
+// lines byte for byte.
+func MarshalScenarioLine(sc *ScenarioResult) ([]byte, error) {
+	return appendRowLine(nil, sc)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	s := jsonScratchPool.Get().(*jsonScratch)
 	s.buf.Reset()
@@ -222,6 +261,28 @@ func statusFor(err error) int {
 
 func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+}
+
+// StatusForMessage maps a wire error message back onto the status the
+// service would have used for the underlying error. The sentinel texts
+// are the documented-stable suffixes of the mppm error taxonomy (see
+// internal/mppmerr); it is exported for the fleet coordinator and used
+// by the coalescer's buffered path, where only the row's error string
+// survives.
+func StatusForMessage(msg string) int {
+	switch {
+	case strings.Contains(msg, "unknown benchmark"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "empty mix"),
+		strings.Contains(msg, "invalid configuration"),
+		strings.Contains(msg, "missing profiles"):
+		return http.StatusBadRequest
+	case strings.Contains(msg, context.Canceled.Error()),
+		strings.Contains(msg, context.DeadlineExceeded.Error()):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func badRequest(w http.ResponseWriter, err error) {
@@ -284,33 +345,12 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 }
 
 // EvalRequest is the one wire shape every evaluation endpoint decodes:
-// it mirrors mppm.Request field for field. /v1/eval accepts all of it;
-// the compat endpoints accept the subset their old bodies used (the
-// kind is then implied by the path).
-type EvalRequest struct {
-	// Kind is "predict" (default), "simulate" or "compare".
-	Kind string `json:"kind,omitempty"`
-	// Mix is the single-mix shorthand; Mixes the batch form. Exactly one
-	// of the two may be set.
-	Mix   []string   `json:"mix,omitempty"`
-	Mixes [][]string `json:"mixes,omitempty"`
-	// Config is the single-config shorthand; Configs the sweep form.
-	// Table 2 names ("config#1".."config#6"); empty means the paper's
-	// default config#1.
-	Config  string   `json:"config,omitempty"`
-	Configs []string `json:"configs,omitempty"`
-	// Contention selects the contention model for predictions; empty
-	// means the paper's FOA.
-	Contention string `json:"contention,omitempty"`
-	// TopK, when positive, keeps only the k lowest-STP scenarios.
-	TopK int `json:"top_k,omitempty"`
-	// Stream, on /v1/eval only, switches the response to NDJSON: one
-	// ScenarioResult per line in config-major grid order, flushed as
-	// each scenario (and every scenario before it) completes — the wire
-	// form of System.EvalStream, and the transport fleet shard requests
-	// ride on. Incompatible with top_k (ranking needs the full grid).
-	Stream bool `json:"stream,omitempty"`
-}
+// it mirrors mppm.Request field for field. /v1/eval accepts all of it
+// (as JSON or as a binary wire.EncodeRequest document); the compat
+// endpoints accept the subset their old bodies used (the kind is then
+// implied by the path). The type lives in internal/wire next to its
+// binary codec; the alias keeps the service API unchanged.
+type EvalRequest = wire.EvalRequest
 
 // BuildRequest validates the wire request and lowers it onto the shared
 // mppm.Request. kindOverride pins the evaluation kind for the compat
@@ -398,29 +438,13 @@ func BuildRequest(req EvalRequest, kindOverride *mppm.Kind) (mppm.Request, error
 }
 
 // Metrics is the JSON shape of one evaluated side (model prediction or
-// detailed simulation) of a scenario.
-type Metrics struct {
-	Benchmarks []string  `json:"benchmarks"`
-	SingleCPI  []float64 `json:"single_cpi"`
-	MultiCPI   []float64 `json:"multi_cpi"`
-	Slowdown   []float64 `json:"slowdown"`
-	STP        float64   `json:"stp"`
-	ANTT       float64   `json:"antt"`
-	Iterations int       `json:"iterations,omitempty"`
-}
+// detailed simulation) of a scenario. Defined in internal/wire next to
+// its binary row codec.
+type Metrics = wire.Metrics
 
 // ScenarioResult is one (mix, config) outcome of a /v1/eval response.
-type ScenarioResult struct {
-	Mix         []string `json:"mix"`
-	Config      string   `json:"config"`
-	Error       string   `json:"error,omitempty"`
-	Prediction  *Metrics `json:"prediction,omitempty"`
-	Measurement *Metrics `json:"measurement,omitempty"`
-	// STPError/ANTTError report the model's relative error on compare
-	// scenarios.
-	STPError  float64 `json:"stp_error,omitempty"`
-	ANTTError float64 `json:"antt_error,omitempty"`
-}
+// Defined in internal/wire next to its binary row codec.
+type ScenarioResult = wire.ScenarioResult
 
 // EvalResponse is the /v1/eval payload.
 type EvalResponse struct {
@@ -463,14 +487,68 @@ func toScenarioResult(sc *mppm.Scenario) ScenarioResult {
 	return out
 }
 
+// evalMode is the negotiated /v1/eval response encoding.
+type evalMode int
+
+const (
+	// modeBuffered is the classic JSON EvalResponse document.
+	modeBuffered evalMode = iota
+	// modeNDJSON streams one compact ScenarioResult JSON line per row.
+	modeNDJSON
+	// modeWire streams binary wire frames (implies streaming semantics).
+	modeWire
+)
+
+// responseMode negotiates the response encoding: the body's format
+// field ("json"/"wire") wins, then an Accept header naming the wire
+// content type, then the stream flag. "wire" always streams — the
+// binary format is a row stream by construction.
+func responseMode(req *EvalRequest, r *http.Request) (evalMode, error) {
+	switch req.Format {
+	case "", "json":
+	case "wire":
+		return modeWire, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (want \"json\" or \"wire\")", req.Format)
+	}
+	if strings.Contains(r.Header.Get("Accept"), wire.ContentType) {
+		return modeWire, nil
+	}
+	if req.Stream {
+		return modeNDJSON, nil
+	}
+	return modeBuffered, nil
+}
+
 // handleEval is the canonical evaluation endpoint. Per-scenario
 // failures are embedded in the response rows so a batch survives one
 // bad mix, except when every scenario failed — then the first error's
 // status is returned directly (e.g. 404 for a single unknown-benchmark
-// mix).
+// mix). The request body is JSON or a binary wire document
+// (Content-Type: application/x-mppm-wire); the response is buffered
+// JSON, NDJSON ("stream": true) or the binary wire stream ("format":
+// "wire" / Accept: application/x-mppm-wire). Identical concurrent
+// requests coalesce onto one engine evaluation (see coalesce.go);
+// top_k requests bypass coalescing because ranking reshapes the grid.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	var req EvalRequest
-	if !decodeBody(w, r, &req) {
+	if strings.Contains(r.Header.Get("Content-Type"), wire.ContentType) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+		if err != nil {
+			badRequest(w, fmt.Errorf("invalid request body: %w", err))
+			return
+		}
+		obs.WireBytesInTotal.Add(uint64(len(body)))
+		if req, err = wire.DecodeRequest(body); err != nil {
+			badRequest(w, fmt.Errorf("invalid request body: %w", err))
+			return
+		}
+	} else if !decodeBody(w, r, &req) {
+		return
+	}
+	mode, err := responseMode(&req, r)
+	if err != nil {
+		badRequest(w, err)
 		return
 	}
 	mreq, err := BuildRequest(req, nil)
@@ -478,10 +556,25 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if req.Stream {
-		s.streamEval(w, r, mreq)
+	if mreq.TopK > 0 {
+		// Ranking needs the full grid and reshapes the response; it is
+		// served buffered and uncoalesced. Streaming a ranked grid is
+		// rejected the way EvalStream always has (top_k needs the whole
+		// grid before the first row could be emitted).
+		if mode != modeBuffered {
+			badRequest(w, fmt.Errorf("top_k is incompatible with stream and wire responses: %w",
+				mppm.ErrBadConfig))
+			return
+		}
+		s.bufferedEval(w, r, mreq)
 		return
 	}
+	s.coalescedEval(w, r, mreq, mode)
+}
+
+// bufferedEval is the direct (uncoalesced) buffered path, kept for
+// top_k requests.
+func (s *Server) bufferedEval(w http.ResponseWriter, r *http.Request, mreq mppm.Request) {
 	res, err := s.sys.Eval(r.Context(), mreq)
 	if err != nil {
 		writeError(w, err)
@@ -512,56 +605,6 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 // document per line.
 const ndjsonContentType = "application/x-ndjson"
 
-// streamEval serves the NDJSON response mode of /v1/eval: scenarios are
-// written one compact JSON row per line in config-major grid order and
-// flushed as they complete, so a consumer (a fleet coordinator merging
-// shards, or a client ranking a million-mix sweep) starts processing
-// row 0 while row N is still computing. Per-scenario failures ride in
-// the row's error field exactly like the buffered response; a
-// stream-level failure after the first row (cancellation, client
-// disconnect) is appended as a final {"error": ...} line, since the 200
-// status is already on the wire.
-func (s *Server) streamEval(w http.ResponseWriter, r *http.Request, mreq mppm.Request) {
-	flusher, _ := w.(http.Flusher)
-	var enc jsonScratch
-	enc.enc = json.NewEncoder(&enc.buf) // compact: one row per line
-	started := false
-	writeLine := func(v any) bool {
-		enc.buf.Reset()
-		if err := enc.enc.Encode(v); err != nil {
-			return false
-		}
-		if _, err := w.Write(enc.buf.Bytes()); err != nil {
-			return false // client gone; EvalStream's ctx will cancel via r.Context
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-		return true
-	}
-	for sc, err := range s.sys.EvalStream(r.Context(), mreq) {
-		if sc.Mix == nil {
-			// Stream-level failure: an invalid request surfaces before any
-			// row (plain error response); cancellation mid-stream becomes a
-			// trailing error line.
-			if !started {
-				writeError(w, err)
-				return
-			}
-			writeLine(errorBody{Error: err.Error()})
-			return
-		}
-		if !started {
-			w.Header().Set("Content-Type", ndjsonContentType)
-			w.WriteHeader(http.StatusOK)
-			started = true
-		}
-		if !writeLine(toScenarioResult(&sc)) {
-			return
-		}
-	}
-}
-
 // VersionResponse is the /v1/version payload: everything a fleet peer
 // needs to decide compatibility before exchanging artifacts or shards.
 type VersionResponse struct {
@@ -572,8 +615,12 @@ type VersionResponse struct {
 	// CodecFormatVersion is the artifact codec's on-disk/wire format
 	// version. Fleet clients refuse peers whose codec version differs:
 	// mixed-version rollouts must not exchange undecodable artifacts.
-	CodecFormatVersion int    `json:"codec_format_version"`
-	GoVersion          string `json:"go_version"`
+	CodecFormatVersion int `json:"codec_format_version"`
+	// WireFormatVersion is the /v1/eval binary stream protocol version.
+	// Unlike a codec skew, a wire skew is survivable: fleet clients fall
+	// back to NDJSON shard transport instead of refusing the peer.
+	WireFormatVersion int    `json:"wire_format_version"`
+	GoVersion         string `json:"go_version"`
 }
 
 // handleVersion reports the build and format versions. The codec
@@ -584,6 +631,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
 		Module:             "repro",
 		Version:            "devel",
 		CodecFormatVersion: codec.FormatVersion,
+		WireFormatVersion:  wire.FormatVersion,
 		GoVersion:          runtime.Version(),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {

@@ -1,0 +1,279 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+
+	mppm "repro"
+)
+
+// oracleMixes is the suite-wide workload of the differential oracle:
+// every benchmark paired with its neighbor (the fleet tests' grid).
+func oracleMixes() [][]string {
+	names := trace.SuiteNames()
+	mixes := make([][]string, len(names))
+	for i, n := range names {
+		mixes[i] = []string{n, names[(i+1)%len(names)]}
+	}
+	return mixes
+}
+
+func table2Configs() []string {
+	var names []string
+	for _, c := range mppm.LLCConfigs() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// postWire POSTs a JSON body asking for the wire response format and
+// decodes the binary stream.
+func postWire(t *testing.T, url string, req EvalRequest) (wire.StreamHeader, []*ScenarioResult) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, wire.ContentType)
+	}
+	rd, err := wire.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []*ScenarioResult
+	for {
+		sc, err := rd.Next()
+		if err == io.EOF {
+			return rd.Header(), rows
+		}
+		if err != nil {
+			t.Fatalf("row %d: %v", len(rows), err)
+		}
+		rows = append(rows, sc)
+	}
+}
+
+// TestEvalWireDifferentialOracle is the encode/decode oracle of the
+// binary protocol: the full suite × all six Table 2 configs, evaluated
+// as kind=compare, served buffered, as NDJSON and as the wire stream —
+// every wire row must decode to a ScenarioResult whose JSON encoding is
+// byte-identical to the buffered response's scenario and to the NDJSON
+// line. Float64s ride the wire as raw bits, so this holds exactly, not
+// approximately.
+func TestEvalWireDifferentialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-wide compare sweep")
+	}
+	ts, _ := newTestServer(t)
+	req := EvalRequest{Kind: "compare", Mixes: oracleMixes(), Configs: table2Configs()}
+
+	resp, bufData := postJSON(t, ts.URL+"/v1/eval", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("buffered status %d: %s", resp.StatusCode, bufData)
+	}
+	var buffered EvalResponse
+	if err := json.Unmarshal(bufData, &buffered); err != nil {
+		t.Fatal(err)
+	}
+	want := len(req.Mixes) * len(req.Configs)
+	if len(buffered.Scenarios) != want {
+		t.Fatalf("%d buffered scenarios, want %d", len(buffered.Scenarios), want)
+	}
+
+	// NDJSON: one line per scenario, byte-identical to the buffered
+	// scenario encoded alone.
+	sreq := req
+	sreq.Stream = true
+	body, _ := json.Marshal(sreq)
+	sresp, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var lines [][]byte
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != want {
+		t.Fatalf("%d NDJSON rows, want %d", len(lines), want)
+	}
+
+	// Wire: the decoded rows must reproduce both JSON paths exactly.
+	hdr, rows := postWire(t, ts.URL+"/v1/eval", req)
+	if hdr.Kind != "compare" || len(hdr.Configs) != len(req.Configs) || len(hdr.Mixes) != len(req.Mixes) {
+		t.Fatalf("stream header %+v does not describe the request grid", hdr)
+	}
+	if len(rows) != want {
+		t.Fatalf("%d wire rows, want %d", len(rows), want)
+	}
+	for i, row := range rows {
+		got, err := json.Marshal(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(buffered.Scenarios[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantJSON) {
+			t.Fatalf("row %d: wire decode differs from buffered scenario:\n wire:   %s\n buffer: %s",
+				i, got, wantJSON)
+		}
+		if !bytes.Equal(got, lines[i]) {
+			t.Fatalf("row %d: wire decode differs from NDJSON line:\n wire:   %s\n ndjson: %s",
+				i, got, lines[i])
+		}
+	}
+}
+
+// TestEvalWireNegotiation covers the format negotiation matrix: body
+// format field, Accept header, binary request documents, and the
+// rejections (unknown format, top_k over a stream).
+func TestEvalWireNegotiation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	base := EvalRequest{Kind: "predict", Mixes: [][]string{{"gamess", "lbm"}}}
+
+	t.Run("format field wins", func(t *testing.T) {
+		req := base
+		req.Format = "wire"
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+			t.Fatalf("Content-Type %q, want wire", ct)
+		}
+		rd, err := wire.NewReader(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := rd.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("%d rows, want 1", n)
+		}
+	})
+
+	t.Run("unknown format", func(t *testing.T) {
+		req := base
+		req.Format = "msgpack"
+		resp, data := postJSON(t, ts.URL+"/v1/eval", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+		}
+	})
+
+	t.Run("binary request document", func(t *testing.T) {
+		req := base
+		req.Format = "wire"
+		doc := wire.EncodeRequest(req)
+		resp, err := http.Post(ts.URL+"/v1/eval", wire.ContentType, bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+			t.Fatalf("Content-Type %q, want wire", ct)
+		}
+		if _, err := wire.NewReader(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("corrupt binary request", func(t *testing.T) {
+		doc := wire.EncodeRequest(base)
+		doc[len(doc)-1] ^= 0xFF
+		resp, err := http.Post(ts.URL+"/v1/eval", wire.ContentType, bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	t.Run("topk rejects wire", func(t *testing.T) {
+		req := base
+		req.Format = "wire"
+		req.TopK = 1
+		resp, data := postJSON(t, ts.URL+"/v1/eval", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+		}
+	})
+}
+
+// TestRowEncodeAllocs pins the steady-state allocation cost of the
+// pooled per-row NDJSON encoder: appendRowLine must not allocate a
+// fresh buffer or encoder per row, only what encoding/json itself
+// needs plus the retained line copy.
+func TestRowEncodeAllocs(t *testing.T) {
+	sc := ScenarioResult{
+		Mix: []string{"gamess", "lbm", "mcf", "milc"}, Config: "config#1",
+		Prediction: &Metrics{
+			Benchmarks: []string{"gamess", "lbm", "mcf", "milc"},
+			SingleCPI:  []float64{0.41, 1.93, 1.12, 3.71},
+			MultiCPI:   []float64{0.44, 2.31, 1.30, 4.02},
+			Slowdown:   []float64{1.07, 1.20, 1.16, 1.08},
+			STP:        3.54, ANTT: 1.13, Iterations: 3,
+		},
+	}
+	// Warm the pool so the measured runs are steady state.
+	if _, err := appendRowLine(nil, &sc); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 4096)
+	avg := testing.AllocsPerRun(200, func() {
+		var err error
+		if _, err = appendRowLine(dst[:0], &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// encoding/json's Encode allocates a small fixed set of internal
+	// state per call; the pooled buffer and encoder must not add to it.
+	if avg > 6 {
+		t.Fatalf("appendRowLine allocates %.1f objects/row in steady state, want <= 6", avg)
+	}
+}

@@ -21,6 +21,10 @@
 // point of the record/replay pipeline, so floats are never re-quantized.
 // The interval close schedule is delta-encoded the same way.
 //
+// The encoding primitives (varints, raw-bit floats, length-prefixed
+// strings, the trailing checksum, the sticky-error decoder) live in
+// internal/binenc, shared with the eval wire protocol (internal/wire).
+//
 // Decoding is strict: a wrong magic or a failed checksum yields
 // ErrCorrupt, a version skew yields ErrVersion, and structural nonsense
 // that survives the checksum (hand-crafted files) is rejected by the
@@ -36,6 +40,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"repro/internal/binenc"
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/profile"
@@ -81,8 +86,6 @@ var (
 )
 
 var magic = [4]byte{'M', 'P', 'P', 'M'}
-
-var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Header is the self-describing identity of an artifact, readable
 // without decoding the payload.
@@ -142,177 +145,45 @@ func SpecHash(spec trace.Spec) uint64 {
 	return h.Sum64()
 }
 
-// enc is an append-only encoder.
-type enc struct {
-	b []byte
+func encCacheConfig(e *binenc.Enc, c cache.Config) {
+	e.Str(c.Name)
+	e.Varint(c.SizeBytes)
+	e.Varint(int64(c.Ways))
+	e.Varint(c.LineSize)
+	e.Varint(int64(c.LatencyCycles))
 }
 
-func (e *enc) u16(v uint16)     { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
-func (e *enc) u64(v uint64)     { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
-func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
-func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
-func (e *enc) f64(v float64)    { e.u64(math.Float64bits(v)) }
-func (e *enc) byte(c byte)      { e.b = append(e.b, c) }
-
-func (e *enc) str(s string) {
-	e.uvarint(uint64(len(s)))
-	e.b = append(e.b, s...)
+func encCPUParams(e *binenc.Enc, p cpu.Params) {
+	e.Varint(p.ROBWindow)
+	e.F64(p.HiddenLatency)
+	e.F64(p.L2HitStall)
+	e.F64(p.MemLatency)
+	e.F64(p.OverlapFactor)
 }
 
-func (e *enc) cacheConfig(c cache.Config) {
-	e.str(c.Name)
-	e.varint(c.SizeBytes)
-	e.varint(int64(c.Ways))
-	e.varint(c.LineSize)
-	e.varint(int64(c.LatencyCycles))
-}
-
-func (e *enc) cpuParams(p cpu.Params) {
-	e.varint(p.ROBWindow)
-	e.f64(p.HiddenLatency)
-	e.f64(p.L2HitStall)
-	e.f64(p.MemLatency)
-	e.f64(p.OverlapFactor)
-}
-
-// dec is a bounds-checked decoder with a sticky error; every getter
-// returns a zero value once the error is set, so decode paths read
-// straight through and check d.err once per section.
-type dec struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (d *dec) fail(what string) {
-	if d.err == nil {
-		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
-	}
-}
-
-func (d *dec) remaining() int { return len(d.b) - d.off }
-
-func (d *dec) bytes(n int) []byte {
-	if d.err != nil || n < 0 || n > d.remaining() {
-		d.fail("truncated")
-		return nil
-	}
-	out := d.b[d.off : d.off+n]
-	d.off += n
-	return out
-}
-
-func (d *dec) byteVal() byte {
-	b := d.bytes(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (d *dec) u16() uint16 {
-	b := d.bytes(2)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint16(b)
-}
-
-func (d *dec) u64() uint64 {
-	b := d.bytes(8)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
-}
-
-func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
-
-func (d *dec) uvarint() uint64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(d.b[d.off:])
-	if n <= 0 {
-		d.fail("bad uvarint")
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-func (d *dec) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.b[d.off:])
-	if n <= 0 {
-		d.fail("bad varint")
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-// maxStringLen bounds decoded strings (benchmark and cache names);
-// anything longer is structural nonsense.
-const maxStringLen = 1 << 12
-
-func (d *dec) str() string {
-	n := d.uvarint()
-	if n > maxStringLen {
-		d.fail("oversized string")
-		return ""
-	}
-	return string(d.bytes(int(n)))
-}
-
-// count reads an element count and rejects counts that could not fit in
-// the remaining bytes at minBytes per element — the allocation guard
-// that keeps a tiny corrupt file from demanding a giant slice.
-func (d *dec) count(minBytes int) int {
-	n := d.uvarint()
-	if d.err != nil {
-		return 0
-	}
-	if minBytes < 1 {
-		minBytes = 1
-	}
-	if n > uint64(d.remaining()/minBytes) {
-		d.fail("implausible element count")
-		return 0
-	}
-	return int(n)
-}
-
-func (d *dec) cacheConfig() cache.Config {
+func decCacheConfig(d *binenc.Dec) cache.Config {
 	return cache.Config{
-		Name:          d.str(),
-		SizeBytes:     d.varint(),
-		Ways:          int(d.varint()),
-		LineSize:      d.varint(),
-		LatencyCycles: int(d.varint()),
+		Name:          d.Str(),
+		SizeBytes:     d.Varint(),
+		Ways:          int(d.Varint()),
+		LineSize:      d.Varint(),
+		LatencyCycles: int(d.Varint()),
 	}
 }
 
-func (d *dec) cpuParams() cpu.Params {
+func decCPUParams(d *binenc.Dec) cpu.Params {
 	return cpu.Params{
-		ROBWindow:     d.varint(),
-		HiddenLatency: d.f64(),
-		L2HitStall:    d.f64(),
-		MemLatency:    d.f64(),
-		OverlapFactor: d.f64(),
+		ROBWindow:     d.Varint(),
+		HiddenLatency: d.F64(),
+		L2HitStall:    d.F64(),
+		MemLatency:    d.F64(),
+		OverlapFactor: d.F64(),
 	}
-}
-
-// appendChecksum seals an encoded artifact with its trailing crc64.
-func appendChecksum(b []byte) []byte {
-	return binary.LittleEndian.AppendUint64(b, crc64.Checksum(b, crcTable))
 }
 
 // open validates the envelope (length, magic, version, checksum) and
 // returns a decoder positioned after the kind byte, plus the kind.
-func open(b []byte) (*dec, Kind, error) {
+func open(b []byte) (*binenc.Dec, Kind, error) {
 	const minFile = 4 + 2 + 1 + 8
 	if len(b) < minFile {
 		return nil, 0, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, len(b))
@@ -324,33 +195,33 @@ func open(b []byte) (*dec, Kind, error) {
 		return nil, 0, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, FormatVersion)
 	}
 	body, sum := b[:len(b)-8], binary.LittleEndian.Uint64(b[len(b)-8:])
-	if crc64.Checksum(body, crcTable) != sum {
+	if crc64.Checksum(body, binenc.CRCTable) != sum {
 		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	d := &dec{b: body, off: 6}
-	k := Kind(d.byteVal())
+	d := &binenc.Dec{B: body, Off: 6, Sentinel: ErrCorrupt}
+	k := Kind(d.ByteVal())
 	if k != KindRecording && k != KindProfile {
 		return nil, 0, fmt.Errorf("%w: unknown artifact kind %d", ErrCorrupt, uint8(k))
 	}
 	return d, k, nil
 }
 
-// header encodes/decodes the identity section shared by both kinds.
-func (e *enc) header(h Header) {
-	e.str(h.Benchmark)
-	e.u64(h.SpecHash)
-	e.varint(h.TraceLength)
-	e.varint(h.IntervalLength)
-	e.cpuParams(h.CPU)
+// encHeader encodes the identity section shared by both kinds.
+func encHeader(e *binenc.Enc, h Header) {
+	e.Str(h.Benchmark)
+	e.U64(h.SpecHash)
+	e.Varint(h.TraceLength)
+	e.Varint(h.IntervalLength)
+	encCPUParams(e, h.CPU)
 }
 
-func (d *dec) header(kind Kind) Header {
+func decHeader(d *binenc.Dec, kind Kind) Header {
 	h := Header{Version: FormatVersion, Kind: kind}
-	h.Benchmark = d.str()
-	h.SpecHash = d.u64()
-	h.TraceLength = d.varint()
-	h.IntervalLength = d.varint()
-	h.CPU = d.cpuParams()
+	h.Benchmark = d.Str()
+	h.SpecHash = d.U64()
+	h.TraceLength = d.Varint()
+	h.IntervalLength = d.Varint()
+	h.CPU = decCPUParams(d)
 	return h
 }
 
@@ -359,55 +230,55 @@ func (d *dec) header(kind Kind) Header {
 // from (zero for recordings of arbitrary trace sources).
 func EncodeRecording(rec *sim.Recording, specHash uint64) []byte {
 	d := rec.Data()
-	e := &enc{b: make([]byte, 0, 128+12*len(d.Addrs))}
-	e.b = append(e.b, magic[:]...)
-	e.u16(FormatVersion)
-	e.byte(byte(KindRecording))
-	e.header(Header{
+	e := &binenc.Enc{B: make([]byte, 0, 128+12*len(d.Addrs))}
+	e.B = append(e.B, magic[:]...)
+	e.U16(FormatVersion)
+	e.Byte(byte(KindRecording))
+	encHeader(e, Header{
 		Benchmark:      d.Benchmark,
 		SpecHash:       specHash,
 		TraceLength:    d.TraceLength,
 		IntervalLength: d.Interval,
 		CPU:            d.CPU,
 	})
-	e.cacheConfig(d.L1D)
-	e.cacheConfig(d.L2)
+	encCacheConfig(e, d.L1D)
+	encCacheConfig(e, d.L2)
 
 	// The access stream: monotonic columns as deltas, floats as raw bits.
-	e.uvarint(uint64(len(d.Addrs)))
+	e.Uvarint(uint64(len(d.Addrs)))
 	var prevAddr uint64
 	for _, a := range d.Addrs {
-		e.varint(int64(a - prevAddr)) // zigzag delta; wraparound-safe
+		e.Varint(int64(a - prevAddr)) // zigzag delta; wraparound-safe
 		prevAddr = a
 	}
-	e.b = append(e.b, d.Flags...)
+	e.B = append(e.B, d.Flags...)
 	var prevInstr int64
 	for _, v := range d.Instr {
-		e.uvarint(uint64(v - prevInstr))
+		e.Uvarint(uint64(v - prevInstr))
 		prevInstr = v
 	}
 	for _, v := range d.Base {
-		e.f64(v)
+		e.F64(v)
 	}
 
 	// The interval close schedule.
-	e.uvarint(uint64(len(d.CloseBefore)))
+	e.Uvarint(uint64(len(d.CloseBefore)))
 	var prevBefore int
 	for _, v := range d.CloseBefore {
-		e.uvarint(uint64(v - prevBefore))
+		e.Uvarint(uint64(v - prevBefore))
 		prevBefore = v
 	}
 	prevInstr = 0
 	for _, v := range d.CloseInstr {
-		e.uvarint(uint64(v - prevInstr))
+		e.Uvarint(uint64(v - prevInstr))
 		prevInstr = v
 	}
 	for _, v := range d.CloseBase {
-		e.f64(v)
+		e.F64(v)
 	}
-	e.varint(d.EndInstr)
-	e.f64(d.EndBase)
-	return appendChecksum(e.b)
+	e.Varint(d.EndInstr)
+	e.F64(d.EndBase)
+	return binenc.AppendChecksum(e.B)
 }
 
 // DecodeRecording deserializes and validates a recording artifact,
@@ -422,70 +293,70 @@ func DecodeRecording(b []byte) (*sim.Recording, Header, error) {
 	if kind != KindRecording {
 		return nil, Header{}, fmt.Errorf("%w: artifact is a %v, not a recording", ErrCorrupt, kind)
 	}
-	h := d.header(kind)
+	h := decHeader(d, kind)
 	data := sim.RecordingData{
 		Benchmark:   h.Benchmark,
 		TraceLength: h.TraceLength,
 		Interval:    h.IntervalLength,
 		CPU:         h.CPU,
-		L1D:         d.cacheConfig(),
-		L2:          d.cacheConfig(),
+		L1D:         decCacheConfig(d),
+		L2:          decCacheConfig(d),
 	}
 
 	// Each access needs at least 1 (addr) + 1 (flag) + 1 (instr) + 8
 	// (base) bytes.
-	n := d.count(11)
-	if d.err == nil && n > 0 {
+	n := d.Count(11)
+	if d.Err() == nil && n > 0 {
 		data.Addrs = make([]uint64, n)
 		data.Flags = make([]byte, n)
 		data.Instr = make([]int64, n)
 		data.Base = make([]float64, n)
 		var addr uint64
 		for i := 0; i < n; i++ {
-			addr += uint64(d.varint())
+			addr += uint64(d.Varint())
 			data.Addrs[i] = addr
 		}
-		copy(data.Flags, d.bytes(n))
+		copy(data.Flags, d.Bytes(n))
 		var instr int64
 		for i := 0; i < n; i++ {
-			instr += int64(d.uvarint())
+			instr += int64(d.Uvarint())
 			data.Instr[i] = instr
 		}
 		for i := 0; i < n; i++ {
-			data.Base[i] = d.f64()
+			data.Base[i] = d.F64()
 		}
 	}
 	// Each close needs at least 1 + 1 + 8 bytes.
-	nc := d.count(10)
-	if d.err == nil && nc > 0 {
+	nc := d.Count(10)
+	if d.Err() == nil && nc > 0 {
 		data.CloseBefore = make([]int, nc)
 		data.CloseInstr = make([]int64, nc)
 		data.CloseBase = make([]float64, nc)
 		var before uint64
 		for i := 0; i < nc; i++ {
-			before += d.uvarint()
+			before += d.Uvarint()
 			if before > uint64(n) {
-				d.fail("close index out of range")
+				d.Fail("close index out of range")
 				break
 			}
 			data.CloseBefore[i] = int(before)
 		}
 		var instr int64
 		for i := 0; i < nc; i++ {
-			instr += int64(d.uvarint())
+			instr += int64(d.Uvarint())
 			data.CloseInstr[i] = instr
 		}
 		for i := 0; i < nc; i++ {
-			data.CloseBase[i] = d.f64()
+			data.CloseBase[i] = d.F64()
 		}
 	}
-	data.EndInstr = d.varint()
-	data.EndBase = d.f64()
-	if d.err != nil {
-		return nil, Header{}, d.err
+	data.EndInstr = d.Varint()
+	data.EndBase = d.F64()
+	if err := d.Err(); err != nil {
+		return nil, Header{}, err
 	}
-	if d.remaining() != 0 {
-		return nil, Header{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	if d.Remaining() != 0 {
+		return nil, Header{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.Remaining())
 	}
 	rec, err := sim.RecordingFromData(data)
 	if err != nil {
@@ -498,36 +369,36 @@ func DecodeRecording(b []byte) (*sim.Recording, Header, error) {
 // the benchmark spec the profile was measured from (zero when unknown).
 func EncodeProfile(p *profile.Profile, specHash uint64) []byte {
 	ways := p.Meta.LLC.Ways
-	e := &enc{b: make([]byte, 0, 256+len(p.Intervals)*(32+8*(ways+1)))}
-	e.b = append(e.b, magic[:]...)
-	e.u16(FormatVersion)
-	e.byte(byte(KindProfile))
-	e.header(Header{
+	e := &binenc.Enc{B: make([]byte, 0, 256+len(p.Intervals)*(32+8*(ways+1)))}
+	e.B = append(e.B, magic[:]...)
+	e.U16(FormatVersion)
+	e.Byte(byte(KindProfile))
+	encHeader(e, Header{
 		Benchmark:      p.Meta.Benchmark,
 		SpecHash:       specHash,
 		TraceLength:    p.Meta.TraceLength,
 		IntervalLength: p.Meta.IntervalLength,
 		CPU:            p.Meta.CPU,
 	})
-	e.cacheConfig(p.Meta.LLC)
+	encCacheConfig(e, p.Meta.LLC)
 	if p.Meta.Derived {
-		e.byte(1)
+		e.Byte(1)
 	} else {
-		e.byte(0)
+		e.Byte(0)
 	}
-	e.uvarint(uint64(ways))
-	e.uvarint(uint64(len(p.Intervals)))
+	e.Uvarint(uint64(ways))
+	e.Uvarint(uint64(len(p.Intervals)))
 	for i := range p.Intervals {
 		iv := &p.Intervals[i]
-		e.uvarint(uint64(iv.Instructions))
-		e.f64(iv.Cycles)
-		e.f64(iv.MemStall)
-		e.f64(iv.LLCAccesses)
+		e.Uvarint(uint64(iv.Instructions))
+		e.F64(iv.Cycles)
+		e.F64(iv.MemStall)
+		e.F64(iv.LLCAccesses)
 		for _, v := range iv.SDC {
-			e.f64(v)
+			e.F64(v)
 		}
 	}
-	return appendChecksum(e.b)
+	return binenc.AppendChecksum(e.B)
 }
 
 // maxProfileWays bounds decoded SDC associativity; real configurations
@@ -545,15 +416,15 @@ func DecodeProfile(b []byte) (*profile.Profile, Header, error) {
 	if kind != KindProfile {
 		return nil, Header{}, fmt.Errorf("%w: artifact is a %v, not a profile", ErrCorrupt, kind)
 	}
-	h := d.header(kind)
-	llc := d.cacheConfig()
-	derived := d.byteVal() != 0
-	ways := d.uvarint()
+	h := decHeader(d, kind)
+	llc := decCacheConfig(d)
+	derived := d.ByteVal() != 0
+	ways := d.Uvarint()
 	if ways < 1 || ways > maxProfileWays {
 		return nil, Header{}, fmt.Errorf("%w: implausible SDC associativity %d", ErrCorrupt, ways)
 	}
 	// Each interval needs at least 1 + 3*8 + (ways+1)*8 bytes.
-	n := d.count(1 + 24 + 8*(int(ways)+1))
+	n := d.Count(1 + 24 + 8*(int(ways)+1))
 	p := &profile.Profile{
 		Meta: profile.Meta{
 			Benchmark:      h.Benchmark,
@@ -565,23 +436,23 @@ func DecodeProfile(b []byte) (*profile.Profile, Header, error) {
 		},
 		Intervals: make([]profile.Interval, n),
 	}
-	for i := 0; i < n && d.err == nil; i++ {
+	for i := 0; i < n && d.Err() == nil; i++ {
 		iv := &p.Intervals[i]
-		iv.Instructions = int64(d.uvarint())
-		iv.Cycles = d.f64()
-		iv.MemStall = d.f64()
-		iv.LLCAccesses = d.f64()
+		iv.Instructions = int64(d.Uvarint())
+		iv.Cycles = d.F64()
+		iv.MemStall = d.F64()
+		iv.LLCAccesses = d.F64()
 		sdcs := make([]float64, ways+1)
 		for k := range sdcs {
-			sdcs[k] = d.f64()
+			sdcs[k] = d.F64()
 		}
 		iv.SDC = sdcs
 	}
-	if d.err != nil {
-		return nil, Header{}, d.err
+	if err := d.Err(); err != nil {
+		return nil, Header{}, err
 	}
-	if d.remaining() != 0 {
-		return nil, Header{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	if d.Remaining() != 0 {
+		return nil, Header{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.Remaining())
 	}
 	h.LLC = llc
 	if err := p.Validate(); err != nil {
@@ -598,12 +469,12 @@ func PeekHeader(b []byte) (Header, error) {
 	if err != nil {
 		return Header{}, err
 	}
-	h := d.header(kind)
+	h := decHeader(d, kind)
 	if kind == KindProfile {
-		h.LLC = d.cacheConfig()
+		h.LLC = decCacheConfig(d)
 	}
-	if d.err != nil {
-		return Header{}, d.err
+	if err := d.Err(); err != nil {
+		return Header{}, err
 	}
 	return h, nil
 }

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchGrid synthesizes a representative compare sweep: 16 four-wide
+// mixes by 6 configs, every row carrying both metric blocks — the shape
+// of the paper's Table 2 suite evaluation.
+func benchGrid() (StreamHeader, []*ScenarioResult) {
+	hdr := StreamHeader{Kind: "compare"}
+	for c := 0; c < 6; c++ {
+		hdr.Configs = append(hdr.Configs, fmt.Sprintf("config#%d", c+1))
+	}
+	for m := 0; m < 16; m++ {
+		mix := make([]string, 4)
+		for p := range mix {
+			mix[p] = fmt.Sprintf("bench-%02d", (m+p)%13)
+		}
+		hdr.Mixes = append(hdr.Mixes, mix)
+	}
+	var rows []*ScenarioResult
+	for c, cfg := range hdr.Configs {
+		for m, mix := range hdr.Mixes {
+			f := func(k int) float64 { return 0.4 + float64((c*31+m*7+k)%97)/41.0 }
+			metrics := func(off int) *Metrics {
+				return &Metrics{
+					Benchmarks: mix,
+					SingleCPI:  []float64{f(off), f(off + 1), f(off + 2), f(off + 3)},
+					MultiCPI:   []float64{f(off + 4), f(off + 5), f(off + 6), f(off + 7)},
+					Slowdown:   []float64{f(off + 8), f(off + 9), f(off + 10), f(off + 11)},
+					STP:        f(off + 12), ANTT: f(off + 13), Iterations: 3,
+				}
+			}
+			rows = append(rows, &ScenarioResult{
+				Mix: mix, Config: cfg,
+				Prediction:  metrics(0),
+				Measurement: metrics(17),
+				STPError:    f(40), ANTTError: f(41),
+			})
+		}
+	}
+	return hdr, rows
+}
+
+// BenchmarkWireEncode measures binary row encoding throughput: one
+// full sweep grid per iteration, written frame by frame (the replica →
+// coordinator hot path). Compare BenchmarkJSONRowEncode for the NDJSON
+// line encoding of the same rows.
+func BenchmarkWireEncode(b *testing.B) {
+	hdr, rows := benchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesOut int64
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriter(io.Discard, hdr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sc := range rows {
+			if err := w.WriteRow(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = w.BytesWritten()
+	}
+	b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(bytesOut)/float64(len(rows)), "bytes/row")
+}
+
+// BenchmarkJSONRowEncode is the NDJSON counterpart: the same grid
+// encoded as compact JSON lines, one json.Marshal per row.
+func BenchmarkJSONRowEncode(b *testing.B) {
+	_, rows := benchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesOut int64
+	for i := 0; i < b.N; i++ {
+		bytesOut = 0
+		for _, sc := range rows {
+			line, err := json.Marshal(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytesOut += int64(len(line)) + 1
+		}
+	}
+	b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	b.ReportMetric(float64(bytesOut)/float64(len(rows)), "bytes/row")
+}
+
+// BenchmarkWireDecode measures the reverse path (coordinator reading a
+// shard stream).
+func BenchmarkWireDecode(b *testing.B) {
+	hdr, rows := benchGrid()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sc := range rows {
+		if err := w.WriteRow(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	stream := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(rows) {
+			b.Fatalf("%d rows, want %d", n, len(rows))
+		}
+	}
+	b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
