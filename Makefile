@@ -1,10 +1,10 @@
 SHELL := /bin/bash
 
 # Benchmarks captured in the committed baseline: engine sweep
-# throughput, the model kernel, the profiling pipeline (cold start,
-# direct pass, frontend recording, per-config replay, warm-store
-# replica cold start), and the wire protocol / coalesced streaming
-# paths.
+# throughput (plain and with tracing instrumented, via the unanchored
+# Sweep), the model kernel, the profiling pipeline (cold start, direct
+# pass, frontend recording, per-config replay, warm-store replica cold
+# start), and the wire protocol / coalesced streaming paths.
 BENCH_PATTERN := Sweep|Kernel|ProfileColdStart|StoreColdStart|ProfileDirect|ProfileFrontendRecord|ProfileReplay|Wire|EvalStream|JSONRowEncode|Coalesced
 BENCH_COUNT   := 1
 
@@ -16,10 +16,11 @@ TEST_TIMEOUT := 30m
 
 # Benchmarks the perf gate tracks: the gate subset of BENCH_PATTERN
 # (sweep throughput, model kernel, both cold-start pipelines, the
-# distributed FleetSweep — via the unanchored Sweep — and the wire
-# encode/decode, eval stream and coalesced broadcast paths).
+# distributed FleetSweep and tracing-instrumented TracedSweep — via the
+# unanchored Sweep — and the wire encode/decode, eval stream and
+# coalesced broadcast paths).
 GATE_PATTERN   := Sweep|KernelRun|ProfileColdStart|StoreColdStart|WireEncode|WireDecode|EvalStream|CoalescedEval
-GATE_BASELINE  := BENCH_PR9.json
+GATE_BASELINE  := BENCH_PR10.json
 GATE_THRESHOLD := 0.25
 # The gate runs each benchmark GATE_COUNT times and benchdiff takes the
 # best observation, so shared-runner noise on the microsecond-scale
@@ -37,11 +38,12 @@ race:
 # fleet-smoke is the distributed-fabric correctness gate: three
 # in-process replicas behind a coordinator serve the suite-wide Table 2
 # sweep and the result must be byte-for-byte identical to a single
-# node, including when one replica is killed mid-sweep.
+# node, including when one replica is killed mid-sweep; a traced sweep
+# must stitch into one complete trace covering every shard.
 fleet-smoke:
-	go test -run 'TestFleetByteIdentity|TestFleetFailover|TestFleetErrorParity|TestFleetSelfCoordination' -count 1 -timeout $(TEST_TIMEOUT) -v ./internal/fleet/
+	go test -run 'TestFleetByteIdentity|TestFleetFailover|TestFleetErrorParity|TestFleetSelfCoordination|TestFleetTraceStitch' -count 1 -timeout $(TEST_TIMEOUT) -v ./internal/fleet/
 
-# bench-baseline regenerates BENCH_PR9.json at the repo root — the
+# bench-baseline regenerates BENCH_PR10.json at the repo root — the
 # in-tree perf snapshot the CI bench job mirrors as per-run artifacts.
 # Run it on an idle machine; the numbers land in the README table.
 bench-baseline:
@@ -55,9 +57,9 @@ bench-baseline:
 	  sed 's/\\/\\\\/g; s/"/\\"/g; s/\t/\\t/g; s/^/    "/; s/$$/",/' bench.txt | sed '$$ s/,$$//'; \
 	  echo "  ]"; \
 	  echo "}"; \
-	} > BENCH_PR9.json
+	} > BENCH_PR10.json
 	@rm -f bench.txt
-	@echo "wrote BENCH_PR9.json"
+	@echo "wrote BENCH_PR10.json"
 
 # bench-gate is the CI perf regression gate: run the tracked benchmarks
 # and fail if any regresses more than GATE_THRESHOLD (ns/op or

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -548,4 +549,56 @@ func BenchmarkSweep(b *testing.B) {
 			b.ReportMetric(preds/b.Elapsed().Seconds(), "predictions/s")
 		})
 	}
+}
+
+// BenchmarkTracedSweep measures the same evaluation sweep with
+// distributed tracing off (the default: every span site is one atomic
+// load) and fully sampled (rate 1, every job recording queue/run/store
+// spans into the flight recorder). The "off" case rides in the
+// benchdiff gate: tracing must stay free when it is not in use.
+func BenchmarkTracedSweep(b *testing.B) {
+	mixes, err := RandomMixes(64, 4, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	llcs := cache.LLCConfigs()[:1]
+	jobs := engine.SweepJobs(mixes, llcs, engine.Predict, core.Options{})
+
+	run := func(b *testing.B, rate float64) {
+		eng := engine.New(engine.Config{
+			TraceLength:    1_000_000,
+			IntervalLength: 20_000,
+			Workers:        runtime.GOMAXPROCS(0),
+		})
+		if _, err := eng.ProfileSet(context.Background(), llcs[0]); err != nil {
+			b.Fatal(err)
+		}
+		obs.SetTraceSampleRate(rate)
+		defer func() {
+			obs.SetTraceSampleRate(0)
+			obs.ResetTraces()
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Mint the root the way HTTP ingress would, so the engine's
+			// child span sites see a sampled context when tracing is on.
+			ctx, sp := obs.StartSpan(context.Background(), obs.Service, "bench.sweep")
+			results, err := eng.Run(ctx, jobs)
+			sp.End()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range results {
+				if results[j].Err != nil {
+					b.Fatal(results[j].Err)
+				}
+			}
+		}
+		b.StopTimer()
+		preds := float64(len(jobs)) * float64(b.N)
+		b.ReportMetric(preds/b.Elapsed().Seconds(), "predictions/s")
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("on", func(b *testing.B) { run(b, 1) })
 }

@@ -40,10 +40,12 @@ import (
 
 // defaultTracked gates the benchmarks the repository commits to: sweep
 // throughput (the paper's headline), the model kernel, the two
-// cold-start pipelines, the distributed fleet sweep, and the wire
-// protocol encode/decode and coalesced-stream paths.
+// cold-start pipelines, the distributed fleet sweep, the wire protocol
+// encode/decode and coalesced-stream paths, and the sweep with tracing
+// instrumented (whose "off" case pins tracing's zero-cost-when-off
+// contract at the whole-pipeline level).
 const defaultTracked = `^Benchmark(Sweep|KernelRun|ProfileColdStart|StoreColdStart|FleetSweep` +
-	`|WireEncode|WireDecode|EvalStreamNDJSON|EvalStreamWire|CoalescedEval)\b`
+	`|WireEncode|WireDecode|EvalStreamNDJSON|EvalStreamWire|CoalescedEval|TracedSweep)\b`
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))

@@ -77,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdClassify(stdout, rest, stderr)
 	case "export":
 		err = cmdExport(stderr, rest)
+	case "trace":
+		err = cmdTrace(ctx, stdout, rest, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 	default:
@@ -106,7 +108,8 @@ subcommands:
   eval      evaluate against a running mppmd (binary wire transport by default)
   cache     manage the persistent artifact store (warm, ls, verify, gc)
   classify  label benchmarks memory- or compute-intensive from profiles
-  export    serialize a benchmark's trace to the binary trace format`)
+  export    serialize a benchmark's trace to the binary trace format
+  trace     fetch and render a request trace from a running mppmd`)
 }
 
 // newFlagSet builds a flag set that reports errors instead of exiting,

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/service"
+)
+
+// maxTraceBody bounds a fetched trace or index document.
+const maxTraceBody = 4 << 20
+
+// cmdTrace reads a running mppmd's trace flight recorder. With only a
+// server URL it lists the recorder's index (recent, slowest, errored
+// traces); with a trace ID it fetches that trace — stitched across the
+// fleet when the server is a coordinator — and renders an ASCII
+// waterfall, one row per span, with a lane column naming the replica
+// that recorded it.
+func cmdTrace(ctx context.Context, stdout io.Writer, args []string, stderr io.Writer) error {
+	fs := newFlagSet("trace", stderr)
+	width := fs.Int("width", 48, "waterfall column width in characters")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: mppm trace [flags] <server-url> [trace-id]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 || fs.NArg() > 2 {
+		fs.Usage()
+		return fmt.Errorf("trace: expected <server-url> [trace-id]")
+	}
+	if *width < 8 {
+		return fmt.Errorf("trace: -width must be at least 8")
+	}
+	base := strings.TrimRight(fs.Arg(0), "/")
+	if fs.NArg() == 1 {
+		var idx service.TraceIndexResponse
+		if err := getTraceJSON(ctx, base+"/v1/debug/traces", &idx); err != nil {
+			return err
+		}
+		return printTraceIndex(stdout, idx)
+	}
+	id := fs.Arg(1)
+	var tr service.TraceResponse
+	if err := getTraceJSON(ctx, base+"/v1/debug/traces/"+url.PathEscape(id), &tr); err != nil {
+		return err
+	}
+	if len(tr.Spans) == 0 {
+		return fmt.Errorf("trace: trace %q has no spans", id)
+	}
+	printWaterfall(stdout, tr, *width)
+	return nil
+}
+
+// getTraceJSON fetches one debug endpoint and decodes its JSON body.
+func getTraceJSON(ctx context.Context, u string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("trace: fetch %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxTraceBody))
+	if err != nil {
+		return fmt.Errorf("trace: fetch %s: %w", u, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet := strings.TrimSpace(string(body))
+		if len(snippet) > 200 {
+			snippet = snippet[:200]
+		}
+		if resp.StatusCode == http.StatusNotFound && snippet == "404 page not found" {
+			return fmt.Errorf("trace: %s: status 404 (is the server running with -trace-sample > 0?)", u)
+		}
+		return fmt.Errorf("trace: %s: status %d: %s", u, resp.StatusCode, snippet)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("trace: undecodable response from %s: %w", u, err)
+	}
+	return nil
+}
+
+// printTraceIndex renders the recorder's three retention rings as
+// tables of trace summaries.
+func printTraceIndex(w io.Writer, idx service.TraceIndexResponse) error {
+	sections := []struct {
+		title string
+		rows  []service.TraceSummaryJSON
+	}{
+		{"recent", idx.Recent},
+		{"slowest", idx.Slowest},
+		{"errored", idx.Errored},
+	}
+	any := false
+	for _, sec := range sections {
+		if len(sec.rows) == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "%s:\n", sec.title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  TRACE\tROOT\tSTART\tDURATION\tSPANS\tERR")
+		for _, t := range sec.rows {
+			errCol := ""
+			if t.Err != "" {
+				errCol = t.Err
+			}
+			spans := fmt.Sprintf("%d", t.Spans)
+			if t.Dropped > 0 {
+				spans += fmt.Sprintf(" (+%d dropped)", t.Dropped)
+			}
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%s\t%s\n",
+				t.TraceID, t.Root,
+				time.Unix(0, t.StartNano).UTC().Format("15:04:05.000"),
+				time.Duration(t.DurNano), spans, errCol)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	if !any {
+		fmt.Fprintln(w, "no traces recorded (is -trace-sample > 0, and has traffic arrived?)")
+	}
+	return nil
+}
+
+// printWaterfall renders one trace as an indented span tree with a
+// proportional timeline bar per row. Spans whose parent is missing from
+// the document (dropped, or still open on a replica) render as extra
+// roots rather than being hidden.
+func printWaterfall(w io.Writer, tr service.TraceResponse, width int) {
+	spans := tr.Spans
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartNano != spans[j].StartNano {
+			return spans[i].StartNano < spans[j].StartNano
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+
+	byID := make(map[string]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.SpanID] = i
+	}
+	children := make(map[string][]int, len(spans))
+	var roots []int
+	for i, sp := range spans {
+		if _, ok := byID[sp.Parent]; sp.Parent != "" && ok {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+
+	minStart, maxEnd := spans[0].StartNano, spans[0].StartNano
+	for _, sp := range spans {
+		if sp.StartNano < minStart {
+			minStart = sp.StartNano
+		}
+		if end := sp.StartNano + sp.DurNano; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	total := maxEnd - minStart
+	if total <= 0 {
+		total = 1
+	}
+
+	fmt.Fprintf(w, "trace %s: %d spans, %s total\n\n",
+		tr.TraceID, len(spans), time.Duration(total))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "LANE\tSPAN\tDURATION\tTIMELINE")
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := spans[i]
+		lane := sp.Replica
+		if lane == "" {
+			lane = "(local)"
+		}
+		name := strings.Repeat("  ", depth) + sp.Component + ":" + sp.Name
+		if sp.Err != "" {
+			name += " !err"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t|%s|\n",
+			lane, name, time.Duration(sp.DurNano),
+			timelineBar(sp.StartNano-minStart, sp.DurNano, total, width))
+		for _, c := range children[sp.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	tw.Flush()
+}
+
+// timelineBar scales one span's [offset, offset+dur) window onto a
+// width-character lane. A span too short to cover a cell still gets one
+// '#' so instantaneous spans (queue waits, joins) remain visible.
+func timelineBar(offset, dur, total int64, width int) string {
+	lo := int(offset * int64(width) / total)
+	hi := int((offset + dur) * int64(width) / total)
+	if lo >= width {
+		lo = width - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > width {
+		hi = width
+	}
+	return strings.Repeat(" ", lo) + strings.Repeat("#", hi-lo) + strings.Repeat(" ", width-hi)
+}

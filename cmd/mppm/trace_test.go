@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	mppm "repro"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// TestTraceSubcommand drives "mppm trace" end to end against a live
+// traced mppmd: an eval produces a trace, the bare invocation lists it
+// in the index, and the per-trace invocation renders a waterfall with
+// the span tree.
+func TestTraceSubcommand(t *testing.T) {
+	obs.SetTraceSampleRate(1)
+	obs.ResetTraces()
+	t.Cleanup(func() {
+		obs.SetTraceSampleRate(0)
+		obs.ResetTraces()
+	})
+	sys := mppm.NewSystem(mppm.DefaultLLC(), mppm.WithScale(200_000, 10_000))
+	ts := httptest.NewServer(service.New(sys, service.WithTraceDebug()).Handler())
+	t.Cleanup(ts.Close)
+
+	var out, errs bytes.Buffer
+	if got := run([]string{"eval", "-server", ts.URL,
+		"-kind", "predict", "-mixes", "gamess,lbm"}, &out, &errs); got != 0 {
+		t.Fatalf("eval exit %d: %s", got, errs.String())
+	}
+
+	out.Reset()
+	errs.Reset()
+	if got := run([]string{"trace", ts.URL}, &out, &errs); got != 0 {
+		t.Fatalf("trace index exit %d: %s", got, errs.String())
+	}
+	index := out.String()
+	if !strings.Contains(index, "recent:") || !strings.Contains(index, "POST /v1/eval") {
+		t.Fatalf("index output missing the recorded trace:\n%s", index)
+	}
+
+	// The CLI's own debug requests are traced too at rate 1, so pick the
+	// eval's trace by its root span rather than taking the newest.
+	var traceID string
+	recent, _, _ := obs.TraceIndex()
+	for _, s := range recent {
+		if s.Root == "POST /v1/eval" {
+			traceID = s.TraceID
+			break
+		}
+	}
+	if traceID == "" {
+		t.Fatalf("eval trace not recorded; index: %+v", recent)
+	}
+
+	out.Reset()
+	errs.Reset()
+	if got := run([]string{"trace", ts.URL, traceID}, &out, &errs); got != 0 {
+		t.Fatalf("trace waterfall exit %d: %s", got, errs.String())
+	}
+	waterfall := out.String()
+	for _, want := range []string{
+		"trace " + traceID, "service:POST /v1/eval", "engine:engine.run", "(local)", "#",
+	} {
+		if !strings.Contains(waterfall, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, waterfall)
+		}
+	}
+	// Children render indented under the root.
+	rootLine, runLine := -1, -1
+	for i, line := range strings.Split(waterfall, "\n") {
+		if strings.Contains(line, "service:POST /v1/eval") {
+			rootLine = i
+		}
+		if strings.Contains(line, "engine:engine.run") {
+			runLine = i
+		}
+	}
+	if rootLine < 0 || runLine < rootLine {
+		t.Fatalf("engine.run not rendered under the server root:\n%s", waterfall)
+	}
+
+	var errOut bytes.Buffer
+	if got := run([]string{"trace", ts.URL, "deadbeef"}, &out, &errOut); got == 0 {
+		t.Fatal("unknown trace ID exited 0")
+	}
+}

@@ -58,6 +58,14 @@
 // Each knob accepts either a bare level (off, error, info, debug),
 // applied to all components, or a comma-separated component=level list
 // over engine, store, sim and service.
+//
+// Distributed tracing is sampled separately: -trace-sample (or the
+// MPPM_TRACE_SAMPLE environment variable; the flag wins) sets the
+// fraction of requests traced into the in-process flight recorder,
+// 0 (the default, zero-cost) to 1. Any non-zero rate also mounts
+// GET /v1/debug/traces (+ /{id}); with -coordinate the per-trace
+// endpoint stitches every replica's spans into one tree, rendered by
+// `mppm trace`.
 package main
 
 import (
@@ -68,6 +76,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -91,6 +100,7 @@ type options struct {
 	storeDir    string
 	logLevel    string
 	trace       string
+	traceSample float64
 	pprof       bool
 	peers       string
 	advertise   string
@@ -110,6 +120,7 @@ func main() {
 	flag.StringVar(&o.storeDir, "store", "", "persistent artifact store directory shared between replicas (empty = in-memory caches only)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "base trace level for all components (off, error, info, debug)")
 	flag.StringVar(&o.trace, "trace", "", `per-component trace levels, e.g. "engine=debug,store=info"; overrides MPPM_TRACE and -log-level`)
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "fraction of requests to trace into the flight recorder, 0 (off) to 1; overrides MPPM_TRACE_SAMPLE and mounts /v1/debug/traces when non-zero")
 	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.StringVar(&o.peers, "peers", "", `comma-separated fleet replica base URLs (e.g. "http://a:8080,http://b:8080"); enables peer artifact fetch and fleet metrics`)
 	flag.StringVar(&o.advertise, "advertise", "", "this replica's own base URL within -peers (excluded from peer fetches; required with -coordinate when serving shards locally)")
@@ -142,6 +153,20 @@ func configureTracing(o options) error {
 			return fmt.Errorf("-trace: %w", err)
 		}
 	}
+	rate := o.traceSample
+	if rate == 0 {
+		if env := os.Getenv("MPPM_TRACE_SAMPLE"); env != "" {
+			r, err := strconv.ParseFloat(env, 64)
+			if err != nil {
+				return fmt.Errorf("MPPM_TRACE_SAMPLE: %w", err)
+			}
+			rate = r
+		}
+	}
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("trace sample rate %v outside [0, 1]", rate)
+	}
+	obs.SetTraceSampleRate(rate)
 	return nil
 }
 
@@ -206,6 +231,9 @@ func run(o options) error {
 	if o.pprof {
 		srvOpts = append(srvOpts, service.WithPprof())
 	}
+	if obs.TraceEnabled() {
+		srvOpts = append(srvOpts, service.WithTraceDebug())
+	}
 	if len(peers) > 0 {
 		srvOpts = append(srvOpts, service.WithFleetMetrics())
 	}
@@ -216,6 +244,7 @@ func run(o options) error {
 		}
 		coord, err := fleet.New(fleet.Config{
 			Peers: peers, DefaultConfig: llc.Name, JSONShards: o.shardJSON,
+			TraceDebug: obs.TraceEnabled(),
 		})
 		if err != nil {
 			return err

@@ -46,6 +46,50 @@ func TestConfigureTracingPrecedence(t *testing.T) {
 	}
 }
 
+func TestConfigureTraceSampling(t *testing.T) {
+	resetLevels(t)
+	t.Setenv("MPPM_TRACE", "")
+	t.Cleanup(func() { obs.SetTraceSampleRate(0) })
+
+	// Default: off.
+	t.Setenv("MPPM_TRACE_SAMPLE", "")
+	if err := configureTracing(options{logLevel: "error"}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.TraceEnabled() {
+		t.Fatal("tracing enabled with no knob set")
+	}
+
+	// Env sets the rate.
+	t.Setenv("MPPM_TRACE_SAMPLE", "0.25")
+	if err := configureTracing(options{logLevel: "error"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.TraceSampleRate(); got != 0.25 {
+		t.Fatalf("rate %v, want 0.25 from MPPM_TRACE_SAMPLE", got)
+	}
+
+	// Flag wins over env.
+	if err := configureTracing(options{logLevel: "error", traceSample: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.TraceSampleRate(); got != 1 {
+		t.Fatalf("rate %v, want 1 from -trace-sample", got)
+	}
+
+	// Out-of-range and unparsable values are rejected.
+	if err := configureTracing(options{logLevel: "error", traceSample: 1.5}); err == nil {
+		t.Error("-trace-sample 1.5 accepted")
+	}
+	if err := configureTracing(options{logLevel: "error", traceSample: -0.1}); err == nil {
+		t.Error("-trace-sample -0.1 accepted")
+	}
+	t.Setenv("MPPM_TRACE_SAMPLE", "lots")
+	if err := configureTracing(options{logLevel: "error"}); err == nil {
+		t.Error("unparsable MPPM_TRACE_SAMPLE accepted")
+	}
+}
+
 func TestConfigureTracingErrors(t *testing.T) {
 	resetLevels(t)
 	t.Setenv("MPPM_TRACE", "")

@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -351,6 +352,20 @@ func capEvict[K comparable, T any](mu *sync.Mutex, calls map[K]*call[T], max int
 	mu.Unlock()
 }
 
+// storeSpan opens a store-phase child span ("store.load"/"store.save")
+// when ctx belongs to a sampled trace, nil otherwise. The store's own
+// methods take no context, so its trace phases are stamped here at the
+// engine call sites.
+func storeSpan(ctx context.Context, name, kind, benchmark string) *obs.Span {
+	if !obs.TraceSampled(ctx) {
+		return nil
+	}
+	_, sp := obs.StartSpan(ctx, obs.Store, name)
+	sp.SetAttr("kind", kind)
+	sp.SetAttr("benchmark", benchmark)
+	return sp
+}
+
 // recording returns the profiling-frontend recording of one benchmark,
 // computing it at most once per benchmark across all concurrent
 // callers. The recording is LLC-independent, so it is keyed by name
@@ -372,15 +387,22 @@ func (e *Engine) recording(ctx context.Context, spec trace.Spec, llc cache.Confi
 	var err error
 	fromStore := false
 	if st := e.cfg.Store; st != nil {
+		lsp := storeSpan(ctx, "store.load", "recording", spec.Name)
 		rec, _ = st.LoadRecording(spec, cfg)
 		fromStore = rec != nil
+		if lsp != nil {
+			lsp.SetAttr("hit", strconv.FormatBool(fromStore))
+			lsp.End()
+		}
 	}
 	if rec == nil {
 		e.recordingComputes.Add(1)
 		rec, err = sim.RecordSpec(ctx, spec, cfg)
 		if err == nil && e.cfg.Store != nil {
+			ssp := storeSpan(ctx, "store.save", "recording", spec.Name)
 			// Best-effort persist; the counters record failures.
 			_ = e.cfg.Store.SaveRecording(spec, cfg, rec)
+			ssp.End()
 		}
 	}
 	if traced {
@@ -420,14 +442,22 @@ func (e *Engine) Profile(ctx context.Context, spec trace.Spec, llc cache.Config)
 	var err error
 	fromStore := false
 	if st := e.cfg.Store; st != nil {
+		lsp := storeSpan(ctx, "store.load", "profile", spec.Name)
 		p, _ = st.LoadProfile(spec, e.SimConfig(llc), sim.ProfileOptions{})
 		fromStore = p != nil
+		if lsp != nil {
+			lsp.SetAttr("llc", llc.Name)
+			lsp.SetAttr("hit", strconv.FormatBool(fromStore))
+			lsp.End()
+		}
 	}
 	if p == nil {
 		e.profileComputes.Add(1)
 		p, err = e.replayProfile(ctx, spec, llc)
 		if err == nil && e.cfg.Store != nil {
+			ssp := storeSpan(ctx, "store.save", "profile", spec.Name)
 			_ = e.cfg.Store.SaveProfile(spec, e.SimConfig(llc), sim.ProfileOptions{}, p)
+			ssp.End()
 		}
 	}
 	if traced {
@@ -568,7 +598,14 @@ func (e *Engine) simulate(ctx context.Context, mix workload.Mix, specs []trace.S
 		return await(ctx, c)
 	}
 	e.simComputes.Add(1)
+	var sp *obs.Span
+	if obs.TraceSampled(ctx) {
+		ctx, sp = obs.StartSpan(ctx, obs.Sim, "sim.multicore")
+		sp.SetAttr("mix", mix.Key())
+		sp.SetAttr("llc", llc.Name)
+	}
 	res, err := sim.RunMulticore(ctx, specs, e.SimConfig(llc), nil)
+	sp.EndErr(err)
 	if err == nil {
 		capEvict(&e.mu, e.sims, e.cfg.MaxCachedSims, key)
 	}
@@ -700,11 +737,23 @@ type JobTiming struct {
 // always-on obs instruments record queue wait and run time (a few
 // atomic operations), Config.OnJob gets the full JobTiming, and — only
 // when engine tracing is enabled — the job is stamped with a trace ID
-// and start/done records are emitted. With tracing off this adds two
-// time.Now calls and no allocations to the hot path.
+// and start/done records are emitted. When the batch belongs to a
+// sampled trace, the queue-wait and run phases become child spans
+// ("engine.queue", "engine.run") under the request's span. With
+// tracing and spans off this adds two time.Now calls and no
+// allocations to the hot path.
 func (e *Engine) timedJob(ctx context.Context, i int, job Job, batchStart time.Time) Result {
 	start := time.Now()
 	queueWait := start.Sub(batchStart)
+	var sp *obs.Span
+	if obs.TraceSampled(ctx) {
+		obs.RecordSpanAt(ctx, obs.Engine, "engine.queue", batchStart, queueWait, nil,
+			"kind", job.Kind.String())
+		ctx, sp = obs.StartSpan(ctx, obs.Engine, "engine.run")
+		sp.SetAttr("kind", job.Kind.String())
+		sp.SetAttr("mix", job.Mix.Key())
+		sp.SetAttr("llc", job.LLC.Name)
+	}
 	if obs.Engine.Enabled(obs.LevelDebug) {
 		ctx = obs.WithJobID(ctx, obs.NextID("job"))
 		obs.Engine.Log(ctx, obs.LevelDebug, "job start",
@@ -713,6 +762,7 @@ func (e *Engine) timedJob(ctx context.Context, i int, job Job, batchStart time.T
 	}
 	r := e.runJob(ctx, job)
 	run := time.Since(start)
+	sp.EndErr(r.Err)
 	obs.EngineJobsTotal.Inc()
 	if r.Err != nil {
 		obs.EngineJobErrorsTotal.Inc()

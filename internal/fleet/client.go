@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 
@@ -174,6 +175,14 @@ func (c *Client) StreamEval(ctx context.Context, req service.EvalRequest, row fu
 	}
 	hreq.Header.Set("Content-Type", ct)
 	hreq.Header.Set(shardHeader, "1")
+	// Propagate the coordinator's request identity so the replica's
+	// access logs carry the same request ID, and — when the request is
+	// sampled — its trace context, so replica-side spans land in the
+	// coordinator's trace for stitching.
+	if id := obs.RequestID(ctx); id != "" {
+		hreq.Header.Set(obs.RequestIDHeader, id)
+	}
+	obs.InjectTraceContext(ctx, hreq.Header)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("fleet: eval on %s: %w", c.base, err)
@@ -270,6 +279,42 @@ func (c *Client) Artifact(ctx context.Context, kind, key string) (data []byte, o
 		return nil, false, nil
 	default:
 		return nil, false, fmt.Errorf("fleet: artifact fetch from %s: status %d",
+			c.base, resp.StatusCode)
+	}
+}
+
+// maxTraceBody bounds a pulled trace document: 512 spans per trace
+// (the replica recorder's cap) at well under 1 KiB a span.
+const maxTraceBody = 4 << 20
+
+// Traces pulls the replica's locally recorded spans for one trace ID —
+// the stitching side of distributed tracing. The ?local=1 marker stops
+// a replica that is itself coordinating from recursing into its own
+// stitch handler. ok=false with a nil error means the replica has
+// nothing for the trace (or doesn't expose the debug endpoints), which
+// stitching treats as an empty lane, not a failure.
+func (c *Client) Traces(ctx context.Context, traceID string) (spans []service.SpanJSON, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/debug/traces/"+url.PathEscape(traceID)+"?local=1", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: trace fetch from %s: %w", c.base, err)
+	}
+	defer drainClose(resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var tr service.TraceResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxTraceBody)).Decode(&tr); err != nil {
+			return nil, false, fmt.Errorf("fleet: trace fetch from %s: %w", c.base, err)
+		}
+		return tr.Spans, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("fleet: trace fetch from %s: status %d",
 			c.base, resp.StatusCode)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -60,6 +62,11 @@ type Config struct {
 	// of the binary wire default — the operator escape hatch (mppmd's
 	// -shard-json) for debugging shard traffic with text tooling.
 	JSONShards bool
+	// TraceDebug enables the fleet-wide trace stitch endpoint: GET
+	// /v1/debug/traces/{id} pulls every replica's local spans for the
+	// trace and merges them into one tree. Enable together with the
+	// replicas' WithTraceDebug (mppmd wires both to the sample rate).
+	TraceDebug bool
 }
 
 // Coordinator fans one /v1/eval request out across the fleet and merges
@@ -118,17 +125,81 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Mount routes POST /v1/eval through the coordinator and everything
-// else to the local handler — the shape cmd/mppmd serves in coordinator
-// mode.
+// Mount routes POST /v1/eval through the coordinator, GET
+// /v1/debug/traces/{id} through the trace stitcher (when Config
+// enables it, and unless the request carries the ?local=1 marker a
+// stitching peer uses to ask for this replica's own spans), and
+// everything else to the local handler — the shape cmd/mppmd serves in
+// coordinator mode.
 func (c *Coordinator) Mount(local http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method == http.MethodPost && r.URL.Path == "/v1/eval" {
 			c.HandleEval(w, r, local)
 			return
 		}
+		if c.cfg.TraceDebug && r.Method == http.MethodGet &&
+			strings.HasPrefix(r.URL.Path, "/v1/debug/traces/") &&
+			r.URL.Query().Get("local") == "" {
+			c.handleStitchedTrace(w, r)
+			return
+		}
 		local.ServeHTTP(w, r)
 	})
+}
+
+// handleStitchedTrace serves one trace fleet-wide: this process's
+// locally recorded spans merged with a pull from every reachable
+// replica, deduplicated by span ID (replicas sharing a process — the
+// in-process test fleets — share one flight recorder) and labeled with
+// the replica that served them. Pulls are best-effort: a replica that
+// is down or knows nothing about the trace is an empty lane, not a
+// failure, because the spans it would have contributed are exactly as
+// lost as the replica.
+func (c *Coordinator) handleStitchedTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/debug/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSONError(w, http.StatusNotFound, "fleet: bad trace id")
+		return
+	}
+	spans := service.TraceSpansJSON(id)
+	seen := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		seen[sp.SpanID] = true
+	}
+	for _, cl := range c.clients {
+		if cl.Refused() {
+			continue
+		}
+		peer, ok, err := cl.Traces(r.Context(), id)
+		if err != nil || !ok {
+			continue
+		}
+		for _, sp := range peer {
+			if seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			if sp.Replica == "" {
+				sp.Replica = cl.Base()
+			}
+			spans = append(spans, sp)
+		}
+	}
+	if len(spans) == 0 {
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("fleet: unknown trace %q", id))
+		return
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNano != spans[j].StartNano {
+			return spans[i].StartNano < spans[j].StartNano
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(service.TraceResponse{TraceID: id, Spans: spans})
 }
 
 // alive reports whether replica i may be offered work right now.
@@ -302,7 +373,24 @@ func (c *Coordinator) HandleEval(w http.ResponseWriter, r *http.Request, local h
 	for _, m := range p.mixes {
 		p.mixKeys = append(p.mixKeys, m.Key())
 	}
-	c.run(w, r, p)
+	// The fan-out path bypasses the service middleware, so the
+	// coordinator stamps request identity itself: the request ID, and —
+	// when sampled — the "fleet.eval" root span whose context every
+	// shard sub-request inherits through Client.StreamEval's traceparent
+	// injection.
+	ctx, reqID := obs.EnsureRequestID(r.Context(), r.Header)
+	w.Header().Set(obs.RequestIDHeader, reqID)
+	var sp *obs.Span
+	if obs.TraceEnabled() {
+		ctx, sp = obs.StartServerSpan(ctx, r.Header, obs.Fleet, "fleet.eval")
+		if sp != nil {
+			w.Header().Set(obs.TraceIDHeader, sp.TraceID)
+			sp.SetAttr("configs", strconv.Itoa(len(p.cfgNames)))
+			sp.SetAttr("mixes", strconv.Itoa(len(p.mixes)))
+		}
+	}
+	c.run(w, r.WithContext(ctx), p)
+	sp.End()
 }
 
 // run distributes the planned request and merges the shard streams.
@@ -321,6 +409,16 @@ func (c *Coordinator) run(w http.ResponseWriter, r *http.Request, p *evalPlan) {
 
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
+	var msp *obs.Span
+	if obs.TraceSampled(ctx) {
+		// The merge span measures the whole fan-out/reorder/emit phase;
+		// shard spans parent to fleet.eval directly (they are siblings of
+		// the merge, dispatched into it), so only the span itself — not
+		// ctx — is kept here.
+		_, msp = obs.StartSpan(ctx, obs.Fleet, "fleet.merge")
+		msp.SetAttr("shards", strconv.Itoa(len(shards)))
+	}
+	defer msp.End()
 	rows := make(chan rowMsg, 128)
 	fatal := make(chan error, 1)
 	reportFatal := func(err error) {
@@ -454,8 +552,20 @@ func (c *Coordinator) runShard(ctx context.Context, p *evalPlan, sh shard, rows 
 				"replica", cl.Base(), "config", p.cfgNames[sh.cfg],
 				"units", len(sh.mixIdx), "attempt", attempt)
 		}
+		// Each attempt is its own "fleet.shard" span: the replica-side
+		// server span becomes its child through the traceparent header,
+		// so the stitched tree shows exactly which attempt did the work.
+		attemptCtx := ctx
+		var ssp *obs.Span
+		if obs.TraceSampled(ctx) {
+			attemptCtx, ssp = obs.StartSpan(ctx, obs.Fleet, "fleet.shard")
+			ssp.SetAttr("replica", cl.Base())
+			ssp.SetAttr("config", p.cfgNames[sh.cfg])
+			ssp.SetAttr("units", strconv.Itoa(len(sh.mixIdx)))
+			ssp.SetAttr("attempt", strconv.Itoa(attempt))
+		}
 		n := 0
-		err := cl.StreamEval(ctx, sub, func(sc *service.ScenarioResult) error {
+		err := cl.StreamEval(attemptCtx, sub, func(sc *service.ScenarioResult) error {
 			if n >= len(sh.mixIdx) {
 				return fmt.Errorf("fleet: replica %s sent more rows than the shard holds", cl.Base())
 			}
@@ -469,12 +579,14 @@ func (c *Coordinator) runShard(ctx context.Context, p *evalPlan, sh shard, rows 
 			}
 		})
 		if err == nil && n == len(sh.mixIdx) {
+			ssp.End()
 			return nil
 		}
 		if err == nil {
 			err = fmt.Errorf("fleet: replica %s closed the stream after %d of %d rows",
 				cl.Base(), n, len(sh.mixIdx))
 		}
+		ssp.EndErr(err)
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}

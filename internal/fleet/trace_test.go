@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	mppm "repro"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// newTracedFleet stands up n trace-debug replicas (each with its own
+// store) plus a stitching coordinator — the mppmd -trace-sample wiring,
+// in-process.
+func newTracedFleet(t *testing.T, n int) (coord *httptest.Server, replicas []*httptest.Server) {
+	t.Helper()
+	obs.SetTraceSampleRate(1)
+	obs.ResetTraces()
+	t.Cleanup(func() {
+		obs.SetTraceSampleRate(0)
+		obs.ResetTraces()
+	})
+	cfg := Config{TraceDebug: true}
+	for range n {
+		sys := mppm.NewSystem(mppm.DefaultLLC(),
+			mppm.WithScale(testTraceLen, testInterval), mppm.WithStore(t.TempDir()))
+		ts := httptest.NewServer(service.New(sys,
+			service.WithFleetMetrics(), service.WithTraceDebug()).Handler())
+		t.Cleanup(ts.Close)
+		replicas = append(replicas, ts)
+		cfg.Peers = append(cfg.Peers, ts.URL)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord = httptest.NewServer(c.Mount(replicas[0].Config.Handler))
+	t.Cleanup(coord.Close)
+	return coord, replicas
+}
+
+// fetchStitchedTrace polls the coordinator's stitch endpoint until the
+// trace contains its fleet.eval root (the root is recorded after the
+// response body completes, so an immediate fetch can be a span short).
+func fetchStitchedTrace(t *testing.T, coordURL, traceID string) service.TraceResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var tr service.TraceResponse
+		resp, err := http.Get(coordURL + "/v1/debug/traces/" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		decErr := json.NewDecoder(resp.Body).Decode(&tr)
+		resp.Body.Close()
+		if code == http.StatusOK {
+			if decErr != nil {
+				t.Fatalf("undecodable stitched trace: %v", decErr)
+			}
+			for _, sp := range tr.Spans {
+				if sp.Name == "fleet.eval" {
+					return tr
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stitched trace %s never completed (status %d, %d spans)",
+				traceID, code, len(tr.Spans))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFleetTraceStitch is the tentpole acceptance: a traced sweep over
+// a 3-replica fleet yields ONE stitched trace — coordinator root and
+// merge, one fleet.shard span per dispatched sub-request, and the
+// replica-side server/engine/store spans, all under the same trace ID
+// with no dangling parents.
+func TestFleetTraceStitch(t *testing.T) {
+	coord, _ := newTracedFleet(t, 3)
+
+	dispatchedBefore := obs.FleetShardsDispatchedTotal.Value()
+	// Small enough that the whole distributed sweep fits inside one
+	// trace's span budget (maxSpansPerTrace), wide enough to shard
+	// across all three replicas.
+	resp, body := postRaw(t, coord.URL+"/v1/eval", service.EvalRequest{
+		Kind:    "predict",
+		Mixes:   suiteMixes()[:6],
+		Configs: allConfigNames()[:2],
+		Stream:  true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	traceID := resp.Header.Get(obs.TraceIDHeader)
+	if traceID == "" {
+		t.Fatal("coordinator response missing X-Mppm-Trace-Id")
+	}
+	if resp.Header.Get(obs.RequestIDHeader) == "" {
+		t.Fatal("coordinator response missing X-Mppm-Request-Id")
+	}
+	dispatched := obs.FleetShardsDispatchedTotal.Value() - dispatchedBefore
+	if dispatched == 0 {
+		t.Fatal("sweep dispatched no shards")
+	}
+
+	tr := fetchStitchedTrace(t, coord.URL, traceID)
+
+	byID := make(map[string]service.SpanJSON, len(tr.Spans))
+	names := make(map[string]int, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("span %s carries trace %q, want %q", sp.Name, sp.TraceID, traceID)
+		}
+		if _, dup := byID[sp.SpanID]; dup {
+			t.Fatalf("stitched trace contains span %s twice", sp.SpanID)
+		}
+		byID[sp.SpanID] = sp
+		names[sp.Name]++
+	}
+
+	// Every phase of the distributed sweep appears in the one tree.
+	for _, want := range []string{
+		"fleet.eval", "fleet.merge", "fleet.shard",
+		"POST /v1/eval", "engine.queue", "engine.run", "store.load",
+	} {
+		if names[want] == 0 {
+			t.Fatalf("stitched trace missing %q span; got %v", want, names)
+		}
+	}
+
+	// One shard span per dispatched sub-request, no more, no fewer.
+	if uint64(names["fleet.shard"]) != dispatched {
+		t.Fatalf("stitched trace has %d fleet.shard spans, want %d (dispatched)",
+			names["fleet.shard"], dispatched)
+	}
+
+	// The tree is closed: exactly one root, and every other span's
+	// parent is present in the stitched document.
+	roots := 0
+	for _, sp := range tr.Spans {
+		if sp.Parent == "" {
+			roots++
+			if sp.Name != "fleet.eval" {
+				t.Fatalf("unexpected root span %q", sp.Name)
+			}
+			continue
+		}
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Fatalf("span %s/%s has dangling parent %q", sp.Component, sp.Name, sp.Parent)
+		}
+		switch sp.Name {
+		case "fleet.shard":
+			if parent.Name != "fleet.eval" {
+				t.Fatalf("fleet.shard parented to %q, want fleet.eval", parent.Name)
+			}
+		case "POST /v1/eval":
+			if parent.Name != "fleet.shard" {
+				t.Fatalf("replica server span parented to %q, want fleet.shard", parent.Name)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("stitched trace has %d roots, want 1", roots)
+	}
+}
+
+// TestShardHeaderPropagation pins the client side of context
+// propagation: StreamEval stamps the coordinator's request ID and
+// traceparent onto shard sub-requests, so replica logs and spans
+// correlate without any replica-side configuration.
+func TestShardHeaderPropagation(t *testing.T) {
+	obs.SetTraceSampleRate(1)
+	t.Cleanup(func() {
+		obs.SetTraceSampleRate(0)
+		obs.ResetTraces()
+	})
+
+	var gotReqID, gotTraceparent string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotReqID = r.Header.Get(obs.RequestIDHeader)
+		gotTraceparent = r.Header.Get(obs.TraceparentHeader)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(ts.Close)
+
+	sc := obs.SpanContext{
+		TraceID: "0123456789abcdef0123456789abcdef",
+		SpanID:  "fedcba9876543210",
+	}
+	ctx := obs.WithRequestID(context.Background(), "req-coord-7")
+	ctx = obs.WithSpanContext(ctx, sc)
+
+	cl := NewClient(ts.URL, nil)
+	err := cl.StreamEval(ctx, service.EvalRequest{
+		Kind: "predict", Mixes: [][]string{{"gamess", "lbm"}}, Stream: true,
+	}, func(*service.ScenarioResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gotReqID != "req-coord-7" {
+		t.Fatalf("shard request ID = %q, want the coordinator's", gotReqID)
+	}
+	wantTP := obs.FormatTraceparent(sc, true)
+	if gotTraceparent != wantTP {
+		t.Fatalf("shard traceparent = %q, want %q", gotTraceparent, wantTP)
+	}
+
+	// With tracing off, no traceparent leaks, but the request ID still
+	// propagates (log correlation is unconditional).
+	obs.SetTraceSampleRate(0)
+	gotReqID, gotTraceparent = "", ""
+	if err := cl.StreamEval(ctx, service.EvalRequest{
+		Kind: "predict", Mixes: [][]string{{"gamess", "lbm"}}, Stream: true,
+	}, func(*service.ScenarioResult) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if gotReqID != "req-coord-7" {
+		t.Fatalf("request ID propagation should not depend on tracing; got %q", gotReqID)
+	}
+	if gotTraceparent != "" {
+		t.Fatalf("traceparent %q injected with tracing off", gotTraceparent)
+	}
+}

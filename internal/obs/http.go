@@ -10,11 +10,14 @@ import (
 // broken down by status class, one shared in-flight gauge and per-route
 // latency histograms over the fixed DurationBuckets. The route set is
 // fixed at construction so the request path is lock-free — no map
-// writes, no label interning, just atomic bumps.
+// writes, no label interning, just atomic bumps. A route outside the
+// set shares one catch-all "other" slot, so the label space cannot grow
+// with attacker- or typo-controlled route names.
 type HTTPMetrics struct {
 	inFlight Gauge
 	routes   []*RouteMetrics
 	byRoute  map[string]*RouteMetrics
+	other    *RouteMetrics
 }
 
 // RouteMetrics is one route's instrument set.
@@ -32,6 +35,8 @@ func NewHTTPMetrics(routes ...string) *HTTPMetrics {
 		m.routes = append(m.routes, rm)
 		m.byRoute[r] = rm
 	}
+	m.other = &RouteMetrics{route: "other", latency: NewHistogram(DurationBuckets...)}
+	m.routes = append(m.routes, m.other)
 	return m
 }
 
@@ -83,15 +88,29 @@ func (w *statusWriter) Flush() {
 }
 
 // Wrap instruments one route's handler: request ID stamped into the
-// context, in-flight gauge held for the duration, status-classed
-// request counter and latency histogram on the way out, plus an
-// info-level service access record when the service component asks for
-// one.
+// context (adopting the coordinator's X-Mppm-Request-Id when present)
+// and echoed on the response, a server span extracted-or-minted from
+// the traceparent header when tracing is sampled, in-flight gauge held
+// for the duration, status-classed request counter and latency
+// histogram on the way out, plus an info-level service access record
+// when the service component asks for one. Routes outside the fixed
+// set are counted under the catch-all "other" slot.
 func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 	rm := m.byRoute[route]
+	if rm == nil {
+		rm = m.other
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx := WithRequestID(r.Context(), NextID("req"))
+		ctx, reqID := EnsureRequestID(r.Context(), r.Header)
+		w.Header().Set(RequestIDHeader, reqID)
+		var sp *Span
+		if TraceEnabled() {
+			ctx, sp = StartServerSpan(ctx, r.Header, Service, r.Method+" "+route)
+			if sp != nil {
+				w.Header().Set(TraceIDHeader, sp.TraceID)
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		m.inFlight.Inc()
 		h(sw, r.WithContext(ctx))
@@ -107,6 +126,10 @@ func (m *HTTPMetrics) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		rm.requests[class].Inc()
 		rm.latency.Observe(elapsed.Seconds())
+		if sp != nil {
+			sp.SetAttr("status", strconv.Itoa(status))
+			sp.End()
+		}
 		if Service.Enabled(LevelInfo) {
 			Service.Log(ctx, LevelInfo, "request",
 				"method", r.Method, "route", route,

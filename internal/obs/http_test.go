@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestUnknownRouteUsesCatchAll pins the fixed-label-space property of
+// HTTPMetrics: a route outside the construction-time set lands in the
+// shared "other" slot, and serving it can never grow the per-route map
+// — the label space stays fixed no matter what paths arrive.
+func TestUnknownRouteUsesCatchAll(t *testing.T) {
+	m := NewHTTPMetrics("/v1/eval", "/v1/debug/traces")
+	if m.Route("/v1/eval") == nil || m.Route("/v1/debug/traces") == nil {
+		t.Fatal("constructed route missing from the set")
+	}
+	if m.Route("/v1/sneaky") != nil {
+		t.Fatal("unknown route resolves to a dedicated slot")
+	}
+	before := len(m.byRoute)
+
+	h := m.Wrap("/v1/sneaky", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	for range 3 {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/v1/sneaky", nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+
+	if len(m.byRoute) != before {
+		t.Fatalf("byRoute grew from %d to %d serving an unknown route", before, len(m.byRoute))
+	}
+	if got := m.other.Requests(4); got != 3 {
+		t.Fatalf("catch-all 4xx count = %d, want 3", got)
+	}
+	for _, rm := range m.routes {
+		if rm != m.other && rm.Requests(4) != 0 {
+			t.Fatalf("unknown-route traffic leaked into %q", rm.route)
+		}
+	}
+}
+
+// TestWrapStampsIdentityHeaders checks the middleware's response
+// contract: every response carries the request ID, and a sampled
+// request also carries its trace ID for trace discovery.
+func TestWrapStampsIdentityHeaders(t *testing.T) {
+	SetTraceSampleRate(1)
+	ResetTraces()
+	t.Cleanup(func() {
+		SetTraceSampleRate(0)
+		ResetTraces()
+	})
+
+	m := NewHTTPMetrics("/v1/eval")
+	h := m.Wrap("/v1/eval", func(w http.ResponseWriter, r *http.Request) {
+		if !TraceSampled(r.Context()) {
+			t.Error("handler context carries no sampled span")
+		}
+		if RequestID(r.Context()) == "" {
+			t.Error("handler context carries no request ID")
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/eval", nil)
+	req.Header.Set(RequestIDHeader, "req-upstream-1")
+	h(rec, req)
+
+	if got := rec.Header().Get(RequestIDHeader); got != "req-upstream-1" {
+		t.Fatalf("response request ID = %q, want the adopted upstream ID", got)
+	}
+	traceID := rec.Header().Get(TraceIDHeader)
+	if traceID == "" {
+		t.Fatal("sampled response missing X-Mppm-Trace-Id")
+	}
+	if spans := TraceSpans(traceID); len(spans) != 1 || spans[0].Name != "POST /v1/eval" {
+		t.Fatalf("recorded spans for %s = %+v", traceID, spans)
+	}
+}

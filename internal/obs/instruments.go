@@ -65,3 +65,15 @@ var (
 	// arrive — head-of-line blocking across shards.
 	FleetMergeStallSeconds = NewHistogram(DurationBuckets...)
 )
+
+// Process-wide tracing instruments: the span layer records into these
+// so the flight recorder itself is observable. Always exported behind
+// /metrics (a zero reads as "tracing off", not "missing").
+var (
+	// TraceSpansTotal counts spans recorded by the flight recorder.
+	TraceSpansTotal Counter
+	// TraceSpansDroppedTotal counts spans dropped by the flight
+	// recorder's bounds: per-trace span caps, pending-trace eviction,
+	// and completed traces aging out of every retention ring.
+	TraceSpansDroppedTotal Counter
+)

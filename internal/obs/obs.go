@@ -109,8 +109,9 @@ func (l Level) slogLevel() slog.Level {
 // read level. Components are created at package init (Engine, Store,
 // Sim, Service); the zero value is unusable.
 type Component struct {
-	name  string
-	level atomic.Int32
+	name        string
+	level       atomic.Int32
+	spanSeconds *Histogram
 }
 
 // Name returns the component's configuration name.
@@ -160,11 +161,11 @@ func (c *Component) emit(ctx context.Context, l Level, msg string, args []any) {
 // The subsystem components. Every trace site in the repository routes
 // through one of these gates.
 var (
-	Engine  = &Component{name: "engine"}
-	Store   = &Component{name: "store"}
-	Sim     = &Component{name: "sim"}
-	Service = &Component{name: "service"}
-	Fleet   = &Component{name: "fleet"}
+	Engine  = &Component{name: "engine", spanSeconds: NewHistogram(DurationBuckets...)}
+	Store   = &Component{name: "store", spanSeconds: NewHistogram(DurationBuckets...)}
+	Sim     = &Component{name: "sim", spanSeconds: NewHistogram(DurationBuckets...)}
+	Service = &Component{name: "service", spanSeconds: NewHistogram(DurationBuckets...)}
+	Fleet   = &Component{name: "fleet", spanSeconds: NewHistogram(DurationBuckets...)}
 )
 
 // components indexes the gates by configuration name.
@@ -281,6 +282,7 @@ type ctxKey int
 const (
 	requestIDKey ctxKey = iota
 	jobIDKey
+	spanContextKey
 )
 
 // WithRequestID returns ctx carrying a request ID for trace records.

@@ -1,0 +1,575 @@
+// Distributed tracing: spans, W3C traceparent propagation, and a
+// bounded in-process flight recorder.
+//
+// A Span is one timed phase of one request — an HTTP dispatch, an
+// engine job's queue wait or run, a store load, a sim replay. Spans
+// form a tree through parent span IDs and share a 16-byte trace ID that
+// follows the request across replicas via the traceparent header, so a
+// sweep fanned out over a fleet is observable as one tree.
+//
+// The off state is the default and is free, with the same contract as
+// Component.Log: when the sample rate is zero, StartSpan is a single
+// atomic load returning (ctx, nil), every method on the nil *Span is a
+// no-op, and no IDs, attributes or timestamps are materialized.
+// TestDisabledSpanAllocs pins this at zero allocations.
+//
+// Finished spans feed a flight recorder, not an exporter: a bounded
+// ring of recent traces plus always-keep slots for the slowest and
+// errored ones, held in memory and served from GET /v1/debug/traces.
+// When the bounds overflow, spans are dropped and counted
+// (TraceSpansDroppedTotal) — the recorder must never be the thing that
+// slows the system it is recording.
+
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Propagation headers. TraceparentHeader carries W3C trace context on
+// requests; the X-Mppm-* headers surface the request's identity on
+// responses so callers (and the mppm trace CLI) can find their trace.
+const (
+	TraceparentHeader = "Traceparent"
+	RequestIDHeader   = "X-Mppm-Request-Id"
+	TraceIDHeader     = "X-Mppm-Trace-Id"
+)
+
+// SpanContext is the wire-propagated identity of a span: the trace it
+// belongs to and its own span ID, both lowercase hex (32 and 16 chars).
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed phase of a trace. Fields are exported for the
+// debug endpoints and tests; mutate only through SetAttr/End/EndErr.
+type Span struct {
+	TraceID   string
+	SpanID    string
+	Parent    string // parent span ID; "" for a root
+	Component string
+	Name      string
+	Start     time.Time
+	Duration  time.Duration
+	Attrs     []Attr
+	Err       string
+
+	comp *Component // histogram target; nil once ended
+}
+
+// traceSampleBits holds the sampling rate as float64 bits. Zero bits ==
+// rate 0.0 == tracing off, so TraceEnabled is one atomic load.
+var traceSampleBits atomic.Uint64
+
+// SetTraceSampleRate sets the fraction of root spans that are sampled,
+// clamped to [0, 1]. Zero (the default) disables tracing entirely;
+// every span site degrades to one atomic load and zero allocations.
+func SetTraceSampleRate(rate float64) {
+	if !(rate > 0) { // also catches NaN
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	traceSampleBits.Store(math.Float64bits(rate))
+}
+
+// TraceSampleRate returns the current root sampling rate.
+func TraceSampleRate() float64 { return math.Float64frombits(traceSampleBits.Load()) }
+
+// TraceEnabled reports whether tracing is on at all — the single
+// atomic load guarding every span site.
+func TraceEnabled() bool { return traceSampleBits.Load() != 0 }
+
+// TraceSampled reports whether ctx belongs to a sampled trace: tracing
+// is enabled and ctx carries a span context. Child-only span sites
+// (engine jobs, store loads, sim replay) guard with this so they never
+// mint orphan roots — only HTTP ingress mints roots.
+func TraceSampled(ctx context.Context) bool {
+	if !TraceEnabled() {
+		return false
+	}
+	_, ok := SpanContextFrom(ctx)
+	return ok
+}
+
+// WithSpanContext returns ctx carrying sc as the current span.
+func WithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanContextKey, sc)
+}
+
+// SpanContextFrom returns the span context carried by ctx, if any.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(spanContextKey).(SpanContext)
+	return sc, ok
+}
+
+// StartSpan begins a span under ctx's current span, or — when ctx
+// carries no span context — mints a new root subject to the sampling
+// rate. It returns ctx re-stamped with the new span's context and the
+// span itself, which the caller must End (or EndErr). When tracing is
+// off or the root is sampled out, the span is nil and ctx is returned
+// unchanged; all Span methods are nil-safe, so unconditional
+// sp.SetAttr/sp.End calls stay correct on the off path — but guard the
+// whole site with TraceEnabled or TraceSampled so arguments are never
+// materialized when off.
+func StartSpan(ctx context.Context, c *Component, name string) (context.Context, *Span) {
+	rate := TraceSampleRate()
+	if rate == 0 {
+		return ctx, nil
+	}
+	parent, ok := SpanContextFrom(ctx)
+	if !ok {
+		if rate < 1 && rand.Float64() >= rate {
+			return ctx, nil
+		}
+		parent = SpanContext{TraceID: newTraceID()}
+	}
+	sp := &Span{
+		TraceID:   parent.TraceID,
+		SpanID:    newSpanID(),
+		Parent:    parent.SpanID,
+		Component: c.name,
+		Name:      name,
+		Start:     time.Now(),
+		comp:      c,
+	}
+	return WithSpanContext(ctx, SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID}), sp
+}
+
+// SetAttr annotates the span. No-op on a nil span.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+}
+
+// End finishes the span and hands it to the flight recorder. No-op on
+// a nil or already-ended span.
+func (sp *Span) End() { sp.EndErr(nil) }
+
+// EndErr finishes the span, recording err (when non-nil) as the span's
+// error. No-op on a nil or already-ended span.
+func (sp *Span) EndErr(err error) {
+	if sp == nil || sp.comp == nil {
+		return
+	}
+	c := sp.comp
+	sp.comp = nil
+	sp.Duration = time.Since(sp.Start)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	TraceSpansTotal.Inc()
+	c.spanSeconds.Observe(sp.Duration.Seconds())
+	recorder.record(*sp)
+}
+
+// RecordSpanAt records one already-measured child span — for phases
+// whose boundaries were timed before tracing could wrap them (the
+// engine's queue wait, a coalescer join). attrs are alternating
+// key/value pairs. No-op unless ctx carries a sampled trace context;
+// guard call sites with TraceSampled so arguments are free when off.
+func RecordSpanAt(ctx context.Context, c *Component, name string, start time.Time, d time.Duration, err error, attrs ...string) {
+	if !TraceEnabled() {
+		return
+	}
+	parent, ok := SpanContextFrom(ctx)
+	if !ok {
+		return
+	}
+	sp := Span{
+		TraceID:   parent.TraceID,
+		SpanID:    newSpanID(),
+		Parent:    parent.SpanID,
+		Component: c.name,
+		Name:      name,
+		Start:     start,
+		Duration:  d,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		sp.Attrs = append(sp.Attrs, Attr{Key: attrs[i], Value: attrs[i+1]})
+	}
+	TraceSpansTotal.Inc()
+	c.spanSeconds.Observe(d.Seconds())
+	recorder.record(sp)
+}
+
+// StartServerSpan begins the server-side span of one inbound HTTP
+// request: a remote trace context in the traceparent header is adopted
+// (honoring its sampled flag — an unsampled upstream stays unsampled),
+// otherwise a new root is minted subject to the sampling rate. The
+// span is nil when the request is not sampled.
+func StartServerSpan(ctx context.Context, hdr http.Header, c *Component, name string) (context.Context, *Span) {
+	if !TraceEnabled() {
+		return ctx, nil
+	}
+	if sc, sampled, ok := ParseTraceparent(hdr.Get(TraceparentHeader)); ok {
+		if !sampled {
+			return ctx, nil
+		}
+		ctx = WithSpanContext(ctx, sc)
+	}
+	return StartSpan(ctx, c, name)
+}
+
+// InjectTraceContext stamps ctx's span context into h as a traceparent
+// header (always with the sampled flag: an unsampled request never
+// reaches a span context). No-op when tracing is off or ctx carries no
+// span.
+func InjectTraceContext(ctx context.Context, h http.Header) {
+	if !TraceEnabled() {
+		return
+	}
+	if sc, ok := SpanContextFrom(ctx); ok {
+		h.Set(TraceparentHeader, FormatTraceparent(sc, true))
+	}
+}
+
+// EnsureRequestID adopts the request ID a coordinator stamped into the
+// X-Mppm-Request-Id header — so replica access logs correlate with the
+// coordinator's even when tracing is sampled out — minting a fresh one
+// otherwise. Returns ctx carrying the ID. Oversized header values are
+// ignored defensively.
+func EnsureRequestID(ctx context.Context, h http.Header) (context.Context, string) {
+	id := h.Get(RequestIDHeader)
+	if id == "" || len(id) > 128 {
+		id = NextID("req")
+	}
+	return WithRequestID(ctx, id), id
+}
+
+// FormatTraceparent renders sc as a W3C traceparent value:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>".
+func FormatTraceparent(sc SpanContext, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header value, returning the
+// span context, whether the sampled flag is set, and whether the value
+// was well-formed. Unknown versions, malformed hex and all-zero IDs are
+// rejected (ok=false) so a garbage header degrades to minting a fresh
+// root rather than poisoning the trace store.
+func ParseTraceparent(s string) (sc SpanContext, sampled, ok bool) {
+	// version(2) - traceID(32) - spanID(16) - flags(2) = 55 bytes.
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false, false
+	}
+	version, traceID, spanID, flags := s[:2], s[3:35], s[36:52], s[53:55]
+	if version == "ff" || !isLowerHex(version) ||
+		!isLowerHex(traceID) || !isLowerHex(spanID) || !isLowerHex(flags) {
+		return SpanContext{}, false, false
+	}
+	if allZero(traceID) || allZero(spanID) {
+		return SpanContext{}, false, false
+	}
+	sampled = hexNibble(flags[1])&1 == 1
+	return SpanContext{TraceID: traceID, SpanID: spanID}, sampled, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func hexNibble(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// newTraceID mints a 16-byte lowercase-hex trace ID. math/rand/v2's
+// global generator is fine here: trace IDs need collision resistance
+// within a flight recorder's short memory, not unpredictability.
+func newTraceID() string {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(b[8:], rand.Uint64())
+	if b == ([16]byte{}) {
+		b[15] = 1 // the all-zero ID is invalid traceparent
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newSpanID mints an 8-byte lowercase-hex span ID.
+func newSpanID() string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rand.Uint64())
+	if b == ([8]byte{}) {
+		b[7] = 1
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Flight-recorder bounds. Overflow drops spans (counted by
+// TraceSpansDroppedTotal) rather than growing without bound.
+const (
+	// maxSpansPerTrace caps one trace's span count; a million-mix sweep
+	// keeps its first spans and drops the rest.
+	maxSpansPerTrace = 512
+	// maxPendingTraces caps traces still waiting for their root to end
+	// (including replica-side fragments whose root lives on the
+	// coordinator); the oldest is evicted FIFO.
+	maxPendingTraces = 256
+	// maxRecentTraces is the ring of completed traces.
+	maxRecentTraces = 64
+	// maxSlowestTraces always keeps the slowest completed traces.
+	maxSlowestTraces = 16
+	// maxErroredTraces always keeps the latest completed traces that
+	// contained an errored span.
+	maxErroredTraces = 32
+)
+
+// traceEntry is one trace accumulating in the recorder.
+type traceEntry struct {
+	id      string
+	spans   []Span
+	dropped int
+	done    bool
+	hasErr  bool
+
+	// Root summary, filled at finalization.
+	rootName string
+	rootErr  string
+	start    time.Time
+	duration time.Duration
+}
+
+// flightRecorder accumulates finished spans into traces. A trace is
+// finalized when a local root span (Parent == "") ends; replica-side
+// fragments — remote parent, never rooted locally — stay in pending and
+// are served from there until evicted, which is how the coordinator
+// pulls them for stitching.
+type flightRecorder struct {
+	mu      sync.Mutex
+	pending map[string]*traceEntry
+	order   []*traceEntry // pending entries, oldest first (FIFO eviction)
+	recent  []*traceEntry // finalized, oldest first
+	slowest []*traceEntry // finalized, by duration descending
+	errored []*traceEntry // finalized with an error, oldest first
+}
+
+var recorder = &flightRecorder{pending: make(map[string]*traceEntry)}
+
+func (fr *flightRecorder) record(sp Span) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	e := fr.pending[sp.TraceID]
+	if e == nil {
+		// A straggler span of an already-finalized trace (a child that
+		// outlived its root) still lands in the right tree.
+		e = fr.lookupLocked(sp.TraceID)
+	}
+	if e == nil {
+		for len(fr.pending) >= maxPendingTraces && len(fr.order) > 0 {
+			old := fr.order[0]
+			fr.order[0] = nil
+			fr.order = fr.order[1:]
+			if fr.pending[old.id] == old {
+				delete(fr.pending, old.id)
+				TraceSpansDroppedTotal.Add(uint64(len(old.spans)))
+			}
+		}
+		e = &traceEntry{id: sp.TraceID}
+		fr.pending[sp.TraceID] = e
+		fr.order = append(fr.order, e)
+	}
+	if len(e.spans) >= maxSpansPerTrace {
+		e.dropped++
+		TraceSpansDroppedTotal.Inc()
+		return
+	}
+	if sp.Err != "" {
+		e.hasErr = true
+	}
+	e.spans = append(e.spans, sp)
+	if sp.Parent == "" && !e.done {
+		fr.finalizeLocked(e, &e.spans[len(e.spans)-1])
+	}
+}
+
+// finalizeLocked moves a trace whose root just ended from pending into
+// the completed rings. The entry may linger in fr.order until popped;
+// the pending-map check in record makes that harmless.
+func (fr *flightRecorder) finalizeLocked(e *traceEntry, root *Span) {
+	e.done = true
+	e.rootName = root.Name
+	e.rootErr = root.Err
+	e.start = root.Start
+	e.duration = root.Duration
+	delete(fr.pending, e.id)
+
+	fr.recent = append(fr.recent, e)
+	if len(fr.recent) > maxRecentTraces {
+		evicted := fr.recent[0]
+		n := copy(fr.recent, fr.recent[1:])
+		fr.recent[n] = nil
+		fr.recent = fr.recent[:n]
+		if !fr.keptLocked(evicted) {
+			TraceSpansDroppedTotal.Add(uint64(len(evicted.spans)))
+		}
+	}
+
+	i := sort.Search(len(fr.slowest), func(i int) bool {
+		return fr.slowest[i].duration < e.duration
+	})
+	if i < maxSlowestTraces {
+		fr.slowest = append(fr.slowest, nil)
+		copy(fr.slowest[i+1:], fr.slowest[i:])
+		fr.slowest[i] = e
+		if len(fr.slowest) > maxSlowestTraces {
+			fr.slowest[maxSlowestTraces] = nil
+			fr.slowest = fr.slowest[:maxSlowestTraces]
+		}
+	}
+
+	if e.hasErr || e.rootErr != "" {
+		fr.errored = append(fr.errored, e)
+		if len(fr.errored) > maxErroredTraces {
+			n := copy(fr.errored, fr.errored[1:])
+			fr.errored[n] = nil
+			fr.errored = fr.errored[:n]
+		}
+	}
+}
+
+// keptLocked reports whether e is still reachable from any completed
+// ring (used to count spans as dropped only when truly gone).
+func (fr *flightRecorder) keptLocked(e *traceEntry) bool {
+	for _, l := range [][]*traceEntry{fr.recent, fr.slowest, fr.errored} {
+		for _, x := range l {
+			if x == e {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (fr *flightRecorder) lookupLocked(id string) *traceEntry {
+	for _, l := range [][]*traceEntry{fr.recent, fr.slowest, fr.errored} {
+		for _, e := range l {
+			if e.id == id {
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// TraceSummary is one trace's index entry.
+type TraceSummary struct {
+	TraceID  string
+	Root     string
+	Start    time.Time
+	Duration time.Duration
+	Spans    int
+	Dropped  int
+	Err      string
+}
+
+func summarize(e *traceEntry) TraceSummary {
+	return TraceSummary{
+		TraceID:  e.id,
+		Root:     e.rootName,
+		Start:    e.start,
+		Duration: e.duration,
+		Spans:    len(e.spans),
+		Dropped:  e.dropped,
+		Err:      e.rootErr,
+	}
+}
+
+// TraceIndex snapshots the flight recorder's completed traces: the
+// recent ring (newest first), the slowest slots (slowest first) and the
+// errored ring (newest first).
+func TraceIndex() (recent, slowest, errored []TraceSummary) {
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	for i := len(recorder.recent) - 1; i >= 0; i-- {
+		recent = append(recent, summarize(recorder.recent[i]))
+	}
+	for _, e := range recorder.slowest {
+		slowest = append(slowest, summarize(e))
+	}
+	for i := len(recorder.errored) - 1; i >= 0; i-- {
+		errored = append(errored, summarize(recorder.errored[i]))
+	}
+	return recent, slowest, errored
+}
+
+// TraceSpans returns a copy of every locally recorded span of one
+// trace — completed or still pending (a replica fragment whose root
+// lives on the coordinator is always pending). nil when unknown.
+func TraceSpans(traceID string) []Span {
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	e := recorder.pending[traceID]
+	if e == nil {
+		e = recorder.lookupLocked(traceID)
+	}
+	if e == nil {
+		return nil
+	}
+	out := make([]Span, len(e.spans))
+	copy(out, e.spans)
+	return out
+}
+
+// ResetTraces clears the flight recorder. Tests only.
+func ResetTraces() {
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	recorder.pending = make(map[string]*traceEntry)
+	recorder.order = nil
+	recorder.recent = nil
+	recorder.slowest = nil
+	recorder.errored = nil
+}
+
+// SpanSeconds is the component's span-duration histogram, fed by every
+// span ended under this component and exposed per component in the
+// metrics exposition.
+func (c *Component) SpanSeconds() *Histogram { return c.spanSeconds }

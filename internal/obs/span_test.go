@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withTracing turns sampling on at the given rate for one test and
+// restores the off state and an empty recorder afterwards.
+func withTracing(t *testing.T, rate float64) {
+	t.Helper()
+	SetTraceSampleRate(rate)
+	ResetTraces()
+	t.Cleanup(func() {
+		SetTraceSampleRate(0)
+		ResetTraces()
+	})
+}
+
+// TestDisabledSpanAllocs pins the zero-cost-off contract of the span
+// sites, mirroring TestDisabledTraceAllocs for logs: with the sample
+// rate at zero, a guarded span site is one atomic load and zero
+// allocations, and the nil *Span returned by StartSpan absorbs
+// SetAttr/End for free.
+func TestDisabledSpanAllocs(t *testing.T) {
+	SetTraceSampleRate(0)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if TraceSampled(ctx) {
+			_, sp := StartSpan(ctx, Engine, "engine.run")
+			sp.SetAttr("mix", "gamess+lbm")
+			sp.End()
+		}
+		if TraceSampled(ctx) {
+			RecordSpanAt(ctx, Engine, "engine.queue", time.Time{}, 0, nil, "kind", "predict")
+		}
+		_, sp := StartSpan(ctx, Sim, "sim.replay")
+		sp.SetAttr("benchmark", "mcf")
+		sp.EndErr(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span site allocates %.1f per run; want 0", allocs)
+	}
+}
+
+func TestSampleRateClamping(t *testing.T) {
+	t.Cleanup(func() { SetTraceSampleRate(0) })
+	for _, tc := range []struct {
+		in, want float64
+	}{
+		{-1, 0}, {0, 0}, {0.25, 0.25}, {1, 1}, {2, 1},
+	} {
+		SetTraceSampleRate(tc.in)
+		if got := TraceSampleRate(); got != tc.want {
+			t.Fatalf("SetTraceSampleRate(%v): rate = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	SetTraceSampleRate(0.5)
+	if !TraceEnabled() {
+		t.Fatal("TraceEnabled() = false at rate 0.5")
+	}
+	SetTraceSampleRate(0)
+	if TraceEnabled() {
+		t.Fatal("TraceEnabled() = true at rate 0")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{
+		TraceID: "0123456789abcdef0123456789abcdef",
+		SpanID:  "fedcba9876543210",
+	}
+	for _, sampled := range []bool{true, false} {
+		s := FormatTraceparent(sc, sampled)
+		if len(s) != 55 {
+			t.Fatalf("FormatTraceparent length = %d, want 55: %q", len(s), s)
+		}
+		got, gotSampled, ok := ParseTraceparent(s)
+		if !ok || got != sc || gotSampled != sampled {
+			t.Fatalf("round trip of %q = %+v sampled=%v ok=%v", s, got, gotSampled, ok)
+		}
+	}
+}
+
+func TestTraceparentRejection(t *testing.T) {
+	valid := "00-0123456789abcdef0123456789abcdef-fedcba9876543210-01"
+	if _, _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("valid traceparent %q rejected", valid)
+	}
+	for name, s := range map[string]string{
+		"empty":         "",
+		"short":         valid[:54],
+		"long":          valid + "0",
+		"bad-separator": strings.Replace(valid, "-", "_", 1),
+		"version-ff":    "ff" + valid[2:],
+		"uppercase":     strings.ToUpper(valid),
+		"zero-trace":    "00-00000000000000000000000000000000-fedcba9876543210-01",
+		"zero-span":     "00-0123456789abcdef0123456789abcdef-0000000000000000-01",
+		"nonhex-flags":  valid[:53] + "zz",
+	} {
+		if _, _, ok := ParseTraceparent(s); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, s)
+		}
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	withTracing(t, 1)
+	ctx := context.Background()
+
+	ctx, root := StartSpan(ctx, Service, "GET /v1/eval")
+	if root == nil {
+		t.Fatal("StartSpan returned nil at rate 1")
+	}
+	if root.Parent != "" {
+		t.Fatalf("root span has parent %q", root.Parent)
+	}
+	cctx, child := StartSpan(ctx, Engine, "engine.run")
+	if child.TraceID != root.TraceID || child.Parent != root.SpanID {
+		t.Fatalf("child identity %+v not under root %+v", child, root)
+	}
+	RecordSpanAt(cctx, Engine, "engine.queue", time.Now(), time.Millisecond, nil, "kind", "predict")
+	child.SetAttr("mix", "gamess+lbm")
+	child.EndErr(errors.New("boom"))
+	child.EndErr(errors.New("double-end must not record twice"))
+	root.End()
+
+	spans := TraceSpans(root.TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("TraceSpans returned %d spans, want 3", len(spans))
+	}
+	var sawQueue bool
+	for _, sp := range spans {
+		if sp.TraceID != root.TraceID {
+			t.Fatalf("span %q in wrong trace %q", sp.Name, sp.TraceID)
+		}
+		if sp.Name == "engine.queue" {
+			sawQueue = true
+			if sp.Parent != child.SpanID {
+				t.Fatalf("queue span parented to %q, want the run span %q", sp.Parent, child.SpanID)
+			}
+			if len(sp.Attrs) != 1 || sp.Attrs[0] != (Attr{Key: "kind", Value: "predict"}) {
+				t.Fatalf("queue span attrs = %+v", sp.Attrs)
+			}
+		}
+	}
+	if !sawQueue {
+		t.Fatal("RecordSpanAt span missing from trace")
+	}
+
+	recent, _, errored := TraceIndex()
+	if len(recent) != 1 || recent[0].TraceID != root.TraceID || recent[0].Spans != 3 {
+		t.Fatalf("recent index = %+v", recent)
+	}
+	if recent[0].Root != "GET /v1/eval" {
+		t.Fatalf("root name = %q", recent[0].Root)
+	}
+	if len(errored) != 1 {
+		t.Fatalf("trace with errored child missing from errored ring: %+v", errored)
+	}
+	if TraceSpans("no-such-trace") != nil {
+		t.Fatal("TraceSpans of unknown ID is non-nil")
+	}
+}
+
+func TestChildSitesNeverMintRoots(t *testing.T) {
+	withTracing(t, 0.5)
+	// At a partial sampling rate an un-traced request's context carries
+	// no span context, and TraceSampled must hold every child site shut.
+	if TraceSampled(context.Background()) {
+		t.Fatal("TraceSampled(background) = true")
+	}
+	ctx := WithSpanContext(context.Background(), SpanContext{
+		TraceID: "0123456789abcdef0123456789abcdef", SpanID: "0123456789abcdef"})
+	if !TraceSampled(ctx) {
+		t.Fatal("TraceSampled with span context = false")
+	}
+	// A child under an existing context is never probabilistically
+	// rejected — sampling is decided once at the root.
+	for range 50 {
+		if _, sp := StartSpan(ctx, Engine, "engine.run"); sp == nil {
+			t.Fatal("child span sampled out despite parent context")
+		}
+	}
+}
+
+func TestStartServerSpan(t *testing.T) {
+	withTracing(t, 1)
+	sc := SpanContext{
+		TraceID: "0123456789abcdef0123456789abcdef",
+		SpanID:  "fedcba9876543210",
+	}
+
+	h := http.Header{}
+	h.Set(TraceparentHeader, FormatTraceparent(sc, true))
+	_, sp := StartServerSpan(context.Background(), h, Service, "POST /v1/eval")
+	if sp == nil || sp.TraceID != sc.TraceID || sp.Parent != sc.SpanID {
+		t.Fatalf("server span did not adopt remote context: %+v", sp)
+	}
+	sp.End()
+
+	h.Set(TraceparentHeader, FormatTraceparent(sc, false))
+	if _, sp := StartServerSpan(context.Background(), h, Service, "POST /v1/eval"); sp != nil {
+		t.Fatalf("unsampled upstream minted span %+v", sp)
+	}
+
+	h.Set(TraceparentHeader, "garbage")
+	_, sp = StartServerSpan(context.Background(), h, Service, "POST /v1/eval")
+	if sp == nil || sp.TraceID == sc.TraceID || sp.Parent != "" {
+		t.Fatalf("garbage traceparent should mint a fresh root: %+v", sp)
+	}
+	sp.End()
+}
+
+func TestInjectTraceContext(t *testing.T) {
+	withTracing(t, 1)
+	h := http.Header{}
+	InjectTraceContext(context.Background(), h)
+	if got := h.Get(TraceparentHeader); got != "" {
+		t.Fatalf("injected %q with no span context", got)
+	}
+	ctx, sp := StartSpan(context.Background(), Fleet, "fleet.eval")
+	InjectTraceContext(ctx, h)
+	sc, sampled, ok := ParseTraceparent(h.Get(TraceparentHeader))
+	if !ok || !sampled || sc.TraceID != sp.TraceID || sc.SpanID != sp.SpanID {
+		t.Fatalf("injected header %q does not carry current span %+v", h.Get(TraceparentHeader), sp)
+	}
+	sp.End()
+}
+
+func TestEnsureRequestID(t *testing.T) {
+	h := http.Header{}
+	h.Set(RequestIDHeader, "req-coordinator-42")
+	ctx, id := EnsureRequestID(context.Background(), h)
+	if id != "req-coordinator-42" || RequestID(ctx) != id {
+		t.Fatalf("EnsureRequestID did not adopt header: %q", id)
+	}
+	h.Set(RequestIDHeader, strings.Repeat("x", 200))
+	if _, id := EnsureRequestID(context.Background(), h); strings.Repeat("x", 200) == id {
+		t.Fatal("oversized request ID header adopted")
+	}
+	if _, id := EnsureRequestID(context.Background(), http.Header{}); id == "" {
+		t.Fatal("no fresh request ID minted")
+	}
+}
+
+func TestSpansPerTraceCap(t *testing.T) {
+	withTracing(t, 1)
+	before := TraceSpansDroppedTotal.Value()
+	ctx, root := StartSpan(context.Background(), Service, "huge")
+	for range maxSpansPerTrace + 10 {
+		_, sp := StartSpan(ctx, Engine, "engine.run")
+		sp.End()
+	}
+	root.End()
+
+	spans := TraceSpans(root.TraceID)
+	if len(spans) != maxSpansPerTrace {
+		t.Fatalf("trace holds %d spans, want cap %d", len(spans), maxSpansPerTrace)
+	}
+	dropped := TraceSpansDroppedTotal.Value() - before
+	// +10 children over the cap, plus the root itself arriving after the
+	// trace is full.
+	if dropped != 11 {
+		t.Fatalf("dropped counter advanced by %d, want 11", dropped)
+	}
+	// The capped trace never saw its root end, so it is still pending and
+	// still readable (that is also the replica-fragment serving path).
+	recent, _, _ := TraceIndex()
+	if len(recent) != 0 {
+		t.Fatalf("capped trace finalized: %+v", recent)
+	}
+}
+
+func TestPendingEvictionFIFO(t *testing.T) {
+	withTracing(t, 1)
+	before := TraceSpansDroppedTotal.Value()
+	// Replica-style fragments: remote parent, no local root — they stay
+	// pending until evicted.
+	ids := make([]string, maxPendingTraces+5)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%032x", i+1)
+		ctx := WithSpanContext(context.Background(), SpanContext{
+			TraceID: ids[i], SpanID: "00000000000000a1"})
+		_, sp := StartSpan(ctx, Engine, "engine.run")
+		sp.End()
+	}
+	for i, id := range ids {
+		spans := TraceSpans(id)
+		if i < 5 && spans != nil {
+			t.Fatalf("oldest fragment %d survived eviction", i)
+		}
+		if i >= 5 && len(spans) != 1 {
+			t.Fatalf("fragment %d evicted out of FIFO order", i)
+		}
+	}
+	if dropped := TraceSpansDroppedTotal.Value() - before; dropped != 5 {
+		t.Fatalf("eviction dropped %d spans, want 5", dropped)
+	}
+}
+
+func TestRecentRingEviction(t *testing.T) {
+	withTracing(t, 1)
+	for i := range maxRecentTraces + 3 {
+		_, sp := StartSpan(context.Background(), Service, fmt.Sprintf("req-%d", i))
+		sp.End()
+	}
+	recent, slowest, _ := TraceIndex()
+	if len(recent) != maxRecentTraces {
+		t.Fatalf("recent ring holds %d, want %d", len(recent), maxRecentTraces)
+	}
+	if recent[0].Root != fmt.Sprintf("req-%d", maxRecentTraces+2) {
+		t.Fatalf("recent[0] = %q, want newest first", recent[0].Root)
+	}
+	if len(slowest) != maxSlowestTraces {
+		t.Fatalf("slowest holds %d, want %d", len(slowest), maxSlowestTraces)
+	}
+	for i := 1; i < len(slowest); i++ {
+		if slowest[i].Duration > slowest[i-1].Duration {
+			t.Fatalf("slowest not sorted descending at %d", i)
+		}
+	}
+}
+
+func TestSpanHistogramFeeds(t *testing.T) {
+	withTracing(t, 1)
+	before := Engine.SpanSeconds().Count()
+	_, sp := StartSpan(context.Background(), Engine, "engine.run")
+	sp.End()
+	if got := Engine.SpanSeconds().Count(); got != before+1 {
+		t.Fatalf("engine span histogram count %d, want %d", got, before+1)
+	}
+}

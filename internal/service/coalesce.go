@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	mppm "repro"
 	"repro/internal/obs"
@@ -67,10 +68,11 @@ type coalescer struct {
 
 // sharedEval is one running evaluation and its broadcast row log.
 type sharedEval struct {
-	key    string
-	c      *coalescer
-	ctx    context.Context
-	cancel context.CancelFunc
+	key     string
+	c       *coalescer
+	ctx     context.Context
+	cancel  context.CancelFunc
+	traceID string // trace the creating request belonged to; "" unsampled
 
 	mu        sync.Mutex
 	notify    chan struct{} // closed and replaced on every state change
@@ -99,6 +101,13 @@ func (s *Server) joinEval(r *http.Request, mreq mppm.Request) *sharedEval {
 		se.mu.Unlock()
 		if ok {
 			obs.CoalescedRequestsTotal.Inc()
+			if obs.TraceSampled(r.Context()) {
+				// Joiner span: this request did no engine work; the span
+				// links its trace to the creator's, whose trace carries the
+				// shared engine job spans.
+				obs.RecordSpanAt(r.Context(), obs.Service, "coalesce.join",
+					time.Now(), 0, nil, "shared_trace", se.traceID)
+			}
 			return se
 		}
 		// Sealed: replayable history is gone; start a fresh evaluation
@@ -108,10 +117,16 @@ func (s *Server) joinEval(r *http.Request, mreq mppm.Request) *sharedEval {
 	// with the first request's context — but it keeps that context's
 	// values (the request ID stamped by the metrics middleware keeps
 	// propagating into engine job traces).
+	// The creator's context values also carry its span context, so the
+	// shared engine job's spans land in the first requester's trace;
+	// joiners record a coalesce.join span pointing at it.
 	ctx, cancel := context.WithCancel(context.WithoutCancel(r.Context()))
 	se := &sharedEval{
 		key: key, c: c, ctx: ctx, cancel: cancel,
 		notify: make(chan struct{}), subs: 1,
+	}
+	if sc, sampled := obs.SpanContextFrom(ctx); sampled {
+		se.traceID = sc.TraceID
 	}
 	c.inflight[key] = se
 	go s.runSharedEval(se, mreq)

@@ -42,6 +42,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.writeWireMetrics(e)
 	s.writeStoreMetrics(e)
 	s.writeFleetMetrics(e)
+	s.writeTraceMetrics(e)
 	s.httpm.WriteTo(e)
 	s.writeRuntimeMetrics(e)
 	if err := e.Err(); err != nil {
@@ -151,6 +152,23 @@ func (s *Server) writeStoreMetrics(e *obs.Exposition) {
 	e.Family("mppm_store_peer_bytes_fetched_total", "counter",
 		"Raw artifact bytes pulled from fleet peers.")
 	e.Value(float64(ss.PeerBytesFetched))
+}
+
+// writeTraceMetrics emits the distributed-tracing families. Always on:
+// the counters are cheap, and a zero reads as "tracing off" rather
+// than a missing family.
+func (s *Server) writeTraceMetrics(e *obs.Exposition) {
+	e.Family("mppm_trace_spans_total", "counter",
+		"Trace spans recorded by the in-process flight recorder.")
+	e.Value(float64(obs.TraceSpansTotal.Value()))
+	e.Family("mppm_trace_spans_dropped_total", "counter",
+		"Trace spans dropped or evicted by the flight recorder's bounds.")
+	e.Value(float64(obs.TraceSpansDroppedTotal.Value()))
+	e.Family("mppm_trace_span_duration_seconds", "histogram",
+		"Recorded span durations, by component.")
+	for _, c := range obs.Components() {
+		e.Hist(c.SpanSeconds(), "component", c.Name())
+	}
 }
 
 // writeFleetMetrics emits the fleet coordinator and peer-fetch-client

@@ -83,16 +83,18 @@ var routes = []string{
 	"/healthz", "/v1/healthz", "/v1/readyz", "/metrics",
 	"/v1/version", "/v1/benchmarks", "/v1/stats", "/v1/artifacts",
 	"/v1/eval", "/v1/warmup", "/v1/predict", "/v1/simulate", "/v1/sweep",
+	"/v1/debug/traces",
 }
 
 // Server serves the prediction API from one shared evaluation system.
 type Server struct {
-	sys   *mppm.System
-	httpm *obs.HTTPMetrics
-	start time.Time
-	pprof bool
-	fleet bool
-	coal  coalescer
+	sys    *mppm.System
+	httpm  *obs.HTTPMetrics
+	start  time.Time
+	pprof  bool
+	traces bool
+	fleet  bool
+	coal   coalescer
 }
 
 // Option configures a Server at construction.
@@ -103,6 +105,14 @@ type Option func(*Server)
 // execution traces perturb the process they measure.
 func WithPprof() Option {
 	return func(s *Server) { s.pprof = true }
+}
+
+// WithTraceDebug mounts the flight-recorder read endpoints
+// (GET /v1/debug/traces and /v1/debug/traces/{id}). Gated like pprof:
+// trace timelines expose request internals, so an operator opts in
+// (mppmd does when the trace sample rate is non-zero).
+func WithTraceDebug() Option {
+	return func(s *Server) { s.traces = true }
 }
 
 // WithFleetMetrics adds the fleet instrument families (shard dispatch,
@@ -149,6 +159,10 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/predict", "/v1/predict", s.handlePredict)
 	handle("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
 	handle("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	if s.traces {
+		handle("GET /v1/debug/traces", "/v1/debug/traces", s.handleTraceIndex)
+		handle("GET /v1/debug/traces/{id}", "/v1/debug/traces", s.handleTraceByID)
+	}
 	if s.pprof {
 		// Uninstrumented on purpose: pprof traffic is an operator
 		// debugging the process, not service load.

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// The flight-recorder read surface: GET /v1/debug/traces serves the
+// recent/slowest/errored index, GET /v1/debug/traces/{id} one trace's
+// span timeline. Both are mounted only under WithTraceDebug (gated
+// like pprof) and read straight from the in-process recorder — there is
+// no persistence and no export; restarting the process forgets all
+// traces. In a fleet, the coordinator intercepts the per-trace route
+// and merges every replica's local spans into one stitched tree (see
+// internal/fleet); the JSON types below are shared by both sides.
+
+// SpanJSON is one span in a trace timeline response. StartUnixNano
+// carries the wall-clock start so spans from different replicas order
+// on one time axis; Replica is empty for spans recorded by the serving
+// process and set by the fleet coordinator when stitching in a peer's
+// spans.
+type SpanJSON struct {
+	TraceID   string            `json:"trace_id"`
+	SpanID    string            `json:"span_id"`
+	Parent    string            `json:"parent,omitempty"`
+	Component string            `json:"component"`
+	Name      string            `json:"name"`
+	StartNano int64             `json:"start_unix_nano"`
+	DurNano   int64             `json:"duration_nano"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	Err       string            `json:"err,omitempty"`
+	Replica   string            `json:"replica,omitempty"`
+}
+
+// TraceResponse is the GET /v1/debug/traces/{id} body.
+type TraceResponse struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// TraceSummaryJSON is one trace in the index response.
+type TraceSummaryJSON struct {
+	TraceID   string `json:"trace_id"`
+	Root      string `json:"root"`
+	StartNano int64  `json:"start_unix_nano"`
+	DurNano   int64  `json:"duration_nano"`
+	Spans     int    `json:"spans"`
+	Dropped   int    `json:"dropped,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
+// TraceIndexResponse is the GET /v1/debug/traces body.
+type TraceIndexResponse struct {
+	Recent  []TraceSummaryJSON `json:"recent"`
+	Slowest []TraceSummaryJSON `json:"slowest"`
+	Errored []TraceSummaryJSON `json:"errored"`
+}
+
+func spanJSON(sp obs.Span) SpanJSON {
+	out := SpanJSON{
+		TraceID:   sp.TraceID,
+		SpanID:    sp.SpanID,
+		Parent:    sp.Parent,
+		Component: sp.Component,
+		Name:      sp.Name,
+		StartNano: sp.Start.UnixNano(),
+		DurNano:   int64(sp.Duration),
+		Err:       sp.Err,
+	}
+	if len(sp.Attrs) > 0 {
+		out.Attrs = make(map[string]string, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	return out
+}
+
+func summaryJSON(ts obs.TraceSummary) TraceSummaryJSON {
+	return TraceSummaryJSON{
+		TraceID:   ts.TraceID,
+		Root:      ts.Root,
+		StartNano: ts.Start.UnixNano(),
+		DurNano:   int64(ts.Duration),
+		Spans:     ts.Spans,
+		Dropped:   ts.Dropped,
+		Err:       ts.Err,
+	}
+}
+
+func summariesJSON(in []obs.TraceSummary) []TraceSummaryJSON {
+	out := make([]TraceSummaryJSON, len(in))
+	for i, ts := range in {
+		out[i] = summaryJSON(ts)
+	}
+	return out
+}
+
+// TraceSpansJSON returns the serving process's locally recorded spans
+// for one trace, nil when the trace is unknown here. Exported for the
+// fleet coordinator, which merges each replica's local spans into the
+// stitched tree.
+func TraceSpansJSON(traceID string) []SpanJSON {
+	spans := obs.TraceSpans(traceID)
+	if spans == nil {
+		return nil
+	}
+	out := make([]SpanJSON, len(spans))
+	for i, sp := range spans {
+		out[i] = spanJSON(sp)
+	}
+	return out
+}
+
+// handleTraceIndex serves the flight recorder's trace index.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	recent, slowest, errored := obs.TraceIndex()
+	writeJSON(w, http.StatusOK, TraceIndexResponse{
+		Recent:  summariesJSON(recent),
+		Slowest: summariesJSON(slowest),
+		Errored: summariesJSON(errored),
+	})
+}
+
+// handleTraceByID serves one trace's span timeline.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := TraceSpansJSON(id)
+	if spans == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: fmt.Sprintf("unknown trace %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: spans})
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/cache"
@@ -112,6 +113,11 @@ func Record(ctx context.Context, rd trace.Source, cfg Config) (*Recording, error
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var sp *obs.Span
+	if obs.TraceSampled(ctx) {
+		ctx, sp = obs.StartSpan(ctx, obs.Sim, "sim.record")
+		sp.SetAttr("benchmark", rd.Name())
+	}
 	traced := obs.Sim.Enabled(obs.LevelInfo)
 	var recordStart time.Time
 	if traced {
@@ -143,6 +149,7 @@ func Record(ctx context.Context, rd trace.Source, cfg Config) (*Recording, error
 		tm.OnGap(ref.Gap, ref.GapCycles)
 		if tm.Instructions() >= nextCtxCheck {
 			if err := ctx.Err(); err != nil {
+				sp.EndErr(err)
 				return nil, err
 			}
 			nextCtxCheck = tm.Instructions() + ctxCheckInterval
@@ -181,6 +188,10 @@ func Record(ctx context.Context, rd trace.Source, cfg Config) (*Recording, error
 			"benchmark", rec.benchmark, "llc_accesses", len(rec.addrs),
 			"closes", len(rec.closes), "elapsed", time.Since(recordStart))
 	}
+	if sp != nil {
+		sp.SetAttr("llc_accesses", strconv.Itoa(len(rec.addrs)))
+		sp.End()
+	}
 	return rec, nil
 }
 
@@ -216,6 +227,12 @@ func (rec *Recording) Replay(ctx context.Context, cfg Config, opts ProfileOption
 	}
 	if err := rec.compatibleWith(cfg); err != nil {
 		return nil, err
+	}
+	var sp *obs.Span
+	if obs.TraceSampled(ctx) {
+		ctx, sp = obs.StartSpan(ctx, obs.Sim, "sim.replay")
+		sp.SetAttr("benchmark", rec.benchmark)
+		sp.SetAttr("llc", cfg.Hierarchy.LLC.Name)
 	}
 	llc := cache.New(cfg.Hierarchy.LLC)
 	tm := cpu.NewTiming(cfg.CPU)
@@ -261,6 +278,7 @@ func (rec *Recording) Replay(ctx context.Context, cfg Config, opts ProfileOption
 		}
 		if i&0xFFFF == 0 {
 			if err := ctx.Err(); err != nil {
+				sp.EndErr(err)
 				return nil, err
 			}
 		}
@@ -296,8 +314,11 @@ func (rec *Recording) Replay(ctx context.Context, cfg Config, opts ProfileOption
 		closeAt(rec.endInstr, rec.endBase)
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: replay produced invalid profile: %w", err)
+		err = fmt.Errorf("sim: replay produced invalid profile: %w", err)
+		sp.EndErr(err)
+		return nil, err
 	}
+	sp.End()
 	if obs.Sim.Enabled(obs.LevelDebug) {
 		obs.Sim.Log(ctx, obs.LevelDebug, "replay done",
 			"benchmark", rec.benchmark, "llc", cfg.Hierarchy.LLC.Name,
